@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for Request Scheduler dispatch (Fig. 9's
+//! companion): single-threaded per-dispatch cost of the multi-level-queue
+//! frontend across instance counts and peek limits, plus the
+//! simulator-embedded Algorithm 1 over a cluster view.
+
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn
+
+use arlo_core::frontend::SchedulerFrontend;
+use arlo_core::request_scheduler::{ArloRequestScheduler, RequestSchedulerConfig};
+use arlo_runtime::latency::{CompiledRuntime, JitterSpec};
+use arlo_runtime::models::ModelSpec;
+use arlo_runtime::profile::profile_runtimes;
+use arlo_sim::cluster::Cluster;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn frontend(instances: u32, max_peek: usize) -> SchedulerFrontend {
+    const RUNTIMES: u32 = 12;
+    let per = instances / RUNTIMES;
+    let extra = instances % RUNTIMES;
+    let levels: Vec<(u32, u32, u32)> = (0..RUNTIMES)
+        .map(|i| {
+            let len = 512 * (i + 1) / RUNTIMES;
+            (len, (150 / (1 + i)).max(4), per + u32::from(i < extra))
+        })
+        .collect();
+    SchedulerFrontend::new(
+        RequestSchedulerConfig {
+            lambda: 0.85,
+            alpha: 0.9,
+            max_peek,
+            ..RequestSchedulerConfig::default()
+        },
+        &levels,
+    )
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlq_dispatch");
+    for &instances in &[200u32, 1200] {
+        for &peek in &[2usize, 6] {
+            let f = frontend(instances, peek);
+            let mut k = 0u64;
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{instances}inst_L{peek}")),
+                |b| {
+                    b.iter(|| {
+                        k = k.wrapping_add(127);
+                        let len = 1 + (k % 512) as u32;
+                        let h = f.dispatch(black_box(len)).expect("dispatches");
+                        f.complete(h);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sim_select(c: &mut Criterion) {
+    // Algorithm 1 against a populated cluster view (the path the simulator
+    // takes on every arrival).
+    let model = ModelSpec::bert_base();
+    let lengths = [64u32, 128, 192, 256, 320, 384, 448, 512];
+    let rts: Vec<CompiledRuntime> = lengths
+        .iter()
+        .map(|&l| CompiledRuntime::new_static(model.clone(), l))
+        .collect();
+    let profiles = profile_runtimes(&rts, 150.0, 256);
+    let counts = [12u32, 12, 12, 12, 12, 12, 12, 12];
+    let mut cluster = Cluster::new(profiles, &counts, JitterSpec::NONE, 1_000_000_000);
+    // Populate with background load.
+    for i in 0..400u64 {
+        let inst = (i % 96) as usize;
+        cluster.enqueue(
+            inst,
+            arlo_trace::workload::Request {
+                id: i,
+                arrival: 0,
+                length: 1,
+            },
+            0,
+        );
+    }
+    let rs = ArloRequestScheduler::paper_default();
+    let mut k = 0u64;
+    c.bench_function("sim_algorithm1_select_96inst", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(263);
+            let len = 1 + (k % 512) as u32;
+            rs.select(black_box(len), &cluster.view())
+        })
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_sim_select);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion macro-benchmark for the discrete-event simulator: end-to-end
+//! events-per-second throughput of a full Arlo run, the quantity that
+//! bounds how large a "large-scale simulation" (Fig. 10) this repository
+//! can regenerate per wall-second.
+
+#![allow(missing_docs)] // criterion_main! generates an undocumented fn
+
+use arlo_core::system::SystemSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_trace::workload::TraceSpec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let trace = TraceSpec::twitter_stable(2000.0, 10.0).generate(&mut StdRng::seed_from_u64(9));
+    let n = trace.len() as u64;
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+    for spec in [
+        SystemSpec::arlo(ModelSpec::bert_base(), 10, 150.0),
+        SystemSpec::st(ModelSpec::bert_base(), 10, 150.0),
+        SystemSpec::dt(ModelSpec::bert_base(), 10, 150.0),
+    ] {
+        group.bench_function(format!("{}_20k_requests", spec.name.to_lowercase()), |b| {
+            b.iter(|| black_box(&spec).run(black_box(&trace)).records.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

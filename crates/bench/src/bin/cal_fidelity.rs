@@ -1,0 +1,127 @@
+//! **§5.2.1** — simulator calibration and fidelity.
+//!
+//! The paper validates its discrete-event simulator against the physical
+//! testbed on 5–10-minute clips: after adding a fixed 0.8 ms/request
+//! overhead, mean latency agrees within 4.3% and p98 within 2.6%. With no
+//! testbed available, our reference is an independently derived M/D/1
+//! queueing model (shared code: only the latency profiles). This binary
+//! reports the simulator-vs-model gap across loads and a multi-runtime
+//! stream, plus the effect of the 0.8 ms calibration knob.
+
+use arlo_bench::{print_table, write_json};
+use arlo_core::policies::{IntraGroupLoadBalance, LoadBalance};
+use arlo_core::system::SystemSpec;
+use arlo_runtime::latency::CompiledRuntime;
+use arlo_runtime::models::ModelSpec;
+use arlo_runtime::profile::profile_runtimes;
+use arlo_runtime::runtime_set::RuntimeSet;
+use arlo_sim::calibration::{predict_md1, predict_stream};
+use arlo_sim::driver::{NoopAllocator, SimConfig, Simulation};
+use arlo_trace::workload::{ArrivalSpec, LengthSpec, TraceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    // Single-runtime M/D/1 sweep (Bert-Base @512, 300 s clips).
+    let profiles = profile_runtimes(
+        &[CompiledRuntime::new_static(ModelSpec::bert_base(), 512)],
+        150.0,
+        64,
+    );
+    let exec = profiles[0].exec_ms;
+    for rho in [0.2, 0.4, 0.6, 0.8] {
+        let rate = rho * 1000.0 / exec;
+        let trace = TraceSpec {
+            lengths: LengthSpec::Fixed(512),
+            arrivals: ArrivalSpec::Poisson { rate },
+            duration_secs: 300.0,
+        }
+        .generate(&mut StdRng::seed_from_u64(500 + (rho * 10.0) as u64));
+        let sim = Simulation::new(
+            &trace,
+            profiles.clone(),
+            &[1],
+            SimConfig::paper_default(150.0),
+        );
+        let report = sim.run(&mut LoadBalance, &mut NoopAllocator);
+        let sim_mean = report.latency_summary().mean;
+        let model_mean = predict_md1(trace.mean_rate(), 1, exec)
+            .expect("stable")
+            .mean_ms
+            + 0.8;
+        let gap = (sim_mean - model_mean).abs() / model_mean * 100.0;
+        rows.push(vec![
+            format!("M/D/1 rho={rho:.1}"),
+            format!("{sim_mean:.3}"),
+            format!("{model_mean:.3}"),
+            format!("{gap:.2}%"),
+        ]);
+        json.push(serde_json::json!({
+            "case": format!("md1_rho_{rho}"),
+            "sim_mean_ms": sim_mean,
+            "model_mean_ms": model_mean,
+            "gap_pct": gap,
+        }));
+    }
+
+    // Multi-runtime stream under ILB (matching the model's no-demotion
+    // assumption), instances sized to ~60% utilization per bin.
+    let set = RuntimeSet::natural(ModelSpec::bert_base());
+    let profiles = profile_runtimes(&set.compile(), 150.0, 64);
+    let trace = TraceSpec {
+        lengths: LengthSpec::TwitterRecalibrated { max: 512 },
+        arrivals: ArrivalSpec::Poisson { rate: 1200.0 },
+        duration_secs: 300.0,
+    }
+    .generate(&mut StdRng::seed_from_u64(777));
+    let shares = SystemSpec::bin_shares(&profiles, &trace);
+    let mut instances = Vec::new();
+    let mut rates = Vec::new();
+    for (p, share) in profiles.iter().zip(&shares) {
+        let rate = share * trace.mean_rate();
+        instances.push(((rate * p.exec_ms / 1000.0 / 0.6).ceil() as u32).max(1));
+        rates.push(rate);
+    }
+    let sim = Simulation::new(
+        &trace,
+        profiles.clone(),
+        &instances,
+        SimConfig::paper_default(150.0),
+    );
+    let report = sim.run(&mut IntraGroupLoadBalance, &mut NoopAllocator);
+    let sim_s = report.latency_summary();
+    let pred = predict_stream(&profiles, &rates, &instances, 0.8).expect("stable");
+    let mean_gap = (sim_s.mean - pred.mean_ms).abs() / pred.mean_ms * 100.0;
+    let p98_gap = (sim_s.p98 - pred.p98_ms).abs() / pred.p98_ms * 100.0;
+    rows.push(vec![
+        "8-runtime stream (mean)".into(),
+        format!("{:.3}", sim_s.mean),
+        format!("{:.3}", pred.mean_ms),
+        format!("{mean_gap:.2}%"),
+    ]);
+    rows.push(vec![
+        "8-runtime stream (p98)".into(),
+        format!("{:.3}", sim_s.p98),
+        format!("{:.3}", pred.p98_ms),
+        format!("{p98_gap:.2}%"),
+    ]);
+    json.push(serde_json::json!({
+        "case": "stream",
+        "sim_mean_ms": sim_s.mean, "model_mean_ms": pred.mean_ms, "mean_gap_pct": mean_gap,
+        "sim_p98_ms": sim_s.p98, "model_p98_ms": pred.p98_ms, "p98_gap_pct": p98_gap,
+    }));
+
+    print_table(
+        "§5.2.1 — simulator vs independent queueing model (paper's sim-vs-testbed: mean 4.3%, p98 2.6%)",
+        &["case", "sim ms", "model ms", "gap"],
+        &rows,
+    );
+    println!(
+        "\nThe 0.8 ms/request overhead is the same calibration constant the paper adds;\n\
+         removing it shifts every simulated mean by exactly 0.8 ms (tests/calibration.rs)."
+    );
+    write_json("cal_fidelity", &serde_json::json!({ "rows": json }));
+}

@@ -1,0 +1,64 @@
+//! **Extension (§6)** — dynamic batch execution.
+//!
+//! The paper fixes batch size 1 ("conservative and reasonable in
+//! latency-sensitive scenarios") and leaves batching as future work,
+//! noting the throughput/latency trade-off. This binary sweeps the batch
+//! bound on an Arlo deployment at several load levels: batching should be
+//! invisible at low load (batches rarely form), lift the saturation point
+//! at high load, and cost a little per-request latency in between.
+
+use arlo_bench::{print_table, write_json};
+use arlo_core::system::SystemSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_sim::cluster::BatchSpec;
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let slo = 150.0;
+    let gpus = 10u32;
+    // Each extra batched request costs 60% of a full execution.
+    let marginal = 0.6;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (k, &rate) in [1000.0, 2500.0, 4000.0].iter().enumerate() {
+        let trace = TraceSpec::twitter_stable(rate, 30.0)
+            .generate(&mut StdRng::seed_from_u64(700 + k as u64));
+        let mut row = vec![format!("{rate:.0}")];
+        let mut entry = serde_json::Map::new();
+        entry.insert("rate".into(), serde_json::json!(rate));
+        for max_batch in [1u32, 2, 4, 8] {
+            let spec =
+                SystemSpec::arlo(ModelSpec::bert_base(), gpus, slo).with_batching(BatchSpec {
+                    max_batch,
+                    marginal_cost: marginal,
+                });
+            let report = spec.run(&trace);
+            let s = report.latency_summary();
+            row.push(format!("{:.2}/{:.1}", s.mean, s.p98));
+            entry.insert(
+                format!("b{max_batch}"),
+                serde_json::json!({ "mean_ms": s.mean, "p98_ms": s.p98,
+                                    "viol": report.slo_violation_rate(slo) }),
+            );
+        }
+        rows.push(row);
+        json.push(serde_json::Value::Object(entry));
+    }
+    print_table(
+        "§6 extension — batch-size sweep, Arlo, Bert-Base, 10 GPUs (mean/p98 ms)",
+        &["req/s", "batch 1", "batch 2", "batch 4", "batch 8"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: identical at low load (queues never deepen enough to batch);\n\
+         at loads beyond batch-1 saturation (ST capacity ≈ 2.1k, Arlo ≈ 4–5k req/s),\n\
+         batching converts queueing collapse into modest per-request inflation —\n\
+         the §6 trade-off, quantified."
+    );
+    write_json(
+        "ext_batching",
+        &serde_json::json!({ "rows": json, "marginal_cost": marginal }),
+    );
+}

@@ -1,0 +1,121 @@
+//! **Extension (§3.2)** — fault injection.
+//!
+//! The paper motivates dynamics-aware dispatching with "idiosyncratic
+//! factors such as failures and bugs" that "lead to imbalanced load even
+//! across instances of the same runtime", but never evaluates with faults present.
+//! This binary does: mid-trace, a quarter of the small-runtime instances
+//! degrade 4× (thermal throttling) and one instance of the large runtime
+//! crashes outright. Load-aware dispatchers (RS, IG) route around the
+//! sick instances; ILB's strict intra-group balancing keeps feeding them.
+
+use arlo_bench::{print_table, write_json};
+use arlo_core::request_scheduler::RequestSchedulerConfig;
+use arlo_core::system::{DispatchPolicy, SystemSpec};
+use arlo_runtime::models::ModelSpec;
+use arlo_sim::driver::{FaultKind, FaultSpec, NoopAllocator, Simulation};
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let slo = 150.0;
+    let gpus = 12u32;
+    let trace = TraceSpec::twitter_stable(2500.0, 40.0).generate(&mut StdRng::seed_from_u64(808));
+    let base = SystemSpec::arlo(ModelSpec::bert_base(), gpus, slo);
+    let profiles = base.build_profiles();
+    let initial = base.initial_allocation(&profiles, &trace);
+    println!("initial allocation: {initial:?}");
+    // Fault plan: EVERY instance of the smallest runtime degrades 4× from
+    // t=10 s for 15 s (a bad kernel rollout hitting one engine build), so
+    // intra-group balancing cannot escape — only demotion to larger
+    // runtimes can. One large instance also crashes outright at t=20 s.
+    let n0 = initial[0] as usize;
+    let last = (initial.iter().sum::<u32>() - 1) as usize;
+    let mut faults: Vec<FaultSpec> = (0..n0)
+        .map(|i| FaultSpec {
+            at: 10_000_000_000,
+            instance: i,
+            kind: FaultKind::Slowdown {
+                factor: 4.0,
+                duration: 15_000_000_000,
+            },
+        })
+        .collect();
+    faults.push(FaultSpec {
+        at: 20_000_000_000,
+        instance: last,
+        kind: FaultKind::Crash,
+    });
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let rs_measured = DispatchPolicy::ArloRs(RequestSchedulerConfig {
+        use_measured_capacity: true,
+        ..RequestSchedulerConfig::default()
+    });
+    for (name, dispatch) in [
+        ("RS (Arlo)", None),
+        ("RS+meas", Some(rs_measured)),
+        ("ILB", Some(DispatchPolicy::Ilb)),
+        ("IG", Some(DispatchPolicy::Ig)),
+    ] {
+        let spec = match dispatch {
+            None => base.clone(),
+            Some(d) => base.clone().with_dispatch(d, name),
+        };
+        let run = |with_faults: bool| {
+            let sim = Simulation::new(&trace, spec.build_profiles(), &initial, spec.sim_config());
+            let sim = if with_faults {
+                sim.with_faults(faults.clone())
+            } else {
+                sim
+            };
+            let mut dispatcher = spec.build_dispatcher();
+            sim.run(dispatcher.as_mut(), &mut NoopAllocator)
+        };
+        let healthy = run(false);
+        let faulty = run(true);
+        assert_eq!(
+            faulty.records.len(),
+            trace.len(),
+            "{name}: lost requests under faults"
+        );
+        let (hs, fs) = (healthy.latency_summary(), faulty.latency_summary());
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", hs.mean),
+            format!("{:.2}", fs.mean),
+            format!("{:.2}", hs.p98),
+            format!("{:.2}", fs.p98),
+            format!("{:.2}%", faulty.slo_violation_rate(slo) * 100.0),
+        ]);
+        json.push(serde_json::json!({
+            "policy": name,
+            "healthy_mean_ms": hs.mean, "faulty_mean_ms": fs.mean,
+            "healthy_p98_ms": hs.p98, "faulty_p98_ms": fs.p98,
+            "faulty_viol": faulty.slo_violation_rate(slo),
+        }));
+    }
+    print_table(
+        "§3.2 extension — dispatch under injected faults (Bert-Base, 12 GPUs, 2.5k req/s)",
+        &[
+            "policy",
+            "mean ok",
+            "mean faulty",
+            "p98 ok",
+            "p98 faulty",
+            "viol",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: no requests are lost through the crash; ILB, which never\n\
+         leaves the ideal group while it has instances, takes by far the largest hit.\n\
+         IG's raw-load comparison adapts instantly. RS lands in between — its\n\
+         congestion threshold P = load/M uses *profiled* capacity, which a stale\n\
+         profile overstates for a degraded instance, so demotion triggers only once\n\
+         queues are already deep. (A production system would re-profile or track\n\
+         per-instance service rates; the paper's formulation does not.)"
+    );
+    write_json("ext_faults", &serde_json::json!({ "rows": json }));
+}

@@ -1,0 +1,114 @@
+//! **Extension (§6)** — multi-stream serving with a shared GPU pool.
+//!
+//! The paper sketches multi-stream Arlo as future work: one Arlo per stream
+//! plus resource sharing across them. This binary exercises our
+//! two-level coordinator: a Bert-Base stream (150 ms SLO) and a Bert-Large
+//! stream (450 ms SLO) share a pool, the coordinator splits it exactly
+//! (outer knapsack over exact inner ILP cost curves), and the split is
+//! compared against the obvious proportional-to-rate static division —
+//! first on the planning objective, then end-to-end in simulation.
+
+use arlo_bench::{print_table, write_json};
+use arlo_core::multistream::{plan_from_trace, PoolCoordinator};
+use arlo_core::system::SystemSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_sim::driver::{NoopAllocator, SimConfig, Simulation};
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let pool = 24u32;
+    let mut rng = StdRng::seed_from_u64(606);
+    let base_trace = TraceSpec::twitter_bursty(2500.0, 60.0).generate(&mut rng);
+    let large_trace = TraceSpec::twitter_bursty(400.0, 60.0).generate(&mut rng);
+
+    let base_spec = SystemSpec::arlo(ModelSpec::bert_base(), pool, 150.0);
+    let large_spec = SystemSpec::arlo(ModelSpec::bert_large(), pool, 450.0);
+    let plans = vec![
+        plan_from_trace(
+            "bert-base@150ms",
+            base_spec.build_profiles(),
+            &base_trace,
+            150.0,
+        ),
+        plan_from_trace(
+            "bert-large@450ms",
+            large_spec.build_profiles(),
+            &large_trace,
+            450.0,
+        ),
+    ];
+
+    let part = PoolCoordinator.partition(&plans, pool).expect("feasible");
+    let naive = PoolCoordinator::proportional_split(&plans, pool);
+    let naive_cost: f64 = plans
+        .iter()
+        .zip(&naive)
+        .map(|(p, &g)| p.cost_at(g).unwrap_or(f64::INFINITY))
+        .sum();
+
+    let rows = vec![
+        vec![
+            "coordinated".into(),
+            format!("{:?}", part.gpus),
+            format!("{:.0}", part.total_cost),
+        ],
+        vec![
+            "proportional".into(),
+            format!("{naive:?}"),
+            format!("{naive_cost:.0}"),
+        ],
+    ];
+    print_table(
+        &format!("§6 extension — splitting a {pool}-GPU pool across two streams (planning objective, ms·req/s)"),
+        &["split", "GPUs per stream", "total cost"],
+        &rows,
+    );
+
+    // End-to-end: simulate each stream on its granted partition.
+    println!("\nend-to-end mean latency (ms) per stream:");
+    let mut json_streams = Vec::new();
+    for (k, (spec, trace)) in [(base_spec, &base_trace), (large_spec, &large_trace)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut line = format!("  {:18}", plans[k].name);
+        let mut entry = serde_json::Map::new();
+        for (tag, grant) in [("coordinated", part.gpus[k]), ("proportional", naive[k])] {
+            let profiles = spec.build_profiles();
+            let alloc = plans[k]
+                .allocation_at(grant)
+                .expect("granted budget is feasible");
+            let sim = Simulation::new(
+                trace,
+                profiles,
+                &alloc.instances,
+                SimConfig::paper_default(spec.slo_ms),
+            );
+            let mut dispatcher = spec.build_dispatcher();
+            let report = sim.run(dispatcher.as_mut(), &mut NoopAllocator);
+            let mean = report.latency_summary().mean;
+            line.push_str(&format!("  {tag}: {mean:7.2} ({grant:>2} GPUs)"));
+            entry.insert(format!("{tag}_mean_ms"), serde_json::json!(mean));
+            entry.insert(format!("{tag}_gpus"), serde_json::json!(grant));
+        }
+        println!("{line}");
+        json_streams.push(serde_json::Value::Object(entry));
+    }
+    println!(
+        "\nThe coordinator grants by marginal latency value, not raw request rate — the\n\
+         Bert-Large stream's requests are ~4× as expensive per request, which the\n\
+         proportional split systematically under-weighs."
+    );
+
+    write_json(
+        "ext_multistream",
+        &serde_json::json!({
+            "pool": pool,
+            "coordinated": { "gpus": part.gpus, "planning_cost": part.total_cost },
+            "proportional": { "gpus": naive, "planning_cost": naive_cost },
+            "streams": json_streams,
+        }),
+    );
+}

@@ -1,0 +1,82 @@
+//! **Extension (DESIGN.md §2b, resolution 5)** — what demand estimate
+//! should the Runtime Scheduler provision to?
+//!
+//! The paper defines `Q_i` as the *average* requests per SLO period. Under
+//! bursty traffic with length drift that melts the longest bins (their
+//! demand swings several-fold and has no larger runtime to demote into),
+//! which is why this reproduction provisions to a quantile of 10-second
+//! sub-window demand. This binary quantifies the choice: quantile 0.5
+//! (≈ the paper's mean) through 1.0 (peak provisioning).
+
+use arlo_bench::{print_table, write_json};
+use arlo_core::request_scheduler::RequestSchedulerConfig;
+use arlo_core::runtime_scheduler::{ArloRuntimeScheduler, RuntimeSchedulerConfig};
+use arlo_core::system::SystemSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_sim::driver::Simulation;
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The Fig. 10a regime, where provisioning matters: 90 GPUs at 11k req/s
+    // bursty — bins run hot, and the long bins' demand share swings
+    // several-fold with the length drift.
+    let slo = 150.0;
+    let gpus = 90u32;
+    let trace =
+        TraceSpec::twitter_bursty(11_000.0, 150.0).generate(&mut StdRng::seed_from_u64(101));
+    let spec = SystemSpec::arlo(ModelSpec::bert_base(), gpus, slo);
+    let profiles = spec.build_profiles();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for q in [0.5, 0.75, 0.9, 0.95, 1.0] {
+        // Initial allocation and online scheduler both provision at q.
+        let demand = SystemSpec::provisioning_demand(&profiles, &trace, slo, q);
+        let initial =
+            ArloRuntimeScheduler::solve_for(&profiles, &demand, gpus, 0.9).expect("feasible");
+        let mut allocator = ArloRuntimeScheduler::new(RuntimeSchedulerConfig {
+            demand_quantile: q,
+            ..RuntimeSchedulerConfig::default()
+        });
+        let mut dispatcher = arlo_core::request_scheduler::ArloRequestScheduler::new(
+            RequestSchedulerConfig::default(),
+        );
+        let sim = Simulation::new(&trace, profiles.clone(), &initial, spec.sim_config());
+        let report = sim.run(&mut dispatcher, &mut allocator);
+        let s = report.latency_summary();
+        rows.push(vec![
+            format!(
+                "{q:.2}{}",
+                if q == 0.95 {
+                    " (ours)"
+                } else if q == 0.5 {
+                    " (≈paper mean)"
+                } else {
+                    ""
+                }
+            ),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.p98),
+            format!("{:.2}", s.p99),
+            format!("{:.2}%", report.slo_violation_rate(slo) * 100.0),
+        ]);
+        json.push(serde_json::json!({
+            "quantile": q,
+            "mean_ms": s.mean, "p98_ms": s.p98, "p99_ms": s.p99,
+            "viol": report.slo_violation_rate(slo),
+        }));
+    }
+    print_table(
+        "demand-quantile sweep (Bert-Base, 90 GPUs, Twitter-Bursty 11k req/s)",
+        &["quantile", "mean ms", "p98 ms", "p99 ms", "viol"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: mean-ish provisioning (0.5) leaves the long bins exposed to\n\
+         demand swings — the tail and violation rate improve monotonically with the\n\
+         quantile until peak provisioning stops paying (GPUs parked on slack)."
+    );
+    write_json("ext_quantile_sweep", &serde_json::json!({ "rows": json }));
+}

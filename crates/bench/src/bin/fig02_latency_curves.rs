@@ -1,0 +1,82 @@
+//! **Fig. 2** — inference latency of static vs dynamic compilation across
+//! sequence lengths, for Bert-Base (a), Bert-Large (b) and Dolly (c).
+//!
+//! Checks the calibration anchors: the 64-token staircase, Bert-Base
+//! `L(512)/L(64) ≈ 4.22`, Bert-Large `≈ 5.25`, dynamic inflation in
+//! `[1.22, 3.56]` for TensorRT, and Dolly's constant 2.86× TVM gap.
+
+use arlo_bench::{print_table, write_json};
+use arlo_runtime::models::ModelSpec;
+
+fn curve(model: &ModelSpec) -> Vec<(u32, f64, f64)> {
+    (1..=(model.max_length / 32))
+        .map(|i| {
+            let len = i * 32;
+            (
+                len,
+                model.static_latency_ms(len),
+                model.dynamic_latency_ms(len),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let mut json = serde_json::Map::new();
+    for (fig, model) in [
+        (
+            "Fig. 2a — Bert-Base (TensorRT FP32)",
+            ModelSpec::bert_base(),
+        ),
+        (
+            "Fig. 2b — Bert-Large (TensorRT FP32)",
+            ModelSpec::bert_large(),
+        ),
+        ("Fig. 2c — Dolly (TVM Unity FP16)", ModelSpec::dolly()),
+    ] {
+        let series = curve(&model);
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|&(len, st, dy)| {
+                vec![
+                    format!("{len}"),
+                    format!("{st:.3}"),
+                    format!("{dy:.3}"),
+                    format!("{:.2}x", dy / st),
+                ]
+            })
+            .collect();
+        print_table(fig, &["len", "static ms", "dynamic ms", "inflation"], &rows);
+
+        let l64 = model.static_latency_ms(64);
+        let l512 = model.static_latency_ms(512);
+        let inflations: Vec<f64> = series.iter().map(|&(_, st, dy)| dy / st).collect();
+        let min_x = inflations.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_x = inflations.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "anchors: L(64) = {l64:.2} ms, L(512) = {l512:.2} ms, ratio {:.2} \
+             (paper: Bert-Base 4.22, Bert-Large 5.25); inflation range \
+             [{min_x:.2}, {max_x:.2}] (paper: TensorRT 1.22–3.56, Dolly avg 2.86)",
+            l512 / l64
+        );
+        json.insert(
+            model.name.clone(),
+            serde_json::json!({
+                "series": series,
+                "l512_over_l64": l512 / l64,
+                "inflation_min": min_x,
+                "inflation_max": max_x,
+            }),
+        );
+    }
+
+    // The staircase close-up the paper uses to justify 64-token spacing:
+    // within a step, latency is flat.
+    let m = ModelSpec::bert_base();
+    println!("\nstaircase close-up (Bert-Base): lengths 60..=70 →");
+    for len in 60..=70 {
+        println!("  L({len}) = {:.3} ms", m.static_latency_ms(len));
+    }
+
+    write_json("fig02_latency_curves", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,105 @@
+//! **Fig. 6** — testbed-scale latency comparison on 10 GPUs, Twitter-Stable.
+//!
+//! Paper: (a) Bert-Base stream at 1k req/s, (b) Bert-Large at 1.5k req/s.
+//! Arlo reduces mean latency by 70.3%/66.7% vs ST, 23.7%/29.2% vs DT and
+//! 24.9%/39.3% vs INFaaS, and tail (p98) latency by up to 89.4%/25.9%/40.1%.
+//!
+//! Load calibration note (see EXPERIMENTS.md): our analytic latency model
+//! gives a 10-GPU ST deployment a hard capacity of ~2.1k req/s (Bert-Base)
+//! and ~0.6k (Bert-Large); the paper's absolute rates would leave ST with no
+//! queueing for Bert-Base and no stability for Bert-Large. We therefore run
+//! each stream at ~85% of its ST capacity, the regime the paper's CDFs
+//! depict (ST queueing heavily, Arlo comfortable).
+
+use arlo_bench::{
+    latency_row, print_table, reduction_pct, report_json, write_json, LATENCY_HEADERS,
+};
+use arlo_core::system::SystemSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_stream(tag: &str, model: ModelSpec, rate: f64, slo_ms: f64, seed: u64) -> serde_json::Value {
+    let trace = TraceSpec::twitter_stable(rate, 60.0).generate(&mut StdRng::seed_from_u64(seed));
+    let specs = [
+        SystemSpec::arlo(model.clone(), 10, slo_ms),
+        SystemSpec::st(model.clone(), 10, slo_ms),
+        SystemSpec::dt(model.clone(), 10, slo_ms),
+        SystemSpec::infaas(model, 10, slo_ms),
+    ];
+    let reports = arlo_bench::run_schemes_parallel(&specs, &trace);
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|(name, r)| latency_row(name, r, slo_ms))
+        .collect();
+    print_table(
+        &format!("Fig. 6 {tag} ({rate:.0} req/s, 10 GPUs, SLO {slo_ms:.0} ms)"),
+        &LATENCY_HEADERS,
+        &rows,
+    );
+
+    let mean = |i: usize| reports[i].1.latency_summary().mean;
+    let p98 = |i: usize| reports[i].1.latency_summary().p98;
+    println!(
+        "mean reductions: vs ST {:.1}% (paper 70.3/66.7), vs DT {:.1}% (paper 23.7/29.2), \
+         vs INFaaS {:.1}% (paper 24.9/39.3)",
+        reduction_pct(mean(0), mean(1)),
+        reduction_pct(mean(0), mean(2)),
+        reduction_pct(mean(0), mean(3)),
+    );
+    println!(
+        "p98 reductions:  vs ST {:.1}% (paper ≤89.4), vs DT {:.1}% (paper ≤25.9), \
+         vs INFaaS {:.1}% (paper ≤40.1)",
+        reduction_pct(p98(0), p98(1)),
+        reduction_pct(p98(0), p98(2)),
+        reduction_pct(p98(0), p98(3)),
+    );
+
+    // Queueing-vs-execution split: where each scheme loses.
+    println!("latency breakdown (queueing / execution mean, ms):");
+    for (name, r) in &reports {
+        println!(
+            "  {name:8} {:6.2} / {:6.2}",
+            r.queueing_summary().mean,
+            r.execution_summary().mean
+        );
+    }
+
+    // The figure's CDF curves, rendered in the terminal.
+    let curves: Vec<arlo_bench::chart::Series> = reports
+        .iter()
+        .map(|(name, r)| arlo_bench::chart::Series::new(name.clone(), r.latency_cdf().curve(48)))
+        .collect();
+    println!(
+        "\n{}",
+        arlo_bench::chart::line_chart("latency CDF (x: ms, y: F)", &curves, 64, 16)
+    );
+
+    serde_json::json!({
+        "rate": rate,
+        "schemes": reports
+            .iter()
+            .map(|(name, r)| serde_json::json!({ "name": name, "metrics": report_json(r, slo_ms) }))
+            .collect::<Vec<_>>(),
+        "mean_reduction_vs": {
+            "st": reduction_pct(mean(0), mean(1)),
+            "dt": reduction_pct(mean(0), mean(2)),
+            "infaas": reduction_pct(mean(0), mean(3)),
+        },
+        "p98_reduction_vs": {
+            "st": reduction_pct(p98(0), p98(1)),
+            "dt": reduction_pct(p98(0), p98(2)),
+            "infaas": reduction_pct(p98(0), p98(3)),
+        },
+    })
+}
+
+fn main() {
+    let a = run_stream("(a) Bert-Base", ModelSpec::bert_base(), 1800.0, 150.0, 61);
+    let b = run_stream("(b) Bert-Large", ModelSpec::bert_large(), 500.0, 450.0, 62);
+    write_json(
+        "fig06_testbed_cdf",
+        &serde_json::json!({ "bert_base": a, "bert_large": b }),
+    );
+}

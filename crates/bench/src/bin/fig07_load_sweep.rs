@@ -1,0 +1,70 @@
+//! **Fig. 7** — mean latency under varying request load (Bert-Base stream,
+//! Twitter-Stable, 10 GPUs).
+//!
+//! The paper's observation: below ~1k req/s all systems look similar; as
+//! load rises toward ST's capacity its full-padding queueing blows up first,
+//! while Arlo's resource allocation and dispatching keep queues short the
+//! longest.
+
+use arlo_bench::{print_table, write_json};
+use arlo_core::system::SystemSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let slo = 150.0;
+    let rates = [400.0, 800.0, 1200.0, 1600.0, 1800.0, 2000.0];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (k, &rate) in rates.iter().enumerate() {
+        let trace = TraceSpec::twitter_stable(rate, 40.0)
+            .generate(&mut StdRng::seed_from_u64(70 + k as u64));
+        let mut row = vec![format!("{rate:.0}")];
+        let mut entry = serde_json::Map::new();
+        entry.insert("rate".into(), serde_json::json!(rate));
+        for spec in [
+            SystemSpec::arlo(ModelSpec::bert_base(), 10, slo),
+            SystemSpec::st(ModelSpec::bert_base(), 10, slo),
+            SystemSpec::dt(ModelSpec::bert_base(), 10, slo),
+            SystemSpec::infaas(ModelSpec::bert_base(), 10, slo),
+        ] {
+            let mean = spec.run(&trace).latency_summary().mean;
+            row.push(format!("{mean:.2}"));
+            entry.insert(spec.name.to_lowercase(), serde_json::json!(mean));
+        }
+        rows.push(row);
+        json.push(serde_json::Value::Object(entry));
+    }
+    print_table(
+        "Fig. 7 — mean latency (ms) vs arrival rate, Bert-Base, 10 GPUs",
+        &["req/s", "Arlo", "ST", "DT", "INFaaS"],
+        &rows,
+    );
+    let series: Vec<arlo_bench::chart::Series> = ["arlo", "st", "dt", "infaas"]
+        .iter()
+        .map(|scheme| {
+            arlo_bench::chart::Series::new(
+                scheme.to_uppercase(),
+                json.iter()
+                    .map(|e| {
+                        (
+                            e["rate"].as_f64().expect("rate"),
+                            e[*scheme].as_f64().expect("mean"),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    println!(
+        "\n{}",
+        arlo_bench::chart::line_chart("mean latency vs load (x: req/s, y: ms)", &series, 60, 14)
+    );
+    println!(
+        "\nexpected shape: all schemes close at low load; ST (capacity ≈ 2.1k req/s here)\n\
+         deteriorates first and fastest; Arlo stays lowest throughout (paper Fig. 7)."
+    );
+    write_json("fig07_load_sweep", &serde_json::json!({ "series": json }));
+}

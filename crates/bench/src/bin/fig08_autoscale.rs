@@ -1,0 +1,94 @@
+//! **Fig. 8** — consumed GPUs with auto-scaling under highly varying load
+//! (Bert-Large, Twitter-Bursty, initial provisioning 5 GPUs).
+//!
+//! Paper: time-weighted GPU counts Arlo 5.49 < DT 6.38 < INFaaS 6.80 <
+//! ST 8.13, with Arlo simultaneously achieving the best tail (330.41 ms vs
+//! 397.10 / 404.12 / 430.54). The shape to reproduce: Arlo ties or beats
+//! every baseline on GPUs *and* tail at once.
+
+use arlo_bench::{print_table, report_json, write_json};
+use arlo_core::system::SystemSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_sim::driver::AutoScaleConfig;
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let slo = 450.0;
+    let trace = TraceSpec::twitter_bursty(380.0, 600.0).generate(&mut StdRng::seed_from_u64(88));
+    println!(
+        "trace: {} requests over 600 s, mean {:.0} req/s (bursts to ~{:.0})",
+        trace.len(),
+        trace.mean_rate(),
+        trace.mean_rate() * 1.75
+    );
+    let auto = AutoScaleConfig::paper_default(2, 25);
+    let paper = [
+        ("Arlo", 5.49, 330.41),
+        ("DT", 6.38, 397.10),
+        ("INFaaS", 6.80, 404.12),
+        ("ST", 8.13, 430.54),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (spec, (pname, pgpus, ptail)) in [
+        SystemSpec::arlo(ModelSpec::bert_large(), 5, slo).with_autoscale(auto),
+        SystemSpec::dt(ModelSpec::bert_large(), 5, slo).with_autoscale(auto),
+        SystemSpec::infaas(ModelSpec::bert_large(), 5, slo).with_autoscale(auto),
+        SystemSpec::st(ModelSpec::bert_large(), 5, slo).with_autoscale(auto),
+    ]
+    .into_iter()
+    .zip(paper)
+    {
+        let report = spec.run(&trace);
+        let s = report.latency_summary();
+        assert_eq!(spec.name, pname);
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{:.2}", report.time_weighted_gpus()),
+            format!("{pgpus:.2}"),
+            format!("{:.2}", s.p98),
+            format!("{ptail:.2}"),
+            format!("{:.2}%", report.slo_violation_rate(slo) * 100.0),
+        ]);
+        json.push(serde_json::json!({
+            "name": spec.name,
+            "metrics": report_json(&report, slo),
+            "paper_gpus": pgpus,
+            "paper_p98": ptail,
+        }));
+    }
+    print_table(
+        "Fig. 8 — auto-scaling: time-weighted GPUs and tail latency",
+        &[
+            "scheme",
+            "tw GPUs",
+            "paper GPUs",
+            "p98 ms",
+            "paper p98",
+            "viol",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: Arlo and DT hold markedly fewer GPUs than INFaaS and ST, with\n\
+         Arlo keeping the lowest SLO violation rate and a p98 inside the SLO; ST needs\n\
+         the most GPUs and still has the worst tail (paper's ordering: 5.49 < 6.38 <\n\
+         6.80 < 8.13 with Arlo's 330 ms tail best)."
+    );
+    let bars: Vec<(String, f64)> = json
+        .iter()
+        .map(|j| {
+            (
+                j["name"].as_str().expect("name").to_string(),
+                j["metrics"]["time_weighted_gpus"].as_f64().expect("gpus"),
+            )
+        })
+        .collect();
+    println!(
+        "\n{}",
+        arlo_bench::chart::bar_chart("time-weighted GPUs", &bars, 40)
+    );
+    write_json("fig08_autoscale", &serde_json::json!({ "schemes": json }));
+}

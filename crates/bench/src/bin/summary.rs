@@ -1,0 +1,196 @@
+//! One-screen dashboard over `results/*.json`: the paper's headline claims
+//! next to the measured numbers from the most recent battery run.
+//!
+//! Run the experiment binaries first (see the crate docs), then:
+//!
+//! ```sh
+//! cargo run --release -p arlo-bench --bin summary
+//! ```
+
+use arlo_bench::{print_table, results_dir};
+use serde_json::Value;
+
+fn load(name: &str) -> Option<Value> {
+    let path = results_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn pct(v: &Value, path: &[&str]) -> String {
+    let mut cur = v;
+    for p in path {
+        cur = &cur[*p];
+    }
+    cur.as_f64().map_or("—".into(), |x| format!("{x:.1}%"))
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+
+    if let Some(v) = load("fig01_length_cdf") {
+        rows.push(vec![
+            "Fig. 1 minute-scale p50 / p98".into(),
+            "21 / 72".into(),
+            format!(
+                "{:.1} / {:.1}",
+                v["minute_p50_mean"].as_f64().unwrap_or(f64::NAN),
+                v["minute_p98_mean"].as_f64().unwrap_or(f64::NAN)
+            ),
+        ]);
+    } else {
+        missing.push("fig01_length_cdf");
+    }
+
+    if let Some(v) = load("fig02_latency_curves") {
+        rows.push(vec![
+            "Fig. 2 Bert-Base L(512)/L(64)".into(),
+            "4.22×".into(),
+            format!(
+                "{:.2}×",
+                v["bert-base"]["l512_over_l64"].as_f64().unwrap_or(f64::NAN)
+            ),
+        ]);
+        rows.push(vec![
+            "Fig. 2 Bert-Large L(512)/L(64)".into(),
+            "5.25×".into(),
+            format!(
+                "{:.2}×",
+                v["bert-large"]["l512_over_l64"]
+                    .as_f64()
+                    .unwrap_or(f64::NAN)
+            ),
+        ]);
+    } else {
+        missing.push("fig02_latency_curves");
+    }
+
+    if let Some(v) = load("fig04_motivating") {
+        rows.push(vec![
+            "Fig. 4 ideal / greedy / clairvoyant violations".into(),
+            "5 / 8 / 0".into(),
+            format!(
+                "{} / {} / {}",
+                v["ideal_violations"], v["greedy_violations"], v["clairvoyant_violations"]
+            ),
+        ]);
+    } else {
+        missing.push("fig04_motivating");
+    }
+
+    if let Some(v) = load("fig06_testbed_cdf") {
+        rows.push(vec![
+            "Fig. 6b mean reduction vs ST".into(),
+            "66.7%".into(),
+            pct(&v, &["bert_large", "mean_reduction_vs", "st"]),
+        ]);
+        rows.push(vec![
+            "Fig. 6b mean reduction vs DT".into(),
+            "29.2%".into(),
+            pct(&v, &["bert_large", "mean_reduction_vs", "dt"]),
+        ]);
+    } else {
+        missing.push("fig06_testbed_cdf");
+    }
+
+    if let Some(v) = load("fig10_largescale_cdf") {
+        rows.push(vec![
+            "Fig. 10b mean reduction vs ST".into(),
+            "98.1%".into(),
+            pct(&v, &["bert_large", "mean_reduction_vs", "st"]),
+        ]);
+        rows.push(vec![
+            "Fig. 10b mean reduction vs DT".into(),
+            "30.7%".into(),
+            pct(&v, &["bert_large", "mean_reduction_vs", "dt"]),
+        ]);
+        rows.push(vec![
+            "Fig. 10b mean reduction vs INFaaS".into(),
+            "41.7%".into(),
+            pct(&v, &["bert_large", "mean_reduction_vs", "infaas"]),
+        ]);
+    } else {
+        missing.push("fig10_largescale_cdf");
+    }
+
+    if let Some(v) = load("fig08_autoscale") {
+        let schemes = v["schemes"].as_array().cloned().unwrap_or_default();
+        let gpus = |name: &str| -> f64 {
+            schemes
+                .iter()
+                .find(|s| s["name"] == name)
+                .and_then(|s| s["metrics"]["time_weighted_gpus"].as_f64())
+                .unwrap_or(f64::NAN)
+        };
+        rows.push(vec![
+            "Fig. 8 GPUs: Arlo vs ST".into(),
+            "5.49 vs 8.13".into(),
+            format!("{:.1} vs {:.1}", gpus("Arlo"), gpus("ST")),
+        ]);
+    } else {
+        missing.push("fig08_autoscale");
+    }
+
+    if let Some(v) = load("fig09_dispatch_overhead") {
+        let best = v["rows"]
+            .as_array()
+            .and_then(|rows| {
+                rows.iter()
+                    .filter(|r| r["instances"] == 1200)
+                    .filter_map(|r| r["throughput_rps"].as_f64())
+                    .fold(None, |acc: Option<f64>, x| {
+                        Some(acc.map_or(x, |a| a.max(x)))
+                    })
+            })
+            .unwrap_or(f64::NAN);
+        rows.push(vec![
+            "Fig. 9 sustained dispatch rate @1200 inst".into(),
+            ">150k/s".into(),
+            format!("{:.1}M/s", best / 1e6),
+        ]);
+    } else {
+        missing.push("fig09_dispatch_overhead");
+    }
+
+    if let Some(v) = load("tab02_ilp_time") {
+        let ms = v["rows"]
+            .as_array()
+            .and_then(|rows| rows.last())
+            .and_then(|r| r["dp_ms"].as_f64())
+            .unwrap_or(f64::NAN);
+        rows.push(vec![
+            "Table 2 solve @1000 GPU/16 rt".into(),
+            "2.612 s (GUROBI)".into(),
+            format!("{:.0} ms (exact DP)", ms),
+        ]);
+    } else {
+        missing.push("tab02_ilp_time");
+    }
+
+    if let Some(v) = load("ext_quantile_sweep") {
+        let rows_v = v["rows"].as_array().cloned().unwrap_or_default();
+        let viol = |q: f64| -> String {
+            rows_v
+                .iter()
+                .find(|r| r["quantile"].as_f64() == Some(q))
+                .and_then(|r| r["viol"].as_f64())
+                .map_or("—".into(), |x| format!("{:.2}%", x * 100.0))
+        };
+        rows.push(vec![
+            "Quantile provisioning viol (q=0.5 → 0.95)".into(),
+            "(extension)".into(),
+            format!("{} → {}", viol(0.5), viol(0.95)),
+        ]);
+    }
+
+    print_table(
+        "Arlo reproduction — paper vs measured (from results/*.json)",
+        &["experiment", "paper", "measured"],
+        &rows,
+    );
+    if !missing.is_empty() {
+        println!("\nmissing results (run those binaries first): {missing:?}");
+    } else {
+        println!("\nall headline experiments present. Full details: EXPERIMENTS.md");
+    }
+}

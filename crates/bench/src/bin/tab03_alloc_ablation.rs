@@ -1,0 +1,68 @@
+//! **Table 3** — periodic ILP allocation vs static offline schemes.
+//!
+//! The paper compares Runtime Scheduler's periodic allocation against
+//! (a) even GPU allocation per runtime and (b) a one-shot allocation from
+//! the global (whole-trace) length distribution, showing both fail under
+//! dynamic workloads. We reproduce with a trace whose length mix drifts
+//! mid-run, and add the linearized-MILP allocator as a fourth point (an
+//! ablation of the queueing-aware objective).
+
+use arlo_bench::{latency_row, print_table, report_json, write_json, LATENCY_HEADERS};
+use arlo_core::system::{AllocPolicy, SystemSpec};
+use arlo_runtime::models::ModelSpec;
+use arlo_trace::workload::{ArrivalSpec, LengthSpec, TraceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let slo = 450.0;
+    // The paper's workload premise (§3.3): the length distribution is
+    // stable at the decision-period scale but drifts over tens of minutes.
+    // AR(1) with rho = 0.999 / step 0.012 gives exactly that: ±30% swings
+    // of the median over the 600 s trace, coherent within each 120 s window
+    // so the periodic scheduler can track them — while the one-shot offline
+    // schemes hold either a uniform spread (Even) or the whole-trace
+    // average (GlobalDist).
+    let mut rng = StdRng::seed_from_u64(303);
+    let trace = TraceSpec {
+        lengths: LengthSpec::TwitterModulated {
+            max: 512,
+            rho: 0.9995,
+            step_std: 0.015,
+        },
+        arrivals: ArrivalSpec::Bursty { mean_rate: 1300.0 },
+        duration_secs: 900.0,
+    }
+    .generate(&mut rng);
+    println!(
+        "drifting trace: {} requests over 900 s; the length median drifts slowly by ±50%",
+        trace.len()
+    );
+
+    let base = SystemSpec::arlo(ModelSpec::bert_large(), 16, slo);
+    let cases = [
+        base.clone(),
+        base.clone().with_alloc(AllocPolicy::Even, "Even"),
+        base.clone()
+            .with_alloc(AllocPolicy::GlobalDist, "GlobalDist"),
+        base.clone().with_alloc(AllocPolicy::Linearized, "LinMILP"),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for spec in &cases {
+        let report = spec.run(&trace);
+        rows.push(latency_row(&spec.name, &report, slo));
+        json.push(serde_json::json!({ "name": spec.name, "metrics": report_json(&report, slo) }));
+    }
+    print_table(
+        "Table 3 — allocation policies under a drifting length distribution (Bert-Large, 16 GPUs)",
+        &LATENCY_HEADERS,
+        &rows,
+    );
+    println!(
+        "\nexpected shape (paper): both offline schemes lose to periodic allocation —\n\
+         Even wastes GPUs on unused runtimes, GlobalDist is right on average but wrong\n\
+         in every half. The linearized MILP tracks drift but ignores queueing."
+    );
+    write_json("tab03_alloc_ablation", &serde_json::json!({ "rows": json }));
+}

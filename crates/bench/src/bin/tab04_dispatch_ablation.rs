@@ -1,0 +1,99 @@
+//! **Table 4** — Request Scheduler (RS) vs ILB vs IG dispatch, three
+//! Twitter-Bursty traces, Bert-Large.
+//!
+//! Paper: RS cuts tail latency by up to 95.6% vs ILB and 58.7% vs IG, and
+//! mean latency by up to 92.5% / 55.8%. On the third trace — weak
+//! short-term length fluctuation — RS only slightly beats ILB (it
+//! approximates it) while IG overloads the large runtimes. The three traces
+//! below reproduce those regimes: strong fluctuation, medium, weak.
+
+use arlo_bench::{print_table, reduction_pct, write_json};
+use arlo_core::system::{DispatchPolicy, SystemSpec};
+use arlo_runtime::models::ModelSpec;
+use arlo_trace::workload::{ArrivalSpec, LengthSpec, TraceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trace(step_std: f64, seed: u64) -> arlo_trace::workload::Trace {
+    TraceSpec {
+        lengths: LengthSpec::TwitterModulated {
+            max: 512,
+            rho: 0.97,
+            step_std,
+        },
+        arrivals: ArrivalSpec::Bursty { mean_rate: 1400.0 },
+        duration_secs: 60.0,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn main() {
+    let slo = 450.0;
+    let traces = [
+        ("trace-1 (strong fluctuation)", trace(0.25, 41)),
+        ("trace-2 (medium fluctuation)", trace(0.12, 41)),
+        ("trace-3 (weak fluctuation)", trace(0.02, 41)),
+    ];
+    let base = SystemSpec::arlo(ModelSpec::bert_large(), 20, slo);
+    let policies = [
+        ("RS", base.clone()),
+        (
+            "ILB",
+            base.clone().with_dispatch(DispatchPolicy::Ilb, "ILB"),
+        ),
+        ("IG", base.clone().with_dispatch(DispatchPolicy::Ig, "IG")),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (tag, trace) in &traces {
+        let mut means = Vec::new();
+        let mut p98s = Vec::new();
+        for (_, spec) in &policies {
+            let report = spec.run(trace);
+            let s = report.latency_summary();
+            means.push(s.mean);
+            p98s.push(s.p98);
+        }
+        rows.push(vec![
+            tag.to_string(),
+            format!("{:.2}", means[0]),
+            format!("{:.2}", means[1]),
+            format!("{:.2}", means[2]),
+            format!("{:.2}", p98s[0]),
+            format!("{:.2}", p98s[1]),
+            format!("{:.2}", p98s[2]),
+        ]);
+        json.push(serde_json::json!({
+            "trace": tag,
+            "mean_ms": {"rs": means[0], "ilb": means[1], "ig": means[2]},
+            "p98_ms": {"rs": p98s[0], "ilb": p98s[1], "ig": p98s[2]},
+            "rs_mean_reduction_vs": {
+                "ilb": reduction_pct(means[0], means[1]),
+                "ig": reduction_pct(means[0], means[2]),
+            },
+            "rs_p98_reduction_vs": {
+                "ilb": reduction_pct(p98s[0], p98s[1]),
+                "ig": reduction_pct(p98s[0], p98s[2]),
+            },
+        }));
+    }
+    print_table(
+        "Table 4 — dispatch policies across traces (Bert-Large, 20 GPUs)",
+        &[
+            "trace", "RS mean", "ILB mean", "IG mean", "RS p98", "ILB p98", "IG p98",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected shape (paper): RS beats ILB by a wide margin under strong fluctuation\n\
+         (paper: up to 92.5% mean / 95.6% tail) and approximates it under weak\n\
+         fluctuation, while IG alternates: strong-fluctuation traces reward its eager\n\
+         spilling on the mean but RS holds the better tail, and under weak fluctuation\n\
+         IG's greedy seizure of large-runtime instances loses on both metrics."
+    );
+    write_json(
+        "tab04_dispatch_ablation",
+        &serde_json::json!({ "rows": json }),
+    );
+}

@@ -1,0 +1,320 @@
+//! Terminal charts for the figure binaries.
+//!
+//! The paper's figures are latency CDFs, load sweeps and stacked GPU
+//! timelines. This module renders the same series as ASCII so a
+//! reproduction run is visually checkable in the terminal (the
+//! machine-readable series still land in `results/*.json`).
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points, any order (sorted internally by `x`).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 10] = ['*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'];
+
+/// Render multiple series on one `width × height` character grid with
+/// linear axes, returning the chart with axis labels and a legend.
+pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    assert!(!series.is_empty(), "no series to plot");
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    assert!(!all.is_empty(), "no points to plot");
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        assert!(x.is_finite() && y.is_finite(), "non-finite point");
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let to_col = |x: f64| -> usize {
+        (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize
+    };
+    let to_row = |y: f64| -> usize {
+        let r = ((y - y_min) / (y_max - y_min)) * (height - 1) as f64;
+        height - 1 - r.round() as usize
+    };
+    for (k, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[k % GLYPHS.len()];
+        let mut pts = s.points.clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        // Draw line segments by sampling columns between consecutive points.
+        #[allow(clippy::needless_range_loop)] // column index is the domain here
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let c0 = to_col(x0);
+            let c1 = to_col(x1);
+            for c in c0..=c1 {
+                let t = if c1 == c0 {
+                    0.0
+                } else {
+                    (c - c0) as f64 / (c1 - c0) as f64
+                };
+                let y = y0 + (y1 - y0) * t;
+                grid[to_row(y)][c] = glyph;
+            }
+        }
+        if pts.len() == 1 {
+            grid[to_row(pts[0].1)][to_col(pts[0].0)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let y_tick = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{y_tick:>9.2} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}{:<w$.2}{:>10.2}\n",
+        "",
+        x_min,
+        x_max,
+        w = width - 9
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(k, s)| format!("{} {}", GLYPHS[k % GLYPHS.len()], s.name))
+        .collect();
+    out.push_str(&format!("{:>10}{}\n", "", legend.join("   ")));
+    out
+}
+
+/// Render a stacked area timeline: at each of `width` sample columns, the
+/// series' values stack bottom-up, each drawn with its own glyph — the
+/// paper's Fig. 12 form (GPUs per runtime over time).
+///
+/// `series[k]` is a step function sampled via the callback at each column's
+/// x position; `x_range` is `(x_min, x_max)`.
+pub fn stacked_timeline(
+    title: &str,
+    names: &[String],
+    x_range: (f64, f64),
+    width: usize,
+    mut sample: impl FnMut(usize, f64) -> f64,
+) -> String {
+    assert!(width >= 16, "chart too narrow");
+    assert!(!names.is_empty(), "no series");
+    assert!(x_range.1 > x_range.0, "empty x range");
+    let xs: Vec<f64> = (0..width)
+        .map(|c| x_range.0 + (x_range.1 - x_range.0) * c as f64 / (width - 1) as f64)
+        .collect();
+    // values[k][c]
+    let values: Vec<Vec<f64>> = (0..names.len())
+        .map(|k| xs.iter().map(|&x| sample(k, x).max(0.0)).collect())
+        .collect();
+    let totals: Vec<f64> = (0..width)
+        .map(|c| values.iter().map(|v| v[c]).sum())
+        .collect();
+    let peak = totals.iter().cloned().fold(1.0f64, f64::max);
+    let height = (peak.ceil() as usize).clamp(4, 24);
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, _) in xs.iter().enumerate() {
+        // Round the cumulative boundaries, not the per-series cells, so a
+        // column always stacks to round(total/peak·height) with no spill.
+        let mut cum = 0.0;
+        let mut prev_bound = 0usize;
+        for (k, v) in values.iter().enumerate() {
+            cum += v[c];
+            let bound = ((cum / peak) * height as f64).round() as usize;
+            let glyph = GLYPHS[k % GLYPHS.len()];
+            for r in prev_bound..bound.min(height) {
+                grid[height - 1 - r][c] = glyph;
+            }
+            prev_bound = bound;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let y = peak * (height - r) as f64 / height as f64;
+        let label = if r == 0 || r == height - 1 {
+            format!("{y:>7.1} |")
+        } else {
+            format!("{:>7} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>7} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}{:<w$.0}{:>8.0}\n",
+        "",
+        x_range.0,
+        x_range.1,
+        w = width - 7
+    ));
+    let legend: Vec<String> = names
+        .iter()
+        .enumerate()
+        .map(|(k, n)| format!("{} {n}", GLYPHS[k % GLYPHS.len()]))
+        .collect();
+    out.push_str(&format!("{:>8}{}\n", "", legend.join("  ")));
+    out
+}
+
+/// Render a horizontal bar chart of `(label, value)` rows.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    assert!(width >= 10, "chart too narrow");
+    assert!(!rows.is_empty(), "no bars to plot");
+    let max = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, value) in rows {
+        let bars = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} |{} {value:.2}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let s = vec![
+            Series::new("a", vec![(0.0, 0.0), (10.0, 10.0)]),
+            Series::new("b", vec![(0.0, 10.0), (10.0, 0.0)]),
+        ];
+        let chart = line_chart("t", &s, 20, 8);
+        assert!(chart.contains('*') && chart.contains('o'));
+        assert!(chart.contains("* a") && chart.contains("o b"));
+        assert!(chart.lines().count() >= 11);
+    }
+
+    #[test]
+    fn line_chart_monotone_series_fills_diagonal() {
+        let s = vec![Series::new(
+            "up",
+            (0..=10).map(|i| (i as f64, i as f64)).collect(),
+        )];
+        let chart = line_chart("t", &s, 22, 11);
+        let rows: Vec<&str> = chart.lines().skip(1).take(11).collect();
+        // Top row contains the max point, bottom row the min point.
+        assert!(rows[0].contains('*'));
+        assert!(rows[10].contains('*'));
+    }
+
+    #[test]
+    fn line_chart_handles_degenerate_ranges() {
+        let s = vec![Series::new("flat", vec![(1.0, 5.0), (1.0, 5.0)])];
+        let chart = line_chart("t", &s, 16, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn line_chart_rejects_nan() {
+        line_chart("t", &[Series::new("bad", vec![(f64::NAN, 0.0)])], 16, 4);
+    }
+
+    #[test]
+    fn renders_any_finite_series() {
+        use proptest::prelude::*;
+        proptest!(ProptestConfig::with_cases(64), |(
+            points in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..60),
+            width in 16usize..100,
+            height in 4usize..30,
+        )| {
+            let s = vec![Series::new("s", points)];
+            let chart = line_chart("t", &s, width, height);
+            let lines: Vec<&str> = chart.lines().collect();
+            // title + height grid rows + axis + x labels + legend.
+            prop_assert_eq!(lines.len(), height + 4);
+            for row in &lines[1..=height] {
+                prop_assert!(row.chars().count() <= width + 12, "row too wide");
+            }
+            prop_assert!(chart.contains('*'));
+        });
+    }
+
+    #[test]
+    fn stacked_timeline_stacks_to_totals() {
+        // Two constant series 2.0 and 3.0 ⇒ total 5, split 2/5 vs 3/5.
+        let names = vec!["a".to_string(), "b".to_string()];
+        let chart = stacked_timeline(
+            "t",
+            &names,
+            (0.0, 10.0),
+            20,
+            |k, _| {
+                if k == 0 {
+                    2.0
+                } else {
+                    3.0
+                }
+            },
+        );
+        let grid: Vec<&str> = chart.lines().skip(1).take(5).collect();
+        // Height clamps to max(total.ceil(), 4..24) = 5 rows.
+        assert_eq!(grid.len(), 5);
+        // Bottom two rows are series a's glyph, top three series b's.
+        assert!(grid[4].contains('*'));
+        assert!(grid[0].contains('o'));
+        let stars: usize = chart.matches('*').count();
+        let os: usize = chart.matches('o').count();
+        // 2:3 area split (legend adds one of each).
+        assert_eq!(stars - 1, 2 * 20);
+        assert_eq!(os - 1, 3 * 20);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("small".to_string(), 1.0), ("big".to_string(), 4.0)];
+        let chart = bar_chart("t", &rows, 40);
+        let small_bars = chart.lines().nth(1).unwrap().matches('#').count();
+        let big_bars = chart.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(big_bars, 40);
+        assert_eq!(small_bars, 10);
+    }
+}

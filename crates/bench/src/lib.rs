@@ -1,0 +1,221 @@
+//! # arlo-bench — the paper-reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation section (see
+//! DESIGN.md §4 for the index), plus Criterion micro-benches for the solver,
+//! the dispatcher and the simulator. Binaries print the same rows/series the
+//! paper reports and additionally write machine-readable JSON under
+//! `results/` so EXPERIMENTS.md can cite exact numbers.
+//!
+//! Run everything with:
+//!
+//! ```sh
+//! for b in fig01_length_cdf fig02_latency_curves fig04_motivating \
+//!          fig05_mlq_example tab02_ilp_time fig06_testbed_cdf \
+//!          fig07_load_sweep fig08_autoscale fig09_dispatch_overhead \
+//!          cal_fidelity fig10_largescale_cdf fig11_n_runtimes \
+//!          tab03_alloc_ablation fig12_alloc_timeline tab04_dispatch_ablation \
+//!          ext_multistream ext_batching ext_faults ext_compile_cost \
+//!          ext_param_sweep ext_quantile_sweep ext_colocation ext_replicated \
+//!          summary; do
+//!   cargo run --release -p arlo-bench --bin $b
+//! done
+//! ```
+
+pub mod chart;
+
+use arlo_sim::metrics::SimReport;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Format an aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len() - 2));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Print an aligned table with a title.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    print!("{}", format_table(headers, rows));
+}
+
+/// Percentage reduction of `ours` relative to `baseline` (positive = we win).
+pub fn reduction_pct(ours: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        return f64::NAN;
+    }
+    (1.0 - ours / baseline) * 100.0
+}
+
+/// The directory experiment JSON lands in (`results/` beside the workspace
+/// root; override with `ARLO_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ARLO_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("create results dir");
+    path
+}
+
+/// Persist an experiment's machine-readable result.
+pub fn write_json(experiment: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{experiment}.json"));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write result json");
+    println!("[wrote {}]", path.display());
+}
+
+/// Run several system specs over the same trace concurrently (each
+/// simulation is independent and single-threaded; scheme comparisons are
+/// embarrassingly parallel). Results come back in input order.
+pub fn run_schemes_parallel(
+    specs: &[arlo_core::system::SystemSpec],
+    trace: &arlo_trace::workload::Trace,
+) -> Vec<(String, SimReport)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| scope.spawn(move || (spec.name.clone(), spec.run(trace))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheme worker"))
+            .collect()
+    })
+}
+
+/// Mean and half-width of a 95% confidence interval over replicate
+/// measurements (normal approximation; replicate counts here are small, so
+/// treat the interval as indicative).
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "no samples");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, f64::NAN);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+/// Run a spec over `seeds.len()` independently generated traces (same
+/// `TraceSpec`, different seeds) in parallel; returns one report per seed.
+pub fn replicate(
+    spec: &arlo_core::system::SystemSpec,
+    trace_spec: &arlo_trace::workload::TraceSpec,
+    seeds: &[u64],
+) -> Vec<SimReport> {
+    use rand::SeedableRng;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || {
+                    let trace = trace_spec.generate(&mut rand::rngs::StdRng::seed_from_u64(seed));
+                    spec.run(&trace)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replicate worker"))
+            .collect()
+    })
+}
+
+/// The latency row every scheme comparison prints.
+pub fn latency_row(name: &str, report: &SimReport, slo_ms: f64) -> Vec<String> {
+    let s = report.latency_summary();
+    vec![
+        name.to_string(),
+        format!("{:.2}", s.mean),
+        format!("{:.2}", s.p50),
+        format!("{:.2}", s.p98),
+        format!("{:.2}", s.p99),
+        format!("{:.2}%", report.slo_violation_rate(slo_ms) * 100.0),
+    ]
+}
+
+/// Standard headers matching [`latency_row`].
+pub const LATENCY_HEADERS: [&str; 6] = ["scheme", "mean ms", "p50 ms", "p98 ms", "p99 ms", "viol"];
+
+/// Summarize a report into a JSON fragment.
+pub fn report_json(report: &SimReport, slo_ms: f64) -> serde_json::Value {
+    let s = report.latency_summary();
+    serde_json::json!({
+        "requests": report.records.len(),
+        "mean_ms": s.mean,
+        "p50_ms": s.p50,
+        "p90_ms": s.p90,
+        "p98_ms": s.p98,
+        "p99_ms": s.p99,
+        "max_ms": s.max,
+        "slo_violation_rate": report.slo_violation_rate(slo_ms),
+        "time_weighted_gpus": report.time_weighted_gpus(),
+        "buffered_requests": report.buffered_requests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].contains("longer-name"));
+    }
+
+    #[test]
+    fn ci_math() {
+        let (m, h) = mean_ci95(&[10.0, 12.0, 8.0, 10.0]);
+        assert!((m - 10.0).abs() < 1e-12);
+        // s² = (0+4+4+0)/3 = 8/3; hw = 1.96·sqrt(8/12) ≈ 1.6.
+        assert!((h - 1.96 * (8.0f64 / 3.0 / 4.0).sqrt()).abs() < 1e-9);
+        let (m, h) = mean_ci95(&[5.0]);
+        assert_eq!(m, 5.0);
+        assert!(h.is_nan());
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_pct(3.0, 10.0) - 70.0).abs() < 1e-12);
+        assert!((reduction_pct(10.0, 10.0)).abs() < 1e-12);
+        assert!(reduction_pct(1.0, 0.0).is_nan());
+    }
+}

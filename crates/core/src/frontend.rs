@@ -1,0 +1,386 @@
+//! A standalone, thread-safe Request Scheduler frontend — the data structure
+//! the paper's Fig. 9 overhead study measures.
+//!
+//! In a real deployment the Request Scheduler runs on a CPU server in front
+//! of hundreds of GPU instances, fielding up to 150k dispatches per second
+//! from many worker threads (§5.1.4). This module implements the multi-level
+//! queue exactly as §3.4 describes it: one level per runtime, each holding a
+//! *priority queue of instances* keyed by outstanding load, with Algorithm 1
+//! walking levels under per-level locks.
+//!
+//! The priority queues are lazy binary heaps: load updates push fresh
+//! `(load, instance)` entries and stale entries are discarded at pop time —
+//! the textbook approach that keeps both dispatch and completion
+//! `O(log n)` amortized, matching the paper's `O(L) + O(log(N/K))` bound.
+
+use crate::request_scheduler::RequestSchedulerConfig;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies an instance as (queue level, index within level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceHandle {
+    /// Runtime level (ascending `max_length`).
+    pub level: usize,
+    /// Instance index within the level.
+    pub index: usize,
+}
+
+/// One runtime's queue level.
+struct Level {
+    max_length: u32,
+    capacity: u32,
+    inner: Mutex<LevelInner>,
+}
+
+struct LevelInner {
+    /// Outstanding requests per instance.
+    loads: Vec<u32>,
+    /// Lazy min-heap of `(load, instance)`; entries are validated against
+    /// `loads` at pop time.
+    heap: BinaryHeap<Reverse<(u32, usize)>>,
+}
+
+impl LevelInner {
+    /// Fresh minimum entry, discarding stale ones.
+    fn peek_head(&mut self) -> Option<(usize, u32)> {
+        while let Some(&Reverse((load, idx))) = self.heap.peek() {
+            if self.loads[idx] == load {
+                return Some((idx, load));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn bump(&mut self, idx: usize, delta: i64) {
+        let load = &mut self.loads[idx];
+        let next = (i64::from(*load) + delta).max(0) as u32;
+        *load = next;
+        self.heap.push(Reverse((next, idx)));
+    }
+}
+
+/// The concurrent multi-level-queue scheduler frontend.
+///
+/// ```
+/// use arlo_core::frontend::SchedulerFrontend;
+/// use arlo_core::request_scheduler::RequestSchedulerConfig;
+///
+/// // Two levels: (max_length, SLO capacity, instances).
+/// let f = SchedulerFrontend::new(
+///     RequestSchedulerConfig::default(),
+///     &[(64, 100, 2), (512, 30, 1)],
+/// );
+/// let h = f.dispatch(50).expect("a short request lands on the 64 level");
+/// assert_eq!(h.level, 0);
+/// f.complete(h);
+/// assert_eq!(f.total_outstanding(), 0);
+/// ```
+pub struct SchedulerFrontend {
+    levels: Vec<Level>,
+    config: RequestSchedulerConfig,
+}
+
+impl SchedulerFrontend {
+    /// Build from `(max_length, capacity, instance_count)` triples, which
+    /// must be strictly ascending by `max_length`.
+    pub fn new(config: RequestSchedulerConfig, levels: &[(u32, u32, u32)]) -> Self {
+        config.validate();
+        assert!(!levels.is_empty(), "need at least one level");
+        assert!(
+            levels.windows(2).all(|w| w[0].0 < w[1].0),
+            "levels must be strictly ascending by max_length"
+        );
+        let levels = levels
+            .iter()
+            .map(|&(max_length, capacity, count)| {
+                let loads = vec![0u32; count as usize];
+                let heap = (0..count as usize).map(|i| Reverse((0, i))).collect();
+                Level {
+                    max_length,
+                    capacity,
+                    inner: Mutex::new(LevelInner { loads, heap }),
+                }
+            })
+            .collect();
+        SchedulerFrontend { levels, config }
+    }
+
+    /// Number of levels (`K` in the paper's complexity analysis).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total instances across levels (`N`).
+    pub fn instance_count(&self) -> usize {
+        self.levels.iter().map(|l| l.inner.lock().loads.len()).sum()
+    }
+
+    /// Algorithm 1: dispatch a request of `length` tokens. Returns the
+    /// chosen instance (its load already incremented), or `None` if no level
+    /// can serve the length or every candidate level is empty.
+    pub fn dispatch(&self, length: u32) -> Option<InstanceHandle> {
+        let first = self.levels.iter().position(|l| l.max_length >= length)?;
+        let mut lambda = self.config.lambda;
+        let mut fallback: Option<InstanceHandle> = None;
+        // Only deployed (non-empty) levels are MLQ candidates: empty levels
+        // consume neither a peek slot nor a threshold decay.
+        let mut peeked = 0usize;
+        for (level_idx, level) in self.levels.iter().enumerate().skip(first) {
+            if peeked >= self.config.max_peek {
+                break;
+            }
+            let mut inner = level.inner.lock();
+            let Some((idx, load)) = inner.peek_head() else {
+                continue;
+            };
+            peeked += 1;
+            if fallback.is_none() {
+                fallback = Some(InstanceHandle {
+                    level: level_idx,
+                    index: idx,
+                });
+            }
+            let congestion = if level.capacity == 0 {
+                f64::INFINITY
+            } else {
+                f64::from(load) / f64::from(level.capacity)
+            };
+            if congestion < lambda {
+                inner.bump(idx, 1);
+                return Some(InstanceHandle {
+                    level: level_idx,
+                    index: idx,
+                });
+            }
+            lambda *= self.config.alpha;
+        }
+        // Fall back to the top candidate's (possibly congested) head; its
+        // load may have shifted since we peeked, so re-resolve the head.
+        let target = fallback.or_else(|| {
+            self.levels
+                .iter()
+                .enumerate()
+                .skip(first)
+                .find_map(|(level_idx, level)| {
+                    level
+                        .inner
+                        .lock()
+                        .peek_head()
+                        .map(|(idx, _)| InstanceHandle {
+                            level: level_idx,
+                            index: idx,
+                        })
+                })
+        })?;
+        let mut inner = self.levels[target.level].inner.lock();
+        let (idx, _) = inner.peek_head().expect("level had an instance");
+        inner.bump(idx, 1);
+        Some(InstanceHandle {
+            level: target.level,
+            index: idx,
+        })
+    }
+
+    /// Directly set an instance's outstanding load — scenario construction
+    /// for tests and the Fig. 5 walk-through (bypasses Algorithm 1, which
+    /// would otherwise re-balance the load being injected).
+    pub fn preload(&self, handle: InstanceHandle, load: u32) {
+        let mut inner = self.levels[handle.level].inner.lock();
+        let delta = i64::from(load) - i64::from(inner.loads[handle.index]);
+        inner.bump(handle.index, delta);
+    }
+
+    /// Record a completed execution, releasing one unit of load.
+    pub fn complete(&self, handle: InstanceHandle) {
+        let mut inner = self.levels[handle.level].inner.lock();
+        assert!(
+            inner.loads[handle.index] > 0,
+            "completion without outstanding load on {handle:?}"
+        );
+        inner.bump(handle.index, -1);
+    }
+
+    /// Outstanding load of one instance.
+    pub fn outstanding(&self, handle: InstanceHandle) -> u32 {
+        self.levels[handle.level].inner.lock().loads[handle.index]
+    }
+
+    /// Total outstanding load across the frontend.
+    pub fn total_outstanding(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| {
+                l.inner
+                    .lock()
+                    .loads
+                    .iter()
+                    .map(|&x| u64::from(x))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn frontend(levels: &[(u32, u32, u32)]) -> SchedulerFrontend {
+        SchedulerFrontend::new(RequestSchedulerConfig::default(), levels)
+    }
+
+    #[test]
+    fn dispatches_to_ideal_idle_level() {
+        let f = frontend(&[(64, 10, 2), (512, 5, 2)]);
+        let h = f.dispatch(50).expect("dispatch");
+        assert_eq!(h.level, 0);
+        assert_eq!(f.outstanding(h), 1);
+        let h2 = f.dispatch(400).expect("dispatch");
+        assert_eq!(h2.level, 1);
+    }
+
+    #[test]
+    fn balances_within_level() {
+        let f = frontend(&[(64, 100, 3)]);
+        let picks: Vec<usize> = (0..3).map(|_| f.dispatch(10).expect("ok").index).collect();
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            vec![0, 1, 2],
+            "each instance picked once: {picks:?}"
+        );
+    }
+
+    #[test]
+    fn demotes_under_congestion() {
+        let f = frontend(&[(64, 10, 1), (512, 10, 1)]);
+        // Load level 0 to congestion ≥ λ (0.85·10 ⇒ ≥ 9).
+        for _ in 0..9 {
+            f.dispatch(10);
+        }
+        // All went to level 0 while P < 0.85; the 10th must demote.
+        let h = f.dispatch(10).expect("dispatch");
+        assert_eq!(
+            h.level,
+            1,
+            "outstanding {}",
+            f.outstanding(InstanceHandle { level: 0, index: 0 })
+        );
+    }
+
+    #[test]
+    fn falls_back_to_top_candidate_when_all_congested() {
+        let f = frontend(&[(64, 2, 1), (512, 2, 1)]);
+        for _ in 0..4 {
+            f.dispatch(10);
+        }
+        // Both levels at load 2 (P = 1.0 > λ at any decay): fallback to ideal.
+        let h = f.dispatch(10).expect("dispatch");
+        assert_eq!(h.level, 0);
+        assert_eq!(f.outstanding(h), 3);
+    }
+
+    #[test]
+    fn completion_releases_load() {
+        let f = frontend(&[(64, 10, 1)]);
+        let h = f.dispatch(10).expect("dispatch");
+        assert_eq!(f.total_outstanding(), 1);
+        f.complete(h);
+        assert_eq!(f.total_outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without outstanding load")]
+    fn double_completion_panics() {
+        let f = frontend(&[(64, 10, 1)]);
+        let h = f.dispatch(10).expect("dispatch");
+        f.complete(h);
+        f.complete(h);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let f = frontend(&[(64, 10, 1), (512, 5, 1)]);
+        assert!(f.dispatch(513).is_none());
+    }
+
+    #[test]
+    fn empty_levels_are_skipped() {
+        let f = frontend(&[(64, 10, 0), (512, 5, 1)]);
+        let h = f.dispatch(10).expect("dispatch");
+        assert_eq!(h.level, 1);
+        let g = frontend(&[(64, 10, 0), (512, 5, 0)]);
+        assert!(g.dispatch(10).is_none());
+    }
+
+    #[test]
+    fn concurrent_dispatch_conserves_load() {
+        let f = Arc::new(frontend(&[(64, 50, 8), (128, 40, 8), (512, 30, 8)]));
+        let threads = 8;
+        let per_thread = 2_000u32;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let f = Arc::clone(&f);
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..per_thread {
+                        let len = 1 + ((t * 131 + i as usize * 17) % 512) as u32;
+                        if let Some(h) = f.dispatch(len) {
+                            held.push(h);
+                        }
+                        // Complete half as we go, like real completions.
+                        if i % 2 == 1 {
+                            if let Some(h) = held.pop() {
+                                f.complete(h);
+                            }
+                        }
+                    }
+                    for h in held {
+                        f.complete(h);
+                    }
+                });
+            }
+        });
+        assert_eq!(f.total_outstanding(), 0, "all load released");
+    }
+
+    #[test]
+    fn concurrent_dispatch_is_exact_under_sustained_load() {
+        // Dispatch without completion from many threads; total outstanding
+        // must equal total successful dispatches.
+        let f = Arc::new(frontend(&[(64, 1000, 4), (512, 1000, 4)]));
+        let dispatched: u64 = std::thread::scope(|s| {
+            (0..4)
+                .map(|t| {
+                    let f = Arc::clone(&f);
+                    s.spawn(move || {
+                        let mut n = 0u64;
+                        for i in 0..5_000 {
+                            let len = 1 + ((t * 7 + i * 13) % 512) as u32;
+                            if f.dispatch(len).is_some() {
+                                n += 1;
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().expect("thread"))
+                .sum()
+        });
+        assert_eq!(f.total_outstanding(), dispatched);
+        assert_eq!(dispatched, 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_levels() {
+        frontend(&[(512, 5, 1), (64, 10, 1)]);
+    }
+}

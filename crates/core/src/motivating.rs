@@ -1,0 +1,245 @@
+//! The paper's Fig. 4 motivating example, reproduced quantitatively.
+//!
+//! A 4-GPU cluster runs two 128-token instances, one 256 and one 512. The
+//! 128-token instances are nearly full (three SLO slots left between them),
+//! the 256 instance has five slots, the 512 instance fourteen. Eight short
+//! requests arrive, then fourteen long (257–512 token) ones that only the
+//! 512 instance can serve:
+//!
+//! * the **ideal** (least-padding, ILB) policy piles all eight shorts onto
+//!   the 128 instances — five of them blow the SLO;
+//! * the **greedy** (least-busy, IG) policy piles all eight onto the idle
+//!   512 instance — eight of the long latecomers blow the SLO;
+//! * the **clairvoyant** split (three shorts to the 128s, five to the 256)
+//!   violates nothing — the gap Arlo's Request Scheduler is built to close.
+
+use crate::policies::{InterGroupGreedy, IntraGroupLoadBalance};
+use arlo_runtime::latency::{CompiledRuntime, JitterSpec};
+use arlo_runtime::models::{DynamicPenalty, Framework, ModelSpec, Precision};
+use arlo_runtime::profile::{profile_runtimes, RuntimeProfile};
+use arlo_sim::cluster::Cluster;
+use arlo_sim::driver::Dispatcher;
+use arlo_trace::workload::Request;
+
+/// SLO of the scenario (ms).
+pub const SLO_MS: f64 = 500.0;
+
+/// The outcome of running one policy over the scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotivatingOutcome {
+    /// Instance index chosen for each scenario request, arrival order
+    /// (8 shorts then 14 longs).
+    pub assignment: Vec<usize>,
+    /// Scenario requests that cannot complete within the SLO.
+    pub violations: u32,
+}
+
+/// The scenario's model: execution costs 20 ms at 128 tokens, 25 ms at 256,
+/// 35 ms at 512 — so SLO slots per instance are 25 / 20 / 14.
+fn scenario_model() -> ModelSpec {
+    ModelSpec {
+        name: "fig4-model".to_string(),
+        framework: Framework::Other,
+        precision: Precision::Fp32,
+        max_length: 512,
+        base_ms: 15.0,
+        per_token_ms: 5.0 / 128.0,
+        quad_ms: 0.0,
+        step: 128,
+        dynamic_penalty: DynamicPenalty::Constant(2.0),
+    }
+}
+
+/// Profiles for the three runtimes (128, 256, 512).
+pub fn scenario_profiles() -> Vec<RuntimeProfile> {
+    let model = scenario_model();
+    let rts: Vec<CompiledRuntime> = [128u32, 256, 512]
+        .iter()
+        .map(|&l| CompiledRuntime::new_static(model.clone(), l))
+        .collect();
+    profile_runtimes(&rts, SLO_MS, 64)
+}
+
+/// Pre-existing queue depths: GPU0/GPU1 (128-token) at 24 and 23 of 25
+/// slots, GPU2 (256) at 15 of 20, GPU3 (512) idle.
+pub const PRELOAD: [u32; 4] = [24, 23, 15, 0];
+
+/// The scenario's arriving requests: 8 shorts (length 100) then 14 longs
+/// (length 400).
+pub fn scenario_requests() -> Vec<Request> {
+    let mut reqs = Vec::with_capacity(22);
+    for i in 0..8 {
+        reqs.push(Request {
+            id: 1000 + i,
+            arrival: i * 1_000_000,
+            length: 100,
+        });
+    }
+    for i in 0..14 {
+        reqs.push(Request {
+            id: 2000 + i,
+            arrival: 10_000_000 + i * 1_000_000,
+            length: 400,
+        });
+    }
+    reqs
+}
+
+/// Build the pre-loaded cluster: instances 0–1 run the 128 runtime, 2 the
+/// 256, 3 the 512.
+pub fn scenario_cluster() -> Cluster {
+    let mut cluster = Cluster::new(
+        scenario_profiles(),
+        &[2, 1, 1],
+        JitterSpec::NONE,
+        1_000_000_000,
+    );
+    let mut id = 0u64;
+    for (inst, &depth) in PRELOAD.iter().enumerate() {
+        let length = match cluster.view().runtime_of(inst) {
+            0 => 100,
+            1 => 200,
+            _ => 400,
+        };
+        for _ in 0..depth {
+            cluster.enqueue(
+                inst,
+                Request {
+                    id,
+                    arrival: 0,
+                    length,
+                },
+                0,
+            );
+            id += 1;
+        }
+    }
+    cluster
+}
+
+/// Evaluate a dispatch policy over the scenario. Violations are counted by
+/// slot arithmetic: a request landing at queue position `p` on an instance
+/// with `M` SLO slots violates iff `p > M` (all 22 requests arrive within
+/// 25 ms, negligible against the 500 ms SLO).
+pub fn run_policy(dispatcher: &mut dyn Dispatcher) -> MotivatingOutcome {
+    let mut cluster = scenario_cluster();
+    let profiles = scenario_profiles();
+    let capacities: Vec<u32> = profiles.iter().map(|p| p.capacity_within_slo).collect();
+    let mut assignment = Vec::new();
+    let mut violations = 0u32;
+    for req in scenario_requests() {
+        let inst = dispatcher
+            .dispatch(&req, &cluster.view())
+            .expect("scenario always has a feasible instance");
+        let position = cluster.view().outstanding(inst) + 1;
+        let runtime = cluster.view().runtime_of(inst);
+        if position > capacities[runtime] {
+            violations += 1;
+        }
+        cluster.enqueue(inst, req, req.arrival);
+        assignment.push(inst);
+    }
+    MotivatingOutcome {
+        assignment,
+        violations,
+    }
+}
+
+/// The ideal (least padding + intra-group balance) policy of Fig. 4.
+pub fn run_ideal() -> MotivatingOutcome {
+    run_policy(&mut IntraGroupLoadBalance)
+}
+
+/// The greedy (least busy across groups) policy of Fig. 4.
+pub fn run_greedy() -> MotivatingOutcome {
+    run_policy(&mut InterGroupGreedy)
+}
+
+/// Arlo's Request Scheduler on the same scenario.
+pub fn run_arlo() -> MotivatingOutcome {
+    run_policy(&mut crate::request_scheduler::ArloRequestScheduler::paper_default())
+}
+
+/// The clairvoyant assignment the paper describes: three shorts to the 128
+/// instances, five to the 256, all longs to the 512 — zero violations.
+pub fn run_clairvoyant() -> MotivatingOutcome {
+    struct Clairvoyant {
+        shorts_seen: u32,
+    }
+    impl Dispatcher for Clairvoyant {
+        fn dispatch(
+            &mut self,
+            req: &Request,
+            view: &arlo_sim::cluster::ClusterView<'_>,
+        ) -> Option<arlo_sim::cluster::InstanceId> {
+            if req.length > 256 {
+                return Some(3);
+            }
+            self.shorts_seen += 1;
+            match self.shorts_seen {
+                1 => Some(0),     // GPU0 has one free slot
+                2 | 3 => Some(1), // GPU1 has two
+                _ => Some(2),     // remaining five fit GPU2
+            }
+            .filter(|&id| view.accepts(id))
+        }
+    }
+    run_policy(&mut Clairvoyant { shorts_seen: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_figure() {
+        let p = scenario_profiles();
+        let caps: Vec<u32> = p.iter().map(|x| x.capacity_within_slo).collect();
+        assert_eq!(caps, vec![25, 20, 14], "SLO slots per runtime");
+    }
+
+    #[test]
+    fn ideal_policy_violates_five() {
+        let out = run_ideal();
+        assert_eq!(out.violations, 5, "assignment {:?}", out.assignment);
+        // All shorts went to the two 128 instances.
+        assert!(out.assignment[..8].iter().all(|&i| i <= 1));
+        // All longs to the 512 instance — which exactly fits them.
+        assert!(out.assignment[8..].iter().all(|&i| i == 3));
+    }
+
+    #[test]
+    fn greedy_policy_violates_eight() {
+        let out = run_greedy();
+        assert_eq!(out.violations, 8, "assignment {:?}", out.assignment);
+        // Greedy sends every short to the idle 512 instance.
+        assert!(out.assignment[..8].iter().all(|&i| i == 3));
+    }
+
+    #[test]
+    fn clairvoyant_violates_nothing() {
+        let out = run_clairvoyant();
+        assert_eq!(out.violations, 0, "assignment {:?}", out.assignment);
+    }
+
+    #[test]
+    fn arlo_request_scheduler_beats_greedy() {
+        // Algorithm 1 is a heuristic, not the clairvoyant: on this
+        // adversarial snapshot it demotes some shorts toward the big
+        // instance (costing a few long slots) but its decaying threshold
+        // stops well short of greedy's pile-on. The paper's Table 4 shows
+        // the same ordering on real traces: RS < IG, with ILB and IG
+        // alternating depending on the trace.
+        let out = run_arlo();
+        let greedy = run_greedy().violations;
+        assert!(
+            out.violations < greedy,
+            "Arlo {} vs greedy {greedy} (assignment {:?})",
+            out.violations,
+            out.assignment
+        );
+        // And unlike greedy, Arlo never starves the ideal runtime entirely:
+        // at least one short stays below the 512 level.
+        assert!(out.assignment[..8].iter().any(|&i| i != 3));
+    }
+}

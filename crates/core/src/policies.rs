@@ -1,0 +1,275 @@
+//! Dispatch-policy baselines the paper compares the Request Scheduler
+//! against: Intra-group Load Balance (ILB) and Inter-groups Greedy (IG)
+//! from the Table 4 ablation, plain load balancing for the uniform-runtime
+//! ST/DT schemes, and INFaaS's bin-packing dispatch.
+
+use arlo_sim::cluster::{ClusterView, InstanceId};
+use arlo_sim::driver::Dispatcher;
+use arlo_trace::workload::Request;
+
+/// Index of the first (ideal) runtime able to serve `length`, if any.
+fn ideal_level(length: u32, view: &ClusterView<'_>) -> Option<usize> {
+    view.profiles().iter().position(|p| p.can_serve(length))
+}
+
+/// **ILB** — Intra-group Load Balance (Table 4): dispatch to the runtime
+/// requiring the least padding and balance load among its instances. A
+/// request waits (buffers) for its ideal runtime even when larger runtimes
+/// are idle — that refusal to demote is exactly the pathology the paper's
+/// ablation exposes. Only when *no* instance is deployed on the ideal
+/// runtime (e.g. the allocator removed it entirely) does it step up to the
+/// nearest deployed one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntraGroupLoadBalance;
+
+impl Dispatcher for IntraGroupLoadBalance {
+    fn dispatch(&mut self, req: &Request, view: &ClusterView<'_>) -> Option<InstanceId> {
+        let first = ideal_level(req.length, view)?;
+        let target = (first..view.profiles().len()).find(|&level| view.is_deployed(level))?;
+        view.least_loaded(target).map(|(id, _)| id)
+    }
+
+    fn name(&self) -> &'static str {
+        "ilb"
+    }
+}
+
+/// **IG** — Inter-groups Greedy (Table 4): dispatch to the least busy
+/// instance among *all* candidate runtimes, ignoring padding cost. Ties
+/// break toward the smaller runtime (less padding), then lower id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterGroupGreedy;
+
+impl Dispatcher for InterGroupGreedy {
+    fn dispatch(&mut self, req: &Request, view: &ClusterView<'_>) -> Option<InstanceId> {
+        let first = ideal_level(req.length, view)?;
+        (first..view.profiles().len())
+            .filter_map(|level| view.least_loaded(level).map(|(id, load)| (load, level, id)))
+            .min()
+            .map(|(_, _, id)| id)
+    }
+
+    fn name(&self) -> &'static str {
+        "ig"
+    }
+}
+
+/// Plain load balancing across every instance that fits — the dispatch the
+/// uniform-runtime ST and DT schemes use ("use load balancing for request
+/// dispatching due to their uniform runtimes", §5). With a single runtime
+/// this is identical to IG.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadBalance;
+
+impl Dispatcher for LoadBalance {
+    fn dispatch(&mut self, req: &Request, view: &ClusterView<'_>) -> Option<InstanceId> {
+        InterGroupGreedy.dispatch(req, view)
+    }
+
+    fn name(&self) -> &'static str {
+        "load-balance"
+    }
+}
+
+/// **INFaaS** bin-packing dispatch (§2.3, §5): among instances that satisfy
+/// the length requirement, pack requests onto the fullest instance whose
+/// queue is still shallow (within `pack_depth` outstanding requests and
+/// below the SLO capacity), keeping the remaining instances cold for the
+/// vertical-scaling logic; when every candidate is past the packing window
+/// it degrades to least-loaded.
+///
+/// `pack_depth` bounds how deep packing is allowed to stack a queue —
+/// INFaaS packs for utilization, not to the SLO boundary (queueing every
+/// request just under the SLO would trade the entire latency budget for
+/// packing density).
+#[derive(Debug, Clone, Copy)]
+pub struct InfaasBinPacking {
+    /// Maximum outstanding requests a packed instance may already hold.
+    pub pack_depth: u32,
+}
+
+impl Default for InfaasBinPacking {
+    fn default() -> Self {
+        InfaasBinPacking { pack_depth: 1 }
+    }
+}
+
+impl Dispatcher for InfaasBinPacking {
+    fn dispatch(&mut self, req: &Request, view: &ClusterView<'_>) -> Option<InstanceId> {
+        let first = ideal_level(req.length, view)?;
+        let profiles = view.profiles();
+        let mut best_packed: Option<(u32, usize, InstanceId)> = None; // (load, level, id)
+        let mut least_loaded: Option<(u32, usize, InstanceId)> = None;
+        #[allow(clippy::needless_range_loop)] // index math is the clearest form here
+        for level in first..profiles.len() {
+            let capacity = profiles[level].capacity_within_slo;
+            let window = self.pack_depth.min(capacity.saturating_sub(1));
+            for (id, load) in view.instances_of(level) {
+                let key = (load, level, id);
+                if least_loaded.is_none_or(|cur| key < cur) {
+                    least_loaded = Some(key);
+                }
+                if load <= window {
+                    // Within the packing window: prefer the fullest such
+                    // instance (ties toward larger levels/ids — "reuse what
+                    // is already warm").
+                    let better = match best_packed {
+                        None => true,
+                        Some((bl, blevel, bid)) => {
+                            (load, std::cmp::Reverse(level), std::cmp::Reverse(id))
+                                > (bl, std::cmp::Reverse(blevel), std::cmp::Reverse(bid))
+                        }
+                    };
+                    if better {
+                        best_packed = Some(key);
+                    }
+                }
+            }
+        }
+        best_packed.or(least_loaded).map(|(_, _, id)| id)
+    }
+
+    fn name(&self) -> &'static str {
+        "infaas-pack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arlo_runtime::latency::{CompiledRuntime, JitterSpec};
+    use arlo_runtime::models::ModelSpec;
+    use arlo_runtime::profile::{profile_runtimes, RuntimeProfile};
+    use arlo_sim::cluster::Cluster;
+    use arlo_trace::workload::Request;
+
+    fn profiles(lengths: &[u32]) -> Vec<RuntimeProfile> {
+        let model = ModelSpec::bert_base();
+        let rts: Vec<CompiledRuntime> = lengths
+            .iter()
+            .map(|&l| CompiledRuntime::new_static(model.clone(), l))
+            .collect();
+        profile_runtimes(&rts, 150.0, 256)
+    }
+
+    fn loaded_cluster(lengths: &[u32], counts: &[u32], loads: &[(usize, u32)]) -> Cluster {
+        let mut c = Cluster::new(profiles(lengths), counts, JitterSpec::NONE, 1_000_000_000);
+        let mut id = 0u64;
+        for &(inst, n) in loads {
+            for _ in 0..n {
+                c.enqueue(
+                    inst,
+                    Request {
+                        id,
+                        arrival: 0,
+                        length: 1,
+                    },
+                    0,
+                );
+                id += 1;
+            }
+        }
+        c
+    }
+
+    fn req(len: u32) -> Request {
+        Request {
+            id: 999,
+            arrival: 0,
+            length: len,
+        }
+    }
+
+    #[test]
+    fn ilb_sticks_to_ideal_runtime() {
+        // Ideal (64) heavily loaded, 512 idle: ILB still picks the ideal.
+        let c = loaded_cluster(&[64, 512], &[2, 1], &[(0, 50), (1, 40)]);
+        let mut ilb = IntraGroupLoadBalance;
+        assert_eq!(ilb.dispatch(&req(50), &c.view()), Some(1)); // least of the 64s
+    }
+
+    #[test]
+    fn ilb_walks_up_when_ideal_missing() {
+        let c = loaded_cluster(&[64, 256, 512], &[0, 1, 1], &[]);
+        let mut ilb = IntraGroupLoadBalance;
+        assert_eq!(ilb.dispatch(&req(50), &c.view()), Some(0)); // the 256 instance
+    }
+
+    #[test]
+    fn ig_chases_global_minimum() {
+        // 64s loaded, 512 idle: IG jumps to the big runtime.
+        let c = loaded_cluster(&[64, 512], &[2, 1], &[(0, 5), (1, 5)]);
+        let mut ig = InterGroupGreedy;
+        assert_eq!(ig.dispatch(&req(50), &c.view()), Some(2));
+    }
+
+    #[test]
+    fn ig_ties_prefer_less_padding() {
+        // Equal loads everywhere: IG should pick the ideal (smaller) runtime.
+        let c = loaded_cluster(&[64, 512], &[1, 1], &[(0, 3), (1, 3)]);
+        let mut ig = InterGroupGreedy;
+        assert_eq!(ig.dispatch(&req(50), &c.view()), Some(0));
+    }
+
+    #[test]
+    fn ig_ignores_non_candidates() {
+        // A long request cannot use the idle 64 instance.
+        let c = loaded_cluster(&[64, 512], &[1, 1], &[(1, 10)]);
+        let mut ig = InterGroupGreedy;
+        assert_eq!(ig.dispatch(&req(400), &c.view()), Some(1));
+    }
+
+    #[test]
+    fn infaas_packs_fullest_with_headroom() {
+        // Loads 1 and 7 with pack_depth 1: instance 1 is past the packing
+        // window, so the fullest candidate inside it is instance 0.
+        let c = loaded_cluster(&[64, 512], &[2, 1], &[(0, 1), (1, 7)]);
+        let mut inf = InfaasBinPacking::default();
+        assert_eq!(inf.dispatch(&req(50), &c.view()), Some(0));
+    }
+
+    #[test]
+    fn infaas_falls_back_when_saturated() {
+        // Every candidate is past the packing window (all loads > 1) but
+        // still below the cluster's hard queue bounds ⇒ least-loaded
+        // fallback, which is the 512 instance at load 50.
+        let c = loaded_cluster(&[64, 512], &[2, 1], &[(0, 140), (1, 135), (2, 50)]);
+        let mut inf = InfaasBinPacking::default();
+        assert_eq!(inf.dispatch(&req(50), &c.view()), Some(2));
+    }
+
+    #[test]
+    fn all_policies_return_none_without_instances() {
+        let c = loaded_cluster(&[64, 512], &[0, 0], &[]);
+        assert_eq!(IntraGroupLoadBalance.dispatch(&req(50), &c.view()), None);
+        assert_eq!(InterGroupGreedy.dispatch(&req(50), &c.view()), None);
+        assert_eq!(LoadBalance.dispatch(&req(50), &c.view()), None);
+        assert_eq!(
+            InfaasBinPacking::default().dispatch(&req(50), &c.view()),
+            None
+        );
+    }
+
+    #[test]
+    fn all_policies_respect_length_limits() {
+        let c = loaded_cluster(&[64, 256, 512], &[1, 1, 1], &[]);
+        let view = c.view();
+        for len in [1u32, 64, 65, 200, 500] {
+            for id in [
+                IntraGroupLoadBalance.dispatch(&req(len), &view),
+                InterGroupGreedy.dispatch(&req(len), &view),
+                LoadBalance.dispatch(&req(len), &view),
+                InfaasBinPacking::default().dispatch(&req(len), &view),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                let rt = view.runtime_of(id);
+                assert!(
+                    view.profiles()[rt].can_serve(len),
+                    "policy chose runtime {rt} for length {len}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The Request Scheduler: Arlo's multi-level-queue dispatch heuristic
+//! (§3.4, Algorithm 1, Fig. 5).
+//!
+//! Each queue level corresponds to one runtime, ascending by `max_length`;
+//! within a level, instances are ordered by outstanding load (the cluster
+//! view's `least_loaded` is the head of the level's priority queue). For an
+//! arriving request the scheduler walks candidate levels from the *ideal*
+//! runtime upward, accepting the first head instance whose congestion
+//! `P = outstanding / M_i` is below a threshold `λ` that decays by `α` per
+//! level — so demotion to larger (more padded) runtimes happens only when
+//! the tighter runtimes are proportionally busier, and becomes progressively
+//! harder (the "conservative demotion" intuition). At most `L` levels are
+//! peeked; if none qualifies, the request falls back to the head of the top
+//! (ideal) candidate.
+
+use arlo_sim::cluster::{ClusterView, InstanceId};
+use arlo_sim::driver::Dispatcher;
+use arlo_trace::workload::Request;
+use serde::{Deserialize, Serialize};
+
+/// Algorithm 1 parameters. The paper's evaluation uses `λ = 0.85`,
+/// `α = 0.9`, `L = 6` (§5 "Parameter settings").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestSchedulerConfig {
+    /// Initial congestion threshold `λ`.
+    pub lambda: f64,
+    /// Threshold decay coefficient `α` applied per peeked level.
+    pub alpha: f64,
+    /// Maximum peeking level `L`.
+    pub max_peek: usize,
+    /// Measure congestion against each instance's *live* (EWMA-measured)
+    /// service rate instead of the offline profile's `M_i`.
+    ///
+    /// An extension beyond the paper: the fault study (`ext_faults`) shows
+    /// the profiled bar reacts to a degraded instance only after its queue
+    /// is deep, because the stale profile overstates its capacity. Off by
+    /// default — the paper's Algorithm 1 uses the profiled capacity.
+    pub use_measured_capacity: bool,
+}
+
+impl Default for RequestSchedulerConfig {
+    fn default() -> Self {
+        RequestSchedulerConfig {
+            lambda: 0.85,
+            alpha: 0.9,
+            max_peek: 6,
+            use_measured_capacity: false,
+        }
+    }
+}
+
+impl RequestSchedulerConfig {
+    /// Validate parameter ranges.
+    pub fn validate(&self) {
+        assert!(self.lambda > 0.0, "lambda must be positive");
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        assert!(self.max_peek >= 1, "must peek at least one level");
+    }
+}
+
+/// Arlo's Request Scheduler as a simulator dispatch policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ArloRequestScheduler {
+    config: RequestSchedulerConfig,
+}
+
+impl ArloRequestScheduler {
+    /// Create with explicit parameters.
+    pub fn new(config: RequestSchedulerConfig) -> Self {
+        config.validate();
+        ArloRequestScheduler { config }
+    }
+
+    /// The paper's default parameters.
+    pub fn paper_default() -> Self {
+        Self::new(RequestSchedulerConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> RequestSchedulerConfig {
+        self.config
+    }
+
+    /// Algorithm 1 on a cluster view. Exposed for unit tests and the Fig. 5
+    /// walk-through binary; [`Dispatcher::dispatch`] delegates here.
+    pub fn select(&self, length: u32, view: &ClusterView<'_>) -> Option<InstanceId> {
+        let profiles = view.profiles();
+        // Line 2: sorted candidate runtimes (ideal upward).
+        let first = profiles.iter().position(|p| p.can_serve(length))?;
+        let candidates = first..profiles.len();
+        let mut lambda = self.config.lambda;
+        let mut fallback: Option<InstanceId> = None;
+        // Lines 3–5: peek at most L levels. The multi-level queue only has
+        // levels for *deployed* runtimes (Fig. 5), so empty levels are not
+        // candidates and consume neither a peek slot nor a threshold decay.
+        let mut peeked = 0usize;
+        for level in candidates.clone() {
+            if peeked >= self.config.max_peek {
+                break;
+            }
+            // Line 7–9: congestion of the head (least-loaded) instance.
+            let Some((head, outstanding)) = view.least_loaded(level) else {
+                continue;
+            };
+            peeked += 1;
+            if fallback.is_none() {
+                fallback = Some(head);
+            }
+            let capacity = if self.config.use_measured_capacity {
+                view.measured_capacity(head, profiles[level].slo_ms)
+                    .unwrap_or(profiles[level].capacity_within_slo)
+            } else {
+                profiles[level].capacity_within_slo
+            };
+            let congestion = if capacity == 0 {
+                f64::INFINITY
+            } else {
+                f64::from(outstanding) / f64::from(capacity)
+            };
+            // Lines 10–13: accept the first sufficiently idle head.
+            if congestion < lambda {
+                return Some(head);
+            }
+            // Line 15: tighten the bar for less ideal runtimes.
+            lambda *= self.config.alpha;
+        }
+        // Lines 18–20: all candidates congested — return to the top
+        // candidate's head instance. If even the peeked levels were empty,
+        // scan the full candidate range so the request is not lost.
+        fallback.or_else(|| {
+            candidates
+                .into_iter()
+                .find_map(|level| view.least_loaded(level).map(|(id, _)| id))
+        })
+    }
+}
+
+impl Dispatcher for ArloRequestScheduler {
+    fn dispatch(&mut self, req: &Request, view: &ClusterView<'_>) -> Option<InstanceId> {
+        self.select(req.length, view)
+    }
+
+    fn name(&self) -> &'static str {
+        "arlo-rs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arlo_runtime::latency::{CompiledRuntime, JitterSpec};
+    use arlo_runtime::models::ModelSpec;
+    use arlo_runtime::profile::{profile_runtimes, RuntimeProfile};
+    use arlo_sim::cluster::Cluster;
+    use arlo_trace::workload::Request;
+
+    fn profiles(lengths: &[u32]) -> Vec<RuntimeProfile> {
+        let model = ModelSpec::bert_base();
+        let rts: Vec<CompiledRuntime> = lengths
+            .iter()
+            .map(|&l| CompiledRuntime::new_static(model.clone(), l))
+            .collect();
+        profile_runtimes(&rts, 150.0, 256)
+    }
+
+    /// Build a cluster and pre-load instances with synthetic outstanding
+    /// requests (short ones so they all fit every runtime).
+    fn loaded_cluster(lengths: &[u32], counts: &[u32], loads: &[(usize, u32)]) -> Cluster {
+        let mut c = Cluster::new(profiles(lengths), counts, JitterSpec::NONE, 1_000_000_000);
+        let mut id = 0u64;
+        for &(inst, n) in loads {
+            for _ in 0..n {
+                c.enqueue(
+                    inst,
+                    Request {
+                        id,
+                        arrival: 0,
+                        length: 1,
+                    },
+                    0,
+                );
+                id += 1;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn picks_ideal_runtime_when_idle() {
+        let c = loaded_cluster(&[64, 128, 256, 512], &[1, 1, 1, 1], &[]);
+        let rs = ArloRequestScheduler::paper_default();
+        // Instance ids follow runtime order: 0→64, 1→128, 2→256, 3→512.
+        assert_eq!(rs.select(50, &c.view()), Some(0));
+        assert_eq!(rs.select(100, &c.view()), Some(1));
+        assert_eq!(rs.select(500, &c.view()), Some(3));
+    }
+
+    #[test]
+    fn oversized_request_has_no_candidates() {
+        let c = loaded_cluster(&[64, 128], &[1, 1], &[]);
+        // Model limit trimmed: only runtimes up to 128 deployed.
+        let rs = ArloRequestScheduler::paper_default();
+        assert_eq!(rs.select(200, &c.view()), None);
+    }
+
+    #[test]
+    fn demotes_when_ideal_is_congested() {
+        // Runtime 64 (capacity ≈132): load its single instance to 125
+        // (P ≈ 0.95 > λ). Runtime 128's instance idle ⇒ demote there.
+        let c = loaded_cluster(&[64, 128, 512], &[1, 1, 1], &[(0, 125)]);
+        let rs = ArloRequestScheduler::paper_default();
+        assert_eq!(rs.select(50, &c.view()), Some(1));
+    }
+
+    #[test]
+    fn demotion_is_conservative() {
+        // Both 64 and 128 congested, 512 idle: with L = 6, the scheduler
+        // reaches 512; with L = 2 it must fall back to the ideal head.
+        let c = loaded_cluster(&[64, 128, 512], &[1, 1, 1], &[(0, 130), (1, 70)]);
+        let deep = ArloRequestScheduler::paper_default();
+        assert_eq!(deep.select(50, &c.view()), Some(2));
+        let shallow = ArloRequestScheduler::new(RequestSchedulerConfig {
+            max_peek: 2,
+            ..RequestSchedulerConfig::default()
+        });
+        assert_eq!(
+            shallow.select(50, &c.view()),
+            Some(0),
+            "fallback to top candidate"
+        );
+    }
+
+    #[test]
+    fn threshold_decays_per_level() {
+        // Head loads tuned so level 1 passes only the *undecayed* λ:
+        // capacity(128) ≈ 79 ⇒ load 64 gives P ≈ 0.81, between α·λ = 0.765
+        // and λ = 0.85. Starting at level 0 (congested) decays λ before
+        // reaching level 1, so the scheduler must skip to level 2.
+        let cap128 = profiles(&[64, 128, 512])[1].capacity_within_slo;
+        let load128 = (f64::from(cap128) * 0.81) as u32;
+        let c = loaded_cluster(&[64, 128, 512], &[1, 1, 1], &[(0, 130), (1, load128)]);
+        let rs = ArloRequestScheduler::paper_default();
+        // A length-100 request's *ideal* runtime is 128: P≈0.81 < 0.85 ⇒ stays.
+        assert_eq!(rs.select(100, &c.view()), Some(1));
+        // A length-50 request sees 128 as its *second* level: 0.81 > 0.765 ⇒ demoted.
+        assert_eq!(rs.select(50, &c.view()), Some(2));
+    }
+
+    #[test]
+    fn fig5_walkthrough() {
+        // The paper's worked example: λ = 0.85, α = 0.9, L = 3. A length-200
+        // request has candidates Q2 (256), Q3 (384), Q4 (512). Q2's head is
+        // at 54/60, Q3's at 28/48 — wait, the example accepts Q3 at 28/48
+        // when 28/48 = 0.583 < 0.765. We reproduce the structure with our
+        // profiled capacities by scaling loads to the same congestions.
+        let p = profiles(&[128, 256, 384, 512]);
+        let cap256 = p[1].capacity_within_slo;
+        let cap384 = p[2].capacity_within_slo;
+        let load256 = (f64::from(cap256) * 0.90) as u32; // > λ = 0.85
+        let load384 = (f64::from(cap384) * 0.58) as u32; // < λ·α = 0.765
+        let c = loaded_cluster(
+            &[128, 256, 384, 512],
+            &[1, 1, 1, 1],
+            &[(1, load256), (2, load384)],
+        );
+        let rs = ArloRequestScheduler::new(RequestSchedulerConfig {
+            lambda: 0.85,
+            alpha: 0.9,
+            max_peek: 3,
+            ..RequestSchedulerConfig::default()
+        });
+        // Q2 congested ⇒ move on with λ = 0.765; Q3 at 0.58 accepted.
+        assert_eq!(rs.select(200, &c.view()), Some(2));
+    }
+
+    #[test]
+    fn skips_levels_with_no_instances() {
+        // No 128 instances at all (mid-replacement): a 100-token request
+        // goes straight to 256 without burning a threshold decay.
+        let c = loaded_cluster(&[64, 128, 256, 512], &[1, 0, 1, 1], &[]);
+        let rs = ArloRequestScheduler::paper_default();
+        assert_eq!(rs.select(100, &c.view()), Some(1)); // instance 1 is the 256 one
+    }
+
+    #[test]
+    fn returns_none_when_cluster_has_no_instances() {
+        let c = loaded_cluster(&[64, 512], &[0, 0], &[]);
+        let rs = ArloRequestScheduler::paper_default();
+        assert_eq!(rs.select(50, &c.view()), None);
+    }
+
+    #[test]
+    fn fallback_beyond_peek_range_when_peeked_levels_empty() {
+        // The first three levels have no instances: they are not MLQ levels
+        // at all, so the single 512 instance is the first candidate peeked
+        // even with a tiny L.
+        let c = loaded_cluster(&[64, 128, 256, 512], &[0, 0, 0, 1], &[]);
+        let rs = ArloRequestScheduler::new(RequestSchedulerConfig {
+            max_peek: 2,
+            ..RequestSchedulerConfig::default()
+        });
+        assert_eq!(rs.select(50, &c.view()), Some(0)); // the single 512 instance
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn config_validation() {
+        ArloRequestScheduler::new(RequestSchedulerConfig {
+            lambda: 0.85,
+            alpha: 0.0,
+            max_peek: 6,
+            ..RequestSchedulerConfig::default()
+        });
+    }
+
+    #[test]
+    fn picks_least_loaded_instance_within_level() {
+        // Two instances of the ideal runtime with different loads.
+        let c = loaded_cluster(&[64, 512], &[2, 1], &[(0, 5), (1, 2)]);
+        let rs = ArloRequestScheduler::paper_default();
+        assert_eq!(rs.select(50, &c.view()), Some(1));
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline compilation accounting (workflow step ②).
+//!
+//! The paper's §3.3 rejects compiling a runtime for every possible length
+//! because it is "neither scalable nor efficient": real TensorRT engine
+//! builds take minutes of kernel auto-tuning each, and dynamic-shape builds
+//! (profiling kernels over whole ranges) take longer still — the paper
+//! notes TVM's dynamic support "needs time-intensive tuning". This module
+//! prices the offline stage so the staircase rule's economy can be
+//! quantified, and provides a [`RuntimeRegistry`] that caches compiled
+//! artifacts the way a serving deployment's model store does.
+
+use crate::latency::{CompileMode, CompiledRuntime};
+use crate::models::{Framework, ModelSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compilation-time model for one compiler, in seconds of build time.
+///
+/// Static builds cost `base + per_token · max_length` (auto-tuning work
+/// scales with the kernel shapes involved); dynamic-shape builds tune over
+/// a whole range of shapes and pay `dynamic_multiplier` on top of a
+/// full-length static build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileCostModel {
+    /// Fixed per-build cost (graph lowering, serialization), seconds.
+    pub base_secs: f64,
+    /// Tuning cost per token of `max_length`, seconds.
+    pub per_token_secs: f64,
+    /// Dynamic-shape build cost relative to a full-length static build.
+    pub dynamic_multiplier: f64,
+}
+
+impl CompileCostModel {
+    /// Rough calibration for TensorRT engine builds (minutes per engine;
+    /// the paper's eight Bert engines are an offline one-time cost).
+    pub fn tensorrt() -> Self {
+        CompileCostModel {
+            base_secs: 60.0,
+            per_token_secs: 0.5,
+            dynamic_multiplier: 1.5,
+        }
+    }
+
+    /// TVM with kernel tuning — the paper calls its dynamic-shape tuning
+    /// "time-intensive", an order of magnitude above TensorRT's.
+    pub fn tvm_tuned() -> Self {
+        CompileCostModel {
+            base_secs: 600.0,
+            per_token_secs: 6.0,
+            dynamic_multiplier: 4.0,
+        }
+    }
+
+    /// Pick the calibration matching a model's framework.
+    pub fn for_framework(framework: Framework) -> Self {
+        match framework {
+            Framework::TensorRt => Self::tensorrt(),
+            Framework::TvmUnity => Self::tvm_tuned(),
+            Framework::Other => Self::tensorrt(),
+        }
+    }
+
+    /// Build time (s) for one runtime of `model` in `mode`.
+    pub fn cost_secs(&self, model: &ModelSpec, mode: CompileMode) -> f64 {
+        match mode {
+            CompileMode::Static { max_length } => {
+                self.base_secs + self.per_token_secs * f64::from(max_length)
+            }
+            CompileMode::Dynamic => {
+                (self.base_secs + self.per_token_secs * f64::from(model.max_length))
+                    * self.dynamic_multiplier
+            }
+        }
+    }
+
+    /// Total build time (s) for a family of static runtimes at the given
+    /// `max_length`s.
+    pub fn family_cost_secs(&self, model: &ModelSpec, lengths: &[u32]) -> f64 {
+        lengths
+            .iter()
+            .map(|&l| self.cost_secs(model, CompileMode::Static { max_length: l }))
+            .sum()
+    }
+
+    /// The §3.3 comparison: build time for the staircase family vs a
+    /// runtime for *every* length up to the model limit. Returns
+    /// `(family_secs, exhaustive_secs)`.
+    pub fn staircase_vs_exhaustive(&self, model: &ModelSpec, family: &[u32]) -> (f64, f64) {
+        let family_cost = self.family_cost_secs(model, family);
+        let exhaustive: f64 = (1..=model.max_length)
+            .map(|l| self.cost_secs(model, CompileMode::Static { max_length: l }))
+            .sum();
+        (family_cost, exhaustive)
+    }
+}
+
+/// A cache of compiled runtimes keyed by `(model name, mode)`, with build
+/// time accounting — the deployment's model store. Recompiling an engine
+/// that already exists is the offline-stage waste the registry prevents.
+#[derive(Debug, Default)]
+pub struct RuntimeRegistry {
+    entries: HashMap<(String, CompileMode), CompiledRuntime>,
+    /// Total simulated build time spent (s).
+    total_build_secs: f64,
+    /// Lookups served from cache.
+    hits: u64,
+    /// Lookups that triggered a build.
+    misses: u64,
+}
+
+impl RuntimeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch a runtime, building (and charging for) it on first use.
+    pub fn get_or_compile(
+        &mut self,
+        model: &ModelSpec,
+        mode: CompileMode,
+        costs: &CompileCostModel,
+    ) -> &CompiledRuntime {
+        let key = (model.name.clone(), mode);
+        if self.entries.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.total_build_secs += costs.cost_secs(model, mode);
+            let runtime = match mode {
+                CompileMode::Static { max_length } => {
+                    CompiledRuntime::new_static(model.clone(), max_length)
+                }
+                CompileMode::Dynamic => CompiledRuntime::new_dynamic(model.clone()),
+            };
+            self.entries.insert(key.clone(), runtime);
+        }
+        &self.entries[&key]
+    }
+
+    /// Compile a whole static family (idempotent), returning it ascending.
+    pub fn compile_family(
+        &mut self,
+        model: &ModelSpec,
+        lengths: &[u32],
+        costs: &CompileCostModel,
+    ) -> Vec<CompiledRuntime> {
+        let mut sorted = lengths.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted
+            .iter()
+            .map(|&l| {
+                self.get_or_compile(model, CompileMode::Static { max_length: l }, costs)
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Number of cached runtimes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been compiled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total simulated build time (s).
+    pub fn total_build_secs(&self) -> f64 {
+        self.total_build_secs
+    }
+
+    /// `(cache hits, builds)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_cost_scales_with_length() {
+        let c = CompileCostModel::tensorrt();
+        let m = ModelSpec::bert_base();
+        let c64 = c.cost_secs(&m, CompileMode::Static { max_length: 64 });
+        let c512 = c.cost_secs(&m, CompileMode::Static { max_length: 512 });
+        assert!(c512 > c64);
+        assert!((c64 - 92.0).abs() < 1e-9); // 60 + 0.5·64
+    }
+
+    #[test]
+    fn dynamic_costs_more_than_any_static() {
+        let m = ModelSpec::bert_base();
+        for costs in [CompileCostModel::tensorrt(), CompileCostModel::tvm_tuned()] {
+            let dynamic = costs.cost_secs(&m, CompileMode::Dynamic);
+            let static_full = costs.cost_secs(&m, CompileMode::Static { max_length: 512 });
+            assert!(dynamic > static_full);
+        }
+    }
+
+    #[test]
+    fn staircase_family_is_orders_cheaper_than_exhaustive() {
+        let m = ModelSpec::bert_base();
+        let family: Vec<u32> = (1..=8).map(|i| i * 64).collect();
+        let costs = CompileCostModel::tensorrt();
+        let (fam, exhaustive) = costs.staircase_vs_exhaustive(&m, &family);
+        // 8 engines ≈ 26 min; 512 engines ≈ 19 hours — the §3.3 argument.
+        assert!(fam < 2000.0, "family {fam}");
+        assert!(exhaustive / fam > 30.0, "ratio {}", exhaustive / fam);
+    }
+
+    #[test]
+    fn registry_caches_and_accounts() {
+        let mut reg = RuntimeRegistry::new();
+        let m = ModelSpec::bert_base();
+        let costs = CompileCostModel::tensorrt();
+        let first = reg
+            .get_or_compile(&m, CompileMode::Static { max_length: 256 }, &costs)
+            .clone();
+        let spent = reg.total_build_secs();
+        assert!(spent > 0.0);
+        let second = reg
+            .get_or_compile(&m, CompileMode::Static { max_length: 256 }, &costs)
+            .clone();
+        assert_eq!(first, second);
+        assert_eq!(reg.total_build_secs(), spent, "cache hit must be free");
+        assert_eq!(reg.stats(), (1, 1));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn family_compilation_is_idempotent() {
+        let mut reg = RuntimeRegistry::new();
+        let m = ModelSpec::bert_base();
+        let costs = CompileCostModel::tensorrt();
+        let fam1 = reg.compile_family(&m, &[512, 64, 64, 256], &costs);
+        assert_eq!(fam1.len(), 3);
+        let spent = reg.total_build_secs();
+        let fam2 = reg.compile_family(&m, &[64, 256, 512], &costs);
+        assert_eq!(fam1, fam2);
+        assert_eq!(reg.total_build_secs(), spent);
+    }
+
+    #[test]
+    fn distinct_models_do_not_collide() {
+        let mut reg = RuntimeRegistry::new();
+        let costs = CompileCostModel::tensorrt();
+        reg.get_or_compile(
+            &ModelSpec::bert_base(),
+            CompileMode::Static { max_length: 64 },
+            &costs,
+        );
+        reg.get_or_compile(
+            &ModelSpec::bert_large(),
+            CompileMode::Static { max_length: 64 },
+            &costs,
+        );
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats(), (0, 2));
+    }
+}

@@ -1,0 +1,227 @@
+//! Compiled-runtime execution cost oracle.
+//!
+//! A [`CompiledRuntime`] stands in for a TensorRT/TVM engine file: it knows
+//! which requests it can serve (`len ≤ max_length`) and what each execution
+//! costs. Static runtimes cost the same for every request (zero-padding);
+//! dynamic runtimes cost by actual length with the compiler's dynamic-shape
+//! inflation.
+
+use crate::models::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds per millisecond (local copy to keep this crate dependency-free).
+const NANOS_PER_MS: f64 = 1_000_000.0;
+
+/// How a runtime was compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompileMode {
+    /// Statically compiled at a fixed `max_length`; shorter inputs are
+    /// zero-padded to that length.
+    Static {
+        /// The compiled maximum (and effective) sequence length.
+        max_length: u32,
+    },
+    /// Dynamic-shape compilation: accepts any length up to the model limit,
+    /// at the compiler's dynamic-kernel penalty.
+    Dynamic,
+}
+
+/// Deterministic execution-time jitter, for robustness experiments.
+///
+/// Real GPUs show small run-to-run variance (clocking, contention). The
+/// jitter is a pure function of a caller-supplied key, so simulations remain
+/// exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterSpec {
+    /// Maximum relative deviation, e.g. `0.05` for ±5%.
+    pub amplitude: f64,
+}
+
+impl JitterSpec {
+    /// No jitter.
+    pub const NONE: JitterSpec = JitterSpec { amplitude: 0.0 };
+
+    /// Multiplicative factor in `[1 − amplitude, 1 + amplitude]` derived
+    /// from `key` via SplitMix64.
+    pub fn factor(&self, key: u64) -> f64 {
+        if self.amplitude == 0.0 {
+            return 1.0;
+        }
+        let h = splitmix64(key);
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + self.amplitude * (2.0 * unit - 1.0)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One compiled runtime of a model: the unit the Runtime Scheduler allocates
+/// GPUs to and the Request Scheduler dispatches requests to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledRuntime {
+    model: ModelSpec,
+    mode: CompileMode,
+}
+
+impl CompiledRuntime {
+    /// A static-shape runtime compiled at `max_length`.
+    ///
+    /// Panics if `max_length` is 0 or exceeds the model's supported limit.
+    pub fn new_static(model: ModelSpec, max_length: u32) -> Self {
+        assert!(max_length >= 1, "max_length must be >= 1");
+        assert!(
+            max_length <= model.max_length,
+            "max_length {} exceeds model limit {}",
+            max_length,
+            model.max_length
+        );
+        CompiledRuntime {
+            model,
+            mode: CompileMode::Static { max_length },
+        }
+    }
+
+    /// A dynamic-shape runtime accepting any length up to the model limit.
+    pub fn new_dynamic(model: ModelSpec) -> Self {
+        CompiledRuntime {
+            model,
+            mode: CompileMode::Dynamic,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// How this runtime was compiled.
+    pub fn mode(&self) -> CompileMode {
+        self.mode
+    }
+
+    /// Longest request this runtime can serve.
+    pub fn max_length(&self) -> u32 {
+        match self.mode {
+            CompileMode::Static { max_length } => max_length,
+            CompileMode::Dynamic => self.model.max_length,
+        }
+    }
+
+    /// Whether a request of `len` tokens fits.
+    pub fn can_serve(&self, len: u32) -> bool {
+        len >= 1 && len <= self.max_length()
+    }
+
+    /// Zero-padding added to a request of `len` tokens (static runtimes pad
+    /// to the compiled length; dynamic runtimes never pad).
+    pub fn padding_for(&self, len: u32) -> u32 {
+        assert!(self.can_serve(len), "request of length {len} does not fit");
+        match self.mode {
+            CompileMode::Static { max_length } => max_length - len,
+            CompileMode::Dynamic => 0,
+        }
+    }
+
+    /// Execution latency (ms) for a request of `len` tokens.
+    ///
+    /// Panics if the request does not fit — the schedulers must never route
+    /// an oversized request here (a property test in `arlo-core` enforces
+    /// this end to end).
+    pub fn exec_ms(&self, len: u32) -> f64 {
+        assert!(self.can_serve(len), "request of length {len} does not fit");
+        match self.mode {
+            CompileMode::Static { max_length } => self.model.static_latency_ms(max_length),
+            CompileMode::Dynamic => self.model.dynamic_latency_ms(len),
+        }
+    }
+
+    /// Execution latency in integer nanoseconds (simulator time base).
+    pub fn exec_nanos(&self, len: u32) -> u64 {
+        (self.exec_ms(len) * NANOS_PER_MS).round() as u64
+    }
+
+    /// Jittered execution latency in nanoseconds; `key` should identify the
+    /// execution (e.g. the request id) so results are reproducible.
+    pub fn exec_nanos_jittered(&self, len: u32, jitter: JitterSpec, key: u64) -> u64 {
+        ((self.exec_ms(len) * jitter.factor(key)).max(0.0) * NANOS_PER_MS).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSpec;
+
+    #[test]
+    fn static_runtime_costs_same_for_all_lengths() {
+        let rt = CompiledRuntime::new_static(ModelSpec::bert_base(), 256);
+        assert_eq!(rt.max_length(), 256);
+        assert_eq!(rt.exec_ms(1), rt.exec_ms(256));
+        assert!(rt.can_serve(256));
+        assert!(!rt.can_serve(257));
+        assert!(!rt.can_serve(0));
+        assert_eq!(rt.padding_for(200), 56);
+    }
+
+    #[test]
+    fn dynamic_runtime_costs_by_length() {
+        let rt = CompiledRuntime::new_dynamic(ModelSpec::bert_base());
+        assert_eq!(rt.max_length(), 512);
+        assert!(rt.exec_ms(20) < rt.exec_ms(500));
+        assert_eq!(rt.padding_for(20), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_request_panics() {
+        let rt = CompiledRuntime::new_static(ModelSpec::bert_base(), 64);
+        rt.exec_ms(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds model limit")]
+    fn compile_beyond_model_limit_panics() {
+        CompiledRuntime::new_static(ModelSpec::bert_base(), 1024);
+    }
+
+    #[test]
+    fn exec_nanos_matches_ms() {
+        let rt = CompiledRuntime::new_static(ModelSpec::bert_base(), 512);
+        let ns = rt.exec_nanos(100);
+        let ms = rt.exec_ms(100);
+        assert_eq!(ns, (ms * 1e6).round() as u64);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let j = JitterSpec { amplitude: 0.05 };
+        for key in 0..1000u64 {
+            let f = j.factor(key);
+            assert!((0.95..=1.05).contains(&f), "factor {f}");
+            assert_eq!(f, j.factor(key), "deterministic");
+        }
+        // Jitter actually varies across keys.
+        assert_ne!(j.factor(1), j.factor(2));
+        assert_eq!(JitterSpec::NONE.factor(7), 1.0);
+    }
+
+    #[test]
+    fn jittered_exec_centred_on_nominal() {
+        let rt = CompiledRuntime::new_static(ModelSpec::bert_large(), 512);
+        let j = JitterSpec { amplitude: 0.1 };
+        let nominal = rt.exec_nanos(100) as f64;
+        let mean: f64 = (0..2000)
+            .map(|k| rt.exec_nanos_jittered(100, j, k) as f64)
+            .sum::<f64>()
+            / 2000.0;
+        assert!(
+            (mean / nominal - 1.0).abs() < 0.01,
+            "mean {mean} vs {nominal}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # arlo-runtime — compiled-runtime models for Arlo
+//!
+//! Arlo's *polymorphing* idea (§2.3 of the paper) compiles one model into
+//! several runtimes, each statically compiled for a different maximum input
+//! length, and schedules across them. Every scheduling decision consumes the
+//! *profile* of a runtime — its execution latency and its capacity within the
+//! SLO — never the runtime binary itself. This crate therefore models exactly
+//! that interface:
+//!
+//! * [`models`] — the model zoo: Bert-Base / Bert-Large (TensorRT FP32) and
+//!   Dolly (TVM Unity FP16), with latency coefficients calibrated to the
+//!   paper's Fig. 2 measurements on an RTX 3090, plus custom models.
+//! * [`latency`] — the static-shape staircase latency curve, the
+//!   dynamic-shape inflation curve, and [`latency::CompiledRuntime`], the
+//!   execution-cost oracle used by the simulator.
+//! * [`profile`] — the offline profiler (workflow step ③): produces
+//!   [`profile::RuntimeProfile`]s with `M_i` (max capacity within SLO) and
+//!   `L_i` (batch → mean latency), the two quantities the Runtime Scheduler's
+//!   ILP consumes (§3.3).
+//! * [`runtime_set`] — construction of the runtime family: staircase step
+//!   detection and the paper's linear `max_length` spacing (e.g. eight
+//!   64-token steps for Bert at 512).
+//! * [`compile`] — offline build-time accounting and the runtime registry
+//!   (workflow step ②): quantifies why §3.3 rejects per-length compilation.
+//!
+//! ## Substitution note
+//!
+//! The paper profiles real TensorRT/TVM binaries. This crate replaces them
+//! with analytic curves calibrated to the paper's reported numbers:
+//! Bert-Base `L(512)/L(64) = 4.22`, Bert-Large `5.25`, a length-20 request
+//! padded to 512 inflating 4.28×, dynamic-shape inflation between 1.22× and
+//! 3.56×, and Dolly's tuned-dynamic runtime averaging 2.86× worse than
+//! static compilation. The schedulers only ever see profiles, so the code
+//! paths exercised are identical to a deployment with measured profiles.
+
+pub mod compile;
+pub mod latency;
+pub mod models;
+pub mod profile;
+pub mod runtime_set;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::compile::{CompileCostModel, RuntimeRegistry};
+    pub use crate::latency::{CompileMode, CompiledRuntime, JitterSpec};
+    pub use crate::models::{Framework, ModelSpec, Precision};
+    pub use crate::profile::{profile_runtimes, BatchLatencyMap, RuntimeProfile};
+    pub use crate::runtime_set::{detect_step, RuntimeSet};
+}

@@ -1,0 +1,353 @@
+//! The model zoo: latency characteristics of the Transformer models the
+//! paper evaluates, calibrated to its Fig. 2 measurements.
+//!
+//! A [`ModelSpec`] captures everything the serving layer needs to know about
+//! a model: how expensive a statically compiled runtime of a given
+//! `max_length` is, how much a dynamic-shape runtime inflates over that, and
+//! the GPU tile-granularity step that produces the staircase latency pattern
+//! (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// The DL compiler that produced the runtime; affects the dynamic-shape
+/// penalty model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// NVIDIA TensorRT (the paper's Bert runtimes, v8.6.1).
+    TensorRt,
+    /// Apache TVM Unity (the paper's Dolly runtime).
+    TvmUnity,
+    /// Some other compiler with user-supplied coefficients.
+    Other,
+}
+
+/// Numeric precision the runtime was compiled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floats (paper's Bert runtimes).
+    Fp32,
+    /// 16-bit floats (paper's Dolly runtime).
+    Fp16,
+}
+
+/// How a framework's dynamic-shape runtime inflates over static compilation
+/// at the same sequence length (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DynamicPenalty {
+    /// Length-dependent inflation growing from `min_x` toward `max_x` as a
+    /// power law in sequence length.
+    ///
+    /// The paper measures TensorRT dynamic-shape inflation between 1.22×
+    /// and 3.56× (Fig. 2a–b), and its evaluation narrative pins down the
+    /// direction: DT achieves a *good mean* (most Twitter requests are
+    /// short, and its padding-free short-request latency beats full
+    /// padding) but a *long tail* "due to the suboptimal performance
+    /// introduced by dynamic compilation" — i.e. the penalty is worst for
+    /// long sequences, where the missed shape-specialized fusion
+    /// opportunities cost the most [Nimble, DISC].
+    Growing {
+        /// Inflation at the shortest lengths (≥ 1); paper minimum 1.22.
+        min_x: f64,
+        /// Inflation at the model's maximum length; paper maximum 3.56.
+        max_x: f64,
+        /// Length at and below which inflation stays at `min_x`.
+        start_length: u32,
+        /// Length at which `max_x` is reached.
+        at_length: u32,
+        /// Power-law exponent shaping the growth (1.0 = linear).
+        exponent: f64,
+    },
+    /// Constant inflation factor (the paper's Dolly/TVM result: even with
+    /// kernel tuning, dynamic is on average 2.86× worse than static).
+    Constant(f64),
+}
+
+impl DynamicPenalty {
+    /// Inflation factor at sequence length `s` (always ≥ 1).
+    pub fn inflation(&self, s: u32) -> f64 {
+        match *self {
+            DynamicPenalty::Growing {
+                min_x,
+                max_x,
+                start_length,
+                at_length,
+                exponent,
+            } => {
+                debug_assert!(at_length > start_length, "degenerate growth range");
+                let frac = if s <= start_length {
+                    0.0
+                } else {
+                    (f64::from(s - start_length) / f64::from(at_length - start_length)).min(1.0)
+                };
+                (min_x + (max_x - min_x) * frac.powf(exponent)).max(1.0)
+            }
+            DynamicPenalty::Constant(x) => x.max(1.0),
+        }
+    }
+}
+
+/// Latency characteristics of one model, in milliseconds.
+///
+/// Static-shape execution cost of a runtime compiled at `max_length = m` is
+/// `base_ms + per_token_ms · ceil(m / step) · step + quad_ms · m²` — the
+/// staircase curve of Fig. 2 (GPUs are most efficient when the sequence
+/// length is a multiple of the matmul tile size, so latency moves in `step`
+/// increments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable model name.
+    pub name: String,
+    /// Compiler that produces this model's runtimes.
+    pub framework: Framework,
+    /// Numeric precision.
+    pub precision: Precision,
+    /// Largest sequence length the model supports (512 for Bert).
+    pub max_length: u32,
+    /// Fixed per-inference overhead (kernel launches, embeddings), ms.
+    pub base_ms: f64,
+    /// Linear cost per padded token, ms.
+    pub per_token_ms: f64,
+    /// Quadratic (attention) cost per padded token², ms. Negligible at
+    /// Bert-scale lengths; kept for longer-context models.
+    pub quad_ms: f64,
+    /// Staircase step in tokens (64 for TensorRT Bert, per §3.3).
+    pub step: u32,
+    /// Dynamic-shape runtime penalty model.
+    pub dynamic_penalty: DynamicPenalty,
+}
+
+impl ModelSpec {
+    /// Bert-Base, TensorRT FP32, RTX 3090 calibration.
+    ///
+    /// Fig. 2a anchors: `L(512) ≈ 4.86 ms`, `L(512)/L(64) = 4.22`
+    /// (⇒ `L(64) ≈ 1.14 ms`), dynamic inflation 1.22×–3.56×.
+    pub fn bert_base() -> Self {
+        ModelSpec {
+            name: "bert-base".to_string(),
+            framework: Framework::TensorRt,
+            precision: Precision::Fp32,
+            max_length: 512,
+            base_ms: 0.60,
+            per_token_ms: 0.00833,
+            quad_ms: 0.0,
+            step: 64,
+            dynamic_penalty: DynamicPenalty::Growing {
+                min_x: 1.22,
+                max_x: 3.56,
+                start_length: 64,
+                at_length: 512,
+                exponent: 1.0,
+            },
+        }
+    }
+
+    /// Bert-Large, TensorRT FP32, RTX 3090 calibration.
+    ///
+    /// Fig. 2b anchors: `L(512)/L(64) = 5.25`, roughly 3.4× Bert-Base cost.
+    pub fn bert_large() -> Self {
+        ModelSpec {
+            name: "bert-large".to_string(),
+            framework: Framework::TensorRt,
+            precision: Precision::Fp32,
+            max_length: 512,
+            base_ms: 1.26,
+            per_token_ms: 0.03036,
+            quad_ms: 0.0,
+            step: 64,
+            dynamic_penalty: DynamicPenalty::Growing {
+                min_x: 1.22,
+                max_x: 3.56,
+                start_length: 64,
+                at_length: 512,
+                exponent: 1.0,
+            },
+        }
+    }
+
+    /// Dolly, TVM Unity FP16 (Fig. 2c): a much larger model whose
+    /// well-tuned *dynamic* runtime is still on average 2.86× slower than
+    /// untuned static compilation.
+    pub fn dolly() -> Self {
+        ModelSpec {
+            name: "dolly".to_string(),
+            framework: Framework::TvmUnity,
+            precision: Precision::Fp16,
+            max_length: 512,
+            base_ms: 8.0,
+            per_token_ms: 0.06,
+            quad_ms: 0.0,
+            step: 64,
+            dynamic_penalty: DynamicPenalty::Constant(2.86),
+        }
+    }
+
+    /// Static-shape execution latency (ms) of a runtime compiled at
+    /// `max_length = compiled_len`. Every request served by that runtime
+    /// costs this much regardless of its true length — that is what
+    /// zero-padding means.
+    pub fn static_latency_ms(&self, compiled_len: u32) -> f64 {
+        assert!(compiled_len >= 1, "compiled length must be >= 1");
+        let padded = f64::from(self.padded_len(compiled_len));
+        self.base_ms + self.per_token_ms * padded + self.quad_ms * padded * padded
+    }
+
+    /// Dynamic-shape execution latency (ms) at actual request length `len`:
+    /// no padding to the *compiled* maximum, but the GPU still computes in
+    /// tile-sized chunks (the same staircase), and the kernel pays the
+    /// compiler's dynamic-shape penalty on top — so a static runtime
+    /// compiled at the same length is always at least as fast, matching the
+    /// Fig. 2 curves.
+    pub fn dynamic_latency_ms(&self, len: u32) -> f64 {
+        self.static_latency_ms(len) * self.dynamic_penalty.inflation(len)
+    }
+
+    /// The un-staircased compute cost at an exact length — what a
+    /// padding-free kernel pays before any dynamic-shape penalty.
+    pub fn smooth_latency_ms(&self, len: u32) -> f64 {
+        assert!(len >= 1, "length must be >= 1");
+        let l = f64::from(len);
+        self.base_ms + self.per_token_ms * l + self.quad_ms * l * l
+    }
+
+    /// Round `len` up to the staircase step the GPU actually computes.
+    pub fn padded_len(&self, len: u32) -> u32 {
+        assert!(self.step >= 1, "step must be >= 1");
+        len.div_ceil(self.step) * self.step
+    }
+
+    /// Number of equally spaced runtimes the paper's rule produces
+    /// (`max_length / step`, e.g. 512/64 = 8 for Bert).
+    pub fn natural_runtime_count(&self) -> u32 {
+        self.max_length.div_ceil(self.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_matches_fig2a_anchors() {
+        let m = ModelSpec::bert_base();
+        let l64 = m.static_latency_ms(64);
+        let l512 = m.static_latency_ms(512);
+        assert!(
+            (l512 - 4.86).abs() < 0.1,
+            "L(512) = {l512}, paper ≈ 4.86 ms"
+        );
+        assert!((l512 / l64 - 4.22).abs() < 0.15, "ratio {}", l512 / l64);
+        // A length-20 request padded to 512 runs 4.28× longer than its own
+        // 64-bucket compute (paper: 4.86 ms vs 4.28× inflation).
+        let inflation = l512 / m.static_latency_ms(20);
+        assert!(
+            (inflation - 4.28).abs() < 0.2,
+            "padding inflation {inflation}"
+        );
+    }
+
+    #[test]
+    fn bert_large_matches_fig2b_ratio() {
+        let m = ModelSpec::bert_large();
+        let ratio = m.static_latency_ms(512) / m.static_latency_ms(64);
+        assert!((ratio - 5.25).abs() < 0.15, "ratio {ratio}");
+        // Bert-Large is strictly more expensive than Bert-Base everywhere.
+        let b = ModelSpec::bert_base();
+        for len in [1, 64, 128, 256, 512] {
+            assert!(m.static_latency_ms(len) > b.static_latency_ms(len));
+        }
+    }
+
+    #[test]
+    fn staircase_is_flat_within_steps() {
+        let m = ModelSpec::bert_base();
+        // §3.3: within a 64-token step the latency change is < 5%.
+        assert_eq!(m.static_latency_ms(1), m.static_latency_ms(64));
+        assert_eq!(m.static_latency_ms(65), m.static_latency_ms(128));
+        assert!(m.static_latency_ms(65) > m.static_latency_ms(64));
+    }
+
+    #[test]
+    fn padded_len_rounds_to_step() {
+        let m = ModelSpec::bert_base();
+        assert_eq!(m.padded_len(1), 64);
+        assert_eq!(m.padded_len(64), 64);
+        assert_eq!(m.padded_len(65), 128);
+        assert_eq!(m.padded_len(512), 512);
+    }
+
+    #[test]
+    fn dynamic_inflation_matches_paper_range() {
+        let m = ModelSpec::bert_base();
+        let mut inflations: Vec<f64> = Vec::new();
+        for len in (16..=512).step_by(16) {
+            let x = m.dynamic_latency_ms(len) / m.static_latency_ms(len);
+            assert!((1.22..=3.56 + 1e-9).contains(&x), "inflation {x} at {len}");
+            inflations.push(x);
+        }
+        // Growing with length: lost fusion hurts long sequences most.
+        for w in inflations.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        // Short requests pay exactly the 1.22× minimum.
+        assert!((inflations[0] - 1.22).abs() < 1e-9);
+        // Full-length requests pay the 3.56× maximum.
+        assert!((inflations.last().expect("non-empty") - 3.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_dominates_dynamic_at_every_length() {
+        // Fig. 2a/b: the static staircase sits below the dynamic curve at
+        // every length, for both Bert models.
+        for m in [ModelSpec::bert_base(), ModelSpec::bert_large()] {
+            for len in 1..=512u32 {
+                assert!(
+                    m.static_latency_ms(len) < m.dynamic_latency_ms(len),
+                    "{}: dynamic not slower at {len}",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_full_padding_for_short_requests() {
+        // The motivation of the whole paper: for a short request, a dynamic
+        // runtime (inflated but unpadded) beats padding to 512 by a lot …
+        let m = ModelSpec::bert_base();
+        assert!(m.dynamic_latency_ms(20) < 0.4 * m.static_latency_ms(512));
+        // … but a right-sized static runtime still beats the dynamic one …
+        assert!(m.static_latency_ms(64) < m.dynamic_latency_ms(20));
+        // … and at full length the dynamic tail is much worse (the DT
+        // long-tail effect of Figs. 6 and 10).
+        assert!(m.dynamic_latency_ms(512) > 2.5 * m.static_latency_ms(512));
+    }
+
+    #[test]
+    fn dolly_dynamic_is_constant_2_86() {
+        let m = ModelSpec::dolly();
+        for len in [32, 100, 512] {
+            let x = m.dynamic_latency_ms(len) / m.static_latency_ms(len);
+            assert!((x - 2.86).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn natural_runtime_count_is_eight_for_bert() {
+        assert_eq!(ModelSpec::bert_base().natural_runtime_count(), 8);
+        assert_eq!(ModelSpec::bert_large().natural_runtime_count(), 8);
+    }
+
+    #[test]
+    fn penalty_never_below_one() {
+        let p = DynamicPenalty::Constant(0.5);
+        assert_eq!(p.inflation(10), 1.0);
+        let d = DynamicPenalty::Growing {
+            min_x: 0.5,
+            max_x: 0.9,
+            start_length: 1,
+            at_length: 512,
+            exponent: 1.0,
+        };
+        assert_eq!(d.inflation(10), 1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Construction of the runtime family (§3.3, "Determine the max length of
+//! each runtime").
+//!
+//! Compiling a runtime for every possible length is impractical; the paper's
+//! rule exploits the *staircase pattern*: static-shape latency only moves at
+//! tile-size multiples (64 tokens for TensorRT Bert), so `max_length` values
+//! are spaced linearly at the detected step — eight runtimes for Bert at
+//! 512. [`detect_step`] recovers the step from the (profiled) latency curve
+//! rather than hardcoding it, since "for other models or compilers, the step
+//! sizes may vary".
+
+use crate::latency::CompiledRuntime;
+use crate::models::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Detect the staircase step of a model's static-latency curve: the smallest
+/// gap between consecutive lengths where latency strictly increases.
+///
+/// Returns 1 for a curve with no plateaus (every length has its own cost).
+pub fn detect_step(model: &ModelSpec) -> u32 {
+    let max = model.max_length;
+    let mut last_jump_at = 0u32;
+    let mut min_gap = u32::MAX;
+    let mut prev = model.static_latency_ms(1);
+    for s in 2..=max {
+        let cur = model.static_latency_ms(s);
+        if cur > prev {
+            let gap = s - 1 - last_jump_at;
+            min_gap = min_gap.min(gap.max(1));
+            last_jump_at = s - 1;
+            prev = cur;
+        }
+    }
+    if min_gap == u32::MAX {
+        // Completely flat curve: a single runtime suffices.
+        max
+    } else {
+        min_gap
+    }
+}
+
+/// A family of statically compiled runtimes of one model — the *polymorphs*.
+///
+/// Lengths are strictly increasing and the largest equals the model's
+/// `max_length`, guaranteeing every admissible request has at least one
+/// candidate runtime (the paper's Eq. 7 relies on this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSet {
+    model: ModelSpec,
+    lengths: Vec<u32>,
+}
+
+impl RuntimeSet {
+    /// The paper's default family: `max_length / step` runtimes at
+    /// `step, 2·step, …, max_length`, with the step detected from the
+    /// latency staircase (eight runtimes for Bert).
+    pub fn natural(model: ModelSpec) -> Self {
+        let step = detect_step(&model);
+        Self::from_step(model, step)
+    }
+
+    /// Runtimes at every multiple of `step` up to the model limit.
+    pub fn from_step(model: ModelSpec, step: u32) -> Self {
+        assert!(step >= 1, "step must be >= 1");
+        let mut lengths: Vec<u32> = (1..)
+            .map(|i| i * step)
+            .take_while(|&l| l < model.max_length)
+            .collect();
+        lengths.push(model.max_length);
+        RuntimeSet { model, lengths }
+    }
+
+    /// Exactly `n` evenly spaced runtimes (`max_length / n` spacing) — the
+    /// Fig. 11 ablation over N ∈ {2, 4, 8, 16}.
+    pub fn with_count(model: ModelSpec, n: u32) -> Self {
+        assert!(n >= 1, "need at least one runtime");
+        assert!(n <= model.max_length, "more runtimes than lengths");
+        let max = model.max_length;
+        let mut lengths: Vec<u32> = (1..=n).map(|i| max * i / n).collect();
+        lengths.dedup();
+        RuntimeSet { model, lengths }
+    }
+
+    /// A family with explicit `max_length` values (sorted, deduplicated).
+    /// The largest value must equal the model limit.
+    pub fn from_lengths(model: ModelSpec, mut lengths: Vec<u32>) -> Self {
+        assert!(!lengths.is_empty(), "empty runtime family");
+        lengths.sort_unstable();
+        lengths.dedup();
+        assert!(lengths[0] >= 1, "lengths must be >= 1");
+        assert_eq!(
+            *lengths.last().expect("non-empty"),
+            model.max_length,
+            "largest runtime must cover the model limit"
+        );
+        RuntimeSet { model, lengths }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The `max_length` values, ascending.
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// Number of runtimes in the family.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// True when the family is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Compile the family into runtime objects, ascending by `max_length`.
+    pub fn compile(&self) -> Vec<CompiledRuntime> {
+        self.lengths
+            .iter()
+            .map(|&l| CompiledRuntime::new_static(self.model.clone(), l))
+            .collect()
+    }
+
+    /// Index of the *ideal* runtime for a request of `len` tokens — the
+    /// smallest `max_length ≥ len`, i.e. least padding. `None` if the
+    /// request exceeds the model limit.
+    pub fn ideal_runtime(&self, len: u32) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        let idx = self.lengths.partition_point(|&l| l < len);
+        (idx < self.lengths.len()).then_some(idx)
+    }
+
+    /// Indices of all candidate runtimes for a request of `len` tokens, in
+    /// ascending `max_length` order (the Request Scheduler's lookup order).
+    pub fn candidate_runtimes(&self, len: u32) -> std::ops::Range<usize> {
+        match self.ideal_runtime(len) {
+            Some(idx) => idx..self.lengths.len(),
+            None => self.lengths.len()..self.lengths.len(),
+        }
+    }
+
+    /// The length-bin boundaries (workflow step ①): bin `i` covers
+    /// `(lengths[i-1], lengths[i]]`, i.e. requests whose ideal runtime is
+    /// `i`. Returns `(lo_exclusive, hi_inclusive)` pairs.
+    pub fn length_bins(&self) -> Vec<(u32, u32)> {
+        let mut bins = Vec::with_capacity(self.lengths.len());
+        let mut lo = 0u32;
+        for &hi in &self.lengths {
+            bins.push((lo, hi));
+            lo = hi;
+        }
+        bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_bert_64_step() {
+        assert_eq!(detect_step(&ModelSpec::bert_base()), 64);
+        assert_eq!(detect_step(&ModelSpec::bert_large()), 64);
+    }
+
+    #[test]
+    fn detects_custom_steps() {
+        let mut m = ModelSpec::bert_base();
+        m.step = 32;
+        assert_eq!(detect_step(&m), 32);
+        m.step = 1;
+        assert_eq!(detect_step(&m), 1);
+    }
+
+    #[test]
+    fn natural_family_is_eight_for_bert() {
+        let set = RuntimeSet::natural(ModelSpec::bert_base());
+        assert_eq!(set.len(), 8);
+        assert_eq!(set.lengths(), &[64, 128, 192, 256, 320, 384, 448, 512]);
+    }
+
+    #[test]
+    fn from_step_handles_non_divisible_limits() {
+        let mut m = ModelSpec::bert_base();
+        m.max_length = 500;
+        let set = RuntimeSet::from_step(m, 64);
+        assert_eq!(set.lengths(), &[64, 128, 192, 256, 320, 384, 448, 500]);
+    }
+
+    #[test]
+    fn with_count_matches_fig11_grid() {
+        let m = ModelSpec::bert_large();
+        assert_eq!(RuntimeSet::with_count(m.clone(), 2).lengths(), &[256, 512]);
+        assert_eq!(
+            RuntimeSet::with_count(m.clone(), 4).lengths(),
+            &[128, 256, 384, 512]
+        );
+        assert_eq!(RuntimeSet::with_count(m.clone(), 8).len(), 8);
+        assert_eq!(RuntimeSet::with_count(m, 16).len(), 16);
+    }
+
+    #[test]
+    fn ideal_runtime_minimizes_padding() {
+        let set = RuntimeSet::natural(ModelSpec::bert_base());
+        assert_eq!(set.ideal_runtime(1), Some(0));
+        assert_eq!(set.ideal_runtime(64), Some(0));
+        assert_eq!(set.ideal_runtime(65), Some(1));
+        assert_eq!(set.ideal_runtime(200), Some(3)); // 256 is the smallest ≥ 200
+        assert_eq!(set.ideal_runtime(512), Some(7));
+        assert_eq!(set.ideal_runtime(513), None);
+        assert_eq!(set.ideal_runtime(0), None);
+    }
+
+    #[test]
+    fn candidates_ascend_from_ideal() {
+        let set = RuntimeSet::natural(ModelSpec::bert_base());
+        let c: Vec<usize> = set.candidate_runtimes(200).collect();
+        assert_eq!(c, vec![3, 4, 5, 6, 7]);
+        assert_eq!(set.candidate_runtimes(513).count(), 0);
+    }
+
+    #[test]
+    fn bins_partition_the_length_span() {
+        let set = RuntimeSet::natural(ModelSpec::bert_base());
+        let bins = set.length_bins();
+        assert_eq!(bins.len(), 8);
+        assert_eq!(bins[0], (0, 64));
+        assert_eq!(bins[7], (448, 512));
+        // Bins tile the space with no gaps.
+        for w in bins.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // Every admissible length falls in the bin of its ideal runtime.
+        for len in 1..=512u32 {
+            let ideal = set.ideal_runtime(len).expect("admissible");
+            let (lo, hi) = bins[ideal];
+            assert!(len > lo && len <= hi, "len {len} outside bin {ideal}");
+        }
+    }
+
+    #[test]
+    fn compile_produces_static_runtimes() {
+        let set = RuntimeSet::with_count(ModelSpec::bert_base(), 4);
+        let rts = set.compile();
+        assert_eq!(rts.len(), 4);
+        assert!(rts
+            .iter()
+            .zip(set.lengths())
+            .all(|(rt, &l)| rt.max_length() == l));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the model limit")]
+    fn explicit_lengths_must_cover_limit() {
+        RuntimeSet::from_lengths(ModelSpec::bert_base(), vec![64, 128]);
+    }
+
+    #[test]
+    fn explicit_lengths_sort_and_dedup() {
+        let set = RuntimeSet::from_lengths(ModelSpec::bert_base(), vec![512, 64, 64, 256]);
+        assert_eq!(set.lengths(), &[64, 256, 512]);
+    }
+}

@@ -1,0 +1,885 @@
+//! The simulated GPU cluster: instances, their queues, replacement and
+//! retirement life-cycles.
+//!
+//! Each instance is one GPU running one compiled runtime (the paper
+//! deliberately avoids co-location, §3.3). Execution is batch-1 FIFO: the
+//! head request runs to completion, the rest wait. Instance replacement
+//! (§4) drains the queue, swaps the runtime in ~1 s, and resumes; scale-in
+//! retirement drains and releases the GPU.
+
+use arlo_runtime::latency::JitterSpec;
+use arlo_runtime::profile::RuntimeProfile;
+use arlo_trace::workload::Request;
+use arlo_trace::Nanos;
+use std::collections::VecDeque;
+
+/// Index of an instance within the cluster (stable for its lifetime).
+pub type InstanceId = usize;
+
+/// Publicly visible instance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Serving requests.
+    Active,
+    /// Swapping runtimes; ready at the given time.
+    Loading {
+        /// When the swap completes.
+        ready_at: Nanos,
+    },
+    /// Drained and released (GPU returned to the pool).
+    Retired,
+}
+
+/// Batched execution configuration (the §6 "dynamic batch execution"
+/// extension; the paper's evaluation fixes batch size at 1).
+///
+/// An instance pulls up to `max_batch` queued requests into one execution.
+/// The batch is padded to its longest member and costs
+/// `exec(longest) · (1 + marginal_cost · (b − 1))` — GPUs amortize the
+/// fixed per-launch work across a batch, so `marginal_cost < 1` trades
+/// per-request latency for throughput.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchSpec {
+    /// Maximum requests per execution (1 = the paper's setting).
+    pub max_batch: u32,
+    /// Marginal cost of each additional batched request, as a fraction of
+    /// a single execution (e.g. 0.6).
+    pub marginal_cost: f64,
+}
+
+impl BatchSpec {
+    /// The paper's batch-1 execution.
+    pub const SINGLE: BatchSpec = BatchSpec {
+        max_batch: 1,
+        marginal_cost: 1.0,
+    };
+
+    /// Validate the configuration.
+    pub fn validate(&self) {
+        assert!(self.max_batch >= 1, "batch size must be >= 1");
+        assert!(
+            self.marginal_cost > 0.0 && self.marginal_cost <= 1.0,
+            "marginal cost must be in (0, 1]"
+        );
+    }
+
+    /// Cost multiplier for a batch of `b` requests.
+    pub fn factor(&self, b: usize) -> f64 {
+        1.0 + self.marginal_cost * (b as f64 - 1.0)
+    }
+}
+
+/// An execution started on an instance; the driver schedules the matching
+/// completion event. With batching enabled, several requests run (and
+/// complete) together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartedExecution {
+    /// The requests now running (at least one).
+    pub requests: Vec<Request>,
+    /// Absolute completion time.
+    pub completes_at: Nanos,
+}
+
+#[derive(Debug)]
+struct Instance {
+    runtime_idx: usize,
+    queue: VecDeque<Request>,
+    running: Vec<Request>,
+    state: InstanceState,
+    /// Replacement target: when set, the instance stops accepting requests,
+    /// drains, then reloads as this runtime.
+    pending_target: Option<usize>,
+    /// Scale-in: drain then release.
+    retiring: bool,
+    /// Fault injection: execution-time multiplier (1.0 = healthy). Models
+    /// the "idiosyncratic factors such as failures and bugs" that imbalance
+    /// load across instances of the same runtime (§3.2 of the paper).
+    slowdown: f64,
+    /// Accumulated execution time (ns) — utilization accounting.
+    busy_ns: Nanos,
+    /// Start of the current execution, if any.
+    busy_since: Option<Nanos>,
+    /// EWMA of observed per-request execution time (ns); 0 = no samples.
+    /// The live measurement a dispatcher can use instead of the offline
+    /// profile, which goes stale when an instance degrades.
+    ewma_exec_ns: f64,
+}
+
+impl Instance {
+    fn outstanding(&self) -> u32 {
+        self.queue.len() as u32 + self.running.len() as u32
+    }
+
+    /// Accepting requests, given this runtime's per-instance queue bound.
+    ///
+    /// The bound models the paper's central request buffer (workflow step
+    /// (e)): requests beyond it wait in the scheduler's buffer instead of
+    /// being bound early to one instance — otherwise a backlog would stay
+    /// pinned to the instances that existed when it formed, invisible to
+    /// newly scaled-out or reallocated instances.
+    fn accepts(&self, queue_limit: u32) -> bool {
+        matches!(self.state, InstanceState::Active)
+            && self.pending_target.is_none()
+            && !self.retiring
+            && self.outstanding() < queue_limit
+    }
+}
+
+/// A read-only snapshot interface over the cluster, handed to dispatchers
+/// and allocators.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    cluster: &'a Cluster,
+}
+
+impl<'a> ClusterView<'a> {
+    /// Profiles of the runtime family, ascending by `max_length`.
+    pub fn profiles(&self) -> &'a [RuntimeProfile] {
+        &self.cluster.profiles
+    }
+
+    /// The accepting instances of runtime `runtime_idx` with their
+    /// outstanding counts.
+    pub fn instances_of(&self, runtime_idx: usize) -> impl Iterator<Item = (InstanceId, u32)> + '_ {
+        self.cluster
+            .instances
+            .iter()
+            .enumerate()
+            .filter(move |(_, inst)| {
+                inst.runtime_idx == runtime_idx
+                    && inst.accepts(self.cluster.queue_limits[runtime_idx])
+            })
+            .map(|(id, inst)| (id, inst.outstanding()))
+    }
+
+    /// The least-loaded accepting instance of a runtime — the head of the
+    /// paper's per-runtime priority queue (Fig. 5). Ties break on the lower
+    /// instance id for determinism.
+    pub fn least_loaded(&self, runtime_idx: usize) -> Option<(InstanceId, u32)> {
+        self.instances_of(runtime_idx)
+            .min_by_key(|&(id, load)| (load, id))
+    }
+
+    /// Whether any instance is *deployed* on this runtime — committed to it
+    /// and not retiring — regardless of queue depth or replacement state.
+    /// Dispatchers that must wait for a specific runtime (ILB) use this to
+    /// distinguish "busy" from "absent".
+    pub fn is_deployed(&self, runtime_idx: usize) -> bool {
+        self.cluster.instances.iter().any(|inst| {
+            inst.state != InstanceState::Retired
+                && !inst.retiring
+                && inst.pending_target.unwrap_or(inst.runtime_idx) == runtime_idx
+        })
+    }
+
+    /// Count of accepting instances per runtime.
+    pub fn accepting_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.cluster.profiles.len()];
+        for inst in &self.cluster.instances {
+            if inst.accepts(self.cluster.queue_limits[inst.runtime_idx]) {
+                counts[inst.runtime_idx] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Count of *committed* instances per runtime: accepting, loading and
+    /// mid-replacement instances count toward the runtime they will run —
+    /// the totals the Runtime Scheduler plans against.
+    pub fn committed_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.cluster.profiles.len()];
+        for inst in &self.cluster.instances {
+            if inst.state == InstanceState::Retired || inst.retiring {
+                continue;
+            }
+            counts[inst.pending_target.unwrap_or(inst.runtime_idx)] += 1;
+        }
+        counts
+    }
+
+    /// Number of GPUs currently held (everything not retired).
+    pub fn gpu_count(&self) -> u32 {
+        self.cluster
+            .instances
+            .iter()
+            .filter(|i| i.state != InstanceState::Retired)
+            .count() as u32
+    }
+
+    /// Outstanding requests on one instance.
+    pub fn outstanding(&self, id: InstanceId) -> u32 {
+        self.cluster.instances[id].outstanding()
+    }
+
+    /// The runtime an instance currently runs.
+    pub fn runtime_of(&self, id: InstanceId) -> usize {
+        self.cluster.instances[id].runtime_idx
+    }
+
+    /// Whether the instance is accepting new requests.
+    pub fn accepts(&self, id: InstanceId) -> bool {
+        let inst = &self.cluster.instances[id];
+        inst.accepts(self.cluster.queue_limits[inst.runtime_idx])
+    }
+
+    /// Total outstanding requests across all instances.
+    pub fn total_outstanding(&self) -> u64 {
+        self.cluster
+            .instances
+            .iter()
+            .map(|i| u64::from(i.outstanding()))
+            .sum()
+    }
+
+    /// Accumulated execution time (ns) of one instance — its GPU busy time.
+    pub fn busy_ns(&self, id: InstanceId) -> Nanos {
+        self.cluster.instances[id].busy_ns
+    }
+
+    /// Live-measured capacity of one instance: requests completable within
+    /// `slo_ms` at the EWMA of its *observed* per-request service times.
+    /// `None` until the instance has completed at least one request. Unlike
+    /// the profiled `M_i`, this tracks degradations (thermal throttling,
+    /// buggy kernels) the offline profile cannot see.
+    pub fn measured_capacity(&self, id: InstanceId, slo_ms: f64) -> Option<u32> {
+        let ewma = self.cluster.instances[id].ewma_exec_ns;
+        if ewma <= 0.0 {
+            return None;
+        }
+        Some((slo_ms * 1e6 / ewma).floor() as u32)
+    }
+
+    /// Total GPU busy time across the cluster (ns). Divided by
+    /// `gpu_count × horizon` this is the cluster utilization the paper's
+    /// abstract targets ("optimizing resource utilization").
+    pub fn total_busy_ns(&self) -> Nanos {
+        self.cluster.instances.iter().map(|i| i.busy_ns).sum()
+    }
+}
+
+/// The simulated cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    profiles: Vec<RuntimeProfile>,
+    instances: Vec<Instance>,
+    jitter: JitterSpec,
+    /// Runtime-swap latency (§4: "approximately 1 second").
+    replacement_latency: Nanos,
+    /// Per-runtime instance queue bound (requests beyond it wait in the
+    /// scheduler's central buffer).
+    queue_limits: Vec<u32>,
+    /// Batched-execution configuration (§6 extension; default batch 1).
+    batch: BatchSpec,
+}
+
+impl Cluster {
+    /// Create a cluster with `initial_counts[i]` active instances of runtime
+    /// `i`.
+    pub fn new(
+        profiles: Vec<RuntimeProfile>,
+        initial_counts: &[u32],
+        jitter: JitterSpec,
+        replacement_latency: Nanos,
+    ) -> Self {
+        // Default queue bound: twice the SLO capacity (an instance may hold
+        // up to ~2×SLO of work before the buffer takes over), floor 2 so
+        // execution always pipelines.
+        let limits = profiles
+            .iter()
+            .map(|p| (2 * p.capacity_within_slo).max(2))
+            .collect();
+        Self::with_queue_limits(
+            profiles,
+            initial_counts,
+            jitter,
+            replacement_latency,
+            limits,
+        )
+    }
+
+    /// [`Cluster::new`] with explicit per-runtime instance queue bounds.
+    pub fn with_queue_limits(
+        profiles: Vec<RuntimeProfile>,
+        initial_counts: &[u32],
+        jitter: JitterSpec,
+        replacement_latency: Nanos,
+        queue_limits: Vec<u32>,
+    ) -> Self {
+        assert_eq!(
+            profiles.len(),
+            initial_counts.len(),
+            "one count per runtime"
+        );
+        assert!(!profiles.is_empty(), "need at least one runtime");
+        assert_eq!(
+            profiles.len(),
+            queue_limits.len(),
+            "one queue limit per runtime"
+        );
+        assert!(
+            queue_limits.iter().all(|&l| l >= 1),
+            "queue limits must be >= 1"
+        );
+        let mut instances = Vec::new();
+        for (idx, &n) in initial_counts.iter().enumerate() {
+            for _ in 0..n {
+                instances.push(Instance {
+                    runtime_idx: idx,
+                    queue: VecDeque::new(),
+                    running: Vec::new(),
+                    state: InstanceState::Active,
+                    pending_target: None,
+                    retiring: false,
+                    slowdown: 1.0,
+                    busy_ns: 0,
+                    busy_since: None,
+                    ewma_exec_ns: 0.0,
+                });
+            }
+        }
+        Cluster {
+            profiles,
+            instances,
+            jitter,
+            replacement_latency,
+            queue_limits,
+            batch: BatchSpec::SINGLE,
+        }
+    }
+
+    /// Enable batched execution (§6 extension).
+    pub fn with_batching(mut self, batch: BatchSpec) -> Self {
+        batch.validate();
+        self.batch = batch;
+        self
+    }
+
+    /// Read-only view.
+    pub fn view(&self) -> ClusterView<'_> {
+        ClusterView { cluster: self }
+    }
+
+    /// Profiles of the runtime family.
+    pub fn profiles(&self) -> &[RuntimeProfile] {
+        &self.profiles
+    }
+
+    /// Enqueue a request on an instance. Returns the started execution if
+    /// the instance was idle. Panics if the instance is not accepting or the
+    /// request does not fit — the dispatcher contract.
+    pub fn enqueue(
+        &mut self,
+        id: InstanceId,
+        req: Request,
+        now: Nanos,
+    ) -> Option<StartedExecution> {
+        let limit = self.queue_limits[self.instances[id].runtime_idx];
+        let accepts = self.instances[id].accepts(limit);
+        assert!(accepts, "dispatch to non-accepting instance {id}");
+        let runtime_idx = self.instances[id].runtime_idx;
+        assert!(
+            self.profiles[runtime_idx].can_serve(req.length),
+            "request of length {} dispatched to runtime with max_length {}",
+            req.length,
+            self.profiles[runtime_idx].max_length()
+        );
+        self.instances[id].queue.push_back(req);
+        if self.instances[id].running.is_empty() {
+            Some(self.start_next(id, now).expect("queue is non-empty"))
+        } else {
+            None
+        }
+    }
+
+    fn start_next(&mut self, id: InstanceId, now: Nanos) -> Option<StartedExecution> {
+        let batch = self.batch;
+        let inst = &mut self.instances[id];
+        debug_assert!(inst.running.is_empty(), "instance already busy");
+        if inst.queue.is_empty() {
+            return None;
+        }
+        let take = (batch.max_batch as usize).min(inst.queue.len());
+        let requests: Vec<Request> = inst.queue.drain(..take).collect();
+        let profile = &self.profiles[inst.runtime_idx];
+        // The batch pads to its longest member; jitter keys off the first
+        // request so replays stay deterministic.
+        let longest = requests.iter().map(|r| r.length).max().expect("non-empty");
+        let base = profile
+            .runtime
+            .exec_nanos_jittered(longest, self.jitter, requests[0].id);
+        let exec = (base as f64 * batch.factor(requests.len()) * inst.slowdown).round() as Nanos;
+        inst.running = requests.clone();
+        inst.busy_since = Some(now);
+        Some(StartedExecution {
+            requests,
+            completes_at: now + exec,
+        })
+    }
+
+    /// Handle an execution completion. Returns the finished request, the
+    /// next started execution (if any), and whether the instance entered the
+    /// `Loading` state (the driver must schedule [`Event::LoadDone`]).
+    ///
+    /// [`Event::LoadDone`]: crate::event::Event::LoadDone
+    pub fn complete(&mut self, id: InstanceId, now: Nanos) -> CompletionOutcome {
+        let finished = std::mem::take(&mut self.instances[id].running);
+        assert!(!finished.is_empty(), "completion event for idle instance");
+        if let Some(since) = self.instances[id].busy_since.take() {
+            let duration = now - since;
+            self.instances[id].busy_ns += duration;
+            // Per-request observed service time (a batch shares its cost).
+            let per_request = duration as f64 / finished.len() as f64;
+            const ALPHA: f64 = 0.2;
+            let ewma = &mut self.instances[id].ewma_exec_ns;
+            *ewma = if *ewma == 0.0 {
+                per_request
+            } else {
+                ALPHA * per_request + (1.0 - ALPHA) * *ewma
+            };
+        }
+        let next = self.start_next(id, now);
+        let mut loading_until = None;
+        if next.is_none() {
+            loading_until = self.settle_idle(id, now);
+        }
+        CompletionOutcome {
+            finished,
+            next,
+            loading_until,
+        }
+    }
+
+    /// Transition a freshly idle instance through any pending replacement or
+    /// retirement. Returns `Some(ready_at)` if it started loading.
+    fn settle_idle(&mut self, id: InstanceId, now: Nanos) -> Option<Nanos> {
+        let inst = &mut self.instances[id];
+        debug_assert!(inst.running.is_empty() && inst.queue.is_empty());
+        if inst.retiring {
+            inst.state = InstanceState::Retired;
+            inst.retiring = false;
+            return None;
+        }
+        if let Some(target) = inst.pending_target.take() {
+            inst.runtime_idx = target;
+            let ready_at = now + self.replacement_latency;
+            inst.state = InstanceState::Loading { ready_at };
+            return Some(ready_at);
+        }
+        None
+    }
+
+    /// Finish loading: the instance becomes active. Returns `false` for
+    /// stale events — a crash mid-load reschedules the ready time, leaving
+    /// the original `LoadDone` event pointing at the past state.
+    pub fn load_done(&mut self, id: InstanceId, now: Nanos) -> bool {
+        let inst = &mut self.instances[id];
+        match inst.state {
+            InstanceState::Loading { ready_at } if ready_at <= now => {
+                inst.state = InstanceState::Active;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Apply (one step of) a new target allocation, replacing instances
+    /// with minimal churn (§4, "Instance replacement").
+    ///
+    /// The paper carries replacement out "in small batches to prevent
+    /// excessive traffic pressure on uninvolved instances": at most
+    /// `max_concurrent_swaps` instances may be mid-swap (draining or
+    /// loading) at once. Call this again whenever a swap finishes (the
+    /// driver does so on every `LoadDone`) until the committed counts reach
+    /// the target — each call is an idempotent step toward it.
+    ///
+    /// Idle movers begin loading immediately and are returned with their
+    /// ready times; busy movers drain first. `target` must sum to the
+    /// current committed GPU count.
+    pub fn apply_allocation(
+        &mut self,
+        target: &[u32],
+        now: Nanos,
+        max_concurrent_swaps: usize,
+    ) -> Vec<(InstanceId, Nanos)> {
+        assert_eq!(target.len(), self.profiles.len(), "one target per runtime");
+        let committed = self.view().committed_counts();
+        let total: u32 = committed.iter().sum();
+        assert_eq!(
+            target.iter().sum::<u32>(),
+            total,
+            "target allocation must use exactly the committed GPUs"
+        );
+        let in_flight = self
+            .instances
+            .iter()
+            .filter(|inst| {
+                inst.pending_target.is_some() || matches!(inst.state, InstanceState::Loading { .. })
+            })
+            .count();
+        let budget = max_concurrent_swaps.saturating_sub(in_flight);
+        if budget == 0 {
+            return Vec::new();
+        }
+        // Per-runtime surplus/deficit in committed terms.
+        let mut deficit: Vec<u32> = Vec::with_capacity(target.len());
+        let mut surplus: Vec<u32> = Vec::with_capacity(target.len());
+        for (t, c) in target.iter().zip(&committed) {
+            deficit.push(t.saturating_sub(*c));
+            surplus.push(c.saturating_sub(*t));
+        }
+        // Candidates for re-targeting: committed, not-yet-moving instances
+        // of surplus runtimes, least-loaded first (drain fastest).
+        let mut movers: Vec<(u32, InstanceId)> = Vec::new();
+        let mut take_per_rt: Vec<u32> = vec![0; target.len()];
+        let mut candidates: Vec<(u32, InstanceId, usize)> = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| {
+                inst.state == InstanceState::Active
+                    && !inst.retiring
+                    && inst.pending_target.is_none()
+            })
+            .map(|(id, inst)| (inst.outstanding(), id, inst.runtime_idx))
+            .collect();
+        candidates.sort_unstable();
+        for (load, id, rt) in candidates {
+            if movers.len() >= budget {
+                break;
+            }
+            if take_per_rt[rt] < surplus[rt] {
+                take_per_rt[rt] += 1;
+                movers.push((load, id));
+            }
+        }
+        // Assign movers to deficit runtimes, largest deficit first.
+        let mut order: Vec<usize> = (0..target.len()).collect();
+        order.sort_by_key(|&rt| std::cmp::Reverse(deficit[rt]));
+        let mut started_loading = Vec::new();
+        let mut mover_iter = movers.into_iter();
+        'outer: for &rt in &order {
+            for _ in 0..deficit[rt] {
+                let Some((_, id)) = mover_iter.next() else {
+                    break 'outer;
+                };
+                let inst = &mut self.instances[id];
+                inst.pending_target = Some(rt);
+                if inst.running.is_empty() && inst.queue.is_empty() {
+                    if let Some(ready_at) = self.settle_idle(id, now) {
+                        started_loading.push((id, ready_at));
+                    }
+                }
+            }
+        }
+        started_loading
+    }
+
+    /// True when the committed allocation equals `target` and no swap is in
+    /// flight — i.e. [`Cluster::apply_allocation`] has fully converged.
+    pub fn allocation_converged(&self, target: &[u32]) -> bool {
+        self.view().committed_counts() == target
+            && self.instances.iter().all(|inst| {
+                inst.pending_target.is_none()
+                    && !matches!(inst.state, InstanceState::Loading { .. })
+            })
+    }
+
+    /// Scale-out: add a GPU loading runtime `runtime_idx` (§4: new workers
+    /// load the maximum-length runtime). Returns the instance id and its
+    /// ready time.
+    pub fn add_instance(&mut self, runtime_idx: usize, now: Nanos) -> (InstanceId, Nanos) {
+        assert!(
+            runtime_idx < self.profiles.len(),
+            "runtime index out of range"
+        );
+        let ready_at = now + self.replacement_latency;
+        self.instances.push(Instance {
+            runtime_idx,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            state: InstanceState::Loading { ready_at },
+            pending_target: None,
+            retiring: false,
+            slowdown: 1.0,
+            busy_ns: 0,
+            busy_since: None,
+            ewma_exec_ns: 0.0,
+        });
+        (self.instances.len() - 1, ready_at)
+    }
+
+    /// Scale-in: retire an instance (drains first if busy). Returns `true`
+    /// if it retired immediately.
+    pub fn retire_instance(&mut self, id: InstanceId, _now: Nanos) -> bool {
+        let inst = &mut self.instances[id];
+        assert!(
+            inst.state != InstanceState::Retired,
+            "instance already retired"
+        );
+        inst.pending_target = None;
+        if inst.running.is_empty() && inst.queue.is_empty() {
+            inst.state = InstanceState::Retired;
+            true
+        } else {
+            inst.retiring = true;
+            false
+        }
+    }
+
+    /// Fault injection: set an instance's execution-time multiplier
+    /// (1.0 = healthy; e.g. 3.0 = a thermally throttled or buggy worker).
+    /// Only future executions are affected.
+    pub fn set_slowdown(&mut self, id: InstanceId, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "slowdown must be positive"
+        );
+        self.instances[id].slowdown = factor;
+    }
+
+    /// Fault injection: crash an instance. Its running request and queue
+    /// are returned (the driver re-buffers them); the instance reloads its
+    /// runtime (the replacement latency) and resumes. Returns
+    /// `(orphaned requests, ready_at, had_running)` — `had_running` tells
+    /// the driver to ignore the in-flight completion event.
+    pub fn crash_instance(&mut self, id: InstanceId, now: Nanos) -> (Vec<Request>, Nanos, bool) {
+        let inst = &mut self.instances[id];
+        assert!(
+            inst.state != InstanceState::Retired,
+            "cannot crash a retired instance"
+        );
+        let mut orphans: Vec<Request> = Vec::with_capacity(inst.queue.len() + 1);
+        let had_running = !inst.running.is_empty();
+        if let Some(since) = inst.busy_since.take() {
+            inst.busy_ns += now.saturating_sub(since); // wasted but occupied
+        }
+        orphans.append(&mut inst.running);
+        orphans.extend(inst.queue.drain(..));
+        let ready_at = now + self.replacement_latency;
+        inst.state = InstanceState::Loading { ready_at };
+        // A pending replacement target survives the crash: the reload loads
+        // the target runtime directly.
+        if let Some(target) = inst.pending_target.take() {
+            inst.runtime_idx = target;
+        }
+        (orphans, ready_at, had_running)
+    }
+
+    /// The least-busy accepting instance across the whole cluster (the
+    /// auto-scaler's scale-in victim).
+    pub fn least_busy_instance(&self) -> Option<InstanceId> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.accepts(self.queue_limits[inst.runtime_idx]))
+            .min_by_key(|(id, inst)| (inst.outstanding(), *id))
+            .map(|(id, _)| id)
+    }
+}
+
+/// Result of [`Cluster::complete`].
+#[derive(Debug, Clone)]
+pub struct CompletionOutcome {
+    /// The requests that just finished (one, or a whole batch).
+    pub finished: Vec<Request>,
+    /// The next execution started on this instance, if its queue was
+    /// non-empty.
+    pub next: Option<StartedExecution>,
+    /// If the instance began a runtime swap, when it will be ready.
+    pub loading_until: Option<Nanos>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arlo_runtime::latency::CompiledRuntime;
+    use arlo_runtime::models::ModelSpec;
+    use arlo_runtime::profile::RuntimeProfile;
+
+    fn profiles() -> Vec<RuntimeProfile> {
+        let model = ModelSpec::bert_base();
+        [64u32, 256, 512]
+            .iter()
+            .map(|&l| {
+                RuntimeProfile::measure(CompiledRuntime::new_static(model.clone(), l), 150.0, 64)
+            })
+            .collect()
+    }
+
+    fn req(id: u64, len: u32, at: Nanos) -> Request {
+        Request {
+            id,
+            arrival: at,
+            length: len,
+        }
+    }
+
+    fn cluster(counts: &[u32]) -> Cluster {
+        Cluster::new(profiles(), counts, JitterSpec::NONE, 1_000_000_000)
+    }
+
+    #[test]
+    fn enqueue_starts_idle_instance() {
+        let mut c = cluster(&[1, 1, 1]);
+        let started = c.enqueue(0, req(1, 50, 0), 0).expect("idle start");
+        assert_eq!(started.requests, vec![req(1, 50, 0)]);
+        let exec = c.profiles()[0].runtime.exec_nanos(50);
+        assert_eq!(started.completes_at, exec);
+        // Second request queues behind.
+        assert!(c.enqueue(0, req(2, 60, 10), 10).is_none());
+        assert_eq!(c.view().outstanding(0), 2);
+    }
+
+    #[test]
+    fn completion_starts_next_request() {
+        let mut c = cluster(&[1, 0, 0]);
+        c.enqueue(0, req(1, 50, 0), 0);
+        c.enqueue(0, req(2, 60, 0), 0);
+        let out = c.complete(0, 100);
+        assert_eq!(out.finished.len(), 1);
+        assert_eq!(out.finished[0].id, 1);
+        let next = out.next.expect("second starts");
+        assert_eq!(next.requests[0].id, 2);
+        assert!(next.completes_at > 100);
+        let out2 = c.complete(0, next.completes_at);
+        assert_eq!(out2.finished[0].id, 2);
+        assert!(out2.next.is_none());
+        assert_eq!(c.view().outstanding(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_length")]
+    fn rejects_oversized_request() {
+        let mut c = cluster(&[1, 0, 0]);
+        c.enqueue(0, req(1, 100, 0), 0); // instance 0 runs the 64 runtime
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum() {
+        let mut c = cluster(&[2, 0, 1]);
+        c.enqueue(0, req(1, 30, 0), 0);
+        c.enqueue(0, req(2, 30, 0), 0);
+        c.enqueue(1, req(3, 30, 0), 0);
+        let (id, load) = c.view().least_loaded(0).expect("instances exist");
+        assert_eq!((id, load), (1, 1));
+        assert_eq!(c.view().least_loaded(1), None); // no instances of runtime 1
+    }
+
+    #[test]
+    fn replacement_drains_then_loads() {
+        let mut c = cluster(&[2, 0, 1]);
+        c.enqueue(0, req(1, 30, 0), 0);
+        // Move one 64-instance to runtime 1 (256).
+        let loading = c.apply_allocation(&[1, 1, 1], 0, 64);
+        // The idle instance (id 1) swaps immediately.
+        assert_eq!(loading.len(), 1);
+        let (moved, ready) = loading[0];
+        assert_eq!(moved, 1);
+        assert_eq!(ready, 1_000_000_000);
+        assert!(!c.view().accepts(1));
+        assert!(c.load_done(1, 1_000_000_000));
+        assert!(c.view().accepts(1));
+        assert_eq!(c.view().runtime_of(1), 1);
+        assert_eq!(c.view().accepting_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn replacement_prefers_idle_instances() {
+        let mut c = cluster(&[2, 0, 1]);
+        c.enqueue(0, req(1, 30, 0), 0); // instance 0 busy
+        let loading = c.apply_allocation(&[1, 1, 1], 0, 64);
+        // Idle instance 1 is chosen over busy instance 0.
+        assert_eq!(loading[0].0, 1);
+        assert!(c.view().accepts(0), "busy instance keeps serving");
+    }
+
+    #[test]
+    fn busy_instance_swaps_after_draining() {
+        let mut c = cluster(&[1, 0, 1]);
+        let started = c.enqueue(0, req(1, 30, 0), 0).expect("starts");
+        c.apply_allocation(&[0, 1, 1], 0, 64);
+        assert!(
+            !c.view().accepts(0),
+            "mid-replacement instances stop accepting"
+        );
+        let out = c.complete(0, started.completes_at);
+        let ready = out.loading_until.expect("starts loading after drain");
+        assert_eq!(ready, started.completes_at + 1_000_000_000);
+        assert!(c.load_done(0, ready));
+        assert_eq!(c.view().runtime_of(0), 1);
+    }
+
+    #[test]
+    fn committed_counts_track_pending_targets() {
+        let mut c = cluster(&[2, 0, 1]);
+        c.enqueue(0, req(1, 30, 0), 0);
+        c.apply_allocation(&[1, 1, 1], 0, 64);
+        assert_eq!(c.view().committed_counts(), vec![1, 1, 1]);
+        // Accepting counts differ while the mover loads.
+        assert_eq!(c.view().accepting_counts(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "committed GPUs")]
+    fn allocation_must_conserve_gpus() {
+        let mut c = cluster(&[2, 0, 1]);
+        c.apply_allocation(&[2, 2, 1], 0, 64);
+    }
+
+    #[test]
+    fn scale_out_adds_loading_instance() {
+        let mut c = cluster(&[1, 0, 1]);
+        let (id, ready) = c.add_instance(2, 5);
+        assert_eq!(id, 2);
+        assert_eq!(ready, 5 + 1_000_000_000);
+        assert_eq!(c.view().gpu_count(), 3);
+        assert!(!c.view().accepts(id));
+        assert!(!c.load_done(id, ready - 1), "early LoadDone is stale");
+        assert!(c.load_done(id, ready));
+        assert!(c.view().accepts(id));
+    }
+
+    #[test]
+    fn retire_idle_immediately_busy_after_drain() {
+        let mut c = cluster(&[2, 0, 1]);
+        let started = c.enqueue(0, req(1, 30, 0), 0).expect("starts");
+        assert!(c.retire_instance(1, 0), "idle retires now");
+        assert_eq!(c.view().gpu_count(), 2);
+        assert!(!c.retire_instance(0, 0), "busy drains first");
+        let out = c.complete(0, started.completes_at);
+        assert!(out.next.is_none() && out.loading_until.is_none());
+        assert_eq!(c.view().gpu_count(), 1);
+    }
+
+    #[test]
+    fn replacement_batches_respect_swap_budget() {
+        // 4 idle small instances must all move to the big runtime, but only
+        // 2 may swap at a time.
+        let mut c = cluster(&[4, 0, 1]);
+        let target = [0u32, 4, 1];
+        let first = c.apply_allocation(&target, 0, 2);
+        assert_eq!(first.len(), 2, "only the budgeted batch starts");
+        assert!(!c.allocation_converged(&target));
+        // No further movers while both slots are in flight.
+        assert!(c.apply_allocation(&target, 1, 2).is_empty());
+        for (id, ready) in first {
+            assert!(c.load_done(id, ready));
+        }
+        let second = c.apply_allocation(&target, 2_000_000_000, 2);
+        assert_eq!(second.len(), 2);
+        for (id, ready) in second {
+            assert!(c.load_done(id, ready));
+        }
+        assert!(c.allocation_converged(&target));
+        assert_eq!(c.view().accepting_counts(), vec![0, 4, 1]);
+    }
+
+    #[test]
+    fn least_busy_instance_for_scale_in() {
+        let mut c = cluster(&[2, 0, 1]);
+        c.enqueue(0, req(1, 30, 0), 0);
+        c.enqueue(2, req(2, 500, 0), 0);
+        c.enqueue(2, req(3, 500, 0), 0);
+        assert_eq!(c.least_busy_instance(), Some(1));
+    }
+}

@@ -1,0 +1,164 @@
+//! The discrete-event core: a deterministic time-ordered event queue.
+//!
+//! Events at equal timestamps are ordered by insertion sequence number, so a
+//! simulation replays identically for a given seed regardless of allocator
+//! or dispatcher internals — the property every experiment in the repository
+//! relies on.
+
+use arlo_trace::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation events. Payloads are indices into driver-owned tables, keeping
+/// the queue `Copy`-cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The `n`-th trace request arrives.
+    Arrival(usize),
+    /// Instance `i` finishes its running execution.
+    Complete(usize),
+    /// Instance `i` finishes loading a (new) runtime.
+    LoadDone(usize),
+    /// Periodic Runtime Scheduler invocation (§3.3).
+    AllocationTick,
+    /// Auto-scaler scale-out check (§4: every second on recent p98).
+    ScaleOutCheck,
+    /// Auto-scaler scale-in check (§4: every 60 s).
+    ScaleInCheck,
+    /// The `n`-th injected fault fires.
+    Fault(usize),
+    /// The `n`-th injected fault ends (slowdowns only).
+    FaultEnd(usize),
+}
+
+/// A deterministic event queue keyed by `(time, insertion sequence)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Nanos, u64, EventOrd)>>,
+    seq: u64,
+}
+
+/// Internal ordered wrapper (BinaryHeap needs `Ord`; `Event` itself carries
+/// indices whose ordering is irrelevant but must be total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventOrd(u8, usize);
+
+fn encode(e: Event) -> EventOrd {
+    match e {
+        Event::Arrival(i) => EventOrd(0, i),
+        Event::Complete(i) => EventOrd(1, i),
+        Event::LoadDone(i) => EventOrd(2, i),
+        Event::AllocationTick => EventOrd(3, 0),
+        Event::ScaleOutCheck => EventOrd(4, 0),
+        Event::ScaleInCheck => EventOrd(5, 0),
+        Event::Fault(i) => EventOrd(6, i),
+        Event::FaultEnd(i) => EventOrd(7, i),
+    }
+}
+
+fn decode(e: EventOrd) -> Event {
+    match e {
+        EventOrd(0, i) => Event::Arrival(i),
+        EventOrd(1, i) => Event::Complete(i),
+        EventOrd(2, i) => Event::LoadDone(i),
+        EventOrd(3, _) => Event::AllocationTick,
+        EventOrd(4, _) => Event::ScaleOutCheck,
+        EventOrd(5, _) => Event::ScaleInCheck,
+        EventOrd(6, i) => Event::Fault(i),
+        EventOrd(7, i) => Event::FaultEnd(i),
+        EventOrd(k, _) => unreachable!("unknown event tag {k}"),
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: Nanos, event: Event) {
+        self.heap.push(Reverse((at, self.seq, encode(event))));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, ties broken by insertion order.
+    pub fn pop(&mut self) -> Option<(Nanos, Event)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, decode(e)))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::Complete(1));
+        q.push(10, Event::Arrival(0));
+        q.push(20, Event::AllocationTick);
+        assert_eq!(q.pop(), Some((10, Event::Arrival(0))));
+        assert_eq!(q.pop(), Some((20, Event::AllocationTick)));
+        assert_eq!(q.pop(), Some((30, Event::Complete(1))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::Complete(7));
+        q.push(5, Event::Arrival(3));
+        q.push(5, Event::LoadDone(2));
+        assert_eq!(q.pop(), Some((5, Event::Complete(7))));
+        assert_eq!(q.pop(), Some((5, Event::Arrival(3))));
+        assert_eq!(q.pop(), Some((5, Event::LoadDone(2))));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(42, Event::ScaleOutCheck);
+        q.push(7, Event::ScaleInCheck);
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn round_trips_all_event_kinds() {
+        let events = [
+            Event::Arrival(9),
+            Event::Complete(8),
+            Event::LoadDone(7),
+            Event::AllocationTick,
+            Event::ScaleOutCheck,
+            Event::ScaleInCheck,
+            Event::Fault(3),
+            Event::FaultEnd(3),
+        ];
+        let mut q = EventQueue::new();
+        for (i, &e) in events.iter().enumerate() {
+            q.push(i as Nanos, e);
+        }
+        for &e in &events {
+            assert_eq!(q.pop().map(|(_, got)| got), Some(e));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Baseline allocators the paper's Table 3 compares against, plus the
+//! degenerate single-runtime allocations behind the ST/DT schemes.
+
+use crate::problem::{Allocation, AllocationProblem, SolveError};
+
+/// Even GPU allocation per runtime (Table 3's first offline scheme): spread
+/// `G` as evenly as possible, giving the remainder to the *largest*
+/// runtimes so the full-length guarantee always holds.
+pub fn even_allocation(problem: &AllocationProblem) -> Result<Allocation, SolveError> {
+    problem.validate();
+    let i_count = problem.len() as u32;
+    if problem.gpus < i_count {
+        // Cannot even give one instance to each runtime: fill from the
+        // largest downwards (the largest runtime can serve everything).
+        if problem.gpus == 0 {
+            return Err(SolveError::Infeasible);
+        }
+        let mut instances = vec![0u32; i_count as usize];
+        let mut left = problem.gpus;
+        for slot in instances.iter_mut().rev() {
+            if left == 0 {
+                break;
+            }
+            *slot = 1;
+            left -= 1;
+        }
+        return Ok(Allocation { instances });
+    }
+    let base = problem.gpus / i_count;
+    let extra = (problem.gpus % i_count) as usize;
+    let mut instances = vec![base; i_count as usize];
+    let start = instances.len() - extra;
+    for slot in &mut instances[start..] {
+        *slot += 1;
+    }
+    Ok(Allocation { instances })
+}
+
+/// Allocation proportional to a *global* (whole-trace) request-length
+/// distribution (Table 3's second offline scheme): `N_i ∝ share_i`, rounded
+/// with the largest-remainder method, reserving one instance for the
+/// largest runtime.
+///
+/// Proportionality to request *counts* is what "allocation based on global
+/// trace length distribution" means — and is precisely the baseline's flaw:
+/// long requests consume far more GPU-time per request than short ones, so
+/// count-proportional allocation systematically starves the long bins (the
+/// paper's Table 3 shows the consequence). The GPU-time-aware weighting
+/// (`share_i / M_i`) is available as
+/// [`global_gputime_allocation`] for comparison.
+pub fn global_distribution_allocation(
+    problem: &AllocationProblem,
+    global_share: &[f64],
+) -> Result<Allocation, SolveError> {
+    problem.validate();
+    assert_eq!(global_share.len(), problem.len(), "one share per runtime");
+    assert!(
+        global_share.iter().all(|&s| s >= 0.0),
+        "shares must be non-negative"
+    );
+    if problem.gpus == 0 {
+        return Err(SolveError::Infeasible);
+    }
+    let weights: Vec<f64> = global_share.to_vec();
+    let mut min_counts = vec![0u32; problem.len()];
+    *min_counts.last_mut().expect("non-empty") = 1; // Eq. 7
+    let instances = proportional_rounding(&weights, problem.gpus, &min_counts)?;
+    Ok(Allocation { instances })
+}
+
+/// The GPU-time-aware variant of [`global_distribution_allocation`]:
+/// weight each runtime by `share_i / M_i`, the GPU-time its bin consumes.
+/// A stronger offline baseline than the paper's, kept for ablations.
+pub fn global_gputime_allocation(
+    problem: &AllocationProblem,
+    global_share: &[f64],
+) -> Result<Allocation, SolveError> {
+    problem.validate();
+    assert_eq!(global_share.len(), problem.len(), "one share per runtime");
+    assert!(
+        global_share.iter().all(|&s| s >= 0.0),
+        "shares must be non-negative"
+    );
+    if problem.gpus == 0 {
+        return Err(SolveError::Infeasible);
+    }
+    let weights: Vec<f64> = problem
+        .runtimes
+        .iter()
+        .zip(global_share)
+        .map(|(rt, &share)| {
+            if rt.capacity == 0 {
+                0.0
+            } else {
+                share / f64::from(rt.capacity)
+            }
+        })
+        .collect();
+    let mut min_counts = vec![0u32; problem.len()];
+    *min_counts.last_mut().expect("non-empty") = 1;
+    let instances = proportional_rounding(&weights, problem.gpus, &min_counts)?;
+    Ok(Allocation { instances })
+}
+
+/// All GPUs on one runtime — the ST (index = largest static runtime) and DT
+/// (single dynamic runtime) degenerate allocations.
+pub fn single_runtime_allocation(total_runtimes: usize, index: usize, gpus: u32) -> Allocation {
+    assert!(index < total_runtimes, "runtime index out of range");
+    let mut instances = vec![0u32; total_runtimes];
+    instances[index] = gpus;
+    Allocation { instances }
+}
+
+/// Largest-remainder proportional rounding of `gpus` across `weights`,
+/// honouring per-slot minimum counts. Errors if the minimums alone exceed
+/// the budget.
+pub fn proportional_rounding(
+    weights: &[f64],
+    gpus: u32,
+    min_counts: &[u32],
+) -> Result<Vec<u32>, SolveError> {
+    assert_eq!(weights.len(), min_counts.len(), "one minimum per weight");
+    let reserved: u32 = min_counts.iter().sum();
+    if reserved > gpus {
+        return Err(SolveError::Infeasible);
+    }
+    let free = gpus - reserved;
+    let total_w: f64 = weights.iter().sum();
+    let mut counts: Vec<u32> = min_counts.to_vec();
+    if total_w <= 0.0 {
+        // No information: give everything to the last slot (largest runtime).
+        *counts.last_mut().expect("non-empty") += free;
+        return Ok(counts);
+    }
+    let shares: Vec<f64> = weights
+        .iter()
+        .map(|w| w / total_w * f64::from(free))
+        .collect();
+    let floors: Vec<u32> = shares.iter().map(|s| s.floor() as u32).collect();
+    let mut assigned: u32 = floors.iter().sum();
+    for (c, f) in counts.iter_mut().zip(&floors) {
+        *c += f;
+    }
+    // Distribute the remainder by descending fractional part (stable on ties
+    // by preferring larger runtimes, i.e. higher index).
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - f64::from(floors[a]);
+        let fb = shares[b] - f64::from(floors[b]);
+        fb.partial_cmp(&fa).expect("NaN share").then(b.cmp(&a))
+    });
+    let mut k = 0;
+    while assigned < free {
+        counts[order[k % order.len()]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::RuntimeInput;
+    use arlo_runtime::profile::BatchLatencyMap;
+
+    fn problem(gpus: u32, n: usize) -> AllocationProblem {
+        let map = BatchLatencyMap::from_measurements(vec![1.0, 1.5, 2.0]);
+        AllocationProblem {
+            gpus,
+            runtimes: (1..=n)
+                .map(|i| RuntimeInput {
+                    max_length: 64 * i as u32,
+                    capacity: 10,
+                    demand: 5.0,
+                    batch_latency: map.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn even_allocation_spreads_remainder_to_large() {
+        let a = even_allocation(&problem(10, 4)).expect("alloc");
+        assert_eq!(a.instances, vec![2, 2, 3, 3]);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn even_allocation_with_fewer_gpus_than_runtimes() {
+        let a = even_allocation(&problem(2, 4)).expect("alloc");
+        assert_eq!(a.instances, vec![0, 0, 1, 1]);
+        // The largest runtime is always covered.
+        assert!(a.instances[3] >= 1);
+    }
+
+    #[test]
+    fn even_allocation_zero_gpus_is_infeasible() {
+        assert!(even_allocation(&problem(0, 3)).is_err());
+    }
+
+    #[test]
+    fn global_distribution_follows_shares() {
+        let p = problem(12, 3);
+        let a = global_distribution_allocation(&p, &[8.0, 2.0, 2.0]).expect("alloc");
+        assert_eq!(a.total(), 12);
+        assert!(a.instances[0] > a.instances[1], "{:?}", a.instances);
+        assert!(a.instances[2] >= 1, "Eq. 7");
+    }
+
+    #[test]
+    fn global_distribution_zero_shares_fall_back_to_largest() {
+        let p = problem(5, 3);
+        let a = global_distribution_allocation(&p, &[0.0, 0.0, 0.0]).expect("alloc");
+        assert_eq!(a.instances, vec![0, 0, 5]);
+    }
+
+    #[test]
+    fn single_runtime_puts_all_gpus_on_one() {
+        let a = single_runtime_allocation(4, 3, 9);
+        assert_eq!(a.instances, vec![0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn proportional_rounding_exact_sum() {
+        let counts = proportional_rounding(&[1.0, 1.0, 1.0], 10, &[0, 0, 1]).expect("round");
+        assert_eq!(counts.iter().sum::<u32>(), 10);
+        // Remainder ties prefer larger runtimes.
+        assert!(counts[2] >= counts[0]);
+    }
+
+    #[test]
+    fn proportional_rounding_respects_minimums() {
+        let counts = proportional_rounding(&[100.0, 0.0], 5, &[0, 2]).expect("round");
+        assert!(counts[1] >= 2);
+        assert_eq!(counts.iter().sum::<u32>(), 5);
+        assert!(proportional_rounding(&[1.0], 1, &[2]).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Branch-and-bound over the simplex LP engine: a small mixed-integer
+//! programming solver.
+//!
+//! This is the "ILP" half of the paper's GUROBI substitute. The Runtime
+//! Scheduler's exact objective is solved by the dedicated DP in [`crate::dp`];
+//! this engine solves genuinely linear formulations — the length-aware
+//! covering allocator in [`crate::linear`], cross-checks, and any downstream
+//! experiment that wants a plain MILP.
+//!
+//! Strategy: best-first search on the LP-relaxation bound, branching on the
+//! most fractional integer variable with `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉` cuts.
+
+use crate::lp::{solve_lp, Constraint, LinearProgram, LpSolution, Relation};
+use crate::problem::SolveError;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A linear program plus integrality requirements on a subset of variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedIntegerProgram {
+    /// The underlying LP.
+    pub lp: LinearProgram,
+    /// Indices of variables required to be integral.
+    pub integer_vars: Vec<usize>,
+}
+
+/// Branch-and-bound MILP solver.
+#[derive(Debug, Clone, Copy)]
+pub struct BnbSolver {
+    /// Maximum explored nodes before giving up with [`SolveError::LimitReached`].
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+}
+
+impl Default for BnbSolver {
+    fn default() -> Self {
+        BnbSolver {
+            max_nodes: 100_000,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+struct Node {
+    /// LP-relaxation bound in *minimization orientation*.
+    bound: f64,
+    cuts: Vec<Constraint>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the *lowest* bound first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl BnbSolver {
+    /// Solve the MILP to optimality.
+    pub fn solve(&self, mip: &MixedIntegerProgram) -> Result<LpSolution, SolveError> {
+        let n = mip.lp.objective.len();
+        for &v in &mip.integer_vars {
+            assert!(v < n, "integer variable index out of range");
+        }
+        let sign = if mip.lp.maximize { -1.0 } else { 1.0 };
+
+        let root = self.solve_node(&mip.lp, &[])?;
+        let mut heap = BinaryHeap::new();
+        heap.push(Node {
+            bound: sign * root.objective,
+            cuts: Vec::new(),
+        });
+
+        let mut incumbent: Option<LpSolution> = None;
+        let mut nodes = 0usize;
+        while let Some(node) = heap.pop() {
+            nodes += 1;
+            if nodes > self.max_nodes {
+                return Err(SolveError::LimitReached);
+            }
+            if let Some(ref inc) = incumbent {
+                if node.bound >= sign * inc.objective - 1e-9 {
+                    continue; // bound cannot beat the incumbent
+                }
+            }
+            let relaxed = match self.solve_node(&mip.lp, &node.cuts) {
+                Ok(s) => s,
+                Err(SolveError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some(ref inc) = incumbent {
+                if sign * relaxed.objective >= sign * inc.objective - 1e-9 {
+                    continue;
+                }
+            }
+            match self.most_fractional(&relaxed, &mip.integer_vars) {
+                None => {
+                    // Integral: new incumbent.
+                    let better = incumbent
+                        .as_ref()
+                        .is_none_or(|inc| sign * relaxed.objective < sign * inc.objective - 1e-9);
+                    if better {
+                        incumbent = Some(relaxed);
+                    }
+                }
+                Some((var, val)) => {
+                    let bound = sign * relaxed.objective;
+                    let mut down = node.cuts.clone();
+                    down.push(Constraint {
+                        coeffs: unit(n, var),
+                        relation: Relation::Le,
+                        rhs: val.floor(),
+                    });
+                    heap.push(Node { bound, cuts: down });
+                    let mut up = node.cuts;
+                    up.push(Constraint {
+                        coeffs: unit(n, var),
+                        relation: Relation::Ge,
+                        rhs: val.ceil(),
+                    });
+                    heap.push(Node { bound, cuts: up });
+                }
+            }
+        }
+        let mut solution = incumbent.ok_or(SolveError::Infeasible)?;
+        // Snap near-integral values exactly.
+        for &v in &mip.integer_vars {
+            solution.x[v] = solution.x[v].round();
+        }
+        Ok(solution)
+    }
+
+    fn solve_node(
+        &self,
+        base: &LinearProgram,
+        cuts: &[Constraint],
+    ) -> Result<LpSolution, SolveError> {
+        if cuts.is_empty() {
+            return solve_lp(base);
+        }
+        let mut lp = base.clone();
+        lp.constraints.extend_from_slice(cuts);
+        solve_lp(&lp)
+    }
+
+    fn most_fractional(&self, sol: &LpSolution, int_vars: &[usize]) -> Option<(usize, f64)> {
+        int_vars
+            .iter()
+            .filter_map(|&v| {
+                let val = sol.x[v];
+                let frac = (val - val.round()).abs();
+                (frac > self.int_tol).then_some((v, val, (val.fract() - 0.5).abs()))
+            })
+            .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal))
+            .map(|(v, val, _)| (v, val))
+    }
+}
+
+fn unit(n: usize, idx: usize) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    v[idx] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: &[f64], rhs: f64) -> Constraint {
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            relation: Relation::Le,
+            rhs,
+        }
+    }
+    fn ge(coeffs: &[f64], rhs: f64) -> Constraint {
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            relation: Relation::Ge,
+            rhs,
+        }
+    }
+    fn eq(coeffs: &[f64], rhs: f64) -> Constraint {
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            relation: Relation::Eq,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn knapsack() {
+        // max 8a + 11b + 6c + 4d, weights 5,7,4,3 <= 14, vars binary.
+        let lp = LinearProgram {
+            objective: vec![8.0, 11.0, 6.0, 4.0],
+            constraints: vec![
+                le(&[5.0, 7.0, 4.0, 3.0], 14.0),
+                le(&[1.0, 0.0, 0.0, 0.0], 1.0),
+                le(&[0.0, 1.0, 0.0, 0.0], 1.0),
+                le(&[0.0, 0.0, 1.0, 0.0], 1.0),
+                le(&[0.0, 0.0, 0.0, 1.0], 1.0),
+            ],
+            maximize: true,
+        };
+        let s = BnbSolver::default()
+            .solve(&MixedIntegerProgram {
+                lp,
+                integer_vars: vec![0, 1, 2, 3],
+            })
+            .expect("solve");
+        // Optimum: b + c + d = 21 at weight 14.
+        assert!((s.objective - 21.0).abs() < 1e-6, "obj {}", s.objective);
+        assert_eq!(s.x, vec![0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 5 ⇒ LP gives 2.5, ILP gives 2.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![le(&[2.0, 2.0], 5.0)],
+            maximize: true,
+        };
+        let s = BnbSolver::default()
+            .solve(&MixedIntegerProgram {
+                lp,
+                integer_vars: vec![0, 1],
+            })
+            .expect("solve");
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // min 3n + y s.t. n + y >= 4.5, y <= 2, n integer ⇒ n = 3, y = 1.5.
+        let lp = LinearProgram {
+            objective: vec![3.0, 1.0],
+            constraints: vec![ge(&[1.0, 1.0], 4.5), le(&[0.0, 1.0], 2.0)],
+            maximize: false,
+        };
+        let s = BnbSolver::default()
+            .solve(&MixedIntegerProgram {
+                lp,
+                integer_vars: vec![0],
+            })
+            .expect("solve");
+        assert!((s.x[0] - 3.0).abs() < 1e-6, "n {}", s.x[0]);
+        assert!((s.objective - 10.5).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6 with x integer.
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![ge(&[1.0], 0.4), le(&[1.0], 0.6)],
+            maximize: false,
+        };
+        assert_eq!(
+            BnbSolver::default()
+                .solve(&MixedIntegerProgram {
+                    lp,
+                    integer_vars: vec![0]
+                })
+                .unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn equality_partition() {
+        // min 5a + 4b s.t. a + b = 10, a,b integer, a >= 3 ⇒ a = 3, b = 7.
+        let lp = LinearProgram {
+            objective: vec![5.0, 4.0],
+            constraints: vec![eq(&[1.0, 1.0], 10.0), ge(&[1.0, 0.0], 3.0)],
+            maximize: false,
+        };
+        let s = BnbSolver::default()
+            .solve(&MixedIntegerProgram {
+                lp,
+                integer_vars: vec![0, 1],
+            })
+            .expect("solve");
+        assert_eq!((s.x[0], s.x[1]), (3.0, 7.0));
+        assert!((s.objective - 43.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A valid instance with an absurd node budget of zero effective room.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0, 1.0],
+            constraints: vec![le(&[2.0, 2.0, 2.0], 7.0), ge(&[1.0, 1.0, 1.0], 2.6)],
+            maximize: true,
+        };
+        let solver = BnbSolver {
+            max_nodes: 1,
+            int_tol: 1e-6,
+        };
+        let err = solver
+            .solve(&MixedIntegerProgram {
+                lp,
+                integer_vars: vec![0, 1, 2],
+            })
+            .unwrap_err();
+        assert_eq!(err, SolveError::LimitReached);
+    }
+}

@@ -1,0 +1,151 @@
+//! Exhaustive test oracle for the allocation problem.
+//!
+//! Enumerates every allocation satisfying Eqs. 2, 3 and 7 and evaluates the
+//! exact objective. Exponential in the number of runtimes — only usable for
+//! the small instances the property tests and DP cross-checks need.
+
+use crate::problem::{Allocation, AllocationProblem, SolveError};
+
+/// Brute-force enumeration solver (test oracle).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForceSolver;
+
+impl BruteForceSolver {
+    /// Enumerate all feasible allocations; return the cheapest.
+    pub fn solve(&self, problem: &AllocationProblem) -> Result<(Allocation, f64), SolveError> {
+        problem.validate();
+        if !problem.is_solvable() {
+            return Err(SolveError::Infeasible);
+        }
+        let bounds = problem.lower_bounds();
+        let mut best: Option<(Allocation, f64)> = None;
+        let mut counts = bounds.clone();
+        enumerate(problem, &bounds, &mut counts, 0, problem.gpus, &mut best);
+        best.ok_or(SolveError::Infeasible)
+    }
+
+    /// Number of feasible allocations (used to bound test-case sizes).
+    pub fn count_feasible(&self, problem: &AllocationProblem) -> u64 {
+        let bounds = problem.lower_bounds();
+        let mut counts = bounds.clone();
+        let mut n = 0u64;
+        count(&bounds, &mut counts, 0, problem.gpus, &mut n);
+        n
+    }
+}
+
+fn enumerate(
+    problem: &AllocationProblem,
+    bounds: &[u32],
+    counts: &mut Vec<u32>,
+    stage: usize,
+    gpus_left: u32,
+    best: &mut Option<(Allocation, f64)>,
+) {
+    let remaining_min: u32 = bounds[stage + 1..].iter().sum();
+    if stage + 1 == counts.len() {
+        if gpus_left < bounds[stage] {
+            return;
+        }
+        counts[stage] = gpus_left; // Eq. 2 equality
+        let alloc = Allocation {
+            instances: counts.clone(),
+        };
+        if let Some(cost) = problem.evaluate(&alloc) {
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                *best = Some((alloc, cost));
+            }
+        }
+        return;
+    }
+    if gpus_left < bounds[stage] + remaining_min {
+        return;
+    }
+    for n in bounds[stage]..=(gpus_left - remaining_min) {
+        counts[stage] = n;
+        enumerate(problem, bounds, counts, stage + 1, gpus_left - n, best);
+    }
+}
+
+fn count(
+    bounds: &[u32],
+    counts: &mut Vec<u32>,
+    stage: usize,
+    gpus_left: u32,
+    n_feasible: &mut u64,
+) {
+    let remaining_min: u32 = bounds[stage + 1..].iter().sum();
+    if stage + 1 == counts.len() {
+        if gpus_left >= bounds[stage] {
+            *n_feasible += 1;
+        }
+        return;
+    }
+    if gpus_left < bounds[stage] + remaining_min {
+        return;
+    }
+    for n in bounds[stage]..=(gpus_left - remaining_min) {
+        counts[stage] = n;
+        count(bounds, counts, stage + 1, gpus_left - n, n_feasible);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::RuntimeInput;
+    use arlo_runtime::profile::BatchLatencyMap;
+
+    fn toy(gpus: u32) -> AllocationProblem {
+        let map = |e: f64| {
+            BatchLatencyMap::from_measurements(
+                (1..=8).map(|b| e * (b as f64 + 1.0) / 2.0).collect(),
+            )
+        };
+        AllocationProblem {
+            gpus,
+            runtimes: vec![
+                RuntimeInput {
+                    max_length: 64,
+                    capacity: 8,
+                    demand: 10.0,
+                    batch_latency: map(1.0),
+                },
+                RuntimeInput {
+                    max_length: 256,
+                    capacity: 6,
+                    demand: 6.0,
+                    batch_latency: map(1.5),
+                },
+                RuntimeInput {
+                    max_length: 512,
+                    capacity: 4,
+                    demand: 2.0,
+                    batch_latency: map(2.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn finds_a_feasible_optimum() {
+        let (alloc, cost) = BruteForceSolver.solve(&toy(5)).expect("solve");
+        assert_eq!(alloc.total(), 5);
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn count_matches_composition_formula() {
+        // Lower bounds for toy: [1, 1, 1] (10/8, 6/6, max(2/4,1)).
+        // Free GPUs: 5 - 3 = 2 spread over 3 runtimes ⇒ C(2+2, 2) = 6.
+        assert_eq!(BruteForceSolver.count_feasible(&toy(5)), 6);
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        assert_eq!(
+            BruteForceSolver.solve(&toy(2)).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+}

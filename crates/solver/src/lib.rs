@@ -1,0 +1,57 @@
+//! # arlo-solver — resource-allocation solvers for Arlo's Runtime Scheduler
+//!
+//! The paper's Runtime Scheduler periodically solves an integer program
+//! (§3.3, Eqs. 1–7) assigning `G` GPU instances across `I` statically
+//! compiled runtimes so that demand in each length bin is served with
+//! minimal demand-weighted latency, demoting overflow to larger runtimes.
+//! The paper uses GUROBI; this crate is a from-scratch substitute:
+//!
+//! * [`problem`] — the allocation problem, feasibility (Eqs. 2, 3, 7) and the
+//!   exact objective evaluation (Eqs. 1, 4–6).
+//! * [`dp`] — the production solver: an exact dynamic program over the
+//!   demotion carry `R_i` with Pareto-pruned states. Optimal, and orders of
+//!   magnitude faster than a generic MILP on this structure.
+//! * [`brute`] — exhaustive enumeration, the test oracle.
+//! * [`lp`] / [`bnb`] — a generic two-phase simplex and branch-and-bound
+//!   MILP engine (the reusable "GUROBI shim" substrate).
+//! * [`linear`] — a linearized covering formulation solved on that engine,
+//!   used as an ablation allocator.
+//! * [`baselines`] — Table 3's offline schemes (even allocation,
+//!   global-distribution allocation) and single-runtime allocations (ST/DT).
+//!
+//! ```
+//! use arlo_solver::prelude::*;
+//! use arlo_runtime::prelude::*;
+//!
+//! // Profile Bert-Base's eight natural runtimes against a 150 ms SLO.
+//! let set = RuntimeSet::natural(ModelSpec::bert_base());
+//! let profiles = profile_runtimes(&set.compile(), 150.0, 64);
+//! // Demand skewed short, like the Twitter trace.
+//! let demand: Vec<f64> = (0..8).map(|i| 120.0 / (1.0 + i as f64)).collect();
+//! let problem = AllocationProblem::from_profiles(10, &profiles, &demand);
+//! let (alloc, cost) = DpSolver::default().solve(&problem).unwrap();
+//! assert_eq!(alloc.total(), 10);
+//! assert!(cost > 0.0);
+//! ```
+
+pub mod baselines;
+pub mod bnb;
+pub mod brute;
+pub mod dp;
+pub mod linear;
+pub mod lp;
+pub mod problem;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::baselines::{
+        even_allocation, global_distribution_allocation, proportional_rounding,
+        single_runtime_allocation,
+    };
+    pub use crate::bnb::{BnbSolver, MixedIntegerProgram};
+    pub use crate::brute::BruteForceSolver;
+    pub use crate::dp::DpSolver;
+    pub use crate::linear::LinearizedAllocator;
+    pub use crate::lp::{solve_lp, Constraint, LinearProgram, LpSolution, Relation};
+    pub use crate::problem::{Allocation, AllocationProblem, Flow, RuntimeInput, SolveError};
+}

@@ -1,0 +1,206 @@
+//! A linearized MILP formulation of the allocation problem, solved with the
+//! in-crate simplex + branch-and-bound engine.
+//!
+//! The paper's exact objective `Σ L_i(B_i)·C_i` is non-linear. This module
+//! provides the natural *linear* relaxation used as an ablation point and as
+//! an end-to-end exercise of the MILP engine: route per-bin demand `Q_j` to
+//! runtimes `i ≥ j` (variables `y_{ij}`), pay each routed request the
+//! runtime's single-request execution latency, respect instance capacity,
+//! and spend exactly `G` GPUs:
+//!
+//! ```text
+//!   min  Σ_{ij} exec_i · y_{ij}
+//!   s.t. Σ_{i ≥ j} y_{ij} = Q_j             (all demand served)
+//!        Σ_{j ≤ i} y_{ij} ≤ N_i · M_i       (capacity, i < I)
+//!        Σ_i N_i = G,  N_I ≥ 1,  N integral
+//! ```
+//!
+//! The largest runtime is uncapacitated (it absorbs overload, as in Eq. 5),
+//! so the program is feasible whenever `G ≥ 1`. Because the objective
+//! ignores queueing (the `L_i(B_i)` curve), this allocator underweights
+//! congestion — exactly the gap the Table 3 ablation quantifies.
+
+use crate::bnb::{BnbSolver, MixedIntegerProgram};
+use crate::lp::{Constraint, LinearProgram, Relation};
+use crate::problem::{Allocation, AllocationProblem, SolveError};
+
+/// Linearized (min-total-compute) allocator on the MILP engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearizedAllocator {
+    /// Branch-and-bound configuration.
+    pub bnb: BnbSolver,
+}
+
+impl LinearizedAllocator {
+    /// Solve the covering MILP; returns the allocation and its *linear*
+    /// objective (total execution milliseconds per SLO period).
+    pub fn solve(&self, problem: &AllocationProblem) -> Result<(Allocation, f64), SolveError> {
+        problem.validate();
+        let i_count = problem.len();
+        if problem.gpus == 0 {
+            return Err(SolveError::Infeasible);
+        }
+
+        // Variable layout: [N_0 .. N_{I-1} | y_{ij} for j <= i].
+        let mut y_index = vec![vec![usize::MAX; i_count]; i_count]; // y_index[i][j]
+        let mut next = i_count;
+        #[allow(clippy::needless_range_loop)] // index math is the clearest form here
+        for i in 0..i_count {
+            for j in 0..=i {
+                y_index[i][j] = next;
+                next += 1;
+            }
+        }
+        let n_vars = next;
+
+        let mut objective = vec![0.0; n_vars];
+        for (i, rt) in problem.runtimes.iter().enumerate() {
+            let exec = rt.batch_latency.mean_latency_ms(1.0);
+            for j in 0..=i {
+                objective[y_index[i][j]] = exec;
+            }
+        }
+
+        let mut constraints = Vec::new();
+        // Demand satisfaction per bin j.
+        for j in 0..i_count {
+            let mut coeffs = vec![0.0; n_vars];
+            for i in j..i_count {
+                coeffs[y_index[i][j]] = 1.0;
+            }
+            constraints.push(Constraint {
+                coeffs,
+                relation: Relation::Eq,
+                rhs: problem.runtimes[j].demand,
+            });
+        }
+        // Capacity per runtime (all but the last, which absorbs overload).
+        for i in 0..i_count - 1 {
+            let mut coeffs = vec![0.0; n_vars];
+            for j in 0..=i {
+                coeffs[y_index[i][j]] = 1.0;
+            }
+            coeffs[i] = -f64::from(problem.runtimes[i].capacity);
+            constraints.push(Constraint {
+                coeffs,
+                relation: Relation::Le,
+                rhs: 0.0,
+            });
+        }
+        // GPU budget (Eq. 2) and the full-length guarantee (Eq. 7).
+        let mut budget = vec![0.0; n_vars];
+        budget[..i_count].fill(1.0);
+        constraints.push(Constraint {
+            coeffs: budget,
+            relation: Relation::Eq,
+            rhs: f64::from(problem.gpus),
+        });
+        let mut last = vec![0.0; n_vars];
+        last[i_count - 1] = 1.0;
+        constraints.push(Constraint {
+            coeffs: last,
+            relation: Relation::Ge,
+            rhs: 1.0,
+        });
+
+        let mip = MixedIntegerProgram {
+            lp: LinearProgram {
+                objective,
+                constraints,
+                maximize: false,
+            },
+            integer_vars: (0..i_count).collect(),
+        };
+        let sol = self.bnb.solve(&mip)?;
+        let instances: Vec<u32> = sol.x[..i_count].iter().map(|&v| v.round() as u32).collect();
+        Ok((Allocation { instances }, sol.objective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::RuntimeInput;
+    use arlo_runtime::profile::BatchLatencyMap;
+
+    fn burst_map(exec_ms: f64, m: usize) -> BatchLatencyMap {
+        BatchLatencyMap::from_measurements(
+            (1..=m.max(1))
+                .map(|b| exec_ms * (b as f64 + 1.0) / 2.0)
+                .collect(),
+        )
+    }
+
+    fn problem(gpus: u32, spec: &[(u32, u32, f64, f64)]) -> AllocationProblem {
+        AllocationProblem {
+            gpus,
+            runtimes: spec
+                .iter()
+                .map(|&(len, cap, q, exec)| RuntimeInput {
+                    max_length: len,
+                    capacity: cap,
+                    demand: q,
+                    batch_latency: burst_map(exec, cap.max(1) as usize),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn routes_demand_to_cheap_runtimes() {
+        // Plenty of budget: everything should be served by its ideal bin.
+        let p = problem(6, &[(64, 10, 30.0, 1.0), (512, 5, 5.0, 4.0)]);
+        let (alloc, cost) = LinearizedAllocator::default().solve(&p).expect("solve");
+        assert_eq!(alloc.total(), 6);
+        // 30 served at 1 ms + 5 at 4 ms = 50 ms if fully ideal.
+        assert!(
+            (cost - 50.0).abs() < 1e-6,
+            "cost {cost}, alloc {:?}",
+            alloc.instances
+        );
+        // Needs ceil(30/10) = 3 small instances to avoid demoting demand.
+        assert!(alloc.instances[0] >= 3);
+    }
+
+    #[test]
+    fn demotes_when_small_capacity_is_tight() {
+        // Only 2 GPUs: at most 1 small instance (10 served at 1 ms), the
+        // remaining 20 demote to the big runtime at 4 ms.
+        let p = problem(2, &[(64, 10, 30.0, 1.0), (512, 5, 0.0, 4.0)]);
+        let (alloc, cost) = LinearizedAllocator::default().solve(&p).expect("solve");
+        assert_eq!(alloc.instances, vec![1, 1]);
+        assert!((cost - (10.0 + 20.0 * 4.0)).abs() < 1e-6, "cost {cost}");
+    }
+
+    #[test]
+    fn always_keeps_a_full_length_instance() {
+        let p = problem(3, &[(64, 10, 5.0, 1.0), (512, 5, 0.0, 4.0)]);
+        let (alloc, _) = LinearizedAllocator::default().solve(&p).expect("solve");
+        assert!(
+            alloc.instances[1] >= 1,
+            "Eq. 7 violated: {:?}",
+            alloc.instances
+        );
+    }
+
+    #[test]
+    fn three_runtime_chain() {
+        let p = problem(
+            5,
+            &[(64, 10, 22.0, 1.0), (256, 8, 9.0, 2.0), (512, 4, 2.0, 3.0)],
+        );
+        let (alloc, cost) = LinearizedAllocator::default().solve(&p).expect("solve");
+        assert_eq!(alloc.total(), 5);
+        assert!(cost > 0.0 && cost.is_finite());
+        // Ideal-service cost lower bound: 22·1 + 9·2 + 2·3 = 46.
+        assert!(cost >= 46.0 - 1e-6);
+    }
+
+    #[test]
+    fn zero_gpus_is_infeasible() {
+        let p = problem(1, &[(512, 5, 0.0, 4.0)]);
+        let mut p0 = p;
+        p0.gpus = 0;
+        assert!(LinearizedAllocator::default().solve(&p0).is_err());
+    }
+}

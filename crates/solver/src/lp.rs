@@ -1,0 +1,393 @@
+//! Dense two-phase simplex for linear programs.
+//!
+//! A from-scratch substitute for the LP engine inside the paper's GUROBI
+//! dependency. Handles `min/max cᵀx` subject to mixed `≤ / ≥ / =`
+//! constraints with `x ≥ 0`, via the textbook two-phase method with Bland's
+//! anti-cycling rule. Problem sizes in this repository are tiny by LP
+//! standards (tens of variables), so a dense tableau is the right tool —
+//! simple, cache-friendly, and easy to verify.
+
+use crate::problem::SolveError;
+use serde::{Deserialize, Serialize};
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// One linear constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Coefficients, one per decision variable (missing ⇒ 0).
+    pub coeffs: Vec<f64>,
+    /// Sense.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    /// Objective coefficients `c`.
+    pub objective: Vec<f64>,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// `true` ⇒ maximize, `false` ⇒ minimize.
+    pub maximize: bool,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Optimal variable values.
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the caller's orientation).
+    pub objective: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solve an LP with the two-phase simplex method.
+pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, SolveError> {
+    let n = lp.objective.len();
+    assert!(n > 0, "LP needs at least one variable");
+    for c in &lp.constraints {
+        assert!(c.coeffs.len() <= n, "constraint wider than variable count");
+    }
+    let m = lp.constraints.len();
+
+    // Standard form: minimize. Normalize rows to b >= 0.
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = lp
+        .constraints
+        .iter()
+        .map(|c| {
+            let mut coeffs = c.coeffs.clone();
+            coeffs.resize(n, 0.0);
+            let (coeffs, relation, rhs) = if c.rhs < 0.0 {
+                let flipped = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (coeffs.iter().map(|v| -v).collect(), flipped, -c.rhs)
+            } else {
+                (coeffs, c.relation, c.rhs)
+            };
+            (coeffs, relation, rhs)
+        })
+        .collect();
+
+    // Column layout: [decision | slack/surplus | artificial | rhs].
+    let n_slack = rows
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Ge | Relation::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+    let rhs_col = total;
+
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let mut artificials = Vec::new();
+    for (i, (coeffs, relation, rhs)) in rows.drain(..).enumerate() {
+        t[i][..n].copy_from_slice(&coeffs);
+        t[i][rhs_col] = rhs;
+        match relation {
+            Relation::Le => {
+                t[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                t[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificials.is_empty() {
+        let mut cost = vec![0.0f64; total + 1];
+        for &a in &artificials {
+            cost[a] = 1.0;
+        }
+        reduce_cost_row(&mut cost, &t, &basis);
+        run_simplex(&mut t, &mut cost, &mut basis, rhs_col, None)?;
+        let phase1 = -cost[rhs_col];
+        if phase1 > 1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive any artificial still (degenerately) basic out of the basis.
+        for i in 0..m {
+            if artificials.contains(&basis[i]) {
+                if let Some(j) = (0..n + n_slack).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut cost, &mut basis, i, j, rhs_col);
+                }
+            }
+        }
+    }
+
+    // Phase 2: the real objective over decision columns (artificials barred
+    // by never letting them enter).
+    let mut cost = vec![0.0f64; total + 1];
+    for (j, &c) in lp.objective.iter().enumerate() {
+        cost[j] = if lp.maximize { -c } else { c };
+    }
+    reduce_cost_row(&mut cost, &t, &basis);
+    run_simplex(&mut t, &mut cost, &mut basis, rhs_col, Some(n + n_slack))?;
+
+    let mut x = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t[i][rhs_col];
+        }
+    }
+    let raw = -cost[rhs_col];
+    let objective = if lp.maximize { -raw } else { raw };
+    Ok(LpSolution { x, objective })
+}
+
+/// Make the cost row consistent with the current basis (zero reduced cost
+/// on basic columns).
+fn reduce_cost_row(cost: &mut [f64], t: &[Vec<f64>], basis: &[usize]) {
+    for (i, &b) in basis.iter().enumerate() {
+        let factor = cost[b];
+        if factor.abs() > EPS {
+            for (cj, tj) in cost.iter_mut().zip(&t[i]) {
+                *cj -= factor * tj;
+            }
+        }
+    }
+}
+
+/// Run simplex iterations to optimality. `col_limit` restricts entering
+/// columns (used in phase 2 to bar artificials).
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    rhs_col: usize,
+    col_limit: Option<usize>,
+) -> Result<(), SolveError> {
+    let limit = col_limit.unwrap_or(rhs_col);
+    let max_iters = 50_000usize;
+    for _ in 0..max_iters {
+        // Bland's rule: smallest-index column with negative reduced cost.
+        let Some(enter) = (0..limit).find(|&j| cost[j] < -EPS) else {
+            return Ok(());
+        };
+        // Ratio test, Bland tie-break on basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for (i, row) in t.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[rhs_col] / row[enter];
+                if ratio < best - EPS
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot(t, cost, basis, leave, enter, rhs_col);
+    }
+    Err(SolveError::LimitReached)
+}
+
+fn pivot(
+    t: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    rhs_col: usize,
+) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+    for v in &mut t[row] {
+        *v /= p;
+    }
+    for i in 0..t.len() {
+        if i != row {
+            let f = t[i][col];
+            if f.abs() > EPS {
+                #[allow(clippy::needless_range_loop)] // index math is the clearest form here
+                for j in 0..=rhs_col {
+                    t[i][j] -= f * t[row][j];
+                }
+            }
+        }
+    }
+    let f = cost[col];
+    if f.abs() > EPS {
+        for j in 0..=rhs_col {
+            cost[j] -= f * t[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: &[f64], rhs: f64) -> Constraint {
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            relation: Relation::Le,
+            rhs,
+        }
+    }
+    fn ge(coeffs: &[f64], rhs: f64) -> Constraint {
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            relation: Relation::Ge,
+            rhs,
+        }
+    }
+    fn eq(coeffs: &[f64], rhs: f64) -> Constraint {
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            relation: Relation::Eq,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn textbook_max_problem() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ⇒ (2, 6), 36.
+        let lp = LinearProgram {
+            objective: vec![3.0, 5.0],
+            constraints: vec![
+                le(&[1.0, 0.0], 4.0),
+                le(&[0.0, 2.0], 12.0),
+                le(&[3.0, 2.0], 18.0),
+            ],
+            maximize: true,
+        };
+        let s = solve_lp(&lp).expect("solve");
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.x[0] - 2.0).abs() < 1e-6 && (s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_problem_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 ⇒ x = 10, y = 0, obj 20.
+        let lp = LinearProgram {
+            objective: vec![2.0, 3.0],
+            constraints: vec![ge(&[1.0, 1.0], 10.0), ge(&[1.0, 0.0], 2.0)],
+            maximize: false,
+        };
+        let s = solve_lp(&lp).expect("solve");
+        assert!((s.objective - 20.0).abs() < 1e-6);
+        assert!((s.x[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 5, x <= 3 ⇒ x = 3, y = 2, obj 7.
+        let lp = LinearProgram {
+            objective: vec![1.0, 2.0],
+            constraints: vec![eq(&[1.0, 1.0], 5.0), le(&[1.0, 0.0], 3.0)],
+            maximize: false,
+        };
+        let s = solve_lp(&lp).expect("solve");
+        assert!((s.objective - 7.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 3.
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![le(&[1.0], 1.0), ge(&[1.0], 3.0)],
+            maximize: false,
+        };
+        assert_eq!(solve_lp(&lp).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // max x with only x >= 0 (implicit).
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![ge(&[1.0], 1.0)],
+            maximize: true,
+        };
+        assert_eq!(solve_lp(&lp).unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y <= -2  ⇔  y - x >= 2; min y s.t. that and x >= 1 ⇒ y = 3.
+        let lp = LinearProgram {
+            objective: vec![0.0, 1.0],
+            constraints: vec![le(&[1.0, -1.0], -2.0), ge(&[1.0, 0.0], 1.0)],
+            maximize: false,
+        };
+        let s = solve_lp(&lp).expect("solve");
+        assert!((s.objective - 3.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                ge(&[1.0, 0.0], 1.0),
+                ge(&[0.0, 1.0], 1.0),
+                ge(&[1.0, 1.0], 2.0),
+                ge(&[2.0, 2.0], 4.0),
+            ],
+            maximize: false,
+        };
+        let s = solve_lp(&lp).expect("solve");
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transport_like_problem() {
+        // min Σ cost·flow over 2 sources × 2 sinks.
+        // supplies 10, 20; demands 15, 15; costs [[1, 4], [2, 1]].
+        // Optimal: x00 = 10, x10 = 5, x11 = 15 ⇒ 10 + 10 + 15 = 35.
+        let lp = LinearProgram {
+            objective: vec![1.0, 4.0, 2.0, 1.0],
+            constraints: vec![
+                eq(&[1.0, 1.0, 0.0, 0.0], 10.0),
+                eq(&[0.0, 0.0, 1.0, 1.0], 20.0),
+                eq(&[1.0, 0.0, 1.0, 0.0], 15.0),
+                eq(&[0.0, 1.0, 0.0, 1.0], 15.0),
+            ],
+            maximize: false,
+        };
+        let s = solve_lp(&lp).expect("solve");
+        assert!((s.objective - 35.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+}

@@ -1,0 +1,456 @@
+//! The Runtime Scheduler's resource-allocation problem (§3.3, Eqs. 1–7).
+//!
+//! Given `G` GPUs, `I` runtimes sorted by `max_length`, per-bin demand `Q_i`
+//! (average requests per SLO period whose *ideal* runtime is `i`), profiled
+//! capacity `M_i` and batch-latency map `L_i`, choose instance counts `N_i`
+//! minimizing
+//!
+//! ```text
+//!   Σ_i  L_i(B_i) · C_i                                  (Eq. 1)
+//!   s.t. Σ_i N_i = G                                     (Eq. 2)
+//!        N_i ≥ ⌊Q_i / M_i⌋                               (Eq. 3)
+//!        R_i = max(R_{i−1} + Q_i − N_i·M_i, 0), R_0 = 0  (Eq. 4)
+//!        C_i = min(R_{i−1} + Q_i, N_i·M_i)  (i < I)      (Eq. 5)
+//!        C_I = R_{I−1} + Q_I                             (Eq. 5, last)
+//!        B_i = C_i / N_i                                 (Eq. 6)
+//!        N_I ≥ 1                                         (Eq. 7)
+//! ```
+//!
+//! Unserved demand *demotes* to the next-larger runtime via the carry `R_i`;
+//! the largest runtime absorbs everything left (it can serve any request).
+//! This module defines the problem, allocations, feasibility checks and the
+//! exact objective evaluation shared by every solver in this crate.
+
+use arlo_runtime::profile::{BatchLatencyMap, RuntimeProfile};
+use serde::{Deserialize, Serialize};
+
+/// Per-runtime solver input: the slice of a [`RuntimeProfile`] the
+/// allocation problem consumes, plus the observed demand for its length bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeInput {
+    /// Compiled `max_length` (runtimes must be supplied ascending).
+    pub max_length: u32,
+    /// `M_i`: max requests one instance completes within the SLO.
+    pub capacity: u32,
+    /// `Q_i`: average requests per SLO period in this runtime's length bin.
+    pub demand: f64,
+    /// `L_i`: outstanding-requests → mean latency (ms).
+    pub batch_latency: BatchLatencyMap,
+}
+
+/// A GPU-instance allocation: `instances[i]` GPUs run runtime `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Instance counts per runtime, same order as the problem's runtimes.
+    pub instances: Vec<u32>,
+}
+
+impl Allocation {
+    /// Total GPUs used.
+    pub fn total(&self) -> u32 {
+        self.instances.iter().sum()
+    }
+}
+
+/// Reasons a solve can fail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveError {
+    /// The constraints admit no allocation (e.g. lower bounds exceed `G`).
+    Infeasible,
+    /// The relaxation is unbounded (generic LP/ILP engine only).
+    Unbounded,
+    /// An iteration/node limit was hit before proving optimality.
+    LimitReached,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "problem is unbounded"),
+            SolveError::LimitReached => write!(f, "solver limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The complete allocation problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationProblem {
+    /// `G`: available GPUs.
+    pub gpus: u32,
+    /// Runtimes ascending by `max_length`; the last is the full-length
+    /// runtime of Eq. 7.
+    pub runtimes: Vec<RuntimeInput>,
+}
+
+impl AllocationProblem {
+    /// Build from profiled runtimes plus per-bin demand (same order).
+    ///
+    /// Panics if lengths are not strictly ascending or sizes mismatch —
+    /// those are construction bugs, not runtime conditions.
+    pub fn from_profiles(gpus: u32, profiles: &[RuntimeProfile], demand: &[f64]) -> Self {
+        assert_eq!(profiles.len(), demand.len(), "demand per runtime required");
+        assert!(!profiles.is_empty(), "need at least one runtime");
+        let runtimes: Vec<RuntimeInput> = profiles
+            .iter()
+            .zip(demand)
+            .map(|(p, &q)| {
+                assert!(q >= 0.0 && q.is_finite(), "demand must be finite and >= 0");
+                RuntimeInput {
+                    max_length: p.max_length(),
+                    capacity: p.capacity_within_slo,
+                    demand: q,
+                    batch_latency: p.batch_latency.clone(),
+                }
+            })
+            .collect();
+        let problem = AllocationProblem { gpus, runtimes };
+        problem.validate();
+        problem
+    }
+
+    /// Internal consistency checks; panics on construction bugs.
+    pub fn validate(&self) {
+        assert!(!self.runtimes.is_empty(), "need at least one runtime");
+        assert!(
+            self.runtimes
+                .windows(2)
+                .all(|w| w[0].max_length < w[1].max_length),
+            "runtimes must be strictly ascending by max_length"
+        );
+        let last = self.runtimes.last().expect("non-empty");
+        assert!(
+            last.capacity >= 1,
+            "the largest runtime must complete at least one request within the SLO"
+        );
+    }
+
+    /// Number of runtimes `I`.
+    pub fn len(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// True when the problem has no runtimes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.runtimes.is_empty()
+    }
+
+    /// Eq. 3 lower bound for runtime `i` (`⌊Q_i / M_i⌋`), combined with
+    /// Eq. 7 (`N_I ≥ 1`) for the last runtime. Runtimes with zero capacity
+    /// get bound 0: they cannot serve anything, so their demand demotes.
+    pub fn lower_bound(&self, i: usize) -> u32 {
+        let rt = &self.runtimes[i];
+        let eq3 = if rt.capacity == 0 {
+            0
+        } else {
+            (rt.demand / f64::from(rt.capacity)).floor() as u32
+        };
+        if i + 1 == self.runtimes.len() {
+            eq3.max(1)
+        } else {
+            eq3
+        }
+    }
+
+    /// All Eq. 3/Eq. 7 lower bounds.
+    pub fn lower_bounds(&self) -> Vec<u32> {
+        (0..self.runtimes.len())
+            .map(|i| self.lower_bound(i))
+            .collect()
+    }
+
+    /// Whether any allocation can satisfy the constraints at all.
+    pub fn is_solvable(&self) -> bool {
+        self.lower_bounds().iter().sum::<u32>() <= self.gpus
+    }
+
+    /// Check Eqs. 2, 3, 7 for a candidate allocation.
+    pub fn is_feasible(&self, alloc: &Allocation) -> bool {
+        alloc.instances.len() == self.runtimes.len()
+            && alloc.total() == self.gpus
+            && alloc
+                .instances
+                .iter()
+                .enumerate()
+                .all(|(i, &n)| n >= self.lower_bound(i))
+    }
+
+    /// Evaluate the objective (Eq. 1) under the Eq. 4–6 flow recurrence.
+    ///
+    /// Returns `None` for infeasible allocations. The returned value is the
+    /// *demand-weighted total mean latency* in ms·requests per SLO period —
+    /// the quantity the Runtime Scheduler minimizes.
+    pub fn evaluate(&self, alloc: &Allocation) -> Option<f64> {
+        if !self.is_feasible(alloc) {
+            return None;
+        }
+        let mut carry = 0.0; // R_{i-1}
+        let mut cost = 0.0;
+        let last = self.runtimes.len() - 1;
+        for (i, rt) in self.runtimes.iter().enumerate() {
+            let n = alloc.instances[i];
+            let inflow = carry + rt.demand;
+            let served_cap = f64::from(n) * f64::from(rt.capacity);
+            let (c, r) = if i < last {
+                (inflow.min(served_cap), (inflow - served_cap).max(0.0))
+            } else {
+                (inflow, 0.0)
+            };
+            if c > 0.0 {
+                debug_assert!(n > 0, "flow assigned to an empty runtime");
+                let b = c / f64::from(n);
+                cost += rt.batch_latency.mean_latency_ms(b) * c;
+            }
+            carry = r;
+        }
+        Some(cost)
+    }
+
+    /// The per-runtime flow `(C_i, R_i, B_i)` implied by an allocation —
+    /// useful for diagnostics and for the Request Scheduler's expectations.
+    pub fn flows(&self, alloc: &Allocation) -> Option<Vec<Flow>> {
+        if !self.is_feasible(alloc) {
+            return None;
+        }
+        let mut carry = 0.0;
+        let last = self.runtimes.len() - 1;
+        let mut out = Vec::with_capacity(self.runtimes.len());
+        for (i, rt) in self.runtimes.iter().enumerate() {
+            let n = alloc.instances[i];
+            let inflow = carry + rt.demand;
+            let served_cap = f64::from(n) * f64::from(rt.capacity);
+            let (c, r) = if i < last {
+                (inflow.min(served_cap), (inflow - served_cap).max(0.0))
+            } else {
+                (inflow, 0.0)
+            };
+            let b = if n > 0 { c / f64::from(n) } else { 0.0 };
+            out.push(Flow {
+                served: c,
+                carried: r,
+                per_instance: b,
+            });
+            carry = r;
+        }
+        Some(out)
+    }
+
+    /// Total demand across all bins.
+    pub fn total_demand(&self) -> f64 {
+        self.runtimes.iter().map(|r| r.demand).sum()
+    }
+}
+
+/// Flow through one runtime under an allocation (Eqs. 4–6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// `C_i`: requests actually served by this runtime per SLO period.
+    pub served: f64,
+    /// `R_i`: requests demoted onward to the next-larger runtime.
+    pub carried: f64,
+    /// `B_i`: per-instance workload.
+    pub per_instance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built two-runtime problem with linear batch latency:
+    /// runtime 0 (len 64): capacity 10, exec 1 ms; runtime 1 (len 512):
+    /// capacity 5, exec 2 ms. `L(b) = e·(b+1)/2`.
+    fn toy(gpus: u32, q0: f64, q1: f64) -> AllocationProblem {
+        let map = |e: f64, m: usize| {
+            BatchLatencyMap::from_measurements(
+                (1..=m).map(|b| e * (b as f64 + 1.0) / 2.0).collect(),
+            )
+        };
+        AllocationProblem {
+            gpus,
+            runtimes: vec![
+                RuntimeInput {
+                    max_length: 64,
+                    capacity: 10,
+                    demand: q0,
+                    batch_latency: map(1.0, 10),
+                },
+                RuntimeInput {
+                    max_length: 512,
+                    capacity: 5,
+                    demand: q1,
+                    batch_latency: map(2.0, 5),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lower_bounds_follow_eq3_and_eq7() {
+        let p = toy(4, 25.0, 4.0);
+        assert_eq!(p.lower_bound(0), 2); // floor(25/10)
+        assert_eq!(p.lower_bound(1), 1); // floor(4/5) = 0, lifted by Eq. 7
+        assert!(p.is_solvable());
+        let starved = toy(2, 100.0, 100.0);
+        assert!(!starved.is_solvable()); // needs 10 + 20 GPUs
+    }
+
+    #[test]
+    fn feasibility_requires_exact_gpu_sum() {
+        let p = toy(4, 25.0, 4.0);
+        assert!(p.is_feasible(&Allocation {
+            instances: vec![3, 1]
+        }));
+        assert!(!p.is_feasible(&Allocation {
+            instances: vec![2, 1]
+        })); // sums to 3
+        assert!(!p.is_feasible(&Allocation {
+            instances: vec![1, 3]
+        })); // Eq. 3 violated
+        assert!(!p.is_feasible(&Allocation {
+            instances: vec![4, 0]
+        })); // Eq. 7 violated
+        assert!(!p.is_feasible(&Allocation { instances: vec![4] })); // arity
+    }
+
+    #[test]
+    fn evaluate_routes_overflow_to_larger_runtime() {
+        // 25 requests in bin 0 but only 2 small instances (capacity 20):
+        // 5 demote to the big runtime on top of its own 4.
+        let p = toy(4, 25.0, 4.0);
+        let flows = p
+            .flows(&Allocation {
+                instances: vec![2, 2],
+            })
+            .expect("feasible");
+        assert!((flows[0].served - 20.0).abs() < 1e-9);
+        assert!((flows[0].carried - 5.0).abs() < 1e-9);
+        assert!((flows[1].served - 9.0).abs() < 1e-9);
+        assert_eq!(flows[1].carried, 0.0);
+        // Objective: bin 0 — B=10, L=1·11/2=5.5, cost 110;
+        // bin 1 — B=4.5, L=2·5.5/2=5.5, cost 49.5.
+        let cost = p
+            .evaluate(&Allocation {
+                instances: vec![2, 2],
+            })
+            .expect("feasible");
+        assert!((cost - 159.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_prefers_ideal_runtimes_when_capacity_allows() {
+        let p = toy(4, 25.0, 4.0);
+        // 3 small + 1 big: small serves all 25 (B=8.33 ⇒ L≈4.67, cost≈116.7),
+        // big serves 4 (B=4, L=5, cost 20) ⇒ ≈136.7 < 159.5 from [2,2].
+        let a = p
+            .evaluate(&Allocation {
+                instances: vec![3, 1],
+            })
+            .expect("feasible");
+        let b = p
+            .evaluate(&Allocation {
+                instances: vec![2, 2],
+            })
+            .expect("feasible");
+        assert!(a < b, "{a} vs {b}");
+    }
+
+    #[test]
+    fn evaluate_rejects_infeasible() {
+        let p = toy(4, 25.0, 4.0);
+        assert_eq!(
+            p.evaluate(&Allocation {
+                instances: vec![2, 1]
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn last_runtime_absorbs_everything() {
+        // Zero demand in bin 1, but huge overflow from bin 0: last runtime
+        // serves it all even beyond its nominal capacity.
+        let p = toy(3, 100.0, 0.0);
+        // Lower bound bin 0 = 10 > 3 ⇒ infeasible problem at G=3.
+        assert!(!p.is_solvable());
+        let p = toy(11, 100.0, 0.0);
+        let flows = p
+            .flows(&Allocation {
+                instances: vec![10, 1],
+            })
+            .expect("feasible");
+        assert!((flows[0].served - 100.0).abs() < 1e-9);
+        assert_eq!(flows[1].served, 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_runtime_forwards_demand() {
+        let map = BatchLatencyMap::from_measurements(vec![1.0]);
+        let p = AllocationProblem {
+            gpus: 1,
+            runtimes: vec![
+                RuntimeInput {
+                    max_length: 64,
+                    capacity: 0, // cannot meet SLO at all
+                    demand: 5.0,
+                    batch_latency: map.clone(),
+                },
+                RuntimeInput {
+                    max_length: 512,
+                    capacity: 3,
+                    demand: 0.0,
+                    batch_latency: map,
+                },
+            ],
+        };
+        assert_eq!(p.lower_bound(0), 0);
+        let flows = p
+            .flows(&Allocation {
+                instances: vec![0, 1],
+            })
+            .expect("feasible");
+        assert_eq!(flows[0].served, 0.0);
+        assert!((flows[1].served - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn validate_rejects_unsorted() {
+        let map = BatchLatencyMap::from_measurements(vec![1.0]);
+        let p = AllocationProblem {
+            gpus: 1,
+            runtimes: vec![
+                RuntimeInput {
+                    max_length: 512,
+                    capacity: 1,
+                    demand: 0.0,
+                    batch_latency: map.clone(),
+                },
+                RuntimeInput {
+                    max_length: 64,
+                    capacity: 1,
+                    demand: 0.0,
+                    batch_latency: map,
+                },
+            ],
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "largest runtime")]
+    fn validate_rejects_useless_last_runtime() {
+        let map = BatchLatencyMap::from_measurements(vec![1.0]);
+        let p = AllocationProblem {
+            gpus: 1,
+            runtimes: vec![RuntimeInput {
+                max_length: 512,
+                capacity: 0,
+                demand: 0.0,
+                batch_latency: map,
+            }],
+        };
+        p.validate();
+    }
+}

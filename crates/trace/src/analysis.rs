@@ -1,0 +1,260 @@
+//! Trace analysis: the burstiness and drift diagnostics behind the paper's
+//! workload claims.
+//!
+//! §2.1/§3.2 rest on two empirical properties of production traffic — the
+//! arrival process is bursty at second scale, and the *length distribution*
+//! is stable long-term but drifts short-term (Fig. 1). This module
+//! quantifies both so synthetic traces can be validated against the claims
+//! (and real traces, once ingested through [`crate::io`], can be checked
+//! for whether Arlo's assumptions hold for them).
+
+use crate::stats::{mean, percentile, std_dev, Summary};
+use crate::workload::Trace;
+use crate::NANOS_PER_SEC;
+
+/// Index of dispersion of per-second arrival counts (variance / mean):
+/// 1 for a Poisson process, > 1 for bursty traffic (MMPP), < 1 for
+/// smoothed/deterministic arrivals.
+pub fn dispersion_index(trace: &Trace) -> f64 {
+    let counts: Vec<f64> = trace
+        .per_second_counts()
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    if counts.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(&counts);
+    if m == 0.0 {
+        return f64::NAN;
+    }
+    std_dev(&counts).powi(2) / m
+}
+
+/// Lag-`k` autocorrelation of per-second arrival counts — how long bursts
+/// persist (MMPP sojourns show up as slowly decaying correlation).
+pub fn arrival_autocorrelation(trace: &Trace, lag: usize) -> f64 {
+    let counts: Vec<f64> = trace
+        .per_second_counts()
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    autocorrelation(&counts, lag)
+}
+
+/// Lag-`k` autocorrelation of per-second *median lengths* — the Fig. 1b
+/// drift signature. High values mean the length mix wanders coherently
+/// (the regime where periodic reallocation pays off); ~0 means each second
+/// is independent noise.
+pub fn length_drift_autocorrelation(trace: &Trace, lag: usize) -> f64 {
+    let medians = per_second_length_medians(trace);
+    autocorrelation(&medians, lag)
+}
+
+/// Median request length of every second of the trace (seconds with no
+/// arrivals repeat the previous value so the series stays evenly spaced).
+pub fn per_second_length_medians(trace: &Trace) -> Vec<f64> {
+    let secs = trace.horizon().div_ceil(NANOS_PER_SEC).max(1) as usize;
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); secs];
+    for r in trace.requests() {
+        let idx = ((r.arrival / NANOS_PER_SEC) as usize).min(secs - 1);
+        buckets[idx].push(f64::from(r.length));
+    }
+    let mut out = Vec::with_capacity(secs);
+    let mut last = f64::NAN;
+    for bucket in &buckets {
+        if !bucket.is_empty() {
+            last = percentile(bucket, 50.0);
+        }
+        out.push(last);
+    }
+    // Backfill any leading NaNs with the first real value.
+    if let Some(first) = out.iter().copied().find(|v| !v.is_nan()) {
+        for v in &mut out {
+            if v.is_nan() {
+                *v = first;
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Coefficient of variation of per-second median lengths: the magnitude of
+/// the short-term drift (Fig. 1b). ~0.05 is sampling noise; the calibrated
+/// Twitter-Bursty default sits near 0.15–0.25.
+pub fn length_drift_cv(trace: &Trace) -> f64 {
+    let medians = per_second_length_medians(trace);
+    let m = mean(&medians);
+    if !m.is_finite() || m == 0.0 {
+        return f64::NAN;
+    }
+    std_dev(&medians) / m
+}
+
+/// A one-stop workload characterization report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Requests per second over the horizon.
+    pub mean_rate: f64,
+    /// Length summary over the whole trace.
+    pub lengths: Summary,
+    /// Index of dispersion of per-second counts.
+    pub dispersion: f64,
+    /// Lag-1 arrival autocorrelation.
+    pub arrival_ac1: f64,
+    /// Coefficient of variation of per-second median lengths.
+    pub drift_cv: f64,
+    /// Lag-10 autocorrelation of per-second median lengths.
+    pub drift_ac10: f64,
+}
+
+impl TraceProfile {
+    /// Characterize a trace.
+    pub fn of(trace: &Trace) -> Self {
+        TraceProfile {
+            mean_rate: trace.mean_rate(),
+            lengths: trace.length_summary(),
+            dispersion: dispersion_index(trace),
+            arrival_ac1: arrival_autocorrelation(trace, 1),
+            drift_cv: length_drift_cv(trace),
+            drift_ac10: length_drift_autocorrelation(trace, 10),
+        }
+    }
+}
+
+fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    if series.len() <= lag + 1 || lag == 0 {
+        return f64::NAN;
+    }
+    let m = mean(series);
+    let var: f64 = series.iter().map(|x| (x - m).powi(2)).sum();
+    if var == 0.0 {
+        return f64::NAN;
+    }
+    let cov: f64 = series
+        .windows(lag + 1)
+        .map(|w| (w[0] - m) * (w[lag] - m))
+        .sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalSpec, LengthSpec, TraceSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(spec: TraceSpec, seed: u64) -> Trace {
+        spec.generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn poisson_dispersion_is_one() {
+        let trace = gen(
+            TraceSpec {
+                lengths: LengthSpec::Fixed(64),
+                arrivals: ArrivalSpec::Poisson { rate: 500.0 },
+                duration_secs: 200.0,
+            },
+            1,
+        );
+        let d = dispersion_index(&trace);
+        assert!((d - 1.0).abs() < 0.25, "Poisson dispersion {d}");
+    }
+
+    #[test]
+    fn mmpp_dispersion_exceeds_one() {
+        let trace = gen(
+            TraceSpec {
+                lengths: LengthSpec::Fixed(64),
+                arrivals: ArrivalSpec::Bursty { mean_rate: 500.0 },
+                duration_secs: 200.0,
+            },
+            2,
+        );
+        assert!(dispersion_index(&trace) > 2.0);
+        // Bursts persist for seconds: positive lag-1 autocorrelation.
+        assert!(arrival_autocorrelation(&trace, 1) > 0.2);
+    }
+
+    #[test]
+    fn deterministic_dispersion_below_one() {
+        let trace = gen(
+            TraceSpec {
+                lengths: LengthSpec::Fixed(64),
+                arrivals: ArrivalSpec::Deterministic { rate: 500.0 },
+                duration_secs: 60.0,
+            },
+            3,
+        );
+        assert!(dispersion_index(&trace) < 0.1);
+    }
+
+    #[test]
+    fn modulated_lengths_show_coherent_drift() {
+        let drifting = gen(TraceSpec::twitter_bursty(800.0, 300.0), 4);
+        let stable = gen(
+            TraceSpec {
+                lengths: LengthSpec::TwitterRecalibrated { max: 512 },
+                arrivals: ArrivalSpec::Poisson { rate: 800.0 },
+                duration_secs: 300.0,
+            },
+            5,
+        );
+        assert!(
+            length_drift_cv(&drifting) > 2.0 * length_drift_cv(&stable),
+            "drift {} vs stable {}",
+            length_drift_cv(&drifting),
+            length_drift_cv(&stable)
+        );
+        // AR(1) rho = 0.9 ⇒ visible positive correlation at small lags.
+        assert!(length_drift_autocorrelation(&drifting, 1) > 0.3);
+        // An iid mix has (near-)zero drift autocorrelation.
+        assert!(length_drift_autocorrelation(&stable, 1).abs() < 0.2);
+    }
+
+    #[test]
+    fn profile_summarizes_consistently() {
+        let trace = gen(TraceSpec::twitter_bursty(600.0, 120.0), 6);
+        let p = TraceProfile::of(&trace);
+        assert!((p.mean_rate - trace.mean_rate()).abs() < 1e-9);
+        assert!(p.dispersion > 1.0);
+        assert!(p.lengths.p98 <= 512.0);
+        assert!(p.drift_cv > 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_nan());
+        assert!(autocorrelation(&[3.0; 10], 1).is_nan(), "zero variance");
+        // A perfectly alternating series has lag-1 autocorrelation ≈ −1.
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(autocorrelation(&alt, 1) < -0.9);
+    }
+
+    #[test]
+    fn per_second_medians_fill_gaps() {
+        use crate::workload::Request;
+        let reqs = vec![
+            Request {
+                id: 0,
+                arrival: 0,
+                length: 10,
+            },
+            // Nothing in second 1.
+            Request {
+                id: 1,
+                arrival: 2 * NANOS_PER_SEC,
+                length: 30,
+            },
+        ];
+        let t = Trace::from_requests(reqs, 3 * NANOS_PER_SEC);
+        let medians = per_second_length_medians(&t);
+        assert_eq!(medians, vec![10.0, 10.0, 30.0]);
+    }
+}

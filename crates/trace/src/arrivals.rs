@@ -1,0 +1,464 @@
+//! Request arrival processes.
+//!
+//! The paper synthesizes arrivals on top of the Twitter trace's per-second
+//! counts: a Poisson process for **Twitter-Stable** and a Markov-modulated
+//! Poisson process (MMPP) for **Twitter-Bursty** (§5, citing MArk and
+//! SHEPHERD for the same methodology). Both are implemented here as stateful
+//! generators of absolute arrival timestamps in nanoseconds.
+
+use crate::lengths::sample_exponential;
+use crate::{secs_to_nanos, Nanos, NANOS_PER_SEC};
+use rand::RngCore;
+
+/// A stateful source of request arrival timestamps.
+///
+/// Successive calls return strictly non-decreasing absolute times (ns).
+/// Implementations never end on their own; the workload generator stops at
+/// the trace horizon.
+pub trait ArrivalProcess {
+    /// The next arrival timestamp (ns since trace start).
+    fn next_arrival(&mut self, rng: &mut dyn RngCore) -> Nanos;
+
+    /// Long-run mean arrival rate in requests/second, used for capacity
+    /// planning assertions in tests and the load-sweep harness.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Homogeneous Poisson arrivals at `rate` req/s — **Twitter-Stable**.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    rate: f64,
+    now: Nanos,
+}
+
+impl Poisson {
+    /// Create a Poisson process with the given rate (req/s).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        Poisson { rate, now: 0 }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_arrival(&mut self, rng: &mut dyn RngCore) -> Nanos {
+        let gap = sample_exponential(rng, self.rate);
+        self.now = self.now.saturating_add(secs_to_nanos(gap).max(1));
+        self.now
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Deterministic arrivals at a fixed interval; useful for tests and
+/// worst-case scenarios such as the Fig. 4 motivating example.
+#[derive(Debug, Clone)]
+pub struct Deterministic {
+    interval: Nanos,
+    now: Nanos,
+}
+
+impl Deterministic {
+    /// One arrival every `interval` nanoseconds.
+    pub fn new(interval: Nanos) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        Deterministic { interval, now: 0 }
+    }
+
+    /// One arrival every `1/rate` seconds.
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self::new(secs_to_nanos(1.0 / rate).max(1))
+    }
+}
+
+impl ArrivalProcess for Deterministic {
+    fn next_arrival(&mut self, _rng: &mut dyn RngCore) -> Nanos {
+        self.now += self.interval;
+        self.now
+    }
+
+    fn mean_rate(&self) -> f64 {
+        NANOS_PER_SEC as f64 / self.interval as f64
+    }
+}
+
+/// Two-state Markov-modulated Poisson process — **Twitter-Bursty**.
+///
+/// The process alternates between a *calm* state and a *burst* state with
+/// exponentially distributed sojourns; within each state arrivals are
+/// Poisson at that state's rate. Thanks to memorylessness the generator can
+/// redraw the arrival gap after every state switch without biasing the
+/// process.
+#[derive(Debug, Clone)]
+pub struct Mmpp {
+    /// Arrival rate in the calm state (req/s).
+    pub calm_rate: f64,
+    /// Arrival rate in the burst state (req/s).
+    pub burst_rate: f64,
+    /// Mean sojourn in the calm state (s).
+    pub calm_sojourn: f64,
+    /// Mean sojourn in the burst state (s).
+    pub burst_sojourn: f64,
+    in_burst: bool,
+    now: Nanos,
+    switch_at: Option<Nanos>,
+}
+
+impl Mmpp {
+    /// Create an MMPP from explicit state rates and mean sojourn times.
+    pub fn new(calm_rate: f64, burst_rate: f64, calm_sojourn: f64, burst_sojourn: f64) -> Self {
+        assert!(
+            calm_rate > 0.0 && burst_rate > 0.0,
+            "state rates must be positive"
+        );
+        assert!(
+            calm_sojourn > 0.0 && burst_sojourn > 0.0,
+            "sojourns must be positive"
+        );
+        Mmpp {
+            calm_rate,
+            burst_rate,
+            calm_sojourn,
+            burst_sojourn,
+            in_burst: false,
+            now: 0,
+            switch_at: None,
+        }
+    }
+
+    /// The paper-style bursty default with a given long-run mean rate:
+    /// calm at 0.7× the mean for ~5 s stretches, bursts at 1.75× for ~2 s,
+    /// giving a 2.5× rate swing while preserving the requested mean
+    /// (stationary mix 5/7 · 0.7 + 2/7 · 1.75 = 1.0).
+    pub fn bursty(mean_rate: f64) -> Self {
+        assert!(mean_rate > 0.0, "mean rate must be positive");
+        Self::new(0.7 * mean_rate, 1.75 * mean_rate, 5.0, 2.0)
+    }
+
+    /// Whether the process is currently in the burst state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    fn current_rate(&self) -> f64 {
+        if self.in_burst {
+            self.burst_rate
+        } else {
+            self.calm_rate
+        }
+    }
+
+    fn sojourn_rate(&self) -> f64 {
+        if self.in_burst {
+            1.0 / self.burst_sojourn
+        } else {
+            1.0 / self.calm_sojourn
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp {
+    fn next_arrival(&mut self, rng: &mut dyn RngCore) -> Nanos {
+        loop {
+            let switch_at = match self.switch_at {
+                Some(t) => t,
+                None => {
+                    let sojourn = sample_exponential(rng, self.sojourn_rate());
+                    let t = self.now.saturating_add(secs_to_nanos(sojourn).max(1));
+                    self.switch_at = Some(t);
+                    t
+                }
+            };
+            let gap = sample_exponential(rng, self.current_rate());
+            let candidate = self.now.saturating_add(secs_to_nanos(gap).max(1));
+            if candidate < switch_at {
+                self.now = candidate;
+                return candidate;
+            }
+            // State switches before the candidate arrival: jump to the
+            // switch, flip state, and redraw (memoryless).
+            self.now = switch_at;
+            self.in_burst = !self.in_burst;
+            self.switch_at = None;
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        let pi_calm = self.calm_sojourn / (self.calm_sojourn + self.burst_sojourn);
+        pi_calm * self.calm_rate + (1.0 - pi_calm) * self.burst_rate
+    }
+}
+
+/// Sinusoidal-rate (diurnal) Poisson arrivals, via thinning.
+///
+/// `rate(t) = base_rate · (1 + amplitude · sin(2π·t/period + phase))` — the
+/// day/night cycle that drives production auto-scaling. Sampled exactly
+/// with Lewis–Shedler thinning: candidate arrivals at the peak rate, each
+/// accepted with probability `rate(t)/peak`.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    /// Long-run mean rate (req/s).
+    pub base_rate: f64,
+    /// Relative swing in `[0, 1)`: 0.6 ⇒ rate varies ±60%.
+    pub amplitude: f64,
+    /// Cycle length (s); experiments usually compress a day into minutes.
+    pub period_secs: f64,
+    /// Phase offset (radians); 0 starts at the mean, rising.
+    pub phase: f64,
+    now: Nanos,
+}
+
+impl Diurnal {
+    /// Create a diurnal process.
+    pub fn new(base_rate: f64, amplitude: f64, period_secs: f64, phase: f64) -> Self {
+        assert!(base_rate > 0.0, "base rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        assert!(period_secs > 0.0, "period must be positive");
+        Diurnal {
+            base_rate,
+            amplitude,
+            period_secs,
+            phase,
+            now: 0,
+        }
+    }
+
+    /// Instantaneous rate at time `t` (ns).
+    pub fn rate_at(&self, t: Nanos) -> f64 {
+        let secs = t as f64 / NANOS_PER_SEC as f64;
+        self.base_rate
+            * (1.0
+                + self.amplitude
+                    * (std::f64::consts::TAU * secs / self.period_secs + self.phase).sin())
+    }
+}
+
+impl ArrivalProcess for Diurnal {
+    fn next_arrival(&mut self, rng: &mut dyn RngCore) -> Nanos {
+        let peak = self.base_rate * (1.0 + self.amplitude);
+        loop {
+            let gap = sample_exponential(rng, peak);
+            let candidate = self.now.saturating_add(secs_to_nanos(gap).max(1));
+            self.now = candidate;
+            // Thinning acceptance.
+            let accept = self.rate_at(candidate) / peak;
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if u < accept {
+                return candidate;
+            }
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.base_rate
+    }
+}
+
+/// Replay of recorded arrival timestamps (ns). When the recording is
+/// exhausted it loops, shifting by the recording span, so the process never
+/// ends — matching the paper's looped trace playback.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    times: Vec<Nanos>,
+    span: Nanos,
+    idx: usize,
+    loops: u64,
+}
+
+impl Replay {
+    /// Build from non-decreasing recorded timestamps. Panics if empty or
+    /// unsorted.
+    pub fn new(times: Vec<Nanos>) -> Self {
+        assert!(!times.is_empty(), "cannot replay an empty recording");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps must be sorted"
+        );
+        // The loop period: last arrival plus the mean gap so back-to-back
+        // loops don't collide at time zero.
+        let span =
+            times.last().expect("non-empty") + 1.max(times.last().unwrap() / times.len() as u64);
+        Replay {
+            times,
+            span,
+            idx: 0,
+            loops: 0,
+        }
+    }
+
+    /// Number of complete loops taken so far.
+    pub fn loops(&self) -> u64 {
+        self.loops
+    }
+}
+
+impl ArrivalProcess for Replay {
+    fn next_arrival(&mut self, _rng: &mut dyn RngCore) -> Nanos {
+        if self.idx == self.times.len() {
+            self.idx = 0;
+            self.loops += 1;
+        }
+        let t = self.times[self.idx] + self.loops * self.span;
+        self.idx += 1;
+        t
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.times.len() as f64 / crate::nanos_to_secs(self.span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn collect_until(p: &mut dyn ArrivalProcess, horizon: Nanos, seed: u64) -> Vec<Nanos> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        loop {
+            let t = p.next_arrival(&mut rng);
+            if t > horizon {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_calibrated() {
+        let mut p = Poisson::new(1000.0);
+        let arrivals = collect_until(&mut p, 20 * NANOS_PER_SEC, 1);
+        let rate = arrivals.len() as f64 / 20.0;
+        assert!((rate - 1000.0).abs() < 30.0, "rate {rate}");
+        assert!(
+            arrivals.windows(2).all(|w| w[0] < w[1]),
+            "strictly increasing"
+        );
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        let mut p = Poisson::new(500.0);
+        let arrivals = collect_until(&mut p, 40 * NANOS_PER_SEC, 2);
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let m = crate::stats::mean(&gaps);
+        let cv = crate::stats::std_dev(&gaps) / m;
+        assert!((cv - 1.0).abs() < 0.05, "Poisson CV should be 1, got {cv}");
+    }
+
+    #[test]
+    fn deterministic_is_exact() {
+        let mut p = Deterministic::from_rate(100.0);
+        assert!((p.mean_rate() - 100.0).abs() < 1e-6);
+        let arrivals = collect_until(&mut p, NANOS_PER_SEC, 3);
+        assert_eq!(arrivals.len(), 100);
+        assert_eq!(arrivals[0], 10_000_000);
+        assert_eq!(arrivals[9], 100_000_000);
+    }
+
+    #[test]
+    fn mmpp_preserves_mean_rate() {
+        let mut p = Mmpp::bursty(1000.0);
+        assert!((p.mean_rate() - 1000.0).abs() < 1e-9);
+        let arrivals = collect_until(&mut p, 600 * NANOS_PER_SEC, 4);
+        let rate = arrivals.len() as f64 / 600.0;
+        // The modulating chain has ~7 s cycles, so even 600 s windows keep
+        // O(3%) rate noise; allow 10%.
+        assert!((rate - 1000.0).abs() < 100.0, "long-run rate {rate}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Index of dispersion of per-second counts: 1 for Poisson, > 1 for MMPP.
+        let mut p = Mmpp::bursty(800.0);
+        let arrivals = collect_until(&mut p, 240 * NANOS_PER_SEC, 5);
+        let mut counts = vec![0f64; 240];
+        for t in arrivals {
+            counts[(t / NANOS_PER_SEC).min(239) as usize] += 1.0;
+        }
+        let m = crate::stats::mean(&counts);
+        let var = crate::stats::std_dev(&counts).powi(2);
+        let dispersion = var / m;
+        assert!(
+            dispersion > 2.0,
+            "dispersion {dispersion} should exceed Poisson's 1"
+        );
+    }
+
+    #[test]
+    fn mmpp_switches_states() {
+        let mut p = Mmpp::new(10.0, 1000.0, 0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut saw_burst = false;
+        let mut saw_calm = false;
+        for _ in 0..2000 {
+            p.next_arrival(&mut rng);
+            if p.in_burst() {
+                saw_burst = true;
+            } else {
+                saw_calm = true;
+            }
+        }
+        assert!(saw_burst && saw_calm);
+    }
+
+    #[test]
+    fn diurnal_mean_rate_over_full_cycles() {
+        let mut p = Diurnal::new(500.0, 0.6, 60.0, 0.0);
+        // Two full 60 s cycles: the sinusoid integrates away.
+        let arrivals = collect_until(&mut p, 120 * NANOS_PER_SEC, 8);
+        let rate = arrivals.len() as f64 / 120.0;
+        assert!((rate - 500.0).abs() < 35.0, "rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_peak_and_trough_differ() {
+        let mut p = Diurnal::new(500.0, 0.8, 120.0, 0.0);
+        let arrivals = collect_until(&mut p, 120 * NANOS_PER_SEC, 9);
+        // Peak quarter (t in [15, 45): sin > 0.7) vs trough ([75, 105)).
+        let in_window = |lo: u64, hi: u64| {
+            arrivals
+                .iter()
+                .filter(|&&t| t >= lo * NANOS_PER_SEC && t < hi * NANOS_PER_SEC)
+                .count() as f64
+        };
+        let peak = in_window(15, 45);
+        let trough = in_window(75, 105);
+        assert!(peak > 3.0 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn diurnal_rate_at_matches_formula() {
+        let p = Diurnal::new(100.0, 0.5, 100.0, 0.0);
+        assert!((p.rate_at(0) - 100.0).abs() < 1e-9);
+        assert!((p.rate_at(25 * NANOS_PER_SEC) - 150.0).abs() < 1e-6);
+        assert!((p.rate_at(75 * NANOS_PER_SEC) - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replay_loops_with_shift() {
+        let mut p = Replay::new(vec![10, 20, 30]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let first: Vec<Nanos> = (0..3).map(|_| p.next_arrival(&mut rng)).collect();
+        assert_eq!(first, vec![10, 20, 30]);
+        let looped = p.next_arrival(&mut rng);
+        assert!(
+            looped > 30,
+            "looped arrival must move forward, got {looped}"
+        );
+        assert_eq!(p.loops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn replay_rejects_unsorted() {
+        Replay::new(vec![30, 10]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Dependency-free text serialization for traces.
+//!
+//! Format (one record per line, whitespace-separated):
+//!
+//! ```text
+//! # arlo-trace v1 horizon_ns=<u64>
+//! <id> <arrival_ns> <length>
+//! ...
+//! ```
+//!
+//! The format is line-oriented so multi-gigabyte traces stream through
+//! `BufRead` without buffering the whole file, mirroring how the paper's
+//! simulator replays multi-minute production clips.
+
+use crate::workload::{Request, Trace};
+use crate::Nanos;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while reading a serialized trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A record line failed to parse (line number, content).
+    BadRecord(usize, String),
+    /// Records were not sorted by arrival time or exceeded the horizon.
+    Inconsistent(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::BadHeader(h) => write!(f, "bad trace header: {h:?}"),
+            TraceIoError::BadRecord(line, content) => {
+                write!(f, "bad trace record at line {line}: {content:?}")
+            }
+            TraceIoError::Inconsistent(msg) => write!(f, "inconsistent trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serialize a trace to a writer in the v1 text format.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "# arlo-trace v1 horizon_ns={}", trace.horizon())?;
+    for r in trace.requests() {
+        writeln!(w, "{} {} {}", r.id, r.arrival, r.length)?;
+    }
+    Ok(())
+}
+
+/// Deserialize a trace from a reader in the v1 text format.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader("<empty input>".into()))??;
+    let horizon = parse_header(&header)?;
+    let mut requests: Vec<Request> = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_ascii_whitespace();
+        let record = (|| -> Option<Request> {
+            let id = parts.next()?.parse().ok()?;
+            let arrival = parts.next()?.parse().ok()?;
+            let length = parts.next()?.parse().ok()?;
+            if parts.next().is_some() || length == 0 {
+                return None;
+            }
+            Some(Request {
+                id,
+                arrival,
+                length,
+            })
+        })()
+        .ok_or_else(|| TraceIoError::BadRecord(idx + 2, trimmed.to_string()))?;
+        if let Some(prev) = requests.last() {
+            if record.arrival < prev.arrival {
+                return Err(TraceIoError::Inconsistent(format!(
+                    "arrival {} after {}",
+                    record.arrival, prev.arrival
+                )));
+            }
+        }
+        if record.arrival > horizon {
+            return Err(TraceIoError::Inconsistent(format!(
+                "arrival {} beyond horizon {horizon}",
+                record.arrival
+            )));
+        }
+        requests.push(record);
+    }
+    Ok(Trace::from_requests(requests, horizon))
+}
+
+fn parse_header(header: &str) -> Result<Nanos, TraceIoError> {
+    let rest = header
+        .strip_prefix("# arlo-trace v1 ")
+        .ok_or_else(|| TraceIoError::BadHeader(header.to_string()))?;
+    rest.trim()
+        .strip_prefix("horizon_ns=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| TraceIoError::BadHeader(header.to_string()))
+}
+
+/// Import a trace from a two-column CSV (`arrival_seconds,length`), the
+/// lowest-common-denominator format external log processors emit. A header
+/// row is skipped if present; rows must be sorted by arrival. The horizon
+/// is the last arrival rounded up to a whole second.
+pub fn read_csv_trace<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    let mut requests: Vec<Request> = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let first = parts.next().unwrap_or_default().trim();
+        if idx == 0 && first.parse::<f64>().is_err() {
+            continue; // header row
+        }
+        let record = (|| -> Option<Request> {
+            let arrival_s: f64 = first.parse().ok()?;
+            let length: u32 = parts.next()?.trim().parse().ok()?;
+            if parts.next().is_some() || length == 0 || arrival_s < 0.0 {
+                return None;
+            }
+            Some(Request {
+                id: 0,
+                arrival: crate::secs_to_nanos(arrival_s),
+                length,
+            })
+        })()
+        .ok_or_else(|| TraceIoError::BadRecord(idx + 1, trimmed.to_string()))?;
+        if let Some(prev) = requests.last() {
+            if record.arrival < prev.arrival {
+                return Err(TraceIoError::Inconsistent(format!(
+                    "arrival {} after {}",
+                    record.arrival, prev.arrival
+                )));
+            }
+        }
+        requests.push(record);
+    }
+    for (i, r) in requests.iter_mut().enumerate() {
+        r.id = i as u64;
+    }
+    let horizon = requests
+        .last()
+        .map(|r| r.arrival.div_ceil(crate::NANOS_PER_SEC) * crate::NANOS_PER_SEC)
+        .unwrap_or(crate::NANOS_PER_SEC);
+    Ok(Trace::from_requests(requests, horizon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TraceSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let trace = TraceSpec::twitter_stable(200.0, 3.0).generate(&mut rng);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write");
+        let back = read_trace(Cursor::new(buf)).expect("read");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::from_requests(vec![], 1234);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write");
+        let back = read_trace(Cursor::new(buf)).expect("read");
+        assert_eq!(back.horizon(), 1234);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# arlo-trace v1 horizon_ns=100\n\n# a comment\n0 10 5\n1 20 6\n";
+        let t = read_trace(Cursor::new(text)).expect("read");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests()[1].length, 6);
+    }
+
+    #[test]
+    fn csv_import_with_header() {
+        let text = "arrival_s,length\n0.5,20\n1.25,300\n2.0,512\n";
+        let t = read_csv_trace(Cursor::new(text)).expect("read");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.requests()[0].arrival, 500_000_000);
+        assert_eq!(t.requests()[1].length, 300);
+        assert_eq!(t.horizon(), 2_000_000_000);
+        assert!(t
+            .requests()
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.id == i as u64));
+    }
+
+    #[test]
+    fn csv_import_without_header_and_comments() {
+        let text = "# produced by logtool\n0.1,5\n0.2,6\n";
+        let t = read_csv_trace(Cursor::new(text)).expect("read");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_import_rejects_garbage() {
+        assert!(matches!(
+            read_csv_trace(Cursor::new("0.1,5\n0.2,zero\n")).unwrap_err(),
+            TraceIoError::BadRecord(2, _)
+        ));
+        assert!(matches!(
+            read_csv_trace(Cursor::new("0.5,5\n0.1,5\n")).unwrap_err(),
+            TraceIoError::Inconsistent(_)
+        ));
+        assert!(matches!(
+            read_csv_trace(Cursor::new("0.1,5,extra\n")).unwrap_err(),
+            TraceIoError::BadRecord(1, _)
+        ));
+    }
+
+    #[test]
+    fn csv_import_empty_gives_empty_trace() {
+        let t = read_csv_trace(Cursor::new("arrival_s,length\n")).expect("read");
+        assert!(t.is_empty());
+        assert_eq!(t.horizon(), 1_000_000_000);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace(Cursor::new("bogus\n")).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_record() {
+        let text = "# arlo-trace v1 horizon_ns=100\n0 ten 5\n";
+        let err = read_trace(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadRecord(2, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_length() {
+        let text = "# arlo-trace v1 horizon_ns=100\n0 10 0\n";
+        let err = read_trace(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadRecord(_, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsorted_and_out_of_horizon() {
+        let text = "# arlo-trace v1 horizon_ns=100\n0 50 5\n1 10 5\n";
+        assert!(matches!(
+            read_trace(Cursor::new(text)).unwrap_err(),
+            TraceIoError::Inconsistent(_)
+        ));
+        let text = "# arlo-trace v1 horizon_ns=100\n0 500 5\n";
+        assert!(matches!(
+            read_trace(Cursor::new(text)).unwrap_err(),
+            TraceIoError::Inconsistent(_)
+        ));
+    }
+}

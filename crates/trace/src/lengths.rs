@@ -1,0 +1,616 @@
+//! Token-length distributions.
+//!
+//! The paper's workload is defined by the distribution of request lengths
+//! (Fig. 1): over ten-minute windows the Twitter trace has median 21 tokens
+//! and 98th percentile 72 with a maximum near 125, but over one-second
+//! windows the distribution fluctuates (p98 drops to ~58). §5 recalibrates
+//! the distribution to span a maximum length of 512 so that all eight
+//! Bert runtimes are exercised.
+//!
+//! This module provides the calibrated log-normal substitute
+//! ([`TwitterLengths`]), generic log-normal and empirical distributions, and
+//! an AR(1)-modulated wrapper that reproduces the short-term drift.
+
+use rand::RngCore;
+
+/// Draw a standard normal via the Box–Muller transform.
+///
+/// Implemented locally so the workspace does not need `rand_distr`; two
+/// uniform draws are consumed per call (we deliberately do not cache the
+/// second variate, keeping sampling stateless and reproducible under
+/// interleaving).
+pub fn sample_std_normal(rng: &mut dyn RngCore) -> f64 {
+    // Map u64 draws to (0, 1]; avoid ln(0).
+    let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw from `Exp(rate)` (mean `1/rate`), in the same unit as `1/rate`.
+pub fn sample_exponential(rng: &mut dyn RngCore, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    -u.ln() / rate
+}
+
+/// A source of request token-lengths.
+///
+/// Implementations may be time-varying: the workload generator invokes
+/// [`LengthDistribution::on_tick`] once for every wall-clock second crossed,
+/// letting distributions like [`ModulatedLengths`] drift the way the paper's
+/// Fig. 1b shows real traffic drifting.
+pub trait LengthDistribution {
+    /// Draw one request length in tokens (≥ 1).
+    fn sample(&mut self, rng: &mut dyn RngCore) -> u32;
+
+    /// Upper bound on lengths this distribution can produce.
+    fn max_length(&self) -> u32;
+
+    /// Called once per elapsed second of trace time, in order.
+    fn on_tick(&mut self, _second: u64, _rng: &mut dyn RngCore) {}
+}
+
+/// Log-normal token lengths, truncated to `[min, max]`.
+///
+/// Sampling rejects out-of-range draws up to a bounded number of attempts and
+/// then clamps, so the tail mass piles up at `max` exactly the way a
+/// tokenizer's hard truncation does in production.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogNormalLengths {
+    /// Mean of the underlying normal (`ln` median).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+    /// Minimum length (inclusive), at least 1.
+    pub min: u32,
+    /// Maximum length (inclusive) — the tokenizer truncation limit.
+    pub max: u32,
+}
+
+impl LogNormalLengths {
+    /// Construct from median and a `(percentile, value)` calibration point.
+    ///
+    /// E.g. `from_quantiles(21.0, 98.0, 72.0, 1, 125)` reproduces the paper's
+    /// reported Twitter statistics.
+    pub fn from_quantiles(median: f64, p: f64, value_at_p: f64, min: u32, max: u32) -> Self {
+        assert!(
+            median > 0.0 && value_at_p > median,
+            "need value_at_p > median > 0"
+        );
+        assert!(
+            (50.0..100.0).contains(&p),
+            "calibration percentile must be in (50, 100)"
+        );
+        assert!(min >= 1 && max > min, "need max > min >= 1");
+        let z = standard_normal_quantile(p / 100.0);
+        let mu = median.ln();
+        let sigma = (value_at_p.ln() - mu) / z;
+        LogNormalLengths {
+            mu,
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Return a copy whose lengths are scaled by `factor` (shifting `mu` by
+    /// `ln factor`) and truncated at `new_max` — the §5 recalibration that
+    /// stretches the 125-token Twitter trace to span 512.
+    pub fn rescaled(&self, factor: f64, new_max: u32) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        LogNormalLengths {
+            mu: self.mu + factor.ln(),
+            sigma: self.sigma,
+            min: self.min,
+            max: new_max,
+        }
+    }
+
+    fn sample_with_mu(&self, mu: f64, rng: &mut dyn RngCore) -> u32 {
+        const MAX_REJECTS: u32 = 32;
+        for _ in 0..MAX_REJECTS {
+            let x = (mu + self.sigma * sample_std_normal(rng)).exp();
+            let len = x.round();
+            if len >= self.min as f64 && len <= self.max as f64 {
+                return len as u32;
+            }
+        }
+        // Extremely unlikely unless the window is tiny; clamp deterministically.
+        let x = (mu).exp().round();
+        (x as u32).clamp(self.min, self.max)
+    }
+}
+
+impl LengthDistribution for LogNormalLengths {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> u32 {
+        self.sample_with_mu(self.mu, rng)
+    }
+
+    fn max_length(&self) -> u32 {
+        self.max
+    }
+}
+
+/// Calibrated substitutes for the Twitter production trace of the paper.
+///
+/// [`TwitterLengths::raw`] matches the reported raw statistics (median 21,
+/// p98 72, max ≈125); [`TwitterLengths::recalibrated`] applies the §5
+/// stretch to a 512-token span. Both are thin constructors around
+/// [`LogNormalLengths`].
+#[derive(Debug, Clone, Copy)]
+pub struct TwitterLengths;
+
+impl TwitterLengths {
+    /// Raw Twitter trace statistics: median 21 tokens, p98 = 72, max 125.
+    pub fn raw() -> LogNormalLengths {
+        LogNormalLengths::from_quantiles(21.0, 98.0, 72.0, 1, 125)
+    }
+
+    /// The paper's §5 recalibration: the same shape stretched so the maximum
+    /// length is `max` (512 in the evaluation).
+    pub fn recalibrated(max: u32) -> LogNormalLengths {
+        let raw = Self::raw();
+        raw.rescaled(max as f64 / raw.max as f64, max)
+    }
+}
+
+/// An empirical length distribution backed by a histogram of observed
+/// lengths. Sampling is `O(log n)` via a cumulative-weight table.
+///
+/// This is what a deployed Arlo builds from its recent request log and hands
+/// to the Runtime Scheduler (§3.3: "the history request distribution
+/// pattern").
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalLengths {
+    lengths: Vec<u32>,
+    cumulative: Vec<u64>,
+    max: u32,
+}
+
+impl EmpiricalLengths {
+    /// Build from `(length, count)` pairs. Panics if empty or all-zero.
+    pub fn from_histogram(hist: &[(u32, u64)]) -> Self {
+        let mut pairs: Vec<(u32, u64)> = hist.iter().copied().filter(|&(_, c)| c > 0).collect();
+        assert!(!pairs.is_empty(), "empty histogram");
+        pairs.sort_by_key(|&(l, _)| l);
+        let mut lengths = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut acc = 0u64;
+        for (l, c) in pairs {
+            assert!(l >= 1, "lengths must be >= 1");
+            acc = acc.checked_add(c).expect("histogram count overflow");
+            lengths.push(l);
+            cumulative.push(acc);
+        }
+        let max = *lengths.last().expect("non-empty");
+        EmpiricalLengths {
+            lengths,
+            cumulative,
+            max,
+        }
+    }
+
+    /// Build from raw observed lengths.
+    pub fn from_samples(samples: &[u32]) -> Self {
+        assert!(!samples.is_empty(), "empty sample set");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let mut hist: Vec<(u32, u64)> = Vec::new();
+        for &s in &sorted {
+            match hist.last_mut() {
+                Some((l, c)) if *l == s => *c += 1,
+                _ => hist.push((s, 1)),
+            }
+        }
+        Self::from_histogram(&hist)
+    }
+
+    /// Total number of observations behind the histogram.
+    pub fn total_count(&self) -> u64 {
+        *self.cumulative.last().expect("non-empty")
+    }
+
+    /// Probability mass at or below `len`.
+    pub fn cdf(&self, len: u32) -> f64 {
+        let idx = self.lengths.partition_point(|&l| l <= len);
+        if idx == 0 {
+            0.0
+        } else {
+            self.cumulative[idx - 1] as f64 / self.total_count() as f64
+        }
+    }
+}
+
+impl LengthDistribution for EmpiricalLengths {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> u32 {
+        let total = self.total_count();
+        let target = rng.next_u64() % total + 1; // uniform in [1, total]
+        let idx = self.cumulative.partition_point(|&c| c < target);
+        self.lengths[idx]
+    }
+
+    fn max_length(&self) -> u32 {
+        self.max
+    }
+}
+
+/// Bounded Pareto token lengths: `P(L > x) ∝ (min/x)^alpha` truncated at
+/// `max` — the heavy document tails of search/RAG corpora, heavier than any
+/// log-normal. Sampled by inverse transform of the truncated CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoLengths {
+    /// Scale (minimum length, ≥ 1).
+    pub min: u32,
+    /// Tail exponent α (> 0; smaller = heavier tail).
+    pub alpha: f64,
+    /// Truncation limit (> min).
+    pub max: u32,
+}
+
+impl ParetoLengths {
+    /// Create a bounded Pareto distribution.
+    pub fn new(min: u32, alpha: f64, max: u32) -> Self {
+        assert!(min >= 1, "min must be >= 1");
+        assert!(max > min, "max must exceed min");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        ParetoLengths { min, alpha, max }
+    }
+}
+
+impl LengthDistribution for ParetoLengths {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> u32 {
+        // Inverse transform for the bounded Pareto:
+        // x = (l^a / (1 − u·(1 − (l/h)^a)))^(1/a), u ∈ [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let l = f64::from(self.min);
+        let h = f64::from(self.max);
+        let la = l.powf(self.alpha);
+        let ratio = (l / h).powf(self.alpha);
+        let x = (la / (1.0 - u * (1.0 - ratio))).powf(1.0 / self.alpha);
+        (x.round() as u32).clamp(self.min, self.max)
+    }
+
+    fn max_length(&self) -> u32 {
+        self.max
+    }
+}
+
+/// A log-normal distribution whose location parameter drifts as an AR(1)
+/// process, ticked once per second.
+///
+/// `offset[t] = rho * offset[t-1] + step_std * N(0,1)`, applied to `mu`.
+/// This reproduces the paper's Fig. 1 observation that one-second windows
+/// have visibly different length distributions even though the ten-minute
+/// aggregate is stable: the long-run offset distribution is
+/// `N(0, step_std² / (1 − rho²))`, so the aggregate stays centred on the
+/// calibrated `mu`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModulatedLengths {
+    base: LogNormalLengths,
+    /// AR(1) persistence in `[0, 1)`.
+    pub rho: f64,
+    /// Innovation standard deviation applied to `mu` each second.
+    pub step_std: f64,
+    offset: f64,
+    last_second: Option<u64>,
+}
+
+impl ModulatedLengths {
+    /// Wrap `base` with AR(1) drift parameters.
+    pub fn new(base: LogNormalLengths, rho: f64, step_std: f64) -> Self {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        assert!(step_std >= 0.0, "step_std must be non-negative");
+        ModulatedLengths {
+            base,
+            rho,
+            step_std,
+            offset: 0.0,
+            last_second: None,
+        }
+    }
+
+    /// The paper-calibrated default: recalibrated Twitter lengths with mild
+    /// per-second drift (rho = 0.9, step ≈ 0.09 ⇒ stationary std ≈ 0.2 on mu,
+    /// i.e. per-second medians wander ±20% like Fig. 1b).
+    pub fn twitter_bursty_default(max: u32) -> Self {
+        Self::new(TwitterLengths::recalibrated(max), 0.9, 0.09)
+    }
+
+    /// Current AR(1) offset on `mu` (for tests and introspection).
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The wrapped base distribution.
+    pub fn base(&self) -> &LogNormalLengths {
+        &self.base
+    }
+}
+
+impl LengthDistribution for ModulatedLengths {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> u32 {
+        let mu = self.base.mu + self.offset;
+        self.base.sample_with_mu(mu, rng)
+    }
+
+    fn max_length(&self) -> u32 {
+        self.base.max
+    }
+
+    fn on_tick(&mut self, second: u64, rng: &mut dyn RngCore) {
+        // Ticks may skip seconds in sparse traces; advance the AR(1) chain
+        // one step per elapsed second so the drift rate is time-scaled.
+        let steps = match self.last_second {
+            None => 1,
+            Some(prev) if second > prev => second - prev,
+            Some(_) => 0,
+        };
+        for _ in 0..steps {
+            self.offset = self.rho * self.offset + self.step_std * sample_std_normal(rng);
+        }
+        self.last_second = Some(second);
+    }
+}
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 — far below what trace calibration needs).
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::percentile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw(dist: &mut dyn LengthDistribution, n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!(standard_normal_quantile(0.5).abs() < 1e-9);
+        assert!((standard_normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((standard_normal_quantile(0.98) - 2.053749).abs() < 1e-4);
+        assert!((standard_normal_quantile(0.02) + 2.053749).abs() < 1e-4);
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_std_normal(&mut rng)).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let v = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - 1.0).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rate = 4.0;
+        let n = 100_000;
+        let m: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, rate))
+            .sum::<f64>()
+            / n as f64;
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn twitter_raw_matches_paper_quantiles() {
+        let mut dist = TwitterLengths::raw();
+        let samples = draw(&mut dist, 100_000, 3);
+        let f: Vec<f64> = samples.iter().map(|&l| f64::from(l)).collect();
+        let p50 = percentile(&f, 50.0);
+        let p98 = percentile(&f, 98.0);
+        assert!((p50 - 21.0).abs() <= 1.5, "median {p50}, paper reports 21");
+        assert!((p98 - 72.0).abs() <= 4.0, "p98 {p98}, paper reports 72");
+        assert!(samples.iter().all(|&l| (1..=125).contains(&l)));
+    }
+
+    #[test]
+    fn twitter_recalibrated_spans_512() {
+        let mut dist = TwitterLengths::recalibrated(512);
+        assert_eq!(dist.max_length(), 512);
+        let samples = draw(&mut dist, 100_000, 4);
+        let f: Vec<f64> = samples.iter().map(|&l| f64::from(l)).collect();
+        // Median scales by 512/125 = 4.096 ⇒ ~86.
+        let p50 = percentile(&f, 50.0);
+        assert!((p50 - 86.0).abs() <= 6.0, "median {p50}");
+        assert!(
+            samples.iter().any(|&l| l > 256),
+            "tail should exercise long runtimes"
+        );
+        assert!(samples.iter().all(|&l| l <= 512));
+    }
+
+    #[test]
+    fn lognormal_respects_bounds() {
+        let mut dist = LogNormalLengths {
+            mu: 3.0,
+            sigma: 1.5,
+            min: 5,
+            max: 50,
+        };
+        let samples = draw(&mut dist, 20_000, 5);
+        assert!(samples.iter().all(|&l| (5..=50).contains(&l)));
+    }
+
+    #[test]
+    fn rescaled_shifts_median() {
+        let base = TwitterLengths::raw();
+        let scaled = base.rescaled(2.0, 250);
+        assert!((scaled.median() - 2.0 * base.median()).abs() < 1e-9);
+        assert_eq!(scaled.max, 250);
+        assert!((scaled.sigma - base.sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "value_at_p > median")]
+    fn from_quantiles_rejects_inverted() {
+        LogNormalLengths::from_quantiles(50.0, 98.0, 20.0, 1, 125);
+    }
+
+    #[test]
+    fn empirical_matches_histogram() {
+        let mut dist =
+            EmpiricalLengths::from_histogram(&[(10, 700), (20, 200), (30, 100), (40, 0)]);
+        assert_eq!(dist.max_length(), 30);
+        assert_eq!(dist.total_count(), 1000);
+        let samples = draw(&mut dist, 50_000, 6);
+        let n10 = samples.iter().filter(|&&l| l == 10).count() as f64 / 50_000.0;
+        let n20 = samples.iter().filter(|&&l| l == 20).count() as f64 / 50_000.0;
+        assert!((n10 - 0.7).abs() < 0.02, "{n10}");
+        assert!((n20 - 0.2).abs() < 0.02, "{n20}");
+        assert!((dist.cdf(10) - 0.7).abs() < 1e-12);
+        assert!((dist.cdf(29) - 0.9).abs() < 1e-12);
+        assert_eq!(dist.cdf(9), 0.0);
+        assert_eq!(dist.cdf(30), 1.0);
+    }
+
+    #[test]
+    fn empirical_from_samples_round_trips() {
+        let raw = [3u32, 3, 3, 7, 7, 9];
+        let dist = EmpiricalLengths::from_samples(&raw);
+        assert_eq!(dist.total_count(), 6);
+        assert!((dist.cdf(3) - 0.5).abs() < 1e-12);
+        assert!((dist.cdf(7) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empirical_rejects_empty() {
+        EmpiricalLengths::from_histogram(&[(10, 0)]);
+    }
+
+    #[test]
+    fn pareto_respects_bounds_and_tail() {
+        let mut dist = ParetoLengths::new(8, 1.2, 512);
+        let samples = draw(&mut dist, 50_000, 10);
+        assert!(samples.iter().all(|&l| (8..=512).contains(&l)));
+        // Heavier tail than an equal-median log-normal: compare the mass
+        // above 10× the minimum.
+        let heavy = samples.iter().filter(|&&l| l >= 80).count() as f64 / 50_000.0;
+        assert!(heavy > 0.05, "Pareto tail too light: {heavy}");
+        // The analytic bounded-Pareto median: F(x) = 0.5.
+        let med = crate::stats::percentile(
+            &samples.iter().map(|&l| f64::from(l)).collect::<Vec<_>>(),
+            50.0,
+        );
+        // F(x) = (1 − (l/x)^a) / (1 − (l/h)^a); solve for 0.5 numerically.
+        let (l, h, a) = (8.0f64, 512.0f64, 1.2f64);
+        let denom = 1.0 - (l / h).powf(a);
+        let analytic = (l.powf(a) / (1.0 - 0.5 * denom)).powf(1.0 / a);
+        assert!(
+            (med - analytic).abs() / analytic < 0.1,
+            "median {med} vs {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max must exceed min")]
+    fn pareto_rejects_degenerate_range() {
+        ParetoLengths::new(10, 1.0, 10);
+    }
+
+    #[test]
+    fn modulated_long_run_matches_base() {
+        let mut dist = ModulatedLengths::twitter_bursty_default(512);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut samples = Vec::new();
+        // 600 "seconds" of 100 samples each — the long-run aggregate should
+        // stay near the calibrated median.
+        for sec in 0..600 {
+            dist.on_tick(sec, &mut rng);
+            for _ in 0..100 {
+                samples.push(f64::from(dist.sample(&mut rng)));
+            }
+        }
+        let p50 = percentile(&samples, 50.0);
+        assert!((p50 - 86.0).abs() < 12.0, "long-run median {p50}");
+    }
+
+    #[test]
+    fn modulated_short_windows_differ() {
+        // Per-second medians should wander more than iid sampling noise:
+        // the Fig. 1 inconsistency.
+        let mut dist = ModulatedLengths::twitter_bursty_default(512);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut medians = Vec::new();
+        for sec in 0..200 {
+            dist.on_tick(sec, &mut rng);
+            let w: Vec<f64> = (0..200).map(|_| f64::from(dist.sample(&mut rng))).collect();
+            medians.push(percentile(&w, 50.0));
+        }
+        let spread = crate::stats::std_dev(&medians) / crate::stats::mean(&medians);
+        assert!(spread > 0.05, "per-second medians too stable: cv {spread}");
+    }
+
+    #[test]
+    fn modulated_tick_skips_advance_chain() {
+        let mut dist = ModulatedLengths::new(TwitterLengths::raw(), 0.5, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        dist.on_tick(0, &mut rng);
+        let o1 = dist.offset();
+        dist.on_tick(10, &mut rng); // skipped 10 seconds ⇒ offset decorrelates
+        let o2 = dist.offset();
+        assert_ne!(o1, o2);
+        // Re-ticking the same second is a no-op.
+        dist.on_tick(10, &mut rng);
+        assert_eq!(dist.offset(), o2);
+    }
+}

@@ -1,0 +1,120 @@
+//! # arlo-trace — workload traces for Arlo
+//!
+//! The Arlo paper (ICPP 2024) evaluates its serving scheduler on Twitter's
+//! production text trace: requests whose *lengths* follow a heavy-tailed
+//! distribution (median 21 tokens, 98th percentile 72, maximum ≈125) and whose
+//! *arrivals* are synthesized per second as either a Poisson process
+//! ("Twitter-Stable") or a two-state Markov-modulated Poisson process
+//! ("Twitter-Bursty").
+//!
+//! That trace is not publicly redistributable in tokenized form, so this crate
+//! provides a fully synthetic, statistically calibrated substitute:
+//!
+//! * [`lengths`] — token-length distributions: log-normal calibrated to the
+//!   paper's reported quantiles, empirical histograms, recalibration to a
+//!   larger span (the paper stretches the 125-token trace to 512), and an
+//!   AR(1)-modulated wrapper reproducing the short-term/long-term
+//!   distribution inconsistency of the paper's Fig. 1.
+//! * [`arrivals`] — arrival processes: Poisson, 2-state MMPP, deterministic,
+//!   and replay of recorded timestamps.
+//! * [`workload`] — request records, trace specification and synthesis.
+//! * [`stats`] — CDFs, percentiles, and summary statistics used throughout
+//!   the evaluation harness.
+//! * [`analysis`] — burstiness and length-drift diagnostics (dispersion
+//!   index, drift autocorrelation) validating the paper's workload claims.
+//! * [`io`] — a small, dependency-free text serialization for traces.
+//!
+//! All randomness flows through caller-provided [`rand::Rng`] instances, so
+//! every experiment in the repository is reproducible bit-for-bit from a seed.
+//!
+//! ```
+//! use arlo_trace::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let spec = TraceSpec::twitter_stable(1_000.0, 10.0); // 1k req/s for 10 s
+//! let trace = spec.generate(&mut rng);
+//! assert!(!trace.is_empty());
+//! let p50 = percentile(&trace.lengths_f64(), 50.0);
+//! // Recalibrated to a 512-token span (§5): median ≈ 21 × 512/125 ≈ 86.
+//! assert!(p50 > 40.0 && p50 < 160.0);
+//! ```
+
+pub mod analysis;
+pub mod arrivals;
+pub mod io;
+pub mod lengths;
+pub mod stats;
+pub mod workload;
+
+/// Simulation timestamps are integer nanoseconds since trace start.
+pub type Nanos = u64;
+
+/// Nanoseconds per second, for conversions at API boundaries.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// Nanoseconds per millisecond.
+pub const NANOS_PER_MS: u64 = 1_000_000;
+
+/// Convert seconds (f64) to integer nanoseconds, saturating at zero.
+#[inline]
+pub fn secs_to_nanos(secs: f64) -> Nanos {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs * NANOS_PER_SEC as f64).round() as Nanos
+    }
+}
+
+/// Convert integer nanoseconds to seconds (f64).
+#[inline]
+pub fn nanos_to_secs(nanos: Nanos) -> f64 {
+    nanos as f64 / NANOS_PER_SEC as f64
+}
+
+/// Convert integer nanoseconds to milliseconds (f64) — the latency unit used
+/// in the paper's figures.
+#[inline]
+pub fn nanos_to_ms(nanos: Nanos) -> f64 {
+    nanos as f64 / NANOS_PER_MS as f64
+}
+
+/// Convert milliseconds (f64) to integer nanoseconds, saturating at zero.
+#[inline]
+pub fn ms_to_nanos(ms: f64) -> Nanos {
+    if ms <= 0.0 {
+        0
+    } else {
+        (ms * NANOS_PER_MS as f64).round() as Nanos
+    }
+}
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::analysis::{dispersion_index, length_drift_cv, TraceProfile};
+    pub use crate::arrivals::{ArrivalProcess, Deterministic, Diurnal, Mmpp, Poisson, Replay};
+    pub use crate::lengths::{
+        EmpiricalLengths, LengthDistribution, LogNormalLengths, ModulatedLengths, ParetoLengths,
+        TwitterLengths,
+    };
+    pub use crate::stats::{percentile, wasted_flops_fraction, Cdf, Summary, TimeWeighted};
+    pub use crate::workload::{ArrivalSpec, LengthSpec, Request, RequestId, Trace, TraceSpec};
+    pub use crate::{ms_to_nanos, nanos_to_ms, nanos_to_secs, secs_to_nanos, Nanos};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_round_trip() {
+        assert_eq!(secs_to_nanos(1.0), NANOS_PER_SEC);
+        assert_eq!(secs_to_nanos(0.0), 0);
+        assert_eq!(secs_to_nanos(-5.0), 0);
+        assert_eq!(ms_to_nanos(1.0), NANOS_PER_MS);
+        assert_eq!(ms_to_nanos(-1.0), 0);
+        let ns = secs_to_nanos(3.25);
+        assert!((nanos_to_secs(ns) - 3.25).abs() < 1e-9);
+        assert!((nanos_to_ms(ms_to_nanos(12.5)) - 12.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Auto-scaling under highly varying load (the Fig. 8 scenario).
+//!
+//! Start a Bert-Large stream on 5 GPUs with the paper's §4 target-tracking
+//! scaler (scale out when recent p98 ≥ 95% of the SLO; scale in below 50%,
+//! checked every 60 s) and drive it with a Twitter-Bursty trace. Arlo's
+//! length-aware allocation serves the same traffic with fewer time-weighted
+//! GPUs than the single-runtime schemes.
+//!
+//! ```sh
+//! cargo run --release --example autoscaling_cluster
+//! ```
+
+use arlo::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLO_MS: f64 = 450.0;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(88);
+    let trace = TraceSpec::twitter_bursty(380.0, 600.0).generate(&mut rng);
+    println!(
+        "bursty stream: {} requests over {:.0} s (mean {:.0}/s)",
+        trace.len(),
+        nanos_to_secs(trace.horizon()),
+        trace.mean_rate()
+    );
+
+    let auto = AutoScaleConfig::paper_default(2, 25);
+    println!(
+        "\n{:8} {:>16} {:>10} {:>10} {:>12}",
+        "scheme", "time-wtd GPUs", "mean ms", "p98 ms", "SLO viol %"
+    );
+    for spec in [
+        SystemSpec::arlo(ModelSpec::bert_large(), 5, SLO_MS).with_autoscale(auto),
+        SystemSpec::dt(ModelSpec::bert_large(), 5, SLO_MS).with_autoscale(auto),
+        SystemSpec::infaas(ModelSpec::bert_large(), 5, SLO_MS).with_autoscale(auto),
+        SystemSpec::st(ModelSpec::bert_large(), 5, SLO_MS).with_autoscale(auto),
+    ] {
+        let report = spec.run(&trace);
+        let s = report.latency_summary();
+        println!(
+            "{:8} {:>16.2} {:>10.2} {:>10.2} {:>11.2}%",
+            spec.name,
+            report.time_weighted_gpus(),
+            s.mean,
+            s.p98,
+            report.slo_violation_rate(SLO_MS) * 100.0
+        );
+    }
+
+    // A compressed day/night cycle (diurnal arrivals): the scaler should
+    // follow the sinusoid — out on the rising edge, in on the falling one.
+    let mut rng2 = StdRng::seed_from_u64(99);
+    let diurnal = TraceSpec::twitter_diurnal(450.0, 300.0, 600.0).generate(&mut rng2);
+    println!(
+        "\ndiurnal stress: {} requests, rate swinging {:.0}–{:.0} req/s over 300 s cycles",
+        diurnal.len(),
+        450.0 * 0.4,
+        450.0 * 1.6
+    );
+    let spec = SystemSpec::arlo(ModelSpec::bert_large(), 5, SLO_MS).with_autoscale(auto);
+    let dreport = spec.run(&diurnal);
+    let s = dreport.latency_summary();
+    println!(
+        "Arlo under diurnal load: time-weighted {:.1} GPUs, mean {:.1} ms, p98 {:.1} ms, viol {:.2}%",
+        dreport.time_weighted_gpus(),
+        s.mean,
+        s.p98,
+        dreport.slo_violation_rate(SLO_MS) * 100.0
+    );
+
+    // GPU-count trajectory for Arlo, sampled every 15 s.
+    let arlo = SystemSpec::arlo(ModelSpec::bert_large(), 5, SLO_MS).with_autoscale(auto);
+    let report = arlo.run(&trace);
+    println!("\nArlo GPU count over time:");
+    for t in (0..=600).step_by(50) {
+        let from = secs_to_nanos(t as f64);
+        let to = secs_to_nanos((t + 50) as f64);
+        let g = report.gpu_timeline.average(from, to);
+        if g.is_finite() {
+            let bar = "#".repeat(g.round() as usize);
+            println!("  t={t:>3}s  {g:>5.1} {bar}");
+        }
+    }
+}

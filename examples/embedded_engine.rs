@@ -1,0 +1,117 @@
+//! Embedding Arlo into your own serving loop (no simulator).
+//!
+//! This is the integration path the paper describes ("works with existing
+//! serving systems", §1): your server owns the GPUs, the request intake and
+//! the clock; [`ArloEngine`] owns only the decisions — which instance each
+//! request runs on, and when the fleet's runtime mix should change. Here a
+//! minimal single-threaded event loop plays the embedder: it "executes"
+//! requests by advancing virtual per-instance clocks using the profiled
+//! latencies.
+//!
+//! ```sh
+//! cargo run --release --example embedded_engine
+//! ```
+
+use arlo::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+const SLO_MS: f64 = 150.0;
+const GPUS: u32 = 8;
+
+fn main() {
+    // Offline stage: compile and profile the natural Bert-Base family.
+    let model = ModelSpec::bert_base();
+    let family = RuntimeSet::natural(model.clone());
+    let profiles = profile_runtimes(&family.compile(), SLO_MS, 512);
+    println!(
+        "offline: {} runtimes at lengths {:?}",
+        profiles.len(),
+        family.lengths()
+    );
+
+    // Start even — the engine will reshape the fleet from observed demand.
+    let initial = vec![1, 1, 1, 1, 1, 1, 1, 1];
+    let engine = ArloEngine::new(
+        profiles.clone(),
+        initial,
+        EngineConfig::paper_default(SLO_MS),
+    );
+
+    // The embedder's world: per-(generation, runtime, instance) virtual
+    // busy-until clocks, and a completion queue.
+    let mut rng = StdRng::seed_from_u64(7);
+    let trace = TraceSpec::twitter_stable(1200.0, 300.0).generate(&mut rng);
+    println!("driving {} requests through the engine…", trace.len());
+
+    let mut busy_until: std::collections::HashMap<(u64, usize, usize), Nanos> =
+        std::collections::HashMap::new();
+    let mut completions: BinaryHeap<std::cmp::Reverse<(Nanos, u64, usize, usize)>> =
+        BinaryHeap::new();
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut plans_applied = 0u32;
+
+    for req in trace.requests() {
+        let now = req.arrival;
+        // Drain completions that finished before this arrival.
+        while let Some(&std::cmp::Reverse((t, generation, rt, inst))) = completions.peek() {
+            if t > now {
+                break;
+            }
+            completions.pop();
+            engine.complete(Placement {
+                generation,
+                runtime_idx: rt,
+                instance_idx: inst,
+            });
+        }
+        // Periodic Runtime Scheduler invocation: the embedder applies the
+        // replacement plan to its fleet (here: instantly — a real host
+        // drains and reloads in small batches) and confirms.
+        if let Some(plan) = engine.maybe_reallocate(now, GPUS) {
+            println!(
+                "  t={:>5.0}s reallocate → {:?} (Δ {:?})",
+                nanos_to_secs(now),
+                plan.target,
+                plan.delta
+            );
+            engine.apply_allocation(&plan);
+            busy_until.clear(); // the old fleet is gone
+            plans_applied += 1;
+        }
+        // Dispatch.
+        let Some(p) = engine.submit(req.length, now) else {
+            continue; // over the model limit (cannot happen with this trace)
+        };
+        let key = (p.generation, p.runtime_idx, p.instance_idx);
+        let start = (*busy_until.get(&key).unwrap_or(&0)).max(now);
+        let exec = profiles[p.runtime_idx].runtime.exec_nanos(req.length);
+        let done = start + exec;
+        busy_until.insert(key, done);
+        completions.push(std::cmp::Reverse((
+            done,
+            p.generation,
+            p.runtime_idx,
+            p.instance_idx,
+        )));
+        latencies.push((done - now) as f64 / 1e6 + 0.8);
+    }
+
+    let s = Summary::from_samples(&latencies);
+    let viol = latencies.iter().filter(|&&l| l > SLO_MS).count() as f64 / latencies.len() as f64;
+    println!(
+        "\nserved {} requests through {} deployment generations",
+        latencies.len(),
+        plans_applied + 1
+    );
+    println!(
+        "latency: mean {:.2} ms, p50 {:.2}, p98 {:.2}, SLO violations {:.2}%",
+        s.mean,
+        s.p50,
+        s.p98,
+        viol * 100.0
+    );
+    let (generation, counts) = engine.deployment();
+    println!("final deployment (gen {generation}): {counts:?}");
+}

@@ -1,0 +1,378 @@
+//! `arlo` — the command-line front door to the library.
+//!
+//! A dependency-free CLI (hand-rolled argument parsing, no clap) exposing
+//! the workflows a downstream user reaches for first:
+//!
+//! ```text
+//! arlo gen-trace   --rate 1500 --secs 30 [--bursty] [--seed 7] [--out trace.txt]
+//! arlo analyze     --trace trace.txt
+//! arlo simulate    --scheme arlo|st|dt|infaas --model bert-base|bert-large
+//!                  --gpus 10 [--slo-ms 150] (--trace t.txt | --rate 1500 --secs 30)
+//! arlo compare     --model bert-base --gpus 10 --rate 1500 --secs 30
+//! arlo plan        --model bert-base --gpus 10 --rate 1500 --secs 30
+//! arlo profile     --model bert-large [--slo-ms 450]
+//! ```
+
+use arlo::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gen-trace" => cmd_gen_trace(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "compare" => cmd_compare(&flags),
+        "plan" => cmd_plan(&flags),
+        "profile" => cmd_profile(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+arlo — serve Transformer LMs with dynamic input lengths (ICPP'24 reproduction)
+
+USAGE:
+  arlo gen-trace  --rate <req/s> --secs <s> [--bursty] [--seed <n>] [--out <file>]
+  arlo analyze    --trace <file>
+  arlo simulate   --scheme <arlo|st|dt|infaas> --model <bert-base|bert-large>
+                  --gpus <n> [--slo-ms <ms>] (--trace <file> | --rate <r> --secs <s>)
+                  [--bursty] [--seed <n>] [--csv <file>]
+  arlo compare    --model <m> --gpus <n> [--slo-ms <ms>] --rate <r> --secs <s> [--bursty]
+  arlo plan       --model <m> --gpus <n> [--slo-ms <ms>] --rate <r> --secs <s>
+  arlo profile    --model <m> [--slo-ms <ms>]";
+
+type Flags = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Flags)> {
+    let mut it = args.iter();
+    let command = it.next()?.clone();
+    let mut flags = Flags::new();
+    let mut key: Option<String> = None;
+    for arg in it {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            if let Some(k) = key.take() {
+                flags.insert(k, "true".into()); // boolean flag
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(k) = key.take() {
+            flags.insert(k, arg.clone());
+        } else {
+            return None; // positional arguments are not used
+        }
+    }
+    if let Some(k) = key {
+        flags.insert(k, "true".into());
+    }
+    Some((command, flags))
+}
+
+fn req<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn num<T: std::str::FromStr>(flags: &Flags, key: &str) -> Result<T, String> {
+    req(flags, key)?
+        .parse()
+        .map_err(|_| format!("--{key} expects a number"))
+}
+
+fn num_or<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number")),
+    }
+}
+
+fn model_of(flags: &Flags) -> Result<ModelSpec, String> {
+    match req(flags, "model")? {
+        "bert-base" => Ok(ModelSpec::bert_base()),
+        "bert-large" => Ok(ModelSpec::bert_large()),
+        "dolly" => Ok(ModelSpec::dolly()),
+        other => Err(format!(
+            "unknown model {other:?} (bert-base | bert-large | dolly)"
+        )),
+    }
+}
+
+fn default_slo(model: &ModelSpec) -> f64 {
+    // The paper's per-model SLOs: 150 ms Bert-Base, 450 ms Bert-Large.
+    if model.name.contains("large") || model.name.contains("dolly") {
+        450.0
+    } else {
+        150.0
+    }
+}
+
+fn build_trace(flags: &Flags) -> Result<Trace, String> {
+    if let Some(path) = flags.get("trace") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let reader = std::io::BufReader::new(file);
+        // `.csv` files use the interop format (arrival_seconds,length);
+        // everything else the native v1 trace format.
+        return if path.ends_with(".csv") {
+            arlo::trace::io::read_csv_trace(reader).map_err(|e| e.to_string())
+        } else {
+            arlo::trace::io::read_trace(reader).map_err(|e| e.to_string())
+        };
+    }
+    let rate: f64 = num(flags, "rate")?;
+    let secs: f64 = num(flags, "secs")?;
+    let seed: u64 = num_or(flags, "seed", 42)?;
+    let spec = if flags.contains_key("bursty") {
+        TraceSpec::twitter_bursty(rate, secs)
+    } else {
+        TraceSpec::twitter_stable(rate, secs)
+    };
+    Ok(spec.generate(&mut StdRng::seed_from_u64(seed)))
+}
+
+fn cmd_gen_trace(flags: &Flags) -> Result<(), String> {
+    let trace = build_trace(flags)?;
+    match flags.get("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            arlo::trace::io::write_trace(&trace, std::io::BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            println!("wrote {} requests to {path}", trace.len());
+        }
+        None => {
+            arlo::trace::io::write_trace(&trace, std::io::stdout().lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let trace = build_trace(flags)?;
+    let p = TraceProfile::of(&trace);
+    println!("requests            {}", trace.len());
+    println!("mean rate           {:.1} req/s", p.mean_rate);
+    println!(
+        "lengths             p50 {:.0} / p90 {:.0} / p98 {:.0} / max {:.0} tokens",
+        p.lengths.p50, p.lengths.p90, p.lengths.p98, p.lengths.max
+    );
+    println!(
+        "burstiness          dispersion {:.2} ({}), lag-1 autocorr {:.2}",
+        p.dispersion,
+        if p.dispersion > 1.5 {
+            "bursty"
+        } else {
+            "Poisson-like"
+        },
+        p.arrival_ac1
+    );
+    println!(
+        "length drift        cv {:.3}, lag-10 autocorr {:.2} ({})",
+        p.drift_cv,
+        p.drift_ac10,
+        if p.drift_ac10 > 0.3 {
+            "coherent drift — periodic reallocation pays"
+        } else {
+            "stationary"
+        }
+    );
+    Ok(())
+}
+
+fn scheme_of(flags: &Flags, model: ModelSpec, gpus: u32, slo: f64) -> Result<SystemSpec, String> {
+    match req(flags, "scheme")? {
+        "arlo" => Ok(SystemSpec::arlo(model, gpus, slo)),
+        "st" => Ok(SystemSpec::st(model, gpus, slo)),
+        "dt" => Ok(SystemSpec::dt(model, gpus, slo)),
+        "infaas" => Ok(SystemSpec::infaas(model, gpus, slo)),
+        other => Err(format!(
+            "unknown scheme {other:?} (arlo | st | dt | infaas)"
+        )),
+    }
+}
+
+fn print_report(name: &str, report: &arlo::sim::metrics::SimReport, slo: f64) {
+    let s = report.latency_summary();
+    println!(
+        "{name:8} mean {:8.2} ms   p50 {:8.2}   p98 {:8.2}   p99 {:8.2}   SLO viol {:.2}%",
+        s.mean,
+        s.p50,
+        s.p98,
+        s.p99,
+        report.slo_violation_rate(slo) * 100.0
+    );
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let model = model_of(flags)?;
+    let gpus: u32 = num(flags, "gpus")?;
+    let slo: f64 = num_or(flags, "slo-ms", default_slo(&model))?;
+    let spec = scheme_of(flags, model, gpus, slo)?;
+    let trace = build_trace(flags)?;
+    println!(
+        "simulating {} on {gpus} GPUs, SLO {slo} ms, {} requests…",
+        spec.name,
+        trace.len()
+    );
+    let report = spec.run(&trace);
+    print_report(&spec.name, &report, slo);
+    println!("requests per runtime: {:?}", report.per_runtime_counts());
+    if let Some(path) = flags.get("csv") {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        report
+            .write_csv(std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        println!("wrote per-request CSV to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    let model = model_of(flags)?;
+    let gpus: u32 = num(flags, "gpus")?;
+    let slo: f64 = num_or(flags, "slo-ms", default_slo(&model))?;
+    let trace = build_trace(flags)?;
+    println!(
+        "comparing schemes on {gpus} GPUs, SLO {slo} ms, {} requests…",
+        trace.len()
+    );
+    for spec in [
+        SystemSpec::arlo(model.clone(), gpus, slo),
+        SystemSpec::st(model.clone(), gpus, slo),
+        SystemSpec::dt(model.clone(), gpus, slo),
+        SystemSpec::infaas(model.clone(), gpus, slo),
+    ] {
+        let report = spec.run(&trace);
+        print_report(&spec.name, &report, slo);
+    }
+    Ok(())
+}
+
+fn cmd_plan(flags: &Flags) -> Result<(), String> {
+    let model = model_of(flags)?;
+    let gpus: u32 = num(flags, "gpus")?;
+    let slo: f64 = num_or(flags, "slo-ms", default_slo(&model))?;
+    let trace = build_trace(flags)?;
+    let spec = SystemSpec::arlo(model, gpus, slo);
+    let profiles = spec.build_profiles();
+    let demand = SystemSpec::provisioning_demand(&profiles, &trace, slo, 0.95);
+    let alloc = spec.initial_allocation(&profiles, &trace);
+    println!("runtime allocation plan ({gpus} GPUs, SLO {slo} ms):");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "max_len", "exec ms", "Q (p95/SLO)", "GPUs"
+    );
+    for ((profile, q), n) in profiles.iter().zip(&demand).zip(&alloc) {
+        println!(
+            "{:>10} {:>10.2} {:>12.1} {:>10}",
+            profile.max_length(),
+            profile.exec_ms,
+            q,
+            n
+        );
+    }
+    Ok(())
+}
+
+fn cmd_profile(flags: &Flags) -> Result<(), String> {
+    let model = model_of(flags)?;
+    let slo: f64 = num_or(flags, "slo-ms", default_slo(&model))?;
+    let set = RuntimeSet::natural(model.clone());
+    let profiles = profile_runtimes(&set.compile(), slo, 512);
+    println!(
+        "{} — staircase step {} tokens, {} runtimes, SLO {slo} ms",
+        model.name,
+        detect_step(&model),
+        profiles.len()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "max_len", "static ms", "dynamic ms", "capacity/SLO"
+    );
+    for p in &profiles {
+        let len = p.max_length();
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>14}",
+            len,
+            model.static_latency_ms(len),
+            model.dynamic_latency_ms(len),
+            p.capacity_within_slo
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_booleans() {
+        let args: Vec<String> = ["simulate", "--gpus", "10", "--bursty", "--rate", "1500"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (cmd, flags) = parse(&args).expect("parses");
+        assert_eq!(cmd, "simulate");
+        assert_eq!(flags.get("gpus").map(String::as_str), Some("10"));
+        assert_eq!(flags.get("bursty").map(String::as_str), Some("true"));
+        assert_eq!(flags.get("rate").map(String::as_str), Some("1500"));
+    }
+
+    #[test]
+    fn trailing_boolean_flag() {
+        let args: Vec<String> = ["gen-trace", "--bursty"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (_, flags) = parse(&args).expect("parses");
+        assert_eq!(flags.get("bursty").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let args: Vec<String> = ["simulate", "oops"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_none());
+    }
+
+    #[test]
+    fn numeric_flag_helpers() {
+        let mut flags = Flags::new();
+        flags.insert("gpus".into(), "8".into());
+        assert_eq!(num::<u32>(&flags, "gpus").expect("ok"), 8);
+        assert!(num::<u32>(&flags, "missing").is_err());
+        assert_eq!(num_or::<f64>(&flags, "slo-ms", 150.0).expect("ok"), 150.0);
+        flags.insert("bad".into(), "x".into());
+        assert!(num::<u32>(&flags, "bad").is_err());
+    }
+
+    #[test]
+    fn model_and_slo_defaults() {
+        let mut flags = Flags::new();
+        flags.insert("model".into(), "bert-large".into());
+        let m = model_of(&flags).expect("known model");
+        assert_eq!(default_slo(&m), 450.0);
+        flags.insert("model".into(), "bert-base".into());
+        assert_eq!(default_slo(&model_of(&flags).expect("ok")), 150.0);
+        flags.insert("model".into(), "gpt-5".into());
+        assert!(model_of(&flags).is_err());
+    }
+}

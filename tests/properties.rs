@@ -1,0 +1,304 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use arlo::prelude::*;
+use arlo_solver::problem::RuntimeInput;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn burst_map(exec_ms: f64, m: usize) -> BatchLatencyMap {
+    BatchLatencyMap::from_measurements(
+        (1..=m.max(1))
+            .map(|b| exec_ms * (b as f64 + 1.0) / 2.0)
+            .collect(),
+    )
+}
+
+/// Strategy: small random allocation problems (brute-forceable).
+fn small_problem() -> impl Strategy<Value = AllocationProblem> {
+    let runtime = (1u32..=20, 0.0f64..60.0, 0.5f64..4.0);
+    (2u32..=9, proptest::collection::vec(runtime, 2..=4)).prop_map(|(gpus, spec)| {
+        let mut max_length = 0;
+        let runtimes = spec
+            .into_iter()
+            .map(|(cap, demand, exec)| {
+                max_length += 64;
+                RuntimeInput {
+                    max_length,
+                    capacity: cap,
+                    demand,
+                    batch_latency: burst_map(exec, cap.max(1) as usize),
+                }
+            })
+            .collect();
+        AllocationProblem { gpus, runtimes }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DP solver is exactly optimal: it matches exhaustive enumeration
+    /// on every feasible instance and agrees on infeasibility.
+    #[test]
+    fn dp_matches_brute_force(problem in small_problem()) {
+        let dp = DpSolver::default().solve(&problem);
+        let bf = BruteForceSolver.solve(&problem);
+        match (dp, bf) {
+            (Ok((da, dc)), Ok((ba, bc))) => {
+                prop_assert!((dc - bc).abs() < 1e-6, "dp {dc} vs brute {bc}");
+                prop_assert!(problem.is_feasible(&da));
+                prop_assert!(problem.is_feasible(&ba));
+            }
+            (Err(de), Err(be)) => prop_assert_eq!(de, be),
+            (dp, bf) => prop_assert!(false, "disagreement: {:?} vs {:?}", dp, bf),
+        }
+    }
+
+    /// Any allocation the DP returns is feasible and its reported objective
+    /// matches independent re-evaluation.
+    #[test]
+    fn dp_objective_is_consistent(problem in small_problem()) {
+        if let Ok((alloc, cost)) = DpSolver::default().solve(&problem) {
+            let re = problem.evaluate(&alloc).expect("feasible");
+            prop_assert!((re - cost).abs() < 1e-6, "reported {cost} vs evaluated {re}");
+        }
+    }
+
+    /// The linearized MILP allocator produces feasible allocations whose
+    /// linear cost is at least the ideal-service lower bound.
+    #[test]
+    fn linearized_allocator_feasible(problem in small_problem()) {
+        if let Ok((alloc, cost)) = LinearizedAllocator::default().solve(&problem) {
+            prop_assert_eq!(alloc.total(), problem.gpus);
+            prop_assert!(*alloc.instances.last().unwrap() >= 1);
+            // Lower bound: each bin's demand pays at least the cheapest
+            // exec among the runtimes that can serve it (in random problems
+            // a larger runtime may be cheaper, unlike calibrated models).
+            let execs: Vec<f64> = problem
+                .runtimes
+                .iter()
+                .map(|rt| rt.batch_latency.mean_latency_ms(1.0))
+                .collect();
+            let lower: f64 = problem
+                .runtimes
+                .iter()
+                .enumerate()
+                .map(|(j, rt)| {
+                    let cheapest = execs[j..].iter().cloned().fold(f64::INFINITY, f64::min);
+                    rt.demand * cheapest
+                })
+                .sum();
+            prop_assert!(cost >= lower - 1e-6, "cost {cost} below ideal bound {lower}");
+        }
+    }
+
+    /// The exact DP never loses to the linearized MILP when both are
+    /// scored on the true (queueing-aware) objective.
+    #[test]
+    fn dp_dominates_linearized_on_true_objective(problem in small_problem()) {
+        if let (Ok((_, dp_cost)), Ok((lin_alloc, _))) = (
+            DpSolver::default().solve(&problem),
+            LinearizedAllocator::default().solve(&problem),
+        ) {
+            if let Some(lin_true) = problem.evaluate(&lin_alloc) {
+                prop_assert!(
+                    dp_cost <= lin_true + 1e-6,
+                    "DP {dp_cost} must not lose to linearized {lin_true}"
+                );
+            }
+        }
+    }
+
+    /// Proportional rounding conserves the GPU budget and honours minimums.
+    #[test]
+    fn proportional_rounding_conserves(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..=12),
+        gpus in 0u32..500,
+        last_min in 0u32..3,
+    ) {
+        let mut mins = vec![0u32; weights.len()];
+        *mins.last_mut().unwrap() = last_min;
+        match proportional_rounding(&weights, gpus, &mins) {
+            Ok(counts) => {
+                prop_assert_eq!(counts.iter().sum::<u32>(), gpus);
+                for (c, m) in counts.iter().zip(&mins) {
+                    prop_assert!(c >= m);
+                }
+            }
+            Err(_) => prop_assert!(last_min > gpus),
+        }
+    }
+
+    /// Log-normal lengths always respect their bounds, and rescaling scales
+    /// the median.
+    #[test]
+    fn lognormal_bounds_and_rescale(
+        mu in 1.0f64..5.0,
+        sigma in 0.1f64..1.2,
+        seed in 0u64..1000,
+    ) {
+        let mut dist = LogNormalLengths { mu, sigma, min: 1, max: 512 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let len = dist.sample(&mut rng);
+            prop_assert!((1..=512).contains(&len));
+        }
+        let scaled = dist.rescaled(2.0, 1024);
+        prop_assert!((scaled.median() - 2.0 * dist.median()).abs() < 1e-9);
+    }
+
+    /// The CDF is monotone and its quantiles invert evaluation.
+    #[test]
+    fn cdf_monotone_and_inverse(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(&samples);
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.98, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let x = cdf.quantile(q);
+            prop_assert!(x >= prev);
+            prev = x;
+            // Evaluating at the quantile covers at least q of the mass, up
+            // to the 1/n discretization of linear-interpolated quantiles.
+            let tol = 1.0 / samples.len() as f64 + 1e-9;
+            prop_assert!(cdf.eval(x) + tol >= q);
+        }
+    }
+
+    /// FLOP waste is always in [0, 1).
+    #[test]
+    fn waste_fraction_bounded(
+        lengths in proptest::collection::vec(1u32..=512, 1..100),
+        max_len in 1u32..=512,
+    ) {
+        let w = wasted_flops_fraction(&lengths, max_len);
+        prop_assert!((0.0..1.0).contains(&w), "waste {w}");
+    }
+
+    /// Algorithm 1 (frontend form) never dispatches to a level whose
+    /// max_length is below the request, and load bookkeeping is exact.
+    #[test]
+    fn frontend_respects_lengths_and_conserves(
+        ops in proptest::collection::vec((1u32..=512, proptest::bool::ANY), 1..300),
+    ) {
+        let f = SchedulerFrontend::new(
+            RequestSchedulerConfig::default(),
+            &[(64, 20, 2), (128, 15, 2), (256, 10, 1), (512, 8, 2)],
+        );
+        let lens = [64u32, 128, 256, 512];
+        let mut held: Vec<(InstanceHandle, u32)> = Vec::new();
+        let mut dispatched = 0u64;
+        for (len, complete_one) in ops {
+            if let Some(h) = f.dispatch(len) {
+                prop_assert!(lens[h.level] >= len, "level {} for len {len}", h.level);
+                held.push((h, len));
+                dispatched += 1;
+            }
+            if complete_one {
+                if let Some((h, _)) = held.pop() {
+                    f.complete(h);
+                    dispatched -= 1;
+                }
+            }
+        }
+        prop_assert_eq!(f.total_outstanding(), dispatched);
+    }
+
+    /// The event queue pops in exactly sorted (time, insertion) order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, Event::Arrival(i));
+        }
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        for (t, i) in expected {
+            let (pt, pe) = q.pop().expect("queue non-empty");
+            prop_assert_eq!(pt, t);
+            prop_assert_eq!(pe, Event::Arrival(i));
+        }
+        prop_assert!(q.pop().is_none());
+    }
+
+    /// End-to-end: random small traces through the full Arlo stack complete
+    /// every request exactly once, on runtimes that fit, with sane latency.
+    #[test]
+    fn full_stack_conservation(seed in 0u64..64, rate in 50.0f64..400.0, gpus in 3u32..8) {
+        let trace = TraceSpec::twitter_stable(rate, 4.0)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let spec = SystemSpec::arlo(ModelSpec::bert_base(), gpus, 150.0);
+        let profiles = spec.build_profiles();
+        let lens: Vec<u32> = profiles.iter().map(|p| p.max_length()).collect();
+        let report = spec.run(&trace);
+        prop_assert_eq!(report.records.len(), trace.len());
+        for r in &report.records {
+            prop_assert!(r.length <= lens[r.runtime_idx]);
+            // Latency ≥ execution cost of the serving runtime + overhead.
+            let exec = profiles[r.runtime_idx].exec_ms;
+            let lat = (r.completed - r.arrival) as f64 / 1e6 + 0.8;
+            prop_assert!(lat + 1e-6 >= exec + 0.8, "lat {lat} < exec {exec}");
+        }
+    }
+
+    /// LP solutions satisfy every constraint they were solved under.
+    #[test]
+    fn lp_solutions_are_feasible(
+        c in proptest::collection::vec(0.1f64..10.0, 2..=4),
+        bounds in proptest::collection::vec(1.0f64..50.0, 2..=4),
+        demand in 1.0f64..40.0,
+    ) {
+        let n = c.len().min(bounds.len());
+        let c = &c[..n];
+        let bounds = &bounds[..n];
+        // min c·x  s.t.  Σx ≥ demand, x_i ≤ bound_i — feasible iff Σbounds ≥ demand.
+        let mut constraints = vec![Constraint {
+            coeffs: vec![1.0; n],
+            relation: Relation::Ge,
+            rhs: demand,
+        }];
+        for (i, &b) in bounds.iter().enumerate() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            constraints.push(Constraint { coeffs, relation: Relation::Le, rhs: b });
+        }
+        let lp = LinearProgram { objective: c.to_vec(), constraints, maximize: false };
+        let feasible = bounds.iter().sum::<f64>() >= demand;
+        match solve_lp(&lp) {
+            Ok(sol) => {
+                prop_assert!(feasible);
+                let total: f64 = sol.x.iter().sum();
+                prop_assert!(total + 1e-6 >= demand, "Σx {total} < {demand}");
+                for (x, &b) in sol.x.iter().zip(bounds) {
+                    prop_assert!(*x <= b + 1e-6 && *x >= -1e-9);
+                }
+                let obj: f64 = sol.x.iter().zip(c).map(|(x, c)| x * c).sum();
+                prop_assert!((obj - sol.objective).abs() < 1e-6);
+                // Optimality sanity: cheapest-variable greedy is an upper bound.
+                prop_assert!(sol.objective <= greedy_fill(c, bounds, demand) + 1e-6);
+            }
+            Err(SolveError::Infeasible) => prop_assert!(!feasible),
+            Err(e) => prop_assert!(false, "unexpected {e:?}"),
+        }
+    }
+}
+
+/// Greedy: fill cheapest variables first (optimal for this box-constrained
+/// covering LP, used as a cross-check).
+fn greedy_fill(c: &[f64], bounds: &[f64], demand: f64) -> f64 {
+    let mut idx: Vec<usize> = (0..c.len()).collect();
+    idx.sort_by(|&a, &b| c[a].partial_cmp(&c[b]).expect("NaN"));
+    let mut left = demand;
+    let mut cost = 0.0;
+    for i in idx {
+        let take = left.min(bounds[i]);
+        cost += take * c[i];
+        left -= take;
+        if left <= 0.0 {
+            break;
+        }
+    }
+    cost
+}
