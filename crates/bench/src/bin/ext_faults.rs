@@ -75,11 +75,9 @@ fn main() {
         };
         let healthy = run(false);
         let faulty = run(true);
-        assert_eq!(
-            faulty.records.len(),
-            trace.len(),
-            "{name}: lost requests under faults"
-        );
+        // The no-lost-requests invariant is enforced by the
+        // `fault_resilience` integration test in `arlo-sim`, which sweeps
+        // every dispatch policy and fault kind — not just this plan.
         let (hs, fs) = (healthy.latency_summary(), faulty.latency_summary());
         rows.push(vec![
             name.to_string(),

@@ -1,0 +1,179 @@
+//! **Extension** — the SLO-aware fault-tolerance layer under the
+//! `ext_faults` fault plan.
+//!
+//! Reruns the exact fault scenario of `ext_faults` — every smallest-runtime
+//! instance degrades 4× from t=10 s for 15 s, one large instance crashes at
+//! t=20 s — for each dispatch policy, with the fault-tolerance layer
+//! disabled and enabled. The layer adds what the paper leaves to the
+//! operator: health tracking with circuit breaking, deadline-derived
+//! retries, and load shedding when the cluster cannot win.
+//!
+//! Reported per run: faulty p98, SLO violation rate, shed rate, and — for
+//! enabled runs — time-to-detect (fault start → first quarantine) and
+//! time-to-recover (fault end → first instance re-earning Healthy).
+
+use arlo_bench::{print_table, write_json};
+use arlo_core::request_scheduler::RequestSchedulerConfig;
+use arlo_core::system::{DispatchPolicy, SystemSpec};
+use arlo_runtime::models::ModelSpec;
+use arlo_sim::driver::{FaultKind, FaultSpec, FaultToleranceConfig, NoopAllocator, Simulation};
+use arlo_sim::health::HealthState;
+use arlo_sim::metrics::SimReport;
+use arlo_trace::workload::TraceSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEC: u64 = 1_000_000_000;
+const FAULT_START: u64 = 10 * SEC;
+const SLOWDOWN_SECS: u64 = 15;
+const FAULT_END: u64 = FAULT_START + SLOWDOWN_SECS * SEC;
+
+fn main() {
+    let slo = 150.0;
+    let gpus = 12u32;
+    let trace = TraceSpec::twitter_stable(2500.0, 40.0).generate(&mut StdRng::seed_from_u64(808));
+    let base = SystemSpec::arlo(ModelSpec::bert_base(), gpus, slo);
+    let profiles = base.build_profiles();
+    let initial = base.initial_allocation(&profiles, &trace);
+    println!("initial allocation: {initial:?}");
+
+    // The ext_faults plan, verbatim: a bad kernel rollout slows every
+    // instance of the smallest runtime 4×, and one large instance crashes.
+    let n0 = initial[0] as usize;
+    let last = (initial.iter().sum::<u32>() - 1) as usize;
+    let mut faults: Vec<FaultSpec> = (0..n0)
+        .map(|i| FaultSpec {
+            at: FAULT_START,
+            instance: i,
+            kind: FaultKind::Slowdown {
+                factor: 4.0,
+                duration: SLOWDOWN_SECS * SEC,
+            },
+        })
+        .collect();
+    faults.push(FaultSpec {
+        at: 20 * SEC,
+        instance: last,
+        kind: FaultKind::Crash,
+    });
+
+    let rs_measured = DispatchPolicy::ArloRs(RequestSchedulerConfig {
+        use_measured_capacity: true,
+        ..RequestSchedulerConfig::default()
+    });
+    let policies: Vec<(&str, DispatchPolicy)> = vec![
+        (
+            "RS (Arlo)",
+            DispatchPolicy::ArloRs(RequestSchedulerConfig::default()),
+        ),
+        ("RS+meas", rs_measured),
+        ("ILB", DispatchPolicy::Ilb),
+        ("IG", DispatchPolicy::Ig),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut rs_pair: Option<(SimReport, SimReport)> = None;
+    for (name, dispatch) in policies {
+        let spec = base.clone().with_dispatch(dispatch, name);
+        let run = |ft: Option<FaultToleranceConfig>| {
+            let mut spec = spec.clone();
+            if let Some(ft) = ft {
+                spec = spec.with_fault_tolerance(ft);
+            }
+            let sim = Simulation::new(&trace, spec.build_profiles(), &initial, spec.sim_config())
+                .with_faults(faults.clone());
+            let mut dispatcher = spec.build_dispatcher();
+            sim.run(dispatcher.as_mut(), &mut NoopAllocator)
+        };
+        let off = run(None);
+        let on = run(Some(FaultToleranceConfig::paper_default().with_shedding()));
+        for (variant, report) in [("off", &off), ("on", &on)] {
+            let lost = trace.len() - report.records.len() - report.shed.len();
+            assert_eq!(lost, 0, "{name}/{variant}: lost requests");
+            let detect = time_to_detect(report);
+            let recover = time_to_recover(report);
+            let s = report.latency_summary();
+            rows.push(vec![
+                name.to_string(),
+                variant.to_string(),
+                format!("{:.2}", s.p98),
+                format!("{:.2}%", report.slo_violation_rate(slo) * 100.0),
+                format!("{:.2}%", report.shed_rate() * 100.0),
+                detect.map_or("-".into(), |d| format!("{:.0} ms", d as f64 / 1e6)),
+                recover.map_or("-".into(), |r| format!("{:.0} ms", r as f64 / 1e6)),
+            ]);
+            json.push(serde_json::json!({
+                "policy": name,
+                "fault_tolerance": variant == "on",
+                "faulty_p98_ms": s.p98,
+                "faulty_mean_ms": s.mean,
+                "slo_violation_rate": report.slo_violation_rate(slo),
+                "shed_rate": report.shed_rate(),
+                "served": report.records.len(),
+                "shed": report.shed.len(),
+                "retries": report.retries_total,
+                "evicted": report.evicted_requests,
+                "time_to_detect_ns": detect,
+                "time_to_recover_ns": recover,
+            }));
+        }
+        if name == "RS (Arlo)" {
+            rs_pair = Some((off, on));
+        }
+    }
+
+    // The headline acceptance claim: with the layer on, Arlo RS strictly
+    // improves both the faulty tail and the SLO violation rate.
+    let (off, on) = rs_pair.expect("RS ran");
+    let (p_off, p_on) = (off.latency_summary().p98, on.latency_summary().p98);
+    let (v_off, v_on) = (off.slo_violation_rate(slo), on.slo_violation_rate(slo));
+    assert!(
+        p_on < p_off,
+        "fault-tolerance must lower the faulty p98: {p_on:.2} !< {p_off:.2}"
+    );
+    assert!(
+        v_on < v_off,
+        "fault-tolerance must lower the SLO violation rate: {v_on:.4} !< {v_off:.4}"
+    );
+    assert!(
+        time_to_detect(&on).is_some(),
+        "the slowdown must be detected"
+    );
+
+    print_table(
+        "fault-tolerance layer under the ext_faults plan (Bert-Base, 12 GPUs, 2.5k req/s)",
+        &["policy", "ft", "p98", "viol", "shed", "detect", "recover"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: with the layer off this is exactly ext_faults — every\n\
+         policy eats the 4x slowdown until demand demotes away from the sick\n\
+         instances. With the layer on, the slow instances are quarantined within\n\
+         a few hundred milliseconds of the fault (detect), their queued work is\n\
+         evicted and re-dispatched to healthy peers, hopeless requests are shed\n\
+         instead of served late, and after the fault clears probation probes\n\
+         re-earn the instances (recover). The tail and violation rate drop for\n\
+         every policy; ILB gains the most because it cannot route around sick\n\
+         instances on its own."
+    );
+    write_json("ext_recovery", &serde_json::json!({ "rows": json }));
+}
+
+/// Fault start → first quarantine at or after it.
+fn time_to_detect(report: &SimReport) -> Option<u64> {
+    report
+        .health_transitions
+        .iter()
+        .find(|t| t.to == HealthState::Quarantined && t.at >= FAULT_START)
+        .map(|t| t.at - FAULT_START)
+}
+
+/// Slowdown end → first instance re-earning Healthy after it.
+fn time_to_recover(report: &SimReport) -> Option<u64> {
+    report
+        .health_transitions
+        .iter()
+        .find(|t| t.to == HealthState::Healthy && t.at >= FAULT_END)
+        .map(|t| t.at - FAULT_END)
+}

@@ -21,6 +21,7 @@
 //! acknowledged but not double-counted.
 
 use crate::frontend::{InstanceHandle, SchedulerFrontend};
+use crate::health::{Admission, HealthConfig, HealthRegistry, HealthState, HealthTransition};
 use crate::request_scheduler::RequestSchedulerConfig;
 use crate::runtime_scheduler::ArloRuntimeScheduler;
 use arlo_runtime::profile::RuntimeProfile;
@@ -41,6 +42,12 @@ pub struct EngineConfig {
     pub sub_window: Nanos,
     /// Demand quantile for provisioning (see `RuntimeSchedulerConfig`).
     pub demand_quantile: f64,
+    /// Fault-tolerance health tracking. `Some` enables the per-instance
+    /// circuit breaker: the engine tracks completion latencies and failures
+    /// reported via [`ArloEngine::report_success`] /
+    /// [`ArloEngine::report_failure`] and masks unhealthy instances out of
+    /// dispatch. `None` (the default) disables all health accounting.
+    pub health: Option<HealthConfig>,
 }
 
 impl EngineConfig {
@@ -52,7 +59,15 @@ impl EngineConfig {
             allocation_period: 120 * arlo_trace::NANOS_PER_SEC,
             sub_window: 10 * arlo_trace::NANOS_PER_SEC,
             demand_quantile: 0.95,
+            health: None,
         }
+    }
+
+    /// Enable the fault-tolerance health layer with the given detector
+    /// parameters.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
+        self
     }
 }
 
@@ -110,6 +125,15 @@ pub struct ArloEngine {
     config: EngineConfig,
     deployment: RwLock<Deployment>,
     demand: Mutex<DemandTracker>,
+    /// Fault-tolerance registry, keyed by flat instance index (runtimes in
+    /// order, instances within each). `None` when health tracking is off.
+    /// Lock order: `deployment` before `health`, everywhere.
+    health: Mutex<Option<HealthRegistry>>,
+}
+
+/// Flat instance index of `(level, index)` under per-level `counts`.
+fn flat_index(counts: &[u32], level: usize, index: usize) -> usize {
+    counts[..level].iter().map(|&n| n as usize).sum::<usize>() + index
 }
 
 struct Deployment {
@@ -151,6 +175,7 @@ impl ArloEngine {
                 sub_counts: Vec::new(),
                 smoothed: None,
             }),
+            health: Mutex::new(config.health.map(HealthRegistry::new)),
             profiles,
         }
     }
@@ -199,6 +224,15 @@ impl ArloEngine {
         self.record_demand(length, now);
         let d = self.deployment.read();
         let handle = d.frontend.dispatch(length)?;
+        if let Some(reg) = self.health.lock().as_mut() {
+            let flat = flat_index(&d.counts, handle.level, handle.index);
+            reg.note_dispatch(flat, now);
+            if reg.admission(flat) == Admission::Probe {
+                // Half-open circuit: one probe at a time. Close the gate
+                // until this probe completes.
+                d.frontend.set_admitting(handle, false);
+            }
+        }
         Some(Placement {
             generation: d.generation,
             runtime_idx: handle.level,
@@ -210,16 +244,148 @@ impl ArloEngine {
     /// generation are acknowledged silently — their instances no longer
     /// exist in the current frontend. Returns whether the completion
     /// applied to the live deployment.
+    ///
+    /// With health tracking enabled this retires the outstanding-dispatch
+    /// entry without judging the instance; embedders that can measure
+    /// execution latency should call [`ArloEngine::report_success`] /
+    /// [`ArloEngine::report_failure`] instead so the circuit breaker sees
+    /// the observation.
     pub fn complete(&self, placement: Placement) -> bool {
         let d = self.deployment.read();
         if placement.generation != d.generation {
             return false;
         }
-        d.frontend.complete(InstanceHandle {
+        let handle = InstanceHandle {
             level: placement.runtime_idx,
             index: placement.instance_idx,
-        });
+        };
+        d.frontend.complete(handle);
+        if let Some(reg) = self.health.lock().as_mut() {
+            let flat = flat_index(&d.counts, placement.runtime_idx, placement.instance_idx);
+            reg.note_complete(flat);
+            if reg.admission(flat) == Admission::Probe && reg.outstanding(flat) == 0 {
+                d.frontend.set_admitting(handle, true);
+            }
+        }
         true
+    }
+
+    /// Report a successful execution with its observed latency (ns). Like
+    /// [`ArloEngine::complete`], but feeds the health detector: the observed
+    /// latency is compared against the runtime's profiled execution time,
+    /// and a persistently slow instance is quarantined out of dispatch.
+    /// No-op (returns `false`) for superseded generations.
+    pub fn report_success(&self, placement: Placement, now: Nanos, observed_ns: f64) -> bool {
+        let d = self.deployment.read();
+        if placement.generation != d.generation {
+            return false;
+        }
+        let handle = InstanceHandle {
+            level: placement.runtime_idx,
+            index: placement.instance_idx,
+        };
+        d.frontend.complete(handle);
+        if let Some(reg) = self.health.lock().as_mut() {
+            let flat = flat_index(&d.counts, placement.runtime_idx, placement.instance_idx);
+            // Static shapes make the profiled execution time the expectation
+            // regardless of the request's actual length (padding, §2.2).
+            let expected_ns = self.profiles[placement.runtime_idx].exec_ms * 1e6;
+            reg.record_success(flat, now, observed_ns, expected_ns);
+            Self::sync_gates(&d, reg);
+        }
+        true
+    }
+
+    /// Report a failed execution (error, connection reset). Releases the
+    /// frontend load and strikes the instance's health record. No-op
+    /// (returns `false`) for superseded generations.
+    pub fn report_failure(&self, placement: Placement, now: Nanos) -> bool {
+        let d = self.deployment.read();
+        if placement.generation != d.generation {
+            return false;
+        }
+        let handle = InstanceHandle {
+            level: placement.runtime_idx,
+            index: placement.instance_idx,
+        };
+        d.frontend.complete(handle);
+        if let Some(reg) = self.health.lock().as_mut() {
+            let flat = flat_index(&d.counts, placement.runtime_idx, placement.instance_idx);
+            reg.record_failure(flat, now);
+            Self::sync_gates(&d, reg);
+        }
+        true
+    }
+
+    /// Report that an instance of the current deployment crashed: its
+    /// circuit opens immediately and it is masked out of dispatch until the
+    /// quarantine cooldown earns it a probation probe. The embedder owns
+    /// re-submission of whatever was in flight on the crashed instance
+    /// (typically via [`ArloEngine::submit`], which will route around it).
+    pub fn report_crash(&self, runtime_idx: usize, instance_idx: usize, now: Nanos) {
+        let d = self.deployment.read();
+        if let Some(reg) = self.health.lock().as_mut() {
+            let flat = flat_index(&d.counts, runtime_idx, instance_idx);
+            reg.record_crash(flat, now);
+            Self::sync_gates(&d, reg);
+        }
+    }
+
+    /// Advance time-driven health transitions (quarantine cooldowns,
+    /// stuck-dispatch detection) and refresh admission gates. The embedder
+    /// calls this periodically — e.g. every 100 ms — from its own timer.
+    /// Returns the number of state transitions that fired. No-op when
+    /// health tracking is off.
+    pub fn health_tick(&self, now: Nanos) -> usize {
+        let d = self.deployment.read();
+        let mut guard = self.health.lock();
+        let Some(reg) = guard.as_mut() else {
+            return 0;
+        };
+        let before = reg.transitions().len();
+        reg.tick(now);
+        Self::sync_gates(&d, reg);
+        reg.transitions().len() - before
+    }
+
+    /// Health snapshot of the current deployment, in flat instance order
+    /// (runtimes in order, instances within each). `None` when health
+    /// tracking is off.
+    pub fn health_states(&self) -> Option<Vec<HealthState>> {
+        let d = self.deployment.read();
+        let guard = self.health.lock();
+        guard.as_ref().map(|reg| {
+            let total: usize = d.counts.iter().map(|&n| n as usize).sum();
+            (0..total).map(|i| reg.state(i)).collect()
+        })
+    }
+
+    /// Drain the recorded health transitions (for dashboards and
+    /// detection/recovery-time analysis). Empty when health tracking is off.
+    pub fn take_health_transitions(&self) -> Vec<HealthTransition> {
+        self.health
+            .lock()
+            .as_mut()
+            .map_or_else(Vec::new, HealthRegistry::take_transitions)
+    }
+
+    /// Push the registry's admission decisions into the frontend's
+    /// circuit-breaker masks: `Full` opens, `Deny` closes, `Probe` opens
+    /// only while nothing is outstanding (one probe at a time).
+    fn sync_gates(d: &Deployment, reg: &HealthRegistry) {
+        let mut flat = 0usize;
+        for (level, &n) in d.counts.iter().enumerate() {
+            for index in 0..n as usize {
+                let admitting = match reg.admission(flat) {
+                    Admission::Full => true,
+                    Admission::Deny => false,
+                    Admission::Probe => reg.outstanding(flat) == 0,
+                };
+                d.frontend
+                    .set_admitting(InstanceHandle { level, index }, admitting);
+                flat += 1;
+            }
+        }
     }
 
     fn record_demand(&self, length: u32, now: Nanos) {
@@ -314,6 +480,11 @@ impl ArloEngine {
         d.frontend = Self::build_frontend(&self.profiles, &plan.target, self.config.rs);
         d.counts = plan.target.clone();
         d.generation = plan.generation;
+        // A new generation is a fresh fleet: health history of the old
+        // instance indices no longer describes anything that exists.
+        if let Some(reg) = self.health.lock().as_mut() {
+            *reg = HealthRegistry::new(reg.config());
+        }
     }
 }
 
@@ -436,6 +607,137 @@ mod tests {
             delta: vec![0, 0, 0, 0],
         };
         e.apply_allocation(&bogus);
+    }
+
+    fn health_engine(counts: &[u32]) -> ArloEngine {
+        let set = arlo_runtime::runtime_set::RuntimeSet::with_count(ModelSpec::bert_base(), 4);
+        let profiles = profile_runtimes(&set.compile(), 150.0, 256);
+        ArloEngine::new(
+            profiles,
+            counts.to_vec(),
+            EngineConfig::paper_default(150.0).with_health(HealthConfig::default()),
+        )
+    }
+
+    /// Expected exec time (ns) of runtime level `idx` for a given engine.
+    fn expected_ns(e: &ArloEngine, idx: usize) -> f64 {
+        e.profiles()[idx].exec_ms * 1e6
+    }
+
+    #[test]
+    fn slow_instance_is_quarantined_and_routed_around() {
+        let e = health_engine(&[2, 1, 1, 1]);
+        // Instance (0, 0) persistently completes at 5× the profiled time.
+        // Ties at zero load resolve to index 0, so each cycle hits it.
+        let mut now = 0;
+        let slow = loop {
+            now += SEC / 100;
+            let p = e.submit(40, now).expect("dispatches");
+            assert_eq!(p.instance_idx, 0, "zero-load tie picks index 0");
+            e.report_success(p, now, 5.0 * expected_ns(&e, 0));
+            if e.health_states().expect("health on")[0] == HealthState::Quarantined {
+                break now;
+            }
+            assert!(now < SEC, "detector must trip quickly");
+        };
+        // Dispatch now routes to the healthy sibling.
+        let p = e.submit(40, slow + 1).expect("sibling serves");
+        assert_eq!((p.runtime_idx, p.instance_idx), (0, 1));
+        e.report_success(p, slow + 2, expected_ns(&e, 0));
+        let transitions = e.take_health_transitions();
+        assert!(transitions
+            .iter()
+            .any(|t| t.instance == 0 && t.to == HealthState::Quarantined));
+    }
+
+    #[test]
+    fn probation_admits_one_probe_then_recovers() {
+        let e = health_engine(&[2, 1, 1, 1]);
+        let mut now = 0;
+        // Condemn instance (0, 0).
+        while e.health_states().expect("on")[0] != HealthState::Quarantined {
+            now += SEC / 100;
+            let p = e.submit(40, now).expect("dispatches");
+            e.report_success(p, now, 5.0 * expected_ns(&e, 0));
+        }
+        // Cooldown elapses: probation.
+        now += 3 * SEC;
+        assert!(e.health_tick(now) > 0, "cooldown transition fires");
+        assert_eq!(e.health_states().expect("on")[0], HealthState::Probation);
+        // First submit is the probe; a second concurrent submit must avoid
+        // the probationer (its gate is closed while the probe is out).
+        let probe = e.submit(40, now).expect("probe admitted");
+        assert_eq!(probe.instance_idx, 0);
+        let other = e.submit(40, now + 1).expect("dispatches");
+        assert_eq!(other.instance_idx, 1, "one probe at a time");
+        e.complete(other);
+        // Clean probes close the circuit.
+        e.report_success(probe, now + 2, expected_ns(&e, 0));
+        for k in 0..2 {
+            let p = e.submit(40, now + 3 + k).expect("next probe");
+            assert_eq!(p.instance_idx, 0);
+            e.report_success(p, now + 4 + k, expected_ns(&e, 0));
+        }
+        assert_eq!(e.health_states().expect("on")[0], HealthState::Healthy);
+    }
+
+    #[test]
+    fn crash_report_masks_instance_immediately() {
+        let e = health_engine(&[2, 1, 1, 1]);
+        e.report_crash(0, 0, SEC);
+        assert_eq!(e.health_states().expect("on")[0], HealthState::Quarantined);
+        for k in 0..4 {
+            let p = e.submit(40, SEC + k).expect("sibling serves");
+            assert_eq!(p.instance_idx, 1);
+            e.complete(p);
+        }
+    }
+
+    #[test]
+    fn failures_strike_health_and_release_load() {
+        let e = health_engine(&[1, 1, 1, 1]);
+        let mut now = 0;
+        while e.health_states().expect("on")[0] != HealthState::Quarantined {
+            now += SEC / 100;
+            let p = e.submit(40, now).expect("dispatches");
+            e.report_failure(p, now);
+            assert!(now < SEC, "failures must condemn quickly");
+        }
+        assert_eq!(e.level_loads()[0], 0, "failures release frontend load");
+        // The whole short level is masked: requests demote to level 1.
+        let p = e.submit(40, now + 1).expect("demotes");
+        assert_eq!(p.runtime_idx, 1);
+    }
+
+    #[test]
+    fn reallocation_resets_health_history() {
+        let e = health_engine(&[2, 2, 2, 2]);
+        e.report_crash(0, 0, 0);
+        assert_eq!(e.health_states().expect("on")[0], HealthState::Quarantined);
+        for i in 0..1000u64 {
+            if let Some(p) = e.submit(40, i * 100 * SEC / 1000) {
+                e.complete(p);
+            }
+        }
+        let plan = e.maybe_reallocate(121 * SEC, 8).expect("reallocates");
+        e.apply_allocation(&plan);
+        assert!(
+            e.health_states()
+                .expect("on")
+                .iter()
+                .all(|&s| s == HealthState::Healthy),
+            "fresh generation starts with a clean bill"
+        );
+    }
+
+    #[test]
+    fn health_disabled_engine_reports_nothing() {
+        let e = engine(&[2, 2, 2, 2]);
+        assert!(e.health_states().is_none());
+        assert_eq!(e.health_tick(SEC), 0);
+        let p = e.submit(40, 0).expect("dispatches");
+        assert!(e.report_success(p, 1, 1.0e6), "acts as plain complete");
+        assert!(e.take_health_transitions().is_empty());
     }
 
     #[test]

@@ -40,13 +40,21 @@ struct LevelInner {
     /// Lazy min-heap of `(load, instance)`; entries are validated against
     /// `loads` at pop time.
     heap: BinaryHeap<Reverse<(u32, usize)>>,
+    /// Circuit-breaker mask: banned instances are invisible to `peek_head`
+    /// (their heap entries are discarded lazily, like stale loads) so the
+    /// fault-tolerance layer can quarantine an instance without touching
+    /// Algorithm 1.
+    banned: Vec<bool>,
+    /// Count of load decrements that would have gone below zero (clamped).
+    /// Nonzero means a dispatch/complete pairing bug upstream.
+    underflows: u64,
 }
 
 impl LevelInner {
-    /// Fresh minimum entry, discarding stale ones.
+    /// Fresh minimum entry, discarding stale or banned ones.
     fn peek_head(&mut self) -> Option<(usize, u32)> {
         while let Some(&Reverse((load, idx))) = self.heap.peek() {
-            if self.loads[idx] == load {
+            if self.loads[idx] == load && !self.banned[idx] {
                 return Some((idx, load));
             }
             self.heap.pop();
@@ -56,7 +64,16 @@ impl LevelInner {
 
     fn bump(&mut self, idx: usize, delta: i64) {
         let load = &mut self.loads[idx];
-        let next = (i64::from(*load) + delta).max(0) as u32;
+        let raw = i64::from(*load) + delta;
+        debug_assert!(
+            raw >= 0,
+            "load underflow on instance {idx}: {} {delta:+}",
+            *load
+        );
+        if raw < 0 {
+            self.underflows += 1;
+        }
+        let next = raw.max(0) as u32;
         *load = next;
         self.heap.push(Reverse((next, idx)));
     }
@@ -101,7 +118,12 @@ impl SchedulerFrontend {
                 Level {
                     max_length,
                     capacity,
-                    inner: Mutex::new(LevelInner { loads, heap }),
+                    inner: Mutex::new(LevelInner {
+                        loads,
+                        heap,
+                        banned: vec![false; count as usize],
+                        underflows: 0,
+                    }),
                 }
             })
             .collect();
@@ -206,6 +228,33 @@ impl SchedulerFrontend {
     /// Outstanding load of one instance.
     pub fn outstanding(&self, handle: InstanceHandle) -> u32 {
         self.levels[handle.level].inner.lock().loads[handle.index]
+    }
+
+    /// Open or close an instance's admission gate (circuit breaker).
+    ///
+    /// A closed instance is skipped by `dispatch` exactly as if its level
+    /// did not contain it; outstanding work still completes normally via
+    /// [`SchedulerFrontend::complete`]. Re-opening pushes a fresh heap entry
+    /// so the instance becomes discoverable again at its current load.
+    pub fn set_admitting(&self, handle: InstanceHandle, admitting: bool) {
+        let mut inner = self.levels[handle.level].inner.lock();
+        inner.banned[handle.index] = !admitting;
+        if admitting {
+            let load = inner.loads[handle.index];
+            inner.heap.push(Reverse((load, handle.index)));
+        }
+    }
+
+    /// Whether an instance's admission gate is open.
+    pub fn is_admitting(&self, handle: InstanceHandle) -> bool {
+        !self.levels[handle.level].inner.lock().banned[handle.index]
+    }
+
+    /// Total load-counter underflows clamped across all levels (see
+    /// `LevelInner::bump`); always zero unless dispatch/complete pairing is
+    /// broken upstream.
+    pub fn underflow_count(&self) -> u64 {
+        self.levels.iter().map(|l| l.inner.lock().underflows).sum()
     }
 
     /// Total outstanding load across the frontend.
@@ -382,5 +431,60 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn rejects_unsorted_levels() {
         frontend(&[(512, 5, 1), (64, 10, 1)]);
+    }
+
+    #[test]
+    fn banned_instance_is_invisible_to_dispatch() {
+        let f = frontend(&[(64, 100, 2)]);
+        let banned = InstanceHandle { level: 0, index: 0 };
+        f.set_admitting(banned, false);
+        assert!(!f.is_admitting(banned));
+        for _ in 0..8 {
+            let h = f.dispatch(10).expect("healthy sibling serves");
+            assert_eq!(h.index, 1, "quarantined instance must be skipped");
+        }
+    }
+
+    #[test]
+    fn banned_level_demotes_to_next_level() {
+        let f = frontend(&[(64, 10, 1), (512, 10, 1)]);
+        f.set_admitting(InstanceHandle { level: 0, index: 0 }, false);
+        let h = f.dispatch(10).expect("dispatch");
+        assert_eq!(h.level, 1, "fully-banned level behaves like an empty one");
+    }
+
+    #[test]
+    fn reopened_instance_rejoins_at_current_load() {
+        let f = frontend(&[(64, 100, 2)]);
+        let h0 = InstanceHandle { level: 0, index: 0 };
+        f.preload(h0, 1);
+        f.set_admitting(h0, false);
+        // While banned, everything lands on instance 1.
+        for _ in 0..3 {
+            assert_eq!(f.dispatch(10).expect("ok").index, 1);
+        }
+        f.set_admitting(h0, true);
+        // Instance 0 (load 1) is now the least-loaded head again.
+        assert_eq!(f.dispatch(10).expect("ok").index, 0);
+    }
+
+    #[test]
+    fn completion_on_banned_instance_still_releases_load() {
+        let f = frontend(&[(64, 100, 1)]);
+        let h = f.dispatch(10).expect("dispatch");
+        f.set_admitting(h, false);
+        f.complete(h);
+        assert_eq!(f.total_outstanding(), 0);
+        assert_eq!(f.underflow_count(), 0);
+    }
+
+    #[test]
+    fn underflow_counter_stays_zero_under_paired_usage() {
+        let f = frontend(&[(64, 50, 2), (512, 30, 1)]);
+        let held: Vec<_> = (0..20).filter_map(|i| f.dispatch(1 + i * 20)).collect();
+        for h in held {
+            f.complete(h);
+        }
+        assert_eq!(f.underflow_count(), 0);
     }
 }

@@ -1,0 +1,25 @@
+//! Health tracking and circuit breaking for the live engine.
+//!
+//! The health state machine is shared with the simulator and lives in
+//! `arlo_sim::health` (the simulator cannot depend on this crate — the
+//! dependency points the other way). This module re-exports it so embedders
+//! of [`ArloEngine`](crate::engine::ArloEngine) get the full fault-tolerance
+//! vocabulary — [`HealthConfig`], [`HealthState`], [`HealthRegistry`],
+//! [`HealthTransition`], [`Admission`] — from `arlo_core` directly:
+//!
+//! ```
+//! use arlo_core::health::{HealthConfig, HealthRegistry, HealthState};
+//!
+//! let mut registry = HealthRegistry::new(HealthConfig::default());
+//! registry.note_dispatch(0, 0);
+//! registry.record_success(0, 1_000_000, 1.0e6, 1.0e6);
+//! assert_eq!(registry.state(0), HealthState::Healthy);
+//! ```
+//!
+//! See [`crate::engine`] for how the engine drives a registry from
+//! `submit`/`complete` observations and translates its admission decisions
+//! into frontend gates.
+
+pub use arlo_sim::health::{
+    Admission, HealthConfig, HealthRegistry, HealthState, HealthTransition,
+};

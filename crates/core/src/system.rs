@@ -25,7 +25,8 @@ use arlo_runtime::profile::{profile_runtimes, RuntimeProfile};
 use arlo_runtime::runtime_set::RuntimeSet;
 use arlo_sim::cluster::BatchSpec;
 use arlo_sim::driver::{
-    Allocator, AutoScaleConfig, Dispatcher, NoopAllocator, SimConfig, Simulation,
+    Allocator, AutoScaleConfig, Dispatcher, FaultToleranceConfig, NoopAllocator, SimConfig,
+    Simulation,
 };
 use arlo_sim::metrics::SimReport;
 use arlo_trace::workload::Trace;
@@ -97,6 +98,10 @@ pub struct SystemSpec {
     pub autoscale: Option<AutoScaleConfig>,
     /// Batched execution (§6 extension; the paper fixes batch size 1).
     pub batch: BatchSpec,
+    /// SLO-aware fault-tolerance layer (health tracking, retries, circuit
+    /// breaking, optional load shedding). `None` — the default for every
+    /// preset — reproduces the paper's fault-oblivious behavior.
+    pub fault_tolerance: Option<FaultToleranceConfig>,
 }
 
 impl SystemSpec {
@@ -112,6 +117,7 @@ impl SystemSpec {
             alloc: AllocPolicy::ArloIlp,
             autoscale: None,
             batch: BatchSpec::SINGLE,
+            fault_tolerance: None,
         }
     }
 
@@ -127,6 +133,7 @@ impl SystemSpec {
             alloc: AllocPolicy::Noop,
             autoscale: None,
             batch: BatchSpec::SINGLE,
+            fault_tolerance: None,
         }
     }
 
@@ -142,6 +149,7 @@ impl SystemSpec {
             alloc: AllocPolicy::Noop,
             autoscale: None,
             batch: BatchSpec::SINGLE,
+            fault_tolerance: None,
         }
     }
 
@@ -158,6 +166,7 @@ impl SystemSpec {
             alloc: AllocPolicy::InfaasVertical,
             autoscale: None,
             batch: BatchSpec::SINGLE,
+            fault_tolerance: None,
         }
     }
 
@@ -191,6 +200,13 @@ impl SystemSpec {
     pub fn with_batching(mut self, batch: BatchSpec) -> Self {
         batch.validate();
         self.batch = batch;
+        self
+    }
+
+    /// Enable the SLO-aware fault-tolerance layer (health tracking with
+    /// circuit breaking, deadline-derived retries, optional shedding).
+    pub fn with_fault_tolerance(mut self, ft: FaultToleranceConfig) -> Self {
+        self.fault_tolerance = Some(ft);
         self
     }
 
@@ -329,6 +345,7 @@ impl SystemSpec {
         let mut cfg = SimConfig::paper_default(self.slo_ms);
         cfg.autoscale = self.autoscale;
         cfg.batch = self.batch;
+        cfg.fault_tolerance = self.fault_tolerance;
         cfg
     }
 
@@ -477,6 +494,15 @@ mod tests {
         // Defaults stay at the paper's batch-1.
         let plain = SystemSpec::arlo(ModelSpec::bert_base(), 4, 150.0);
         assert_eq!(plain.sim_config().batch, BatchSpec::SINGLE);
+    }
+
+    #[test]
+    fn fault_tolerance_flows_through_sim_config() {
+        let spec = SystemSpec::arlo(ModelSpec::bert_base(), 4, 150.0)
+            .with_fault_tolerance(FaultToleranceConfig::paper_default().with_shedding());
+        assert!(spec.sim_config().fault_tolerance.expect("enabled").shed);
+        let plain = SystemSpec::arlo(ModelSpec::bert_base(), 4, 150.0);
+        assert!(plain.sim_config().fault_tolerance.is_none());
     }
 
     #[test]

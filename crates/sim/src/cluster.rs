@@ -69,6 +69,25 @@ impl BatchSpec {
     }
 }
 
+/// Circuit-breaker position for one instance, set by the fault-tolerance
+/// layer from its health state. The gate composes with the existing
+/// acceptance rules ([`InstanceState`], replacement, retirement, queue
+/// bound): every dispatcher reaches instances through
+/// [`ClusterView::instances_of`] / [`ClusterView::least_loaded`] /
+/// [`ClusterView::accepts`], so a closed gate removes an instance from
+/// *every* policy's candidate set without policy-specific code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmitGate {
+    /// Normal dispatching (the default; also the state with the layer off).
+    #[default]
+    Open,
+    /// Probation trickle: accept only while nothing is outstanding, so at
+    /// most one probe request is in flight at a time.
+    Probe,
+    /// Quarantined: accept nothing.
+    Closed,
+}
+
 /// An execution started on an instance; the driver schedules the matching
 /// completion event. With batching enabled, several requests run (and
 /// complete) together.
@@ -103,6 +122,12 @@ struct Instance {
     /// The live measurement a dispatcher can use instead of the offline
     /// profile, which goes stale when an instance degrades.
     ewma_exec_ns: f64,
+    /// Circuit-breaker position (fault-tolerance layer).
+    gate: AdmitGate,
+    /// Fail-slow fault: `(started_at, ramp_per_sec)` — the execution-time
+    /// multiplier grows linearly, `1 + ramp · elapsed_secs`, modelling
+    /// progressive degradation (memory leaks, thermal creep).
+    fail_slow: Option<(Nanos, f64)>,
 }
 
 impl Instance {
@@ -118,7 +143,13 @@ impl Instance {
     /// pinned to the instances that existed when it formed, invisible to
     /// newly scaled-out or reallocated instances.
     fn accepts(&self, queue_limit: u32) -> bool {
-        matches!(self.state, InstanceState::Active)
+        let gate_open = match self.gate {
+            AdmitGate::Open => true,
+            AdmitGate::Probe => self.outstanding() == 0,
+            AdmitGate::Closed => false,
+        };
+        gate_open
+            && matches!(self.state, InstanceState::Active)
             && self.pending_target.is_none()
             && !self.retiring
             && self.outstanding() < queue_limit
@@ -220,6 +251,17 @@ impl<'a> ClusterView<'a> {
     pub fn accepts(&self, id: InstanceId) -> bool {
         let inst = &self.cluster.instances[id];
         inst.accepts(self.cluster.queue_limits[inst.runtime_idx])
+    }
+
+    /// The instance's circuit-breaker gate.
+    pub fn admit_gate(&self, id: InstanceId) -> AdmitGate {
+        self.cluster.instances[id].gate
+    }
+
+    /// Total number of instance slots ever created (including retired ones —
+    /// instance ids are stable for the cluster's lifetime).
+    pub fn instance_count(&self) -> usize {
+        self.cluster.instances.len()
     }
 
     /// Total outstanding requests across all instances.
@@ -334,6 +376,8 @@ impl Cluster {
                     busy_ns: 0,
                     busy_since: None,
                     ewma_exec_ns: 0.0,
+                    gate: AdmitGate::Open,
+                    fail_slow: None,
                 });
             }
         }
@@ -407,7 +451,11 @@ impl Cluster {
         let base = profile
             .runtime
             .exec_nanos_jittered(longest, self.jitter, requests[0].id);
-        let exec = (base as f64 * batch.factor(requests.len()) * inst.slowdown).round() as Nanos;
+        let degrade = inst.fail_slow.map_or(1.0, |(since, ramp)| {
+            1.0 + ramp * (now.saturating_sub(since) as f64 / arlo_trace::NANOS_PER_SEC as f64)
+        });
+        let exec =
+            (base as f64 * batch.factor(requests.len()) * inst.slowdown * degrade).round() as Nanos;
         inst.running = requests.clone();
         inst.busy_since = Some(now);
         Some(StartedExecution {
@@ -604,6 +652,8 @@ impl Cluster {
             busy_ns: 0,
             busy_since: None,
             ewma_exec_ns: 0.0,
+            gate: AdmitGate::Open,
+            fail_slow: None,
         });
         (self.instances.len() - 1, ready_at)
     }
@@ -635,6 +685,35 @@ impl Cluster {
             "slowdown must be positive"
         );
         self.instances[id].slowdown = factor;
+    }
+
+    /// Fault injection: progressive fail-slow degradation starting at `now`.
+    /// Future executions cost `1 + ramp_per_sec · elapsed_secs` times more,
+    /// on top of any [`Cluster::set_slowdown`] factor.
+    pub fn set_fail_slow(&mut self, id: InstanceId, now: Nanos, ramp_per_sec: f64) {
+        assert!(
+            ramp_per_sec >= 0.0 && ramp_per_sec.is_finite(),
+            "fail-slow ramp must be non-negative"
+        );
+        self.instances[id].fail_slow = Some((now, ramp_per_sec));
+    }
+
+    /// Clear a fail-slow fault (future executions cost the normal amount).
+    pub fn clear_fail_slow(&mut self, id: InstanceId) {
+        self.instances[id].fail_slow = None;
+    }
+
+    /// Set an instance's circuit-breaker gate (fault-tolerance layer).
+    pub fn set_admit_gate(&mut self, id: InstanceId, gate: AdmitGate) {
+        self.instances[id].gate = gate;
+    }
+
+    /// Evict all *queued* (not yet running) requests from an instance —
+    /// the fault-tolerance layer pulls a quarantined instance's backlog back
+    /// into the central buffer instead of letting it drain at degraded
+    /// speed. The running execution, if any, finishes normally.
+    pub fn evict_queued(&mut self, id: InstanceId) -> Vec<Request> {
+        self.instances[id].queue.drain(..).collect()
     }
 
     /// Fault injection: crash an instance. Its running request and queue

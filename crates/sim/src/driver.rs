@@ -12,9 +12,10 @@
 //! * [`Allocator`] — periodic instance-count selection (the Runtime
 //!   Scheduler seat).
 
-use crate::cluster::{BatchSpec, Cluster, ClusterView, InstanceId, StartedExecution};
+use crate::cluster::{AdmitGate, BatchSpec, Cluster, ClusterView, InstanceId, StartedExecution};
 use crate::event::{Event, EventQueue};
-use crate::metrics::{JournalEntry, RequestRecord, SimReport};
+use crate::health::{Admission, HealthConfig, HealthRegistry, HealthState, HealthTransition};
+use crate::metrics::{JournalEntry, RequestRecord, ShedReason, ShedRecord, SimReport};
 use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::profile::RuntimeProfile;
 use arlo_trace::stats::{percentile, TimeWeighted};
@@ -25,6 +26,11 @@ use std::time::Instant;
 
 /// Sub-window granularity for burst-structure accounting (10 s).
 const SUB_WINDOW: Nanos = 10 * arlo_trace::NANOS_PER_SEC;
+
+/// Health-registry sweep period with the fault-tolerance layer on (100 ms):
+/// fine enough that quarantine cooldowns and stuck-dispatch detection keep
+/// sub-SLO granularity, coarse enough to stay cheap.
+const HEALTH_TICK: Nanos = 100 * arlo_trace::NANOS_PER_MS;
 
 /// Per-request instance selection policy (the Request Scheduler seat).
 pub trait Dispatcher {
@@ -220,6 +226,92 @@ pub enum FaultKind {
     /// The instance crashes: its queue spills back to the request buffer
     /// and it reloads its runtime before resuming.
     Crash,
+    /// Executions fail (at full execution cost — the GPU time is wasted)
+    /// with probability `error_rate` for `duration` ns. Failed requests are
+    /// re-dispatched with exponential backoff; whether a given execution
+    /// fails is a deterministic hash of `(instance, request, attempt)`, so
+    /// replays are exact.
+    Transient {
+        /// Per-execution failure probability in `[0, 1]`.
+        error_rate: f64,
+        /// How long the fault lasts (ns).
+        duration: Nanos,
+    },
+    /// Progressive degradation: the execution-time multiplier ramps
+    /// linearly, `1 + ramp_per_sec · elapsed_secs`, for `duration` ns (a
+    /// memory leak, thermal creep — the classic fail-slow pattern that
+    /// static health checks miss).
+    FailSlow {
+        /// Slowdown added per second of fault lifetime.
+        ramp_per_sec: f64,
+        /// How long the fault lasts (ns).
+        duration: Nanos,
+    },
+}
+
+/// Configuration of the SLO-aware fault-tolerance layer
+/// (`SimConfig::fault_tolerance`; `None` disables the layer entirely and
+/// the driver behaves exactly as before it existed).
+///
+/// The layer adds three behaviours on top of the health state machine
+/// ([`crate::health`]):
+///
+/// 1. **Circuit breaking** — quarantined instances are removed from every
+///    dispatcher's candidate set via their cluster admit gate, and their
+///    queued backlog is evicted back to the central buffer; probation
+///    admits one probe at a time.
+/// 2. **Retries** — failed executions re-enter the buffer after a capped
+///    exponential backoff.
+/// 3. **Load shedding** (opt-in via `shed`) — buffered requests that can no
+///    longer meet their deadline even with an immediate dispatch are
+///    dropped and reported separately ([`SimReport::shed`]), and requests
+///    whose retry budget is exhausted are dropped likewise.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultToleranceConfig {
+    /// Health detector parameters.
+    pub health: HealthConfig,
+    /// Request deadline, as a multiple of the SLO: a request is hopeless
+    /// once even an immediate dispatch cannot complete it by
+    /// `arrival + deadline_multiple × SLO`.
+    pub deadline_multiple: f64,
+    /// With shedding on, a request that fails more than this many times is
+    /// dropped instead of retried again.
+    pub max_retries: u32,
+    /// Initial retry backoff (ns); doubles per attempt.
+    pub backoff_base_ns: Nanos,
+    /// Upper bound on the retry backoff (ns).
+    pub backoff_cap_ns: Nanos,
+    /// Enable deadline-aware load shedding. Off by default: with shedding
+    /// off every request is eventually served (retries are unbounded) and
+    /// `SimReport::records` still accounts for the full trace.
+    pub shed: bool,
+}
+
+impl FaultToleranceConfig {
+    /// Conservative defaults: 4×SLO deadlines, 5 retries, 1 ms → 64 ms
+    /// backoff, shedding off.
+    pub fn paper_default() -> Self {
+        FaultToleranceConfig {
+            health: HealthConfig::default(),
+            deadline_multiple: 4.0,
+            max_retries: 5,
+            backoff_base_ns: arlo_trace::NANOS_PER_MS,
+            backoff_cap_ns: 64 * arlo_trace::NANOS_PER_MS,
+            shed: false,
+        }
+    }
+
+    /// Enable deadline-aware load shedding.
+    pub fn with_shedding(mut self) -> Self {
+        self.shed = true;
+        self
+    }
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
 }
 
 /// Simulation configuration.
@@ -246,6 +338,9 @@ pub struct SimConfig {
     /// Record up to this many scheduler decisions in `SimReport::journal`
     /// (0 = journaling off, the default — the journal is a debugging aid).
     pub journal_limit: usize,
+    /// The SLO-aware fault-tolerance layer (`None` = off, the default:
+    /// behaviour is identical to a driver without the layer).
+    pub fault_tolerance: Option<FaultToleranceConfig>,
 }
 
 impl SimConfig {
@@ -261,7 +356,14 @@ impl SimConfig {
             jitter: JitterSpec::NONE,
             batch: BatchSpec::SINGLE,
             journal_limit: 0,
+            fault_tolerance: None,
         }
+    }
+
+    /// Enable the SLO-aware fault-tolerance layer.
+    pub fn with_fault_tolerance(mut self, ft: FaultToleranceConfig) -> Self {
+        self.fault_tolerance = Some(ft);
+        self
     }
 }
 
@@ -273,6 +375,8 @@ struct PartialRecord {
     started: Nanos,
     runtime_idx: usize,
     instance: usize,
+    /// Failed-execution count (fault-tolerance layer retry budget).
+    attempts: u32,
 }
 
 /// The discrete-event simulation of one request stream on a GPU cluster.
@@ -308,6 +412,14 @@ pub struct Simulation<'a> {
     report: SimReport,
     recent_completions: VecDeque<(Nanos, f64)>,
     max_lengths: Vec<u32>,
+    /// Health registry (`Some` iff the fault-tolerance layer is on).
+    health: Option<HealthRegistry>,
+    /// Transitions already reacted to (gates set, queues evicted).
+    health_seen: usize,
+    /// Requests awaiting re-dispatch; [`Event::Retry`] payloads index here.
+    retry_table: Vec<Request>,
+    /// Active transient faults: per-instance execution failure probability.
+    transient_rates: HashMap<InstanceId, f64>,
 }
 
 impl<'a> Simulation<'a> {
@@ -367,11 +479,25 @@ impl<'a> Simulation<'a> {
             report,
             recent_completions: VecDeque::new(),
             max_lengths,
+            health: config
+                .fault_tolerance
+                .map(|ft| HealthRegistry::new(ft.health)),
+            health_seen: 0,
+            retry_table: Vec::new(),
+            transient_rates: HashMap::new(),
         }
     }
 
     /// Inject faults (fired at their `at` timestamps during `run`).
     pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        for f in &faults {
+            if let FaultKind::Transient { error_rate, .. } = f.kind {
+                assert!(
+                    (0.0..=1.0).contains(&error_rate),
+                    "transient error rate must be in [0, 1]"
+                );
+            }
+        }
         self.faults = faults;
         self
     }
@@ -419,6 +545,9 @@ impl<'a> Simulation<'a> {
                 Event::ScaleInCheck,
             );
         }
+        if self.config.fault_tolerance.is_some() {
+            self.events.push(HEALTH_TICK, Event::HealthTick);
+        }
     }
 
     /// Process the next event. Returns `false` once no events remain
@@ -439,6 +568,8 @@ impl<'a> Simulation<'a> {
             Event::ScaleInCheck => self.on_scale_in(now),
             Event::Fault(i) => self.on_fault(now, i, dispatcher),
             Event::FaultEnd(i) => self.on_fault_end(i),
+            Event::Retry(k) => self.on_retry(now, k, dispatcher),
+            Event::HealthTick => self.on_health_tick(now, dispatcher),
         }
         self.clock = now;
         let gpus = f64::from(self.cluster.view().gpu_count());
@@ -480,6 +611,9 @@ impl<'a> Simulation<'a> {
             "simulation ended with unserved requests"
         );
         self.report.total_busy_ns = self.cluster.view().total_busy_ns();
+        if let Some(h) = &mut self.health {
+            self.report.health_transitions = h.take_transitions();
+        }
         self.report
     }
 
@@ -512,6 +646,7 @@ impl<'a> Simulation<'a> {
                 started: 0,
                 runtime_idx: 0,
                 instance: 0,
+                attempts: 0,
             },
         );
         // FIFO fairness within a bin: if older same-bin requests are already
@@ -552,6 +687,9 @@ impl<'a> Simulation<'a> {
         rec.dispatched = now;
         rec.runtime_idx = runtime_idx;
         rec.instance = inst;
+        if let Some(h) = &mut self.health {
+            h.note_dispatch(inst, now);
+        }
         if let Some(exec) = self.cluster.enqueue(inst, req, now) {
             self.note_started(now, exec);
         }
@@ -582,7 +720,12 @@ impl<'a> Simulation<'a> {
             }
         }
         let outcome = self.cluster.complete(inst, now);
+        let batch_len = outcome.finished.len();
         for finished in &outcome.finished {
+            if self.transient_failure(inst, finished.id) {
+                self.on_failed_execution(now, inst, *finished);
+                continue;
+            }
             let partial = self
                 .in_flight
                 .remove(&finished.id)
@@ -599,6 +742,15 @@ impl<'a> Simulation<'a> {
             });
             let latency_ms = (now - partial.arrival + self.report.overhead_ns) as f64 / 1e6;
             self.recent_completions.push_back((now, latency_ms));
+            if let Some(h) = &mut self.health {
+                // Judge the instance on per-request service time versus the
+                // profiled expectation (a batch shares its duration).
+                let observed = (now - partial.started) as f64 / batch_len as f64;
+                let expected = self.cluster.profiles()[partial.runtime_idx]
+                    .runtime
+                    .exec_nanos(finished.length) as f64;
+                h.record_success(inst, now, observed, expected);
+            }
         }
         if let Some(exec) = outcome.next {
             self.note_started(now, exec);
@@ -606,7 +758,193 @@ impl<'a> Simulation<'a> {
         if let Some(ready_at) = outcome.loading_until {
             self.events.push(ready_at, Event::LoadDone(inst));
         }
+        self.after_health(now);
         self.drain_pending(now, dispatcher);
+    }
+
+    /// Whether this completion is an execution *failure* under an active
+    /// transient fault: a deterministic hash of `(instance, request,
+    /// attempt)`, so a given run replays exactly while retries of the same
+    /// request redraw independently.
+    fn transient_failure(&self, inst: InstanceId, req_id: u64) -> bool {
+        let Some(&rate) = self.transient_rates.get(&inst) else {
+            return false;
+        };
+        let attempt = self.in_flight.get(&req_id).map_or(0, |r| r.attempts);
+        let mut h = (inst as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= req_id.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= u64::from(attempt).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < rate
+    }
+
+    /// A completed execution returned an error: charge the instance a
+    /// health strike and either re-dispatch the request after exponential
+    /// backoff or, with shedding on and the budget exhausted, drop it.
+    fn on_failed_execution(&mut self, now: Nanos, inst: InstanceId, req: Request) {
+        self.report.exec_failures += 1;
+        if let Some(h) = &mut self.health {
+            h.record_failure(inst, now);
+        }
+        let attempts = {
+            let rec = self
+                .in_flight
+                .get_mut(&req.id)
+                .expect("failed request must be in flight");
+            rec.attempts += 1;
+            rec.attempts
+        };
+        let ft = self.config.fault_tolerance;
+        if ft.is_some_and(|f| f.shed && attempts > f.max_retries) {
+            let partial = self
+                .in_flight
+                .remove(&req.id)
+                .expect("shed request must be in flight");
+            self.report.shed.push(ShedRecord {
+                id: req.id,
+                length: partial.length,
+                arrival: partial.arrival,
+                shed_at: now,
+                reason: ShedReason::RetryBudget,
+            });
+            self.journal(now, JournalEntry::Shed { id: req.id });
+            return;
+        }
+        // Retries work even with the layer off — a client-side retry loop
+        // exists regardless — using the layer's defaults in that case.
+        let (base, cap) = ft.map_or(
+            (
+                FaultToleranceConfig::paper_default().backoff_base_ns,
+                FaultToleranceConfig::paper_default().backoff_cap_ns,
+            ),
+            |f| (f.backoff_base_ns, f.backoff_cap_ns),
+        );
+        let backoff = base.saturating_mul(1u64 << (attempts.min(20) - 1)).min(cap);
+        let slot = self.retry_table.len();
+        self.retry_table.push(req);
+        self.report.retries_total += 1;
+        self.journal(now, JournalEntry::Retried { id: req.id });
+        self.events.push(now + backoff, Event::Retry(slot));
+    }
+
+    /// A retry backoff expired: the request re-enters the central buffer
+    /// (front of its bin — it is the oldest arrival there) unless its
+    /// deadline is already hopeless.
+    fn on_retry(&mut self, now: Nanos, slot: usize, dispatcher: &mut dyn Dispatcher) {
+        let req = self.retry_table[slot];
+        if self.maybe_shed(now, &req) {
+            return;
+        }
+        let bin = self.bin_of(req.length);
+        if !self.pending[bin].is_empty() || !self.try_dispatch(now, req, dispatcher) {
+            self.report.buffered_requests += 1;
+            self.pending[bin].push_front(req);
+            self.pending_total += 1;
+        }
+    }
+
+    /// Periodic health sweep: time-driven transitions (quarantine cooldowns,
+    /// stuck-dispatch detection), then gate updates and a buffer drain (a
+    /// probation gate opening may unblock buffered work).
+    fn on_health_tick(&mut self, now: Nanos, dispatcher: &mut dyn Dispatcher) {
+        if let Some(h) = &mut self.health {
+            h.tick(now);
+        }
+        self.after_health(now);
+        self.drain_pending(now, dispatcher);
+        if self.work_remaining() {
+            self.events.push(now + HEALTH_TICK, Event::HealthTick);
+        }
+    }
+
+    /// React to health transitions since the last call: translate states
+    /// into cluster admit gates, evict quarantined instances' queued
+    /// backlogs into the central buffer, and journal the circuit changes.
+    fn after_health(&mut self, now: Nanos) {
+        let fresh: Vec<HealthTransition> = match &self.health {
+            Some(h) if h.transitions().len() > self.health_seen => {
+                h.transitions()[self.health_seen..].to_vec()
+            }
+            _ => return,
+        };
+        self.health_seen += fresh.len();
+        for t in fresh {
+            let gate = match t.to.admission() {
+                Admission::Full => AdmitGate::Open,
+                Admission::Probe => AdmitGate::Probe,
+                Admission::Deny => AdmitGate::Closed,
+            };
+            self.cluster.set_admit_gate(t.instance, gate);
+            match t.to {
+                HealthState::Quarantined => {
+                    self.journal(
+                        now,
+                        JournalEntry::Quarantined {
+                            instance: t.instance,
+                        },
+                    );
+                    let evicted = self.cluster.evict_queued(t.instance);
+                    if evicted.is_empty() {
+                        continue;
+                    }
+                    if let Some(h) = &mut self.health {
+                        h.remove_newest(t.instance, evicted.len());
+                    }
+                    self.report.evicted_requests += evicted.len() as u64;
+                    for req in evicted.into_iter().rev() {
+                        let bin = self.bin_of(req.length);
+                        self.pending[bin].push_front(req);
+                        self.pending_total += 1;
+                        self.report.buffered_requests += 1;
+                    }
+                }
+                HealthState::Healthy => {
+                    self.journal(
+                        now,
+                        JournalEntry::Recovered {
+                            instance: t.instance,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// With shedding on: drop `req` if even an immediate dispatch to its
+    /// ideal runtime cannot meet the deadline. Returns `true` when shed
+    /// (the request is removed from flight; the caller drops its buffer
+    /// entry).
+    fn maybe_shed(&mut self, now: Nanos, req: &Request) -> bool {
+        let Some(ft) = self.config.fault_tolerance else {
+            return false;
+        };
+        if !ft.shed {
+            return false;
+        }
+        let deadline = req.arrival + ms_to_nanos(ft.deadline_multiple * self.config.slo_ms);
+        let bin = self.bin_of(req.length);
+        let best_case =
+            self.cluster.profiles()[bin].runtime.exec_nanos(req.length) + self.report.overhead_ns;
+        if now + best_case <= deadline {
+            return false;
+        }
+        self.in_flight
+            .remove(&req.id)
+            .expect("shed request must be in flight");
+        self.report.shed.push(ShedRecord {
+            id: req.id,
+            length: req.length,
+            arrival: req.arrival,
+            shed_at: now,
+            reason: ShedReason::DeadlineHopeless,
+        });
+        self.journal(now, JournalEntry::Shed { id: req.id });
+        true
     }
 
     fn on_load_done(&mut self, now: Nanos, inst: InstanceId, dispatcher: &mut dyn Dispatcher) {
@@ -634,6 +972,14 @@ impl<'a> Simulation<'a> {
             let mut progressed = false;
             for (_, bin) in fronts {
                 let req = *self.pending[bin].front().expect("front exists");
+                // Admission control: drop buffered requests that can no
+                // longer meet their deadline before they waste a dispatch.
+                if self.maybe_shed(now, &req) {
+                    self.pending[bin].pop_front();
+                    self.pending_total -= 1;
+                    progressed = true;
+                    break;
+                }
                 if self.try_dispatch(now, req, dispatcher) {
                     self.pending[bin].pop_front();
                     self.pending_total -= 1;
@@ -799,15 +1145,42 @@ impl<'a> Simulation<'a> {
                     self.pending_total += 1;
                     self.report.buffered_requests += 1;
                 }
+                if let Some(h) = &mut self.health {
+                    // A crash is directly observable (connection reset):
+                    // the circuit opens without waiting for strikes.
+                    h.record_crash(fault.instance, now);
+                }
                 self.events.push(ready_at, Event::LoadDone(fault.instance));
+                self.after_health(now);
                 self.drain_pending(now, dispatcher);
+            }
+            FaultKind::Transient {
+                error_rate,
+                duration,
+            } => {
+                self.transient_rates.insert(fault.instance, error_rate);
+                self.events.push(now + duration, Event::FaultEnd(idx));
+            }
+            FaultKind::FailSlow {
+                ramp_per_sec,
+                duration,
+            } => {
+                self.cluster
+                    .set_fail_slow(fault.instance, now, ramp_per_sec);
+                self.events.push(now + duration, Event::FaultEnd(idx));
             }
         }
     }
 
     fn on_fault_end(&mut self, idx: usize) {
-        if let FaultKind::Slowdown { .. } = self.faults[idx].kind {
-            self.cluster.set_slowdown(self.faults[idx].instance, 1.0);
+        let fault = self.faults[idx];
+        match fault.kind {
+            FaultKind::Slowdown { .. } => self.cluster.set_slowdown(fault.instance, 1.0),
+            FaultKind::Transient { .. } => {
+                self.transient_rates.remove(&fault.instance);
+            }
+            FaultKind::FailSlow { .. } => self.cluster.clear_fail_slow(fault.instance),
+            FaultKind::Crash => {}
         }
     }
 

@@ -29,6 +29,13 @@ pub enum Event {
     Fault(usize),
     /// The `n`-th injected fault ends (slowdowns only).
     FaultEnd(usize),
+    /// Re-dispatch attempt for the `n`-th entry in the driver's retry table
+    /// (fault-tolerance layer: backoff expired, request returns to the
+    /// buffer).
+    Retry(usize),
+    /// Periodic health-registry sweep (fault-tolerance layer: quarantine
+    /// cooldowns, stuck-dispatch detection).
+    HealthTick,
 }
 
 /// A deterministic event queue keyed by `(time, insertion sequence)`.
@@ -53,6 +60,8 @@ fn encode(e: Event) -> EventOrd {
         Event::ScaleInCheck => EventOrd(5, 0),
         Event::Fault(i) => EventOrd(6, i),
         Event::FaultEnd(i) => EventOrd(7, i),
+        Event::Retry(i) => EventOrd(8, i),
+        Event::HealthTick => EventOrd(9, 0),
     }
 }
 
@@ -66,6 +75,8 @@ fn decode(e: EventOrd) -> Event {
         EventOrd(5, _) => Event::ScaleInCheck,
         EventOrd(6, i) => Event::Fault(i),
         EventOrd(7, i) => Event::FaultEnd(i),
+        EventOrd(8, i) => Event::Retry(i),
+        EventOrd(9, _) => Event::HealthTick,
         EventOrd(k, _) => unreachable!("unknown event tag {k}"),
     }
 }
@@ -152,6 +163,8 @@ mod tests {
             Event::ScaleInCheck,
             Event::Fault(3),
             Event::FaultEnd(3),
+            Event::Retry(5),
+            Event::HealthTick,
         ];
         let mut q = EventQueue::new();
         for (i, &e) in events.iter().enumerate() {

@@ -16,6 +16,9 @@
 //!   [`driver::Dispatcher`] (Request Scheduler seat) and
 //!   [`driver::Allocator`] (Runtime Scheduler seat) traits, plus the §4
 //!   target-tracking auto-scaler.
+//! * [`health`] — per-instance health state machine (Healthy → Suspect →
+//!   Quarantined → Probation) behind the opt-in fault-tolerance layer:
+//!   circuit breaking, deadline-aware shedding, and retry with backoff.
 //! * [`metrics`] — per-request records, latency summaries/CDFs, SLO
 //!   accounting, time-weighted GPU usage (Fig. 8) and per-runtime
 //!   allocation timelines (Fig. 12).
@@ -30,18 +33,22 @@ pub mod calibration;
 pub mod cluster;
 pub mod driver;
 pub mod event;
+pub mod health;
 pub mod metrics;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::calibration::{predict_md1, predict_stream, QueuePrediction, StreamPrediction};
     pub use crate::cluster::{
-        BatchSpec, Cluster, ClusterView, InstanceId, InstanceState, StartedExecution,
+        AdmitGate, BatchSpec, Cluster, ClusterView, InstanceId, InstanceState, StartedExecution,
     };
     pub use crate::driver::{
-        Allocator, AutoScaleConfig, DemandWindow, Dispatcher, FaultKind, FaultSpec, NoopAllocator,
-        SimConfig, Simulation,
+        Allocator, AutoScaleConfig, DemandWindow, Dispatcher, FaultKind, FaultSpec,
+        FaultToleranceConfig, NoopAllocator, SimConfig, Simulation,
     };
     pub use crate::event::{Event, EventQueue};
-    pub use crate::metrics::{RequestRecord, SimReport};
+    pub use crate::health::{
+        Admission, HealthConfig, HealthRegistry, HealthState, HealthTransition,
+    };
+    pub use crate::metrics::{RequestRecord, ShedReason, ShedRecord, SimReport};
 }

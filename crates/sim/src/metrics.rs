@@ -6,6 +6,7 @@
 //! allocation timelines (Fig. 12) — is derived from this module's output.
 
 use crate::cluster::InstanceId;
+use crate::health::HealthTransition;
 use arlo_trace::stats::{Cdf, Summary, TimeWeighted};
 use arlo_trace::{nanos_to_ms, Nanos};
 use serde::{Deserialize, Serialize};
@@ -83,6 +84,56 @@ pub enum JournalEntry {
         /// Index into the fault plan.
         index: usize,
     },
+    /// The fault-tolerance layer quarantined an instance (circuit opened).
+    Quarantined {
+        /// The condemned instance.
+        instance: InstanceId,
+    },
+    /// A quarantined instance passed probation and rejoined (circuit
+    /// closed).
+    Recovered {
+        /// The recovered instance.
+        instance: InstanceId,
+    },
+    /// A failed execution was scheduled for re-dispatch after backoff.
+    Retried {
+        /// Request id.
+        id: u64,
+    },
+    /// The admission controller dropped a request (deadline hopeless or
+    /// retry budget exhausted).
+    Shed {
+        /// Request id.
+        id: u64,
+    },
+}
+
+/// Why the admission controller dropped a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// Even an immediate dispatch could not meet the deadline — serving it
+    /// would burn GPU time on a guaranteed SLO violation while punctual
+    /// requests queue behind it.
+    DeadlineHopeless,
+    /// The request failed more times than its retry budget allows.
+    RetryBudget,
+}
+
+/// A request dropped by the fault-tolerance layer's admission controller —
+/// a distinct outcome from completion, kept out of [`SimReport::records`]
+/// so latency statistics only describe requests that were actually served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedRecord {
+    /// Trace request id.
+    pub id: u64,
+    /// Token length.
+    pub length: u32,
+    /// Arrival time (ns).
+    pub arrival: Nanos,
+    /// When the request was dropped (ns).
+    pub shed_at: Nanos,
+    /// Why it was dropped.
+    pub reason: ShedReason,
 }
 
 /// Collected simulation output.
@@ -115,6 +166,20 @@ pub struct SimReport {
     /// Scheduler decision journal (`SimConfig::journal_limit` > 0),
     /// time-ordered, truncated at the limit.
     pub journal: Vec<(Nanos, JournalEntry)>,
+    /// Requests dropped by the fault-tolerance layer (empty with the layer
+    /// off). Every trace request ends up in exactly one of `records` or
+    /// `shed`.
+    pub shed: Vec<ShedRecord>,
+    /// Re-dispatch attempts scheduled after failed executions.
+    pub retries_total: u64,
+    /// Executions that returned a failure (transient faults).
+    pub exec_failures: u64,
+    /// Queued requests pulled off quarantined instances back into the
+    /// central buffer.
+    pub evicted_requests: u64,
+    /// Health state machine transitions, time-ordered (empty with the layer
+    /// off). `ext_recovery` derives time-to-detect / time-to-recover here.
+    pub health_transitions: Vec<HealthTransition>,
 }
 
 impl SimReport {
@@ -126,7 +191,19 @@ impl SimReport {
     pub fn trimmed(&self, warmup_ns: Nanos) -> SimReport {
         let mut out = self.clone();
         out.records.retain(|r| r.arrival >= warmup_ns);
+        out.shed.retain(|s| s.arrival >= warmup_ns);
         out
+    }
+
+    /// Fraction of requests dropped by the admission controller, out of all
+    /// requests that reached an outcome (served or shed). Zero with the
+    /// fault-tolerance layer off.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.records.len() + self.shed.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.shed.len() as f64 / total as f64
     }
 
     /// End-to-end latencies in milliseconds (the paper's reporting unit).

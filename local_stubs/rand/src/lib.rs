@@ -1,0 +1,163 @@
+//! Minimal offline stand-in for `rand` 0.8 covering the API surface this
+//! workspace uses: `RngCore`, `Rng`, `SeedableRng::seed_from_u64`, and
+//! `rngs::StdRng` (bit-exact ChaCha12, seeded via rand_core's PCG32-based
+//! `seed_from_u64`), so seeded traces match the real crate exactly.
+
+/// Core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let w = self.next_u32().to_le_bytes();
+            let n = (dest.len() - i).min(4);
+            dest[i..i + n].copy_from_slice(&w[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable RNG interface (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// rand_core 0.6's default: expand the u64 with a PCG32 stream.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// ChaCha12-based standard RNG (bit-compatible with rand 0.8's StdRng).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; 16],
+        idx: usize,
+    }
+
+    fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            // ChaCha block: constants, 8 key words, 64-bit counter, 64-bit
+            // stream id (0) — rand_chacha's layout.
+            let mut s: [u32; 16] = [
+                0x6170_7865,
+                0x3320_646e,
+                0x7962_2d32,
+                0x6b20_6574,
+                self.key[0],
+                self.key[1],
+                self.key[2],
+                self.key[3],
+                self.key[4],
+                self.key[5],
+                self.key[6],
+                self.key[7],
+                self.counter as u32,
+                (self.counter >> 32) as u32,
+                0,
+                0,
+            ];
+            let init = s;
+            // 12 rounds = 6 double rounds.
+            for _ in 0..6 {
+                quarter(&mut s, 0, 4, 8, 12);
+                quarter(&mut s, 1, 5, 9, 13);
+                quarter(&mut s, 2, 6, 10, 14);
+                quarter(&mut s, 3, 7, 11, 15);
+                quarter(&mut s, 0, 5, 10, 15);
+                quarter(&mut s, 1, 6, 11, 12);
+                quarter(&mut s, 2, 7, 8, 13);
+                quarter(&mut s, 3, 4, 9, 14);
+            }
+            for i in 0..16 {
+                self.buf[i] = s[i].wrapping_add(init[i]);
+            }
+            self.counter = self.counter.wrapping_add(1);
+            self.idx = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, w) in key.iter_mut().enumerate() {
+                *w = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 16],
+                idx: 16,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.idx >= 16 {
+                self.refill();
+            }
+            let w = self.buf[self.idx];
+            self.idx += 1;
+            w
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Minimal offline stand-in for `serde`: a JSON-shaped data model plus
+//! `Serialize`/`Deserialize` traits the local `serde_derive` stub targets.
+//! Only the surface this workspace exercises is provided.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    use std::collections::BTreeMap;
+    use std::fmt;
+
+    pub type Map = BTreeMap<String, Value>;
+
+    /// JSON value tree (the stub's whole data model).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Integers kept exact; floats as f64.
+        Int(i64),
+        UInt(u64),
+        Float(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Map),
+    }
+
+    impl Value {
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::Int(i) => Some(i as f64),
+                Value::UInt(u) => Some(u as f64),
+                Value::Float(f) => Some(f),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::Int(i) if i >= 0 => Some(i as u64),
+                Value::UInt(u) => Some(u),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::Int(i) => Some(i),
+                Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&Map> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object().and_then(|m| m.get(key))
+        }
+
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        fn write_json(&self, f: &mut fmt::Formatter<'_>, indent: Option<usize>) -> fmt::Result {
+            match self {
+                Value::Null => write!(f, "null"),
+                Value::Bool(b) => write!(f, "{b}"),
+                Value::Int(i) => write!(f, "{i}"),
+                Value::UInt(u) => write!(f, "{u}"),
+                Value::Float(x) => {
+                    if x.is_finite() {
+                        // Match serde_json: integral floats print ".0".
+                        if x.fract() == 0.0 && x.abs() < 1e15 {
+                            write!(f, "{x:.1}")
+                        } else {
+                            write!(f, "{x}")
+                        }
+                    } else {
+                        write!(f, "null")
+                    }
+                }
+                Value::String(s) => write_escaped(f, s),
+                Value::Array(a) => {
+                    write!(f, "[")?;
+                    for (i, v) in a.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        if let Some(n) = indent {
+                            write!(f, "\n{}", "  ".repeat(n + 1))?;
+                        }
+                        v.write_json(f, indent.map(|n| n + 1))?;
+                    }
+                    if let (Some(n), false) = (indent, a.is_empty()) {
+                        write!(f, "\n{}", "  ".repeat(n))?;
+                    }
+                    write!(f, "]")
+                }
+                Value::Object(m) => {
+                    write!(f, "{{")?;
+                    for (i, (k, v)) in m.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        if let Some(n) = indent {
+                            write!(f, "\n{}", "  ".repeat(n + 1))?;
+                        }
+                        write_escaped(f, k)?;
+                        write!(f, ":")?;
+                        if indent.is_some() {
+                            write!(f, " ")?;
+                        }
+                        v.write_json(f, indent.map(|n| n + 1))?;
+                    }
+                    if let (Some(n), false) = (indent, m.is_empty()) {
+                        write!(f, "\n{}", "  ".repeat(n))?;
+                    }
+                    write!(f, "}}")
+                }
+            }
+        }
+
+        pub fn render(&self, pretty: bool) -> String {
+            struct R<'a>(&'a Value, bool);
+            impl fmt::Display for R<'_> {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    self.0.write_json(f, if self.1 { Some(0) } else { None })
+                }
+            }
+            R(self, pretty).to_string()
+        }
+    }
+
+    fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+        write!(f, "\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => write!(f, "\\\"")?,
+                '\\' => write!(f, "\\\\")?,
+                '\n' => write!(f, "\\n")?,
+                '\t' => write!(f, "\\t")?,
+                '\r' => write!(f, "\\r")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.write_json(f, None)
+        }
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, i: usize) -> &Value {
+            self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<str> for Value {
+        fn eq(&self, other: &str) -> bool {
+            self.as_str() == Some(other)
+        }
+    }
+
+    impl PartialEq<String> for Value {
+        fn eq(&self, other: &String) -> bool {
+            self.as_str() == Some(other.as_str())
+        }
+    }
+
+    macro_rules! eq_num {
+        ($($t:ty),*) => {$(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    self.as_f64() == Some(*other as f64)
+                }
+            }
+            impl PartialEq<Value> for $t {
+                fn eq(&self, other: &Value) -> bool {
+                    other.as_f64() == Some(*self as f64)
+                }
+            }
+        )*};
+    }
+    eq_num!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f32, f64);
+}
+
+pub use value::Value;
+
+/// Serialization into the stub's [`Value`] model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the stub's [`Value`] model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+macro_rules! ser_int {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $cast)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<Self> {
+                match *v {
+                    Value::Int(i) => <$t>::try_from(i).ok(),
+                    Value::UInt(u) => <$t>::try_from(u).ok(),
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+         isize => Int as i64,
+         u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+         usize => UInt as u64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_f64()
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_f64().map(|x| x as f32)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_bool()
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        if v.is_null() {
+            Some(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($len:expr; $($t:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Option<Self> {
+                let a = v.as_array()?;
+                if a.len() != $len {
+                    return None;
+                }
+                Some(($($t::from_value(&a[$idx])?,)+))
+            }
+        }
+    )+};
+}
+tuple_impls!(
+    (2; A 0, B 1),
+    (3; A 0, B 1, C 2),
+    (4; A 0, B 1, C 2, D 3),
+    (5; A 0, B 1, C 2, D 3, E 4)
+);

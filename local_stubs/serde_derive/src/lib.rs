@@ -1,0 +1,365 @@
+//! Minimal offline stand-in for `serde_derive`: derives the local stub
+//! `serde::Serialize`/`serde::Deserialize` traits (Value-tree based) for
+//! plain non-generic structs and enums, which is all this workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Body {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields from a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(Field {
+            name: id.to_string(),
+        });
+        i += 1;
+        // Expect ':' then the type, until a top-level ','.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                // Trailing comma adds no field.
+                if i + 1 < tokens.len() {
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(count_tuple_fields(g))
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde_derive stub: generic types are not supported ({name})"
+        );
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g))
+                }
+                _ => Body::Unit,
+            };
+            Input::Struct { name, body }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive stub: enum {name} without body");
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(g),
+            }
+        }
+        other => panic!("serde_derive stub: unsupported item kind {other}"),
+    }
+}
+
+fn named_to_value(fields: &[Field], prefix: &str) -> String {
+    let mut s = String::from("{ let mut m = serde::value::Map::new();");
+    for f in fields {
+        s.push_str(&format!(
+            "m.insert(\"{0}\".to_string(), serde::Serialize::to_value(&{1}{0}));",
+            f.name, prefix
+        ));
+    }
+    s.push_str("serde::Value::Object(m) }");
+    s
+}
+
+fn named_from_value(fields: &[Field], ctor: &str) -> String {
+    let mut s = format!("{{ let o = v.as_object()?; Some({ctor} {{");
+    for f in fields {
+        s.push_str(&format!(
+            "{0}: serde::Deserialize::from_value(o.get(\"{0}\")?)?,",
+            f.name
+        ));
+    }
+    s.push_str("}) }");
+    s
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, body } => {
+            let expr = match &body {
+                Body::Unit => "serde::Value::Null".to_string(),
+                Body::Named(fields) => named_to_value(fields, "self."),
+                Body::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(","))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> serde::Value {{ {expr} }} }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),"
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = serde::value::Map::new(); \
+                             m.insert(\"{vn}\".to_string(), {inner}); \
+                             serde::Value::Object(m) }},",
+                            binds.join(",")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("{ let mut fm = serde::value::Map::new();");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{0}\".to_string(), serde::Serialize::to_value({0}));",
+                                f.name
+                            ));
+                        }
+                        inner.push_str("serde::Value::Object(fm) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let mut m = serde::value::Map::new(); \
+                             m.insert(\"{vn}\".to_string(), {inner}); \
+                             serde::Value::Object(m) }},",
+                            binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> serde::Value {{ \
+                     match self {{ {arms} }} }} }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive stub: generated code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, body } => {
+            let expr = match &body {
+                Body::Unit => format!("Some({name})"),
+                Body::Named(fields) => named_from_value(fields, &name),
+                Body::Tuple(1) => {
+                    format!("Some({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(a.get({k})?)?"))
+                        .collect();
+                    format!(
+                        "{{ let a = v.as_array()?; Some({name}({})) }}",
+                        items.join(",")
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{ \
+                   fn from_value(v: &serde::Value) -> Option<Self> {{ {expr} }} }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Some({name}::{vn}),"))
+                    }
+                    Body::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!("Some({name}::{vn}(serde::Deserialize::from_value(inner)?))")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(a.get({k})?)?"))
+                                .collect();
+                            format!(
+                                "{{ let a = inner.as_array()?; Some({name}::{vn}({})) }}",
+                                items.join(",")
+                            )
+                        };
+                        keyed_arms.push_str(&format!("\"{vn}\" => return {expr},"));
+                    }
+                    Body::Named(fields) => {
+                        let mut expr =
+                            format!("{{ let o = inner.as_object()?; Some({name}::{vn} {{");
+                        for f in fields {
+                            expr.push_str(&format!(
+                                "{0}: serde::Deserialize::from_value(o.get(\"{0}\")?)?,",
+                                f.name
+                            ));
+                        }
+                        expr.push_str("}) }");
+                        keyed_arms.push_str(&format!("\"{vn}\" => return {expr},"));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{ \
+                   fn from_value(v: &serde::Value) -> Option<Self> {{ \
+                     if let Some(s) = v.as_str() {{ \
+                       match s {{ {unit_arms} _ => return None, }} }} \
+                     let o = v.as_object()?; \
+                     let (k, inner) = o.iter().next()?; \
+                     match k.as_str() {{ {keyed_arms} _ => None, }} }} }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive stub: generated code")
+}

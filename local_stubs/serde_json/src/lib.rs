@@ -1,0 +1,343 @@
+//! Minimal offline stand-in for `serde_json` over the local `serde` stub's
+//! Value tree: `json!`, `to_string{,_pretty}`, `from_str`, and a parser.
+
+pub use serde::value::Map;
+pub use serde::Value;
+
+/// Serialization error (the stub never fails).
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render(false))
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render(true))
+}
+
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    T::from_value(&v).ok_or_else(|| Error("type mismatch".into()))
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut m = Map::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let v = self.value()?;
+                    m.insert(k, v);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(m));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+            None => Err(Error("unexpected end".into())),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("bad \\u".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error("bad escape".into())),
+                    }
+                }
+                Some(&b) => {
+                    // Consume one UTF-8 code point.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| Error("bad utf8".into()))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| Error(e.to_string()))?);
+                    self.pos += len;
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(if i >= 0 {
+                    Value::UInt(i as u64)
+                } else {
+                    Value::Int(i)
+                });
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+    }
+}
+
+/// `serde_json::json!` work-alike (tt-muncher, simplified from the
+/// canonical implementation).
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_array!(@vec [] $($tt)+))
+    };
+
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object!(@map map () $($tt)+);
+        $crate::Value::Object(map)
+    }};
+
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array elements: munch one tt-bounded value at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Done.
+    (@vec [$($elems:expr),*]) => { vec![$($elems),*] };
+    // Trailing comma.
+    (@vec [$($elems:expr),*] ,) => { vec![$($elems),*] };
+    // Next value is a nested structure or literal.
+    (@vec [$($elems:expr),*] null $($rest:tt)*) => {
+        $crate::json_array!(@vec [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@vec [$($elems:expr),*] true $($rest:tt)*) => {
+        $crate::json_array!(@vec [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@vec [$($elems:expr),*] false $($rest:tt)*) => {
+        $crate::json_array!(@vec [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@vec [$($elems:expr),*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_array!(@vec [$($elems,)* $crate::json_internal!([$($arr)*])] $($rest)*)
+    };
+    (@vec [$($elems:expr),*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_array!(@vec [$($elems,)* $crate::json_internal!({$($obj)*})] $($rest)*)
+    };
+    // Expression up to the next top-level comma.
+    (@vec [$($elems:expr),*] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!(@vec [$($elems,)* $crate::to_value(&$next)] , $($rest)*)
+    };
+    (@vec [$($elems:expr),*] $last:expr) => {
+        vec![$($elems,)* $crate::to_value(&$last)]
+    };
+    // Comma separator.
+    (@vec [$($elems:expr),*] , $($rest:tt)+) => {
+        $crate::json_array!(@vec [$($elems),*] $($rest)+)
+    };
+}
+
+/// Object entries: accumulate key tokens, then munch the value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Done.
+    (@map $map:ident ()) => {};
+    // Key complete: colon then a structured or literal value.
+    (@map $map:ident ($($key:tt)+) : null $($rest:tt)*) => {
+        $map.insert(($($key)+).into(), $crate::json_internal!(null));
+        $crate::json_object!(@map $map () $($rest)*);
+    };
+    (@map $map:ident ($($key:tt)+) : true $($rest:tt)*) => {
+        $map.insert(($($key)+).into(), $crate::json_internal!(true));
+        $crate::json_object!(@map $map () $($rest)*);
+    };
+    (@map $map:ident ($($key:tt)+) : false $($rest:tt)*) => {
+        $map.insert(($($key)+).into(), $crate::json_internal!(false));
+        $crate::json_object!(@map $map () $($rest)*);
+    };
+    (@map $map:ident ($($key:tt)+) : [$($arr:tt)*] $($rest:tt)*) => {
+        $map.insert(($($key)+).into(), $crate::json_internal!([$($arr)*]));
+        $crate::json_object!(@map $map () $($rest)*);
+    };
+    (@map $map:ident ($($key:tt)+) : {$($obj:tt)*} $($rest:tt)*) => {
+        $map.insert(($($key)+).into(), $crate::json_internal!({$($obj)*}));
+        $crate::json_object!(@map $map () $($rest)*);
+    };
+    // Key complete: colon then an expression value up to a top-level comma.
+    (@map $map:ident ($($key:tt)+) : $value:expr , $($rest:tt)*) => {
+        $map.insert(($($key)+).into(), $crate::to_value(&$value));
+        $crate::json_object!(@map $map () , $($rest)*);
+    };
+    (@map $map:ident ($($key:tt)+) : $value:expr) => {
+        $map.insert(($($key)+).into(), $crate::to_value(&$value));
+    };
+    // Separator comma between entries.
+    (@map $map:ident () , $($rest:tt)*) => {
+        $crate::json_object!(@map $map () $($rest)*);
+    };
+    // Accumulate one key token.
+    (@map $map:ident ($($key:tt)*) $tt:tt $($rest:tt)*) => {
+        $crate::json_object!(@map $map ($($key)* $tt) $($rest)*);
+    };
+}
