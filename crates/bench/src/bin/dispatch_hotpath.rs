@@ -1,0 +1,245 @@
+//! `dispatch_hotpath` — ns/decision of the simulator dispatch hot path vs
+//! cluster size, for every dispatch policy, with the pre-index O(N) scan as
+//! the baseline.
+//!
+//! The cluster's dispatch reads (`least_loaded`, `instances_of`) used to
+//! scan every instance on every decision; they now run off an incremental
+//! per-runtime index (membership lists + lazy min-heaps, see
+//! `arlo-sim::cluster`). This binary measures the decision cost directly:
+//! each cell spins one policy against a populated cluster of a given size
+//! and reports mean wall-clock per decision. `arlo-rs-scan` is Algorithm 1
+//! re-implemented verbatim on the retained `least_loaded_scan` reference
+//! path — the pre-index baseline the speedup column compares against.
+//!
+//! Cells are independent, so the policy × size grid runs through the
+//! bench crate's `sweep_parallel` runner. Results land in
+//! `results/BENCH_dispatch.json`.
+
+use arlo_bench::{json_f64, print_table, sweep_parallel, write_json};
+use arlo_core::policies::{InfaasBinPacking, InterGroupGreedy, IntraGroupLoadBalance, LoadBalance};
+use arlo_core::request_scheduler::{ArloRequestScheduler, RequestSchedulerConfig};
+use arlo_runtime::latency::{CompiledRuntime, JitterSpec};
+use arlo_runtime::models::ModelSpec;
+use arlo_runtime::profile::profile_runtimes;
+use arlo_sim::cluster::{Cluster, ClusterView, InstanceId};
+use arlo_sim::driver::Dispatcher;
+use arlo_trace::workload::Request;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runtime ladder used by every cell (the paper's 8-runtime Bert-Base
+/// setup: max lengths 64..512 in steps of 64).
+const RUNTIME_LENGTHS: [u32; 8] = [64, 128, 192, 256, 320, 384, 448, 512];
+
+/// Cluster sizes swept (total instances across all runtimes).
+const SIZES: [u32; 3] = [16, 64, 256];
+
+const WARMUP: u64 = 10_000;
+const ITERS: u64 = 100_000;
+
+/// Algorithm 1 exactly as `ArloRequestScheduler::select`, but reading level
+/// heads through the naive `least_loaded_scan` — the pre-index hot path.
+/// Decision-for-decision identical (same tie-breaks); only the data
+/// structure behind the peek differs.
+struct NaiveArloSelect {
+    config: RequestSchedulerConfig,
+}
+
+impl NaiveArloSelect {
+    fn select(&self, length: u32, view: &ClusterView<'_>) -> Option<InstanceId> {
+        let profiles = view.profiles();
+        let first = profiles.iter().position(|p| p.can_serve(length))?;
+        let candidates = first..profiles.len();
+        let mut lambda = self.config.lambda;
+        let mut fallback: Option<InstanceId> = None;
+        let mut peeked = 0usize;
+        for level in candidates.clone() {
+            if peeked >= self.config.max_peek {
+                break;
+            }
+            let Some((head, outstanding)) = view.least_loaded_scan(level) else {
+                continue;
+            };
+            peeked += 1;
+            if fallback.is_none() {
+                fallback = Some(head);
+            }
+            let capacity = profiles[level].capacity_within_slo;
+            let congestion = if capacity == 0 {
+                f64::INFINITY
+            } else {
+                f64::from(outstanding) / f64::from(capacity)
+            };
+            if congestion < lambda {
+                return Some(head);
+            }
+            lambda *= self.config.alpha;
+        }
+        fallback.or_else(|| {
+            candidates
+                .into_iter()
+                .find_map(|level| view.least_loaded_scan(level).map(|(id, _)| id))
+        })
+    }
+}
+
+/// One benchmarked decision procedure.
+enum Policy {
+    ArloIndexed(ArloRequestScheduler),
+    ArloScan(NaiveArloSelect),
+    Boxed(Box<dyn Dispatcher>),
+}
+
+impl Policy {
+    fn from_name(name: &str) -> Policy {
+        match name {
+            "arlo-rs" => Policy::ArloIndexed(ArloRequestScheduler::paper_default()),
+            "arlo-rs-scan" => Policy::ArloScan(NaiveArloSelect {
+                config: RequestSchedulerConfig::default(),
+            }),
+            "ilb" => Policy::Boxed(Box::new(IntraGroupLoadBalance)),
+            "ig" => Policy::Boxed(Box::new(InterGroupGreedy)),
+            "load-balance" => Policy::Boxed(Box::new(LoadBalance)),
+            "infaas-pack" => Policy::Boxed(Box::new(InfaasBinPacking::default())),
+            other => panic!("unknown policy {other}"),
+        }
+    }
+
+    fn decide(&mut self, length: u32, view: &ClusterView<'_>) -> Option<InstanceId> {
+        let req = Request {
+            id: 0,
+            arrival: 0,
+            length,
+        };
+        match self {
+            Policy::ArloIndexed(rs) => rs.select(length, view),
+            Policy::ArloScan(rs) => rs.select(length, view),
+            Policy::Boxed(d) => d.dispatch(&req, view),
+        }
+    }
+}
+
+/// A populated cluster: `total` instances spread evenly over the runtime
+/// ladder, with a 0..7 outstanding-load gradient so heads differ per level
+/// and the congestion test exercises both branches.
+fn build_cluster(total: u32) -> Cluster {
+    let model = ModelSpec::bert_base();
+    let rts: Vec<CompiledRuntime> = RUNTIME_LENGTHS
+        .iter()
+        .map(|&l| CompiledRuntime::new_static(model.clone(), l))
+        .collect();
+    let profiles = profile_runtimes(&rts, 150.0, 256);
+    let k = RUNTIME_LENGTHS.len() as u32;
+    let per = total / k;
+    let extra = total % k;
+    let counts: Vec<u32> = (0..k).map(|i| per + u32::from(i < extra)).collect();
+    let mut cluster = Cluster::new(profiles, &counts, JitterSpec::NONE, 1_000_000_000);
+    let mut req_id = 0u64;
+    for inst in 0..total as usize {
+        for _ in 0..(inst % 7) {
+            cluster.enqueue(
+                inst,
+                Request {
+                    id: req_id,
+                    arrival: 0,
+                    length: 1,
+                },
+                0,
+            );
+            req_id += 1;
+        }
+    }
+    cluster
+}
+
+/// Mean ns/decision for one policy × size cell.
+fn run_cell(policy_name: &str, total: u32) -> f64 {
+    let cluster = build_cluster(total);
+    let view = cluster.view();
+    let mut policy = Policy::from_name(policy_name);
+    // Cycle request lengths coprime to the table size so every level is hit.
+    let mut k = 0u64;
+    for _ in 0..WARMUP {
+        k = k.wrapping_add(263);
+        black_box(policy.decide(1 + (k % 512) as u32, &view));
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        k = k.wrapping_add(263);
+        black_box(policy.decide(1 + (k % 512) as u32, &view));
+    }
+    start.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+fn main() {
+    let policies = [
+        "arlo-rs",
+        "arlo-rs-scan",
+        "ilb",
+        "ig",
+        "load-balance",
+        "infaas-pack",
+    ];
+    let cells: Vec<(String, u32)> = policies
+        .iter()
+        .flat_map(|&p| SIZES.iter().map(move |&s| (p.to_string(), s)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let measured = sweep_parallel(cells.clone(), threads, |(policy, size)| {
+        run_cell(&policy, size)
+    });
+
+    let ns_of = |policy: &str, size: u32| -> f64 {
+        cells
+            .iter()
+            .zip(&measured)
+            .find(|((p, s), _)| p == policy && *s == size)
+            .map(|(_, &ns)| ns)
+            .expect("cell measured")
+    };
+
+    let rows: Vec<Vec<String>> = policies
+        .iter()
+        .map(|&p| {
+            let mut row = vec![p.to_string()];
+            row.extend(SIZES.iter().map(|&s| format!("{:.0}", ns_of(p, s))));
+            row
+        })
+        .collect();
+    print_table(
+        "dispatch hot path — ns/decision vs cluster size (8 runtimes, load gradient)",
+        &["policy", "16 inst", "64 inst", "256 inst"],
+        &rows,
+    );
+
+    let speedup_256 = ns_of("arlo-rs-scan", 256) / ns_of("arlo-rs", 256);
+    println!(
+        "\nindexed Arlo-RS vs pre-index scan at 256 instances: {speedup_256:.1}x \
+         ({:.0} ns -> {:.0} ns)",
+        ns_of("arlo-rs-scan", 256),
+        ns_of("arlo-rs", 256),
+    );
+
+    let cells_json: Vec<serde_json::Value> = cells
+        .iter()
+        .zip(&measured)
+        .map(|((policy, size), &ns)| {
+            serde_json::json!({
+                "policy": policy,
+                "instances": size,
+                "ns_per_decision": json_f64(ns),
+            })
+        })
+        .collect();
+    write_json(
+        "BENCH_dispatch",
+        &serde_json::json!({
+            "runtimes": RUNTIME_LENGTHS.len(),
+            "iters_per_cell": ITERS,
+            "cells": cells_json,
+            "arlo_rs_speedup_256": json_f64(speedup_256),
+        }),
+    );
+}

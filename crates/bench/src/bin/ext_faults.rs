@@ -8,7 +8,7 @@
 //! crashes outright. Load-aware dispatchers (RS, IG) route around the
 //! sick instances; ILB's strict intra-group balancing keeps feeding them.
 
-use arlo_bench::{print_table, write_json};
+use arlo_bench::{json_f64, print_table, write_json};
 use arlo_core::request_scheduler::RequestSchedulerConfig;
 use arlo_core::system::{DispatchPolicy, SystemSpec};
 use arlo_runtime::models::ModelSpec;
@@ -87,11 +87,13 @@ fn main() {
             format!("{:.2}", fs.p98),
             format!("{:.2}%", faulty.slo_violation_rate(slo) * 100.0),
         ]);
+        // Summary fields are NaN when a run sheds everything; json_f64 maps
+        // them to null so the file stays valid JSON.
         json.push(serde_json::json!({
             "policy": name,
-            "healthy_mean_ms": hs.mean, "faulty_mean_ms": fs.mean,
-            "healthy_p98_ms": hs.p98, "faulty_p98_ms": fs.p98,
-            "faulty_viol": faulty.slo_violation_rate(slo),
+            "healthy_mean_ms": json_f64(hs.mean), "faulty_mean_ms": json_f64(fs.mean),
+            "healthy_p98_ms": json_f64(hs.p98), "faulty_p98_ms": json_f64(fs.p98),
+            "faulty_viol": json_f64(faulty.slo_violation_rate(slo)),
         }));
     }
     print_table(

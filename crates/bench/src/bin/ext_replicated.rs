@@ -6,7 +6,7 @@
 //! headline reductions?": the Fig. 6-style comparison replicated over
 //! eight independently generated traces, reported as mean ± 95% CI.
 
-use arlo_bench::{mean_ci95, print_table, replicate, write_json};
+use arlo_bench::{json_f64, mean_ci95, print_table, replicate, write_json};
 use arlo_core::system::SystemSpec;
 use arlo_runtime::models::ModelSpec;
 use arlo_trace::workload::TraceSpec;
@@ -37,8 +37,11 @@ fn main() {
         ]);
         json.insert(
             spec.name.to_lowercase(),
+            // With a single replicate the CI half-width is NaN; json_f64
+            // writes it as null rather than an invalid bare NaN token.
             serde_json::json!({
-                "mean_ms": m, "mean_ci95": mh, "p98_ms": p, "p98_ci95": ph,
+                "mean_ms": json_f64(m), "mean_ci95": json_f64(mh),
+                "p98_ms": json_f64(p), "p98_ci95": json_f64(ph),
                 "replicates": seeds.len(),
             }),
         );

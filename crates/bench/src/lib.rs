@@ -80,6 +80,21 @@ pub fn results_dir() -> PathBuf {
     path
 }
 
+/// A float as a JSON value, mapping non-finite inputs to `null`.
+///
+/// Summary statistics over empty sample sets (a scheme that shed every
+/// request, a window with no completions) are `NaN`, and `NaN`/`Infinity`
+/// have no JSON representation — a writer that emits them verbatim produces
+/// a file `from_str` rejects. Every float that reaches a `results/` file
+/// goes through here so degenerate reports still round-trip.
+pub fn json_f64(x: f64) -> serde_json::Value {
+    if x.is_finite() {
+        serde_json::json!(x)
+    } else {
+        serde_json::Value::Null
+    }
+}
+
 /// Persist an experiment's machine-readable result.
 pub fn write_json(experiment: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{experiment}.json"));
@@ -91,6 +106,50 @@ pub fn write_json(experiment: &str, value: &serde_json::Value) {
     println!("[wrote {}]", path.display());
 }
 
+/// Evaluate independent sweep cells (policy × trace, policy × cluster-size,
+/// seed replicates, …) concurrently on scoped threads, preserving input
+/// order in the output. Cells are dealt round-robin onto at most
+/// `max_threads` workers so a large grid does not spawn one OS thread per
+/// cell; each cell itself runs single-threaded.
+pub fn sweep_parallel<I, O, F>(cells: Vec<I>, max_threads: usize, eval: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let workers = max_threads.max(1).min(cells.len().max(1));
+    let mut buckets: Vec<Vec<(usize, I)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, cell) in cells.into_iter().enumerate() {
+        buckets[i % workers].push((i, cell));
+    }
+    let mut results: Vec<Option<O>> = std::iter::repeat_with(|| None)
+        .take(buckets.iter().map(Vec::len).sum())
+        .collect();
+    std::thread::scope(|scope| {
+        let eval = &eval;
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, cell)| (i, eval(cell)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, out) in handle.join().expect("sweep worker") {
+                results[i] = Some(out);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("every cell evaluated"))
+        .collect()
+}
+
 /// Run several system specs over the same trace concurrently (each
 /// simulation is independent and single-threaded; scheme comparisons are
 /// embarrassingly parallel). Results come back in input order.
@@ -98,15 +157,8 @@ pub fn run_schemes_parallel(
     specs: &[arlo_core::system::SystemSpec],
     trace: &arlo_trace::workload::Trace,
 ) -> Vec<(String, SimReport)> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = specs
-            .iter()
-            .map(|spec| scope.spawn(move || (spec.name.clone(), spec.run(trace))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scheme worker"))
-            .collect()
+    sweep_parallel(specs.iter().collect(), specs.len(), |spec| {
+        (spec.name.clone(), spec.run(trace))
     })
 }
 
@@ -132,20 +184,9 @@ pub fn replicate(
     seeds: &[u64],
 ) -> Vec<SimReport> {
     use rand::SeedableRng;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                scope.spawn(move || {
-                    let trace = trace_spec.generate(&mut rand::rngs::StdRng::seed_from_u64(seed));
-                    spec.run(&trace)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replicate worker"))
-            .collect()
+    sweep_parallel(seeds.to_vec(), seeds.len(), |seed| {
+        let trace = trace_spec.generate(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        spec.run(&trace)
     })
 }
 
@@ -165,19 +206,22 @@ pub fn latency_row(name: &str, report: &SimReport, slo_ms: f64) -> Vec<String> {
 /// Standard headers matching [`latency_row`].
 pub const LATENCY_HEADERS: [&str; 6] = ["scheme", "mean ms", "p50 ms", "p98 ms", "p99 ms", "viol"];
 
-/// Summarize a report into a JSON fragment.
+/// Summarize a report into a JSON fragment. Every float goes through
+/// [`json_f64`]: a report with no served requests (everything shed) has a
+/// `NaN` latency summary, which must land in the file as `null`, not as an
+/// unparseable bare `NaN` token.
 pub fn report_json(report: &SimReport, slo_ms: f64) -> serde_json::Value {
     let s = report.latency_summary();
     serde_json::json!({
         "requests": report.records.len(),
-        "mean_ms": s.mean,
-        "p50_ms": s.p50,
-        "p90_ms": s.p90,
-        "p98_ms": s.p98,
-        "p99_ms": s.p99,
-        "max_ms": s.max,
-        "slo_violation_rate": report.slo_violation_rate(slo_ms),
-        "time_weighted_gpus": report.time_weighted_gpus(),
+        "mean_ms": json_f64(s.mean),
+        "p50_ms": json_f64(s.p50),
+        "p90_ms": json_f64(s.p90),
+        "p98_ms": json_f64(s.p98),
+        "p99_ms": json_f64(s.p99),
+        "max_ms": json_f64(s.max),
+        "slo_violation_rate": json_f64(report.slo_violation_rate(slo_ms)),
+        "time_weighted_gpus": json_f64(report.time_weighted_gpus()),
         "buffered_requests": report.buffered_requests,
     })
 }
@@ -217,5 +261,55 @@ mod tests {
         assert!((reduction_pct(3.0, 10.0) - 70.0).abs() < 1e-12);
         assert!((reduction_pct(10.0, 10.0)).abs() < 1e-12);
         assert!(reduction_pct(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn sweep_parallel_preserves_order() {
+        let out = sweep_parallel((0..37).collect(), 4, |i| i * i);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(
+            sweep_parallel(Vec::<u32>::new(), 4, |i| i),
+            Vec::<u32>::new()
+        );
+        // More workers than cells must not panic or drop cells.
+        assert_eq!(sweep_parallel(vec![1, 2], 16, |i| i + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn json_f64_maps_non_finite_to_null() {
+        assert_eq!(json_f64(1.5), serde_json::json!(1.5));
+        assert!(json_f64(f64::NAN).is_null());
+        assert!(json_f64(f64::INFINITY).is_null());
+        assert!(json_f64(f64::NEG_INFINITY).is_null());
+    }
+
+    /// A scheme that sheds every request produces a `NaN` latency summary;
+    /// the JSON fragment must still serialize to valid, re-parseable JSON
+    /// with those fields as `null`.
+    #[test]
+    fn shed_everything_report_round_trips() {
+        use arlo_sim::metrics::{ShedReason, ShedRecord, SimReport};
+        let mut report = SimReport {
+            horizon: 1_000,
+            ..SimReport::default()
+        };
+        for id in 0..5 {
+            report.shed.push(ShedRecord {
+                id,
+                length: 8,
+                arrival: id * 10,
+                shed_at: id * 10 + 1,
+                reason: ShedReason::DeadlineHopeless,
+            });
+        }
+        let value = report_json(&report, 100.0);
+        let text = serde_json::to_string(&value).expect("serialize");
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("round-trip");
+        assert_eq!(parsed["requests"].as_f64(), Some(0.0));
+        assert!(parsed["mean_ms"].is_null());
+        assert!(parsed["p99_ms"].is_null());
+        assert!(parsed["max_ms"].is_null());
+        // Finite fields survive as numbers.
+        assert_eq!(parsed["slo_violation_rate"].as_f64(), Some(0.0));
     }
 }

@@ -11,10 +11,15 @@ use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::profile::RuntimeProfile;
 use arlo_trace::workload::Request;
 use arlo_trace::Nanos;
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Index of an instance within the cluster (stable for its lifetime).
 pub type InstanceId = usize;
+
+/// A runtime level's lazy dispatch heap: min-heap over `(outstanding, id)`.
+type LoadHeap = BinaryHeap<Reverse<(u32, InstanceId)>>;
 
 /// Publicly visible instance state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,8 +175,59 @@ impl<'a> ClusterView<'a> {
     }
 
     /// The accepting instances of runtime `runtime_idx` with their
-    /// outstanding counts.
+    /// outstanding counts, ascending by id. Walks only that runtime's
+    /// membership list — O(k-per-level), not O(N).
     pub fn instances_of(&self, runtime_idx: usize) -> impl Iterator<Item = (InstanceId, u32)> + '_ {
+        let limit = self.cluster.queue_limits[runtime_idx];
+        self.cluster.members[runtime_idx]
+            .iter()
+            .filter_map(move |&id| {
+                let inst = &self.cluster.instances[id];
+                if inst.accepts(limit) {
+                    Some((id, inst.outstanding()))
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The least-loaded accepting instance of a runtime — the head of the
+    /// paper's per-runtime priority queue (Fig. 5). Ties break on the lower
+    /// instance id for determinism.
+    ///
+    /// Served from the runtime's lazy min-heap: entries whose
+    /// `(outstanding, id)` key no longer matches the instance's live state
+    /// are popped and discarded until a valid head surfaces — O(log k)
+    /// amortized, with decisions identical to
+    /// [`ClusterView::least_loaded_scan`].
+    pub fn least_loaded(&self, runtime_idx: usize) -> Option<(InstanceId, u32)> {
+        let limit = self.cluster.queue_limits[runtime_idx];
+        let mut heaps = self.cluster.heaps.borrow_mut();
+        let heap = &mut heaps[runtime_idx];
+        while let Some(&Reverse((load, id))) = heap.peek() {
+            let inst = &self.cluster.instances[id];
+            if inst.runtime_idx == runtime_idx && inst.outstanding() == load && inst.accepts(limit)
+            {
+                return Some((id, load));
+            }
+            heap.pop();
+        }
+        None
+    }
+
+    /// Reference O(N) implementation of [`ClusterView::least_loaded`] — the
+    /// pre-index scan, kept for differential testing and as the
+    /// `dispatch_hotpath` benchmark baseline.
+    pub fn least_loaded_scan(&self, runtime_idx: usize) -> Option<(InstanceId, u32)> {
+        self.instances_of_scan(runtime_idx)
+            .min_by_key(|&(id, load)| (load, id))
+    }
+
+    /// Reference O(N) implementation of [`ClusterView::instances_of`].
+    pub fn instances_of_scan(
+        &self,
+        runtime_idx: usize,
+    ) -> impl Iterator<Item = (InstanceId, u32)> + '_ {
         self.cluster
             .instances
             .iter()
@@ -183,28 +239,27 @@ impl<'a> ClusterView<'a> {
             .map(|(id, inst)| (id, inst.outstanding()))
     }
 
-    /// The least-loaded accepting instance of a runtime — the head of the
-    /// paper's per-runtime priority queue (Fig. 5). Ties break on the lower
-    /// instance id for determinism.
-    pub fn least_loaded(&self, runtime_idx: usize) -> Option<(InstanceId, u32)> {
-        self.instances_of(runtime_idx)
-            .min_by_key(|&(id, load)| (load, id))
-    }
-
     /// Whether any instance is *deployed* on this runtime — committed to it
     /// and not retiring — regardless of queue depth or replacement state.
     /// Dispatchers that must wait for a specific runtime (ILB) use this to
     /// distinguish "busy" from "absent".
     pub fn is_deployed(&self, runtime_idx: usize) -> bool {
-        self.cluster.instances.iter().any(|inst| {
-            inst.state != InstanceState::Retired
-                && !inst.retiring
-                && inst.pending_target.unwrap_or(inst.runtime_idx) == runtime_idx
-        })
+        self.cluster
+            .committed
+            .get(runtime_idx)
+            .is_some_and(|&c| c > 0)
     }
 
-    /// Count of accepting instances per runtime.
+    /// Count of accepting instances per runtime, from the membership lists
+    /// (O(k) per level).
     pub fn accepting_counts(&self) -> Vec<u32> {
+        (0..self.cluster.profiles.len())
+            .map(|rt| self.instances_of(rt).count() as u32)
+            .collect()
+    }
+
+    /// Reference O(N) implementation of [`ClusterView::accepting_counts`].
+    pub fn accepting_counts_scan(&self) -> Vec<u32> {
         let mut counts = vec![0u32; self.cluster.profiles.len()];
         for inst in &self.cluster.instances {
             if inst.accepts(self.cluster.queue_limits[inst.runtime_idx]) {
@@ -216,8 +271,14 @@ impl<'a> ClusterView<'a> {
 
     /// Count of *committed* instances per runtime: accepting, loading and
     /// mid-replacement instances count toward the runtime they will run —
-    /// the totals the Runtime Scheduler plans against.
+    /// the totals the Runtime Scheduler plans against. Incrementally
+    /// maintained; O(K) to clone.
     pub fn committed_counts(&self) -> Vec<u32> {
+        self.cluster.committed.clone()
+    }
+
+    /// Reference O(N) implementation of [`ClusterView::committed_counts`].
+    pub fn committed_counts_scan(&self) -> Vec<u32> {
         let mut counts = vec![0u32; self.cluster.profiles.len()];
         for inst in &self.cluster.instances {
             if inst.state == InstanceState::Retired || inst.retiring {
@@ -230,11 +291,7 @@ impl<'a> ClusterView<'a> {
 
     /// Number of GPUs currently held (everything not retired).
     pub fn gpu_count(&self) -> u32 {
-        self.cluster
-            .instances
-            .iter()
-            .filter(|i| i.state != InstanceState::Retired)
-            .count() as u32
+        self.cluster.live_gpus
     }
 
     /// Outstanding requests on one instance.
@@ -245,6 +302,11 @@ impl<'a> ClusterView<'a> {
     /// The runtime an instance currently runs.
     pub fn runtime_of(&self, id: InstanceId) -> usize {
         self.cluster.instances[id].runtime_idx
+    }
+
+    /// The instance's life-cycle state.
+    pub fn state_of(&self, id: InstanceId) -> InstanceState {
+        self.cluster.instances[id].state
     }
 
     /// Whether the instance is accepting new requests.
@@ -264,13 +326,10 @@ impl<'a> ClusterView<'a> {
         self.cluster.instances.len()
     }
 
-    /// Total outstanding requests across all instances.
+    /// Total outstanding requests across all instances (incrementally
+    /// maintained).
     pub fn total_outstanding(&self) -> u64 {
-        self.cluster
-            .instances
-            .iter()
-            .map(|i| u64::from(i.outstanding()))
-            .sum()
+        self.cluster.outstanding_total
     }
 
     /// Accumulated execution time (ns) of one instance — its GPU busy time.
@@ -300,6 +359,31 @@ impl<'a> ClusterView<'a> {
 }
 
 /// The simulated cluster.
+///
+/// # Dispatch index
+///
+/// The naive dispatch path re-scanned every instance per decision, making
+/// Algorithm 1 O(L·N). The cluster instead maintains the same indexed
+/// structure as the live frontend (`arlo-core`'s `SchedulerFrontend`):
+///
+/// - `members[rt]` — ids of the non-retired instances currently on runtime
+///   `rt`, sorted ascending. Updated on runtime swaps, scale-out and
+///   retirement, so `instances_of` walks only that runtime's k instances.
+/// - `heaps[rt]` — a *lazy* min-heap of `(outstanding, id)` keys over the
+///   accepting instances of `rt`. Every mutation that can change an
+///   instance's key or make it newly accepting pushes a fresh entry;
+///   entries are never removed eagerly. A reader pops entries whose key no
+///   longer matches the instance's live state (the staleness rule), so
+///   `least_loaded` is O(log k) amortized and always agrees with a fresh
+///   scan — including the `(load, id)` tie-break, because the heap orders
+///   by exactly that tuple.
+/// - `committed` / `live_gpus` / `outstanding_total` — incrementally
+///   maintained counters behind `committed_counts`, `gpu_count` and
+///   `total_outstanding`.
+///
+/// `debug_validate_index` cross-checks all of this against the reference
+/// scans; the differential property test drives it through random
+/// event sequences.
 #[derive(Debug)]
 pub struct Cluster {
     profiles: Vec<RuntimeProfile>,
@@ -312,6 +396,19 @@ pub struct Cluster {
     queue_limits: Vec<u32>,
     /// Batched-execution configuration (§6 extension; default batch 1).
     batch: BatchSpec,
+    /// Per-runtime membership: sorted ids of non-retired instances whose
+    /// current `runtime_idx` is the list index.
+    members: Vec<Vec<InstanceId>>,
+    /// Per-runtime lazy min-heaps keyed by `(outstanding, id)`. Interior
+    /// mutability lets read-only [`ClusterView`]s discard stale entries.
+    heaps: RefCell<Vec<LoadHeap>>,
+    /// Committed (non-retiring, non-retired) instances per runtime, counting
+    /// mid-replacement movers toward their target.
+    committed: Vec<u32>,
+    /// Non-retired instance count.
+    live_gpus: u32,
+    /// Total outstanding requests across all instances.
+    outstanding_total: u64,
 }
 
 impl Cluster {
@@ -381,13 +478,139 @@ impl Cluster {
                 });
             }
         }
-        Cluster {
+        let mut cluster = Cluster {
             profiles,
             instances,
             jitter,
             replacement_latency,
             queue_limits,
             batch: BatchSpec::SINGLE,
+            members: Vec::new(),
+            heaps: RefCell::new(Vec::new()),
+            committed: Vec::new(),
+            live_gpus: 0,
+            outstanding_total: 0,
+        };
+        cluster.rebuild_index();
+        cluster
+    }
+
+    /// Rebuild the dispatch index (membership lists, heaps, counters) from
+    /// scratch. Called once at construction; afterwards every mutation
+    /// maintains the index incrementally.
+    fn rebuild_index(&mut self) {
+        let k = self.profiles.len();
+        self.members = vec![Vec::new(); k];
+        self.committed = vec![0; k];
+        self.live_gpus = 0;
+        self.outstanding_total = 0;
+        let mut heaps: Vec<BinaryHeap<Reverse<(u32, InstanceId)>>> = vec![BinaryHeap::new(); k];
+        for (id, inst) in self.instances.iter().enumerate() {
+            self.outstanding_total += u64::from(inst.outstanding());
+            if inst.state == InstanceState::Retired {
+                continue;
+            }
+            self.live_gpus += 1;
+            let rt = inst.runtime_idx;
+            self.members[rt].push(id);
+            if !inst.retiring {
+                self.committed[inst.pending_target.unwrap_or(rt)] += 1;
+            }
+            if inst.accepts(self.queue_limits[rt]) {
+                heaps[rt].push(Reverse((inst.outstanding(), id)));
+            }
+        }
+        *self.heaps.get_mut() = heaps;
+    }
+
+    /// Push a fresh heap entry for `id` if it is currently accepting — the
+    /// single maintenance hook called by every mutation that can change an
+    /// instance's `(outstanding, id)` key or make it newly accepting.
+    /// Entries left behind by earlier states go stale and are discarded at
+    /// read time; correctness only requires that an accepting instance's
+    /// *current* key is always present in its runtime's heap.
+    fn index_refresh(&mut self, id: InstanceId) {
+        let inst = &self.instances[id];
+        if inst.state == InstanceState::Retired {
+            return;
+        }
+        let rt = inst.runtime_idx;
+        if inst.accepts(self.queue_limits[rt]) {
+            self.heaps.get_mut()[rt].push(Reverse((inst.outstanding(), id)));
+        }
+    }
+
+    /// Remove `id` from runtime `rt`'s membership list.
+    fn member_remove(&mut self, rt: usize, id: InstanceId) {
+        let m = &mut self.members[rt];
+        let pos = m
+            .iter()
+            .position(|&x| x == id)
+            .expect("membership list out of sync");
+        m.remove(pos);
+    }
+
+    /// Insert `id` into runtime `rt`'s membership list, keeping it sorted.
+    fn member_insert(&mut self, rt: usize, id: InstanceId) {
+        let m = &mut self.members[rt];
+        let pos = m.partition_point(|&x| x < id);
+        debug_assert!(m.get(pos) != Some(&id), "duplicate member");
+        m.insert(pos, id);
+    }
+
+    /// Cross-check the incremental index against the reference scans —
+    /// membership partition, counters, and per-runtime `least_loaded`
+    /// agreement (including tie-breaks). Used by the driver's debug-build
+    /// event hook and the differential tests.
+    pub fn debug_validate_index(&self) {
+        let view = self.view();
+        assert_eq!(
+            view.committed_counts(),
+            view.committed_counts_scan(),
+            "committed counters out of sync"
+        );
+        assert_eq!(
+            view.accepting_counts(),
+            view.accepting_counts_scan(),
+            "membership lists out of sync"
+        );
+        let live_scan = self
+            .instances
+            .iter()
+            .filter(|i| i.state != InstanceState::Retired)
+            .count() as u32;
+        assert_eq!(view.gpu_count(), live_scan, "live-GPU counter out of sync");
+        let outstanding_scan: u64 = self
+            .instances
+            .iter()
+            .map(|i| u64::from(i.outstanding()))
+            .sum();
+        assert_eq!(
+            view.total_outstanding(),
+            outstanding_scan,
+            "outstanding counter out of sync"
+        );
+        for rt in 0..self.profiles.len() {
+            assert!(
+                self.members[rt].windows(2).all(|w| w[0] < w[1]),
+                "membership list not sorted/deduped"
+            );
+            for &id in &self.members[rt] {
+                assert_eq!(
+                    self.instances[id].runtime_idx, rt,
+                    "member on wrong runtime"
+                );
+                assert_ne!(
+                    self.instances[id].state,
+                    InstanceState::Retired,
+                    "retired member"
+                );
+            }
+            assert_eq!(
+                view.least_loaded(rt),
+                view.least_loaded_scan(rt),
+                "indexed least_loaded diverges from the scan on runtime {rt}"
+            );
         }
     }
 
@@ -428,11 +651,14 @@ impl Cluster {
             self.profiles[runtime_idx].max_length()
         );
         self.instances[id].queue.push_back(req);
-        if self.instances[id].running.is_empty() {
+        self.outstanding_total += 1;
+        let started = if self.instances[id].running.is_empty() {
             Some(self.start_next(id, now).expect("queue is non-empty"))
         } else {
             None
-        }
+        };
+        self.index_refresh(id);
+        started
     }
 
     fn start_next(&mut self, id: InstanceId, now: Nanos) -> Option<StartedExecution> {
@@ -485,11 +711,13 @@ impl Cluster {
                 ALPHA * per_request + (1.0 - ALPHA) * *ewma
             };
         }
+        self.outstanding_total -= finished.len() as u64;
         let next = self.start_next(id, now);
         let mut loading_until = None;
         if next.is_none() {
             loading_until = self.settle_idle(id, now);
         }
+        self.index_refresh(id);
         CompletionOutcome {
             finished,
             next,
@@ -505,12 +733,20 @@ impl Cluster {
         if inst.retiring {
             inst.state = InstanceState::Retired;
             inst.retiring = false;
+            let rt = inst.runtime_idx;
+            self.live_gpus -= 1;
+            self.member_remove(rt, id);
             return None;
         }
         if let Some(target) = inst.pending_target.take() {
+            let from = inst.runtime_idx;
             inst.runtime_idx = target;
             let ready_at = now + self.replacement_latency;
             inst.state = InstanceState::Loading { ready_at };
+            if from != target {
+                self.member_remove(from, id);
+                self.member_insert(target, id);
+            }
             return Some(ready_at);
         }
         None
@@ -524,6 +760,7 @@ impl Cluster {
         match inst.state {
             InstanceState::Loading { ready_at } if ready_at <= now => {
                 inst.state = InstanceState::Active;
+                self.index_refresh(id);
                 true
             }
             _ => false,
@@ -611,8 +848,13 @@ impl Cluster {
                     break 'outer;
                 };
                 let inst = &mut self.instances[id];
+                let from = inst.runtime_idx;
                 inst.pending_target = Some(rt);
-                if inst.running.is_empty() && inst.queue.is_empty() {
+                let idle = inst.running.is_empty() && inst.queue.is_empty();
+                // Committed counts move at commit time, not at swap time.
+                self.committed[from] -= 1;
+                self.committed[rt] += 1;
+                if idle {
                     if let Some(ready_at) = self.settle_idle(id, now) {
                         started_loading.push((id, ready_at));
                     }
@@ -655,7 +897,11 @@ impl Cluster {
             gate: AdmitGate::Open,
             fail_slow: None,
         });
-        (self.instances.len() - 1, ready_at)
+        let id = self.instances.len() - 1;
+        self.member_insert(runtime_idx, id);
+        self.committed[runtime_idx] += 1;
+        self.live_gpus += 1;
+        (id, ready_at)
     }
 
     /// Scale-in: retire an instance (drains first if busy). Returns `true`
@@ -666,14 +912,28 @@ impl Cluster {
             inst.state != InstanceState::Retired,
             "instance already retired"
         );
-        inst.pending_target = None;
-        if inst.running.is_empty() && inst.queue.is_empty() {
+        // The instance was committed toward its replacement target (or its
+        // current runtime); retiring uncommits it immediately. Re-retiring
+        // an already-draining instance is an idempotent no-op for the
+        // counter.
+        let was_retiring = inst.retiring;
+        let committed_rt = inst.pending_target.take().unwrap_or(inst.runtime_idx);
+        let rt = inst.runtime_idx;
+        let idle = inst.running.is_empty() && inst.queue.is_empty();
+        if idle {
             inst.state = InstanceState::Retired;
-            true
+            inst.retiring = false;
         } else {
             inst.retiring = true;
-            false
         }
+        if !was_retiring {
+            self.committed[committed_rt] -= 1;
+        }
+        if idle {
+            self.member_remove(rt, id);
+            self.live_gpus -= 1;
+        }
+        idle
     }
 
     /// Fault injection: set an instance's execution-time multiplier
@@ -704,8 +964,12 @@ impl Cluster {
     }
 
     /// Set an instance's circuit-breaker gate (fault-tolerance layer).
+    /// An un-ban (`Closed` → `Open`/`Probe`) makes the instance visible to
+    /// dispatch again, so a fresh heap entry is pushed; a ban just leaves
+    /// its entries to go stale.
     pub fn set_admit_gate(&mut self, id: InstanceId, gate: AdmitGate) {
         self.instances[id].gate = gate;
+        self.index_refresh(id);
     }
 
     /// Evict all *queued* (not yet running) requests from an instance —
@@ -713,7 +977,10 @@ impl Cluster {
     /// into the central buffer instead of letting it drain at degraded
     /// speed. The running execution, if any, finishes normally.
     pub fn evict_queued(&mut self, id: InstanceId) -> Vec<Request> {
-        self.instances[id].queue.drain(..).collect()
+        let drained: Vec<Request> = self.instances[id].queue.drain(..).collect();
+        self.outstanding_total -= drained.len() as u64;
+        self.index_refresh(id);
+        drained
     }
 
     /// Fault injection: crash an instance. Its running request and queue
@@ -739,19 +1006,26 @@ impl Cluster {
         // A pending replacement target survives the crash: the reload loads
         // the target runtime directly.
         if let Some(target) = inst.pending_target.take() {
+            let from = inst.runtime_idx;
             inst.runtime_idx = target;
+            if from != target {
+                self.member_remove(from, id);
+                self.member_insert(target, id);
+            }
         }
+        self.outstanding_total -= orphans.len() as u64;
         (orphans, ready_at, had_running)
     }
 
     /// The least-busy accepting instance across the whole cluster (the
-    /// auto-scaler's scale-in victim).
+    /// auto-scaler's scale-in victim). The global minimum of the per-runtime
+    /// heap heads — O(K log k) instead of a full scan, with the same
+    /// `(outstanding, id)` tie-break.
     pub fn least_busy_instance(&self) -> Option<InstanceId> {
-        self.instances
-            .iter()
-            .enumerate()
-            .filter(|(_, inst)| inst.accepts(self.queue_limits[inst.runtime_idx]))
-            .min_by_key(|(id, inst)| (inst.outstanding(), *id))
+        let view = self.view();
+        (0..self.profiles.len())
+            .filter_map(|rt| view.least_loaded(rt))
+            .min_by_key(|&(id, load)| (load, id))
             .map(|(id, _)| id)
     }
 }

@@ -420,6 +420,9 @@ pub struct Simulation<'a> {
     retry_table: Vec<Request>,
     /// Active transient faults: per-instance execution failure probability.
     transient_rates: HashMap<InstanceId, f64>,
+    /// Debug builds: events processed, for the periodic index cross-check.
+    #[cfg(debug_assertions)]
+    debug_events: u64,
 }
 
 impl<'a> Simulation<'a> {
@@ -485,6 +488,8 @@ impl<'a> Simulation<'a> {
             health_seen: 0,
             retry_table: Vec::new(),
             transient_rates: HashMap::new(),
+            #[cfg(debug_assertions)]
+            debug_events: 0,
         }
     }
 
@@ -574,6 +579,17 @@ impl<'a> Simulation<'a> {
         self.clock = now;
         let gpus = f64::from(self.cluster.view().gpu_count());
         self.report.gpu_timeline.record(now, gpus);
+        // Debug builds periodically cross-check the incremental dispatch
+        // index against the reference scans, so any missed maintenance hook
+        // fails loudly in ordinary test runs, not just the differential
+        // property test.
+        #[cfg(debug_assertions)]
+        {
+            self.debug_events += 1;
+            if self.debug_events.is_multiple_of(127) {
+                self.cluster.debug_validate_index();
+            }
+        }
         true
     }
 

@@ -28,6 +28,13 @@
 //!
 //! Everything is deterministic: no wall clocks, no randomness — callers pass
 //! monotonic nanoseconds into every method, so simulations replay exactly.
+//!
+//! Gate changes interact with the cluster's dispatch index: `set_admit_gate`
+//! (and the eviction that accompanies quarantine) re-registers the instance
+//! in its runtime's lazy min-heap on the transition back to an accepting
+//! state, so bans and recoveries are O(log k) and a re-admitted instance is
+//! immediately visible to `least_loaded` — see the index invariants in
+//! DESIGN.md §3 and `cluster::Cluster`.
 
 use arlo_trace::Nanos;
 use std::collections::VecDeque;

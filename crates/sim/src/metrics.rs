@@ -335,16 +335,22 @@ impl SimReport {
     }
 
     /// Mean cluster utilization over the horizon: GPU busy time divided by
-    /// GPU-seconds held (time-weighted GPU count × horizon). The quantity
-    /// the paper's abstract targets — zero-padding shows up here as busy
-    /// time spent computing zeros, so compare together with
-    /// [`SimReport::mean_padding`].
+    /// GPU-nanoseconds held (the step-function integral of the GPU
+    /// timeline over `[0, horizon]`). The quantity the paper's abstract
+    /// targets — zero-padding shows up here as busy time spent computing
+    /// zeros, so compare together with [`SimReport::mean_padding`].
+    ///
+    /// The integral is taken directly rather than as
+    /// `time_weighted_gpus() × horizon`: the average only covers time at or
+    /// after the first timeline point (and clamps a zero horizon), so the
+    /// product overstates GPU-time held whenever the timeline starts after
+    /// t = 0.
     pub fn utilization(&self) -> f64 {
-        let gpu_seconds = self.time_weighted_gpus() * self.horizon as f64;
-        if !gpu_seconds.is_finite() || gpu_seconds <= 0.0 {
+        let gpu_ns = self.gpu_timeline.integral(0, self.horizon);
+        if !gpu_ns.is_finite() || gpu_ns <= 0.0 {
             return f64::NAN;
         }
-        self.total_busy_ns as f64 / gpu_seconds
+        self.total_busy_ns as f64 / gpu_ns
     }
 }
 
@@ -456,6 +462,32 @@ mod tests {
         let row = lines.next().expect("one row");
         assert_eq!(row, "7,50,1000000,1000000,1000000,3000000,2,0,2.800000");
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn utilization_integrates_late_start_timeline() {
+        // Regression: the old `time_weighted_gpus() × horizon` treated the
+        // covered-time average as if it spanned the whole horizon. With one
+        // GPU held only over [5, 10] and 2 ns of busy time, utilization is
+        // 2 / 5 — not 2 / 10.
+        let mut report = SimReport {
+            horizon: 10,
+            total_busy_ns: 2,
+            ..Default::default()
+        };
+        report.gpu_timeline.record(5, 1.0);
+        assert!((report.utilization() - 0.4).abs() < 1e-12);
+        // A zero horizon has held no GPU-time at all: NaN, not a clamped
+        // 1-ns denominator.
+        report.horizon = 0;
+        assert!(report.utilization().is_nan());
+        // An empty timeline is NaN too.
+        let empty = SimReport {
+            horizon: 10,
+            total_busy_ns: 2,
+            ..Default::default()
+        };
+        assert!(empty.utilization().is_nan());
     }
 
     #[test]

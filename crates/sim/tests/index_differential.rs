@@ -1,0 +1,292 @@
+//! Differential tests for the cluster's indexed dispatch hot path.
+//!
+//! The incremental index (per-runtime membership lists + lazy min-heaps,
+//! see `cluster.rs`) must make **exactly** the decisions the naive O(N)
+//! scans made — same instances, same `(load, id)` tie-breaks — or every
+//! figure downstream silently changes. The property test below drives a
+//! cluster through random sequences of every index-relevant event
+//! (enqueue, completion, allocation steps, health bans/recoveries,
+//! evictions, crashes, scale-out/in) and cross-checks the indexed reads
+//! against the reference `*_scan` implementations after each one.
+//!
+//! A second test pins frontend/simulator parity on the one behaviour both
+//! index implementations share verbatim: a banned (non-admitting) head
+//! must be skipped without disturbing the rest of the order.
+
+use arlo_runtime::latency::{CompiledRuntime, JitterSpec};
+use arlo_runtime::models::ModelSpec;
+use arlo_runtime::profile::RuntimeProfile;
+use arlo_sim::cluster::{AdmitGate, Cluster, InstanceId};
+use arlo_trace::workload::Request;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const SWAP_LATENCY: u64 = 1_000_000_000;
+
+fn profiles() -> Vec<RuntimeProfile> {
+    let model = ModelSpec::bert_base();
+    [64u32, 256, 512]
+        .iter()
+        .map(|&l| RuntimeProfile::measure(CompiledRuntime::new_static(model.clone(), l), 150.0, 64))
+        .collect()
+}
+
+/// Test harness state alongside the cluster: which instances are mid
+/// execution (safe to `complete`) and which are loading (ready times for
+/// `load_done`).
+struct Harness {
+    cluster: Cluster,
+    busy: BTreeSet<InstanceId>,
+    loading: Vec<(InstanceId, u64)>,
+    now: u64,
+    next_req: u64,
+}
+
+impl Harness {
+    fn new(counts: &[u32]) -> Self {
+        Harness {
+            cluster: Cluster::new(profiles(), counts, JitterSpec::NONE, SWAP_LATENCY),
+            busy: BTreeSet::new(),
+            loading: Vec::new(),
+            now: 0,
+            next_req: 0,
+        }
+    }
+
+    fn pick<T: Copy>(items: &[T], roll: u64) -> Option<T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(items[(roll as usize) % items.len()])
+        }
+    }
+
+    /// Ids of non-retired instances.
+    fn live_ids(&self) -> Vec<InstanceId> {
+        use arlo_sim::cluster::InstanceState;
+        let view = self.cluster.view();
+        (0..view.instance_count())
+            .filter(|&id| view.state_of(id) != InstanceState::Retired)
+            .collect()
+    }
+
+    fn enqueue(&mut self, rt_roll: u64, inst_roll: u64) {
+        let view = self.cluster.view();
+        let rt = (rt_roll as usize) % view.profiles().len();
+        let candidates: Vec<InstanceId> = view.instances_of(rt).map(|(id, _)| id).collect();
+        let Some(id) = Self::pick(&candidates, inst_roll) else {
+            return;
+        };
+        let req = Request {
+            id: self.next_req,
+            arrival: self.now,
+            length: 1,
+        };
+        self.next_req += 1;
+        if self.cluster.enqueue(id, req, self.now).is_some() {
+            self.busy.insert(id);
+        }
+    }
+
+    fn complete(&mut self, roll: u64) {
+        let ids: Vec<InstanceId> = self.busy.iter().copied().collect();
+        let Some(id) = Self::pick(&ids, roll) else {
+            return;
+        };
+        let out = self.cluster.complete(id, self.now);
+        if out.next.is_none() {
+            self.busy.remove(&id);
+        }
+        if let Some(ready) = out.loading_until {
+            self.loading.push((id, ready));
+        }
+    }
+
+    fn load_done(&mut self, roll: u64) {
+        if self.loading.is_empty() {
+            return;
+        }
+        let idx = (roll as usize) % self.loading.len();
+        let (id, ready) = self.loading.swap_remove(idx);
+        self.now = self.now.max(ready);
+        self.cluster.load_done(id, self.now);
+    }
+
+    fn apply_allocation(&mut self, src_roll: u64, dst_roll: u64) {
+        let committed = self.cluster.view().committed_counts();
+        let k = committed.len();
+        let mut target = committed.clone();
+        let src = (src_roll as usize) % k;
+        let dst = (dst_roll as usize) % k;
+        if target[src] == 0 || src == dst {
+            return;
+        }
+        target[src] -= 1;
+        target[dst] += 1;
+        for (id, ready) in self.cluster.apply_allocation(&target, self.now, 2) {
+            self.loading.push((id, ready));
+        }
+    }
+
+    fn set_gate(&mut self, id_roll: u64, gate_roll: u64) {
+        let ids = self.live_ids();
+        let Some(id) = Self::pick(&ids, id_roll) else {
+            return;
+        };
+        let gate = match gate_roll % 3 {
+            0 => AdmitGate::Open,
+            1 => AdmitGate::Probe,
+            _ => AdmitGate::Closed,
+        };
+        self.cluster.set_admit_gate(id, gate);
+    }
+
+    fn evict(&mut self, roll: u64) {
+        let ids = self.live_ids();
+        if let Some(id) = Self::pick(&ids, roll) {
+            self.cluster.evict_queued(id);
+        }
+    }
+
+    fn crash(&mut self, roll: u64) {
+        let ids = self.live_ids();
+        let Some(id) = Self::pick(&ids, roll) else {
+            return;
+        };
+        let (_orphans, ready, _had_running) = self.cluster.crash_instance(id, self.now);
+        self.busy.remove(&id);
+        self.loading.push((id, ready));
+    }
+
+    fn add_instance(&mut self, rt_roll: u64) {
+        let rt = (rt_roll as usize) % self.cluster.view().profiles().len();
+        let (id, ready) = self.cluster.add_instance(rt, self.now);
+        self.loading.push((id, ready));
+    }
+
+    fn retire(&mut self, roll: u64) {
+        // Keep at least a couple of instances around so the sequence stays
+        // interesting.
+        if self.cluster.view().gpu_count() <= 2 {
+            return;
+        }
+        let ids = self.live_ids();
+        if let Some(id) = Self::pick(&ids, roll) {
+            self.cluster.retire_instance(id, self.now);
+        }
+    }
+
+    /// The full differential check: incremental index vs reference scans.
+    fn check(&self) {
+        self.cluster.debug_validate_index();
+        // Global scale-in victim agrees with a whole-cluster scan.
+        let view = self.cluster.view();
+        let scan_victim = (0..view.profiles().len())
+            .flat_map(|rt| view.instances_of_scan(rt).collect::<Vec<_>>())
+            .min_by_key(|&(id, load)| (load, id))
+            .map(|(id, _)| id);
+        assert_eq!(self.cluster.least_busy_instance(), scan_victim);
+        // Per-runtime accepting sets agree element-wise.
+        for rt in 0..view.profiles().len() {
+            let indexed: Vec<(InstanceId, u32)> = view.instances_of(rt).collect();
+            let scanned: Vec<(InstanceId, u32)> = view.instances_of_scan(rt).collect();
+            assert_eq!(indexed, scanned, "instances_of diverges on runtime {rt}");
+        }
+    }
+}
+
+#[test]
+fn indexed_dispatch_matches_naive_scan_under_random_events() {
+    proptest!(ProptestConfig::with_cases(96), |(
+        counts in proptest::collection::vec(0u32..4, 3),
+        ops in proptest::collection::vec((0u8..9, 0u64..1 << 48, 0u64..1 << 48), 1..250),
+    )| {
+        // Ensure at least one instance exists.
+        let mut counts = counts.clone();
+        if counts.iter().sum::<u32>() == 0 {
+            counts[0] = 1;
+        }
+        let mut h = Harness::new(&counts);
+        h.check();
+        for (op, a, b) in ops {
+            h.now += 1 + a % 50_000_000;
+            match op {
+                // Enqueue dominates the mix, as in a real trace.
+                0..=2 => h.enqueue(a, b),
+                3 => h.complete(a),
+                4 => h.load_done(a),
+                5 => h.apply_allocation(a, b),
+                6 => h.set_gate(a, b),
+                7 => match b % 3 {
+                    0 => h.evict(a),
+                    1 => h.crash(a),
+                    _ => h.retire(a),
+                },
+                _ => h.add_instance(a),
+            }
+            h.check();
+        }
+    });
+}
+
+/// Banned-head skipping: the simulator's lazy heap and the live frontend's
+/// lazy heap must both dispatch around a banned least-loaded instance and
+/// both return to it once it is re-admitted.
+#[test]
+fn banned_head_skipping_matches_frontend() {
+    use arlo_core::frontend::SchedulerFrontend;
+    use arlo_core::request_scheduler::RequestSchedulerConfig;
+
+    // One runtime level, three instances, loads 0 / 1 / 2.
+    let mut cluster = Cluster::new(profiles(), &[0, 0, 3], JitterSpec::NONE, SWAP_LATENCY);
+    let frontend = SchedulerFrontend::new(
+        RequestSchedulerConfig::default(),
+        &[(512, 1_000, 3)], // huge capacity: congestion never triggers
+    );
+    let mut req_id = 0u64;
+    for (slot, load) in [(0usize, 0u32), (1, 1), (2, 2)] {
+        for _ in 0..load {
+            cluster.enqueue(
+                slot,
+                Request {
+                    id: req_id,
+                    arrival: 0,
+                    length: 1,
+                },
+                0,
+            );
+            req_id += 1;
+        }
+        frontend.preload(
+            arlo_core::frontend::InstanceHandle {
+                level: 0,
+                index: slot,
+            },
+            load,
+        );
+    }
+
+    // Both heads are the idle instance 0.
+    assert_eq!(cluster.view().least_loaded(2), Some((0, 0)));
+    assert_eq!(frontend.dispatch(1).map(|h| h.index), Some(0));
+    frontend.complete(arlo_core::frontend::InstanceHandle { level: 0, index: 0 });
+
+    // Ban the head on both sides: dispatch must skip to instance 1.
+    cluster.set_admit_gate(0, AdmitGate::Closed);
+    frontend.set_admitting(
+        arlo_core::frontend::InstanceHandle { level: 0, index: 0 },
+        false,
+    );
+    assert_eq!(cluster.view().least_loaded(2), Some((1, 1)));
+    assert_eq!(frontend.dispatch(1).map(|h| h.index), Some(1));
+    frontend.complete(arlo_core::frontend::InstanceHandle { level: 0, index: 1 });
+
+    // Re-admit: both return to the idle head.
+    cluster.set_admit_gate(0, AdmitGate::Open);
+    frontend.set_admitting(
+        arlo_core::frontend::InstanceHandle { level: 0, index: 0 },
+        true,
+    );
+    assert_eq!(cluster.view().least_loaded(2), Some((0, 0)));
+    assert_eq!(frontend.dispatch(1).map(|h| h.index), Some(0));
+}

@@ -208,7 +208,13 @@ impl TimeWeighted {
                 return;
             }
             if last_t == t {
+                // Same-timestamp update: the new value supersedes the old
+                // point, which may make it redundant against the point now
+                // exposed as the predecessor.
                 self.points.pop();
+                if self.points.last().is_some_and(|&(_, v)| v == value) {
+                    return;
+                }
             }
         }
         self.points.push((t, value));
@@ -247,6 +253,38 @@ impl TimeWeighted {
         } else {
             acc / covered as f64
         }
+    }
+
+    /// Integral of the step function over the *covered* part of
+    /// `[start, end]` (value × ns). Time before the first change point
+    /// contributes nothing; an empty window or empty function integrates
+    /// to zero. Unlike [`TimeWeighted::average`] × window-length, this is
+    /// exact when the function starts after `start` — the uncovered prefix
+    /// is not extrapolated.
+    pub fn integral(&self, start: u64, end: u64) -> f64 {
+        if end <= start || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        // Value in effect at `start`: last point at or before it.
+        let mut current = self
+            .points
+            .iter()
+            .take_while(|&&(t, _)| t <= start)
+            .last()
+            .map(|&(_, v)| v);
+        let mut cursor = start;
+        for &(t, v) in self.points.iter().filter(|&&(t, _)| t > start && t < end) {
+            if let Some(cv) = current {
+                acc += cv * (t - cursor) as f64;
+            }
+            current = Some(v);
+            cursor = t;
+        }
+        if let Some(cv) = current {
+            acc += cv * (end - cursor) as f64;
+        }
+        acc
     }
 
     /// The raw change points `(timestamp_ns, value)`.
@@ -374,6 +412,41 @@ mod tests {
         tw.record(10, 3.0);
         tw.record(20, 4.0);
         assert_eq!(tw.points().len(), 2);
+    }
+
+    #[test]
+    fn time_weighted_same_timestamp_update_keeps_dedupe_invariant() {
+        // Regression: [(0,3),(10,4)] + record(10,3) used to leave the
+        // adjacent duplicate-value points [(0,3),(10,3)] — the pop never
+        // re-checked the new predecessor.
+        let mut tw = TimeWeighted::new();
+        tw.record(0, 3.0);
+        tw.record(10, 4.0);
+        tw.record(10, 3.0);
+        assert_eq!(tw.points(), &[(0, 3.0)]);
+        // A same-timestamp update to a genuinely new value still lands.
+        tw.record(20, 5.0);
+        tw.record(20, 6.0);
+        assert_eq!(tw.points(), &[(0, 3.0), (20, 6.0)]);
+        // And the invariant holds across every adjacent pair afterwards.
+        for w in tw.points().windows(2) {
+            assert_ne!(w[0].1, w[1].1, "adjacent duplicate values");
+        }
+    }
+
+    #[test]
+    fn time_weighted_integral_covers_only_known_time() {
+        let mut tw = TimeWeighted::new();
+        tw.record(100, 2.0);
+        tw.record(200, 5.0);
+        // [100,200): 2, [200,300): 5 — nothing before t=100.
+        assert!((tw.integral(0, 300) - (2.0 * 100.0 + 5.0 * 100.0)).abs() < 1e-9);
+        // Window fully inside one segment.
+        assert!((tw.integral(120, 150) - 2.0 * 30.0).abs() < 1e-9);
+        // Uncovered or degenerate windows integrate to zero.
+        assert_eq!(tw.integral(0, 50), 0.0);
+        assert_eq!(tw.integral(150, 150), 0.0);
+        assert_eq!(TimeWeighted::new().integral(0, 100), 0.0);
     }
 
     #[test]
