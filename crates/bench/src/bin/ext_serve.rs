@@ -1,0 +1,192 @@
+//! **Extension** — end-to-end serving benchmark over real loopback sockets.
+//!
+//! Everything else in this harness measures the *simulated* system. This
+//! binary measures the *served* one: the `arlo-serve` stack — wire
+//! protocol, reader threads, bounded dispatch, worker-pool executor,
+//! timer-driven Runtime Scheduler — under the paper's two workloads,
+//! replayed by a multi-connection load generator in scaled virtual time.
+//! Latency percentiles are virtual dispatch→completion times (the serial
+//! execution model), so they are comparable to the simulator's numbers;
+//! shed counts and reallocation counts come from the server's own drain
+//! accounting.
+//!
+//! Writes `results/BENCH_serve.json`.
+
+use arlo_bench::{json_f64, print_table, write_json};
+use arlo_core::engine::{ArloEngine, EngineConfig};
+use arlo_runtime::latency::JitterSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_runtime::profile::profile_runtimes;
+use arlo_runtime::runtime_set::RuntimeSet;
+use arlo_serve::loadgen::{replay, LoadGenConfig};
+use arlo_serve::server::{ServeConfig, Server};
+use arlo_trace::workload::TraceSpec;
+use arlo_trace::NANOS_PER_SEC;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const SLO_MS: f64 = 150.0;
+const GPUS: u32 = 8;
+const SCALE: u32 = 100;
+const CLIENTS: usize = 4;
+const DURATION_SECS: f64 = 60.0;
+
+fn engine() -> ArloEngine {
+    let family = RuntimeSet::natural(ModelSpec::bert_base());
+    let profiles = profile_runtimes(&family.compile(), SLO_MS, 512);
+    let n = profiles.len();
+    // Even initial allocation; the Runtime Scheduler reshapes from demand.
+    let mut counts = vec![GPUS / n as u32; n];
+    for c in counts.iter_mut().take(GPUS as usize % n) {
+        *c += 1;
+    }
+    let mut cfg = EngineConfig::paper_default(SLO_MS);
+    // One decision every 10 virtual seconds: several reallocations fit in
+    // a 60-virtual-second run.
+    cfg.allocation_period = 10 * NANOS_PER_SEC;
+    cfg.sub_window = NANOS_PER_SEC;
+    ArloEngine::new(profiles, counts, cfg)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        gpus: GPUS,
+        workers: 8,
+        time_scale: SCALE,
+        queue_capacity: 8192,
+        tick_interval: NANOS_PER_SEC / 5,
+        jitter: JitterSpec::NONE,
+        drain_timeout: Duration::from_secs(60),
+        fail_one_in: None,
+    }
+}
+
+struct Cell {
+    workload: &'static str,
+    mode: &'static str,
+    report: arlo_serve::loadgen::LoadGenReport,
+    drain: arlo_serve::server::DrainReport,
+}
+
+fn run_cell(workload: &'static str, spec: &TraceSpec, mode: &'static str, seed: u64) -> Cell {
+    let trace = spec.generate(&mut StdRng::seed_from_u64(seed));
+    let server = Server::spawn(engine(), "127.0.0.1:0", serve_config()).expect("bind loopback");
+    let cfg = match mode {
+        "open" => LoadGenConfig::open(CLIENTS, SCALE),
+        _ => LoadGenConfig::closed(CLIENTS, 16),
+    };
+    let report = replay(server.local_addr(), &trace, &cfg).expect("replay");
+    let drain = server.drain();
+    assert_eq!(
+        report.lost, 0,
+        "{workload}/{mode} lost requests: {report:?}"
+    );
+    assert_eq!(
+        drain.outstanding_at_close, 0,
+        "{workload}/{mode} drain left work behind"
+    );
+    Cell {
+        workload,
+        mode,
+        report,
+        drain,
+    }
+}
+
+fn main() {
+    let rate = 900.0;
+    let cells = vec![
+        run_cell(
+            "twitter_stable",
+            &TraceSpec::twitter_stable(rate, DURATION_SECS),
+            "open",
+            4242,
+        ),
+        run_cell(
+            "twitter_stable",
+            &TraceSpec::twitter_stable(rate, DURATION_SECS),
+            "closed",
+            4242,
+        ),
+        run_cell(
+            "twitter_bursty",
+            &TraceSpec::twitter_bursty(rate, DURATION_SECS),
+            "open",
+            4243,
+        ),
+        run_cell(
+            "twitter_bursty",
+            &TraceSpec::twitter_bursty(rate, DURATION_SECS),
+            "closed",
+            4243,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_cells = Vec::new();
+    for cell in &cells {
+        let s = cell.report.latency_summary();
+        let goodput = cell.report.goodput_rps(SCALE);
+        rows.push(vec![
+            format!("{}/{}", cell.workload, cell.mode),
+            format!("{}", cell.report.sent),
+            format!("{}", cell.report.ok),
+            format!("{}", cell.drain.shed + cell.drain.unserviceable),
+            format!("{goodput:.0}"),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.p50),
+            format!("{:.2}", s.p98),
+            format!("{:.2}", s.p99),
+            format!("{}", cell.drain.reallocations),
+        ]);
+        json_cells.push(serde_json::json!({
+            "workload": cell.workload,
+            "mode": cell.mode,
+            "sent": cell.report.sent,
+            "ok": cell.report.ok,
+            "shed": cell.drain.shed,
+            "unserviceable": cell.drain.unserviceable,
+            "lost": cell.report.lost,
+            "goodput_rps": json_f64(goodput),
+            "latency_mean_ms": json_f64(s.mean),
+            "latency_p50_ms": json_f64(s.p50),
+            "latency_p90_ms": json_f64(s.p90),
+            "latency_p98_ms": json_f64(s.p98),
+            "latency_p99_ms": json_f64(s.p99),
+            "latency_max_ms": json_f64(s.max),
+            "reallocations": cell.drain.reallocations,
+            "final_generation": cell.drain.generation,
+            "wall_secs": json_f64(cell.report.wall.as_secs_f64()),
+        }));
+    }
+    print_table(
+        "live serving over loopback (virtual-time latencies, ms)",
+        &[
+            "workload/mode",
+            "sent",
+            "ok",
+            "shed",
+            "goodput",
+            "mean",
+            "p50",
+            "p98",
+            "p99",
+            "reallocs",
+        ],
+        &rows,
+    );
+
+    write_json(
+        "BENCH_serve",
+        &serde_json::json!({
+            "slo_ms": SLO_MS,
+            "gpus": GPUS,
+            "time_scale": SCALE,
+            "clients": CLIENTS,
+            "offered_rps": rate,
+            "duration_virtual_secs": DURATION_SECS,
+            "cells": json_cells,
+        }),
+    );
+}

@@ -598,6 +598,60 @@ mod tests {
     }
 
     #[test]
+    fn stale_reports_are_acknowledged_without_corrupting_the_new_frontend() {
+        // Regression for the serve stack's completion path: executions in
+        // flight across a reallocation finish *after* apply_allocation and
+        // come back through report_success / report_failure with a
+        // superseded generation — possibly naming an instance index that no
+        // longer exists at that level. The engine must acknowledge them
+        // (return false) without panicking, without decrementing load on the
+        // rebuilt frontend, and without striking any health record.
+        let e = health_engine(&[1, 1, 1, 4]);
+        // Two in-flight requests on the long runtime: indices 0 and 1.
+        let stale_a = e.submit(400, 0).expect("dispatches");
+        let stale_b = e.submit(400, 1).expect("dispatches");
+        assert_eq!(stale_a.runtime_idx, 3);
+        assert!(stale_a.instance_idx != stale_b.instance_idx);
+        // A period of short-only demand shrinks the long level.
+        for i in 0..2000u64 {
+            let now = 2 + i * 60 * SEC / 1000;
+            if let Some(p) = e.submit(40, now) {
+                e.complete(p);
+            }
+        }
+        let plan = e.maybe_reallocate(121 * SEC, 7).expect("reallocates");
+        assert!(
+            plan.target[3] < 2,
+            "long level must shrink so a stale index goes out of range: {:?}",
+            plan.target
+        );
+        e.apply_allocation(&plan);
+        assert_eq!(e.level_loads(), vec![0; 4], "rebuilt frontend starts idle");
+
+        // One stale success (index now out of range) and one stale failure:
+        // both acknowledged, neither applied.
+        let now = 122 * SEC;
+        assert!(!e.report_success(stale_b, now, expected_ns(&e, 3)));
+        assert!(!e.report_failure(stale_a, now));
+        assert_eq!(e.level_loads(), vec![0; 4], "stale reports must not count");
+        let healthy = e
+            .health_states()
+            .expect("health on")
+            .iter()
+            .all(|&s| s == HealthState::Healthy);
+        assert!(healthy, "stale failure must not strike the new deployment");
+
+        // New-generation traffic accounts exactly once.
+        let p = e.submit(40, now + 1).expect("dispatches");
+        assert_eq!(p.generation, 1);
+        let mut loads = e.level_loads();
+        assert_eq!(loads.iter().sum::<u64>(), 1);
+        assert!(e.report_success(p, now + 2, expected_ns(&e, 0)));
+        loads = e.level_loads();
+        assert_eq!(loads, vec![0; 4], "exactly one decrement");
+    }
+
+    #[test]
     #[should_panic(expected = "applied in order")]
     fn plans_apply_in_order() {
         let e = engine(&[2, 2, 2, 2]);

@@ -1,0 +1,99 @@
+//! Scaled monotonic time for the serving stack.
+//!
+//! [`ArloEngine`](arlo_core::engine::ArloEngine) never reads a wall clock:
+//! every call takes monotonic nanoseconds from the embedder. The serving
+//! stack anchors those at server start and multiplies real elapsed time by
+//! a **time scale**, so a 120-second virtual decision period elapses in
+//! 120 s / scale of real time and the calibrated latency model's execution
+//! times shrink by the same factor. At scale 1 virtual time *is* real time
+//! (production); tests and benches run at 50–200× so a multi-minute serving
+//! scenario — including several Runtime Scheduler decisions — completes in
+//! well under a second of wall clock.
+
+use arlo_trace::Nanos;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock whose virtual time advances `scale` times faster than
+/// real time. Cheap to clone-by-`Arc` and share across threads.
+#[derive(Debug)]
+pub struct VirtualClock {
+    anchor: Instant,
+    scale: u32,
+}
+
+impl VirtualClock {
+    /// Anchor a clock at the current instant. `scale` must be ≥ 1.
+    pub fn new(scale: u32) -> Self {
+        assert!(scale >= 1, "time scale must be >= 1");
+        VirtualClock {
+            anchor: Instant::now(),
+            scale,
+        }
+    }
+
+    /// The speed-up factor.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// Virtual nanoseconds since the anchor.
+    pub fn now(&self) -> Nanos {
+        (self.anchor.elapsed().as_nanos() as Nanos).saturating_mul(Nanos::from(self.scale))
+    }
+
+    /// Convert a virtual duration to the real duration it spans.
+    pub fn to_real(&self, virtual_ns: Nanos) -> Duration {
+        Duration::from_nanos(virtual_ns / Nanos::from(self.scale))
+    }
+
+    /// Sleep until virtual time `t`. Returns immediately if `t` is already
+    /// past. Sub-100 µs real remainders are not slept (OS timer granularity
+    /// would overshoot by more than the wait is worth).
+    pub fn sleep_until(&self, t: Nanos) {
+        const MIN_SLEEP_REAL_NS: u64 = 100_000;
+        loop {
+            let now = self.now();
+            if now >= t {
+                return;
+            }
+            let real_ns = (t - now) / Nanos::from(self.scale);
+            if real_ns < MIN_SLEEP_REAL_NS {
+                return;
+            }
+            std::thread::sleep(Duration::from_nanos(real_ns));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_time_is_scaled() {
+        let clock = VirtualClock::new(1000);
+        std::thread::sleep(Duration::from_millis(2));
+        let v = clock.now();
+        // 2 ms real at 1000× is 2 s virtual; allow generous scheduler slack.
+        assert!(v >= 2_000_000_000, "virtual now {v}");
+        assert!(v < 60_000_000_000, "virtual now {v}");
+    }
+
+    #[test]
+    fn sleep_until_reaches_target() {
+        let clock = VirtualClock::new(100);
+        let target = clock.now() + 500_000_000; // 0.5 virtual s = 5 ms real
+        clock.sleep_until(target);
+        // Within one OS-timer granule of the target (sub-100 µs real
+        // remainders — 10 ms virtual at 100× — are deliberately not slept).
+        assert!(clock.now() + 10_000_000 >= target);
+        // Past targets return immediately.
+        clock.sleep_until(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale")]
+    fn zero_scale_is_rejected() {
+        VirtualClock::new(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! `arlo-serve`: the live network serving stack over
+//! [`ArloEngine`](arlo_core::engine::ArloEngine).
+//!
+//! Where `arlo-sim` answers "what would Arlo do on this trace?" by
+//! discrete-event simulation, this crate actually *serves*: real TCP
+//! sockets, real OS threads, real backpressure — with the GPU fleet stood
+//! in by the same calibrated latency model the simulator uses, driven in
+//! scaled virtual time so multi-minute scenarios (including Runtime
+//! Scheduler reallocation decisions) complete in test-sized wall clock.
+//!
+//! The stack, bottom to top:
+//!
+//! - [`protocol`] — a versioned, length-prefixed binary wire format with
+//!   total (never-panicking) decoding.
+//! - [`clock`] — the [`clock::VirtualClock`] that anchors the engine's
+//!   monotonic nanoseconds and scales them for accelerated runs.
+//! - [`executor`] — a worker pool that charges each placed request its
+//!   profiled execution cost on a per-instance serial clock, then reports
+//!   completion through the engine's health hooks.
+//! - [`server`] — the TCP front door: acceptor, per-connection readers, a
+//!   bounded dispatch queue (overflow ⇒ explicit shed frames), a timer
+//!   thread driving health ticks and periodic reallocation, and a graceful
+//!   drain that flushes every outstanding request before closing.
+//! - [`loadgen`] — open- and closed-loop trace replay over real sockets,
+//!   for the `ext_serve` benchmark and the end-to-end tests.
+
+pub mod clock;
+pub mod executor;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use clock::VirtualClock;
+pub use loadgen::{replay, LoadGenConfig, LoadGenReport, LoadMode};
+pub use protocol::{ErrorCode, Frame, StatsPayload};
+pub use server::{DrainReport, ServeConfig, Server};

@@ -1,0 +1,368 @@
+//! Trace-replay load generator: N client threads over real sockets.
+//!
+//! Two driving disciplines, matching the two standard ways serving papers
+//! load a system:
+//!
+//! - **Open loop** ([`LoadMode::Open`]): each client replays its partition
+//!   of the trace at the trace's own arrival times (divided by the server's
+//!   time scale), regardless of how fast responses come back. This is the
+//!   paper's evaluation discipline — arrival pressure does not relent when
+//!   the server slows down, so overload shows up as shed responses rather
+//!   than as a silently throttled offered rate.
+//! - **Closed loop** ([`LoadMode::Closed`]): each client keeps a fixed
+//!   window of requests outstanding and sends the next one only when a
+//!   response arrives. Offered load self-limits to the server's capacity;
+//!   useful for measuring peak sustainable throughput.
+//!
+//! Latencies are taken from the server's [`Frame::Response`] `latency_ns`
+//! field — dispatch → completion in *virtual* time under the executor's
+//! serial-execution model — so percentiles are meaningful at any time
+//! scale and immune to OS sleep jitter on the loadgen side.
+
+use crate::protocol::{read_frame, ErrorCode, Frame, ReadFrameError};
+use arlo_trace::stats::Summary;
+use arlo_trace::workload::Trace;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How clients drive load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Replay trace arrivals at `1/time_scale` of their spacing — the
+    /// scale must match the server's [`crate::clock::VirtualClock`] scale
+    /// so offered rate and simulated capacity line up.
+    Open {
+        /// Virtual-time speed-up shared with the server.
+        time_scale: u32,
+    },
+    /// Keep `window` requests outstanding per client; arrivals in the
+    /// trace are ignored, only its lengths are replayed.
+    Closed {
+        /// Outstanding requests per client (≥ 1).
+        window: usize,
+    },
+}
+
+/// Load generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Driving discipline.
+    pub mode: LoadMode,
+    /// Socket read timeout: a client that hears nothing for this long
+    /// counts its unanswered requests as lost rather than hanging.
+    pub read_timeout: Duration,
+}
+
+impl LoadGenConfig {
+    /// `clients` open-loop connections at the given time scale.
+    pub fn open(clients: usize, time_scale: u32) -> Self {
+        LoadGenConfig {
+            clients,
+            mode: LoadMode::Open { time_scale },
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// `clients` closed-loop connections with `window` outstanding each.
+    pub fn closed(clients: usize, window: usize) -> Self {
+        LoadGenConfig {
+            clients,
+            mode: LoadMode::Closed { window },
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregate outcome of a replay, merged across all clients.
+#[derive(Debug, Clone, Default)]
+pub struct LoadGenReport {
+    /// Submit frames written to the wire.
+    pub sent: u64,
+    /// Successful [`Frame::Response`]s received.
+    pub ok: u64,
+    /// [`ErrorCode::Shed`] responses.
+    pub shed: u64,
+    /// [`ErrorCode::Unserviceable`] responses.
+    pub unserviceable: u64,
+    /// [`ErrorCode::Draining`] responses.
+    pub draining: u64,
+    /// [`ErrorCode::Failed`] responses.
+    pub failed: u64,
+    /// Sent requests that received *no* answer before the read timeout —
+    /// zero on a correct server.
+    pub lost: u64,
+    /// Virtual dispatch→completion latencies (ms) of the `ok` responses.
+    pub latencies_ms: Vec<f64>,
+    /// Real wall-clock duration of the replay.
+    pub wall: Duration,
+}
+
+impl LoadGenReport {
+    /// Summary statistics over the successful-response latencies.
+    pub fn latency_summary(&self) -> Summary {
+        Summary::from_samples(&self.latencies_ms)
+    }
+
+    /// Successful responses per *virtual* second ≈ `ok / (wall · scale)`.
+    pub fn goodput_rps(&self, time_scale: u32) -> f64 {
+        let virtual_secs = self.wall.as_secs_f64() * f64::from(time_scale);
+        if virtual_secs <= 0.0 {
+            return 0.0;
+        }
+        self.ok as f64 / virtual_secs
+    }
+
+    /// Every answered or lost request, for zero-loss assertions:
+    /// `ok + shed + unserviceable + draining + failed + lost == sent`.
+    pub fn accounted(&self) -> u64 {
+        self.ok + self.shed + self.unserviceable + self.draining + self.failed + self.lost
+    }
+
+    fn merge(&mut self, other: ClientOutcome) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.unserviceable += other.unserviceable;
+        self.draining += other.draining;
+        self.failed += other.failed;
+        self.lost += other.lost;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    unserviceable: u64,
+    draining: u64,
+    failed: u64,
+    lost: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Shared tally a client's reader thread writes into.
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    unserviceable: AtomicU64,
+    draining: AtomicU64,
+    failed: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl Tally {
+    fn answered(&self) -> u64 {
+        self.ok.load(Ordering::SeqCst)
+            + self.shed.load(Ordering::SeqCst)
+            + self.unserviceable.load(Ordering::SeqCst)
+            + self.draining.load(Ordering::SeqCst)
+            + self.failed.load(Ordering::SeqCst)
+    }
+
+    fn record(&self, frame: &Frame) {
+        match frame {
+            Frame::Response { latency_ns, .. } => {
+                self.latencies_ns.lock().push(*latency_ns);
+                self.ok.fetch_add(1, Ordering::SeqCst);
+            }
+            Frame::Error { code, .. } => {
+                let counter = match code {
+                    ErrorCode::Shed => &self.shed,
+                    ErrorCode::Unserviceable => &self.unserviceable,
+                    ErrorCode::Draining => &self.draining,
+                    ErrorCode::Failed => &self.failed,
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+            }
+            // Stats frames (from an interleaved stats probe) and anything
+            // else are not request answers.
+            _ => {}
+        }
+    }
+
+    fn into_outcome(self, sent: u64) -> ClientOutcome {
+        ClientOutcome {
+            sent,
+            ok: self.ok.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            unserviceable: self.unserviceable.load(Ordering::SeqCst),
+            draining: self.draining.load(Ordering::SeqCst),
+            failed: self.failed.load(Ordering::SeqCst),
+            lost: sent.saturating_sub(self.answered()),
+            latencies_ms: self
+                .latencies_ns
+                .into_inner()
+                .into_iter()
+                .map(|ns| ns as f64 / 1e6)
+                .collect(),
+        }
+    }
+}
+
+/// Replay `trace` against the server at `addr` and merge every client's
+/// outcome. The trace is partitioned round-robin across clients; ids stay
+/// globally unique.
+pub fn replay(
+    addr: SocketAddr,
+    trace: &Trace,
+    config: &LoadGenConfig,
+) -> io::Result<LoadGenReport> {
+    assert!(config.clients >= 1, "need at least one client");
+    let parts = trace.partition(config.clients);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.clients);
+    for part in parts {
+        let mode = config.mode;
+        let read_timeout = config.read_timeout;
+        handles.push(
+            std::thread::Builder::new()
+                .name("arlo-loadgen".into())
+                .spawn(move || run_client(addr, &part, mode, read_timeout))?,
+        );
+    }
+    let mut report = LoadGenReport::default();
+    let mut first_err: Option<io::Error> = None;
+    for handle in handles {
+        match handle.join().expect("loadgen client panicked") {
+            Ok(outcome) => report.merge(outcome),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    report.wall = started.elapsed();
+    report.latencies_ms.sort_by(f64::total_cmp);
+    Ok(report)
+}
+
+fn run_client(
+    addr: SocketAddr,
+    part: &Trace,
+    mode: LoadMode,
+    read_timeout: Duration,
+) -> io::Result<ClientOutcome> {
+    match mode {
+        LoadMode::Open { time_scale } => open_client(addr, part, time_scale, read_timeout),
+        LoadMode::Closed { window } => closed_client(addr, part, window, read_timeout),
+    }
+}
+
+/// Read frames until `expected` answers arrive, EOF, or the read timeout.
+fn reader_until(stream: &mut TcpStream, tally: &Tally, expected: &AtomicU64) {
+    loop {
+        match read_frame(stream) {
+            Ok(Some(frame)) => {
+                tally.record(&frame);
+                let want = expected.load(Ordering::SeqCst);
+                if want != u64::MAX && tally.answered() >= want {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            // Timeout, reset, or protocol junk: stop and let the tally's
+            // unanswered remainder surface as `lost`.
+            Err(ReadFrameError::Io(_) | ReadFrameError::Decode(_)) => return,
+        }
+    }
+}
+
+fn open_client(
+    addr: SocketAddr,
+    part: &Trace,
+    time_scale: u32,
+    read_timeout: Duration,
+) -> io::Result<ClientOutcome> {
+    assert!(time_scale >= 1, "time scale must be >= 1");
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(read_timeout))?;
+    let mut reader = stream.try_clone()?;
+
+    let tally = Arc::new(Tally::default());
+    // u64::MAX = "total not known yet": the reader keeps going until the
+    // writer finishes and publishes the real count.
+    let expected = Arc::new(AtomicU64::new(u64::MAX));
+    let reader_thread = {
+        let tally = Arc::clone(&tally);
+        let expected = Arc::clone(&expected);
+        std::thread::Builder::new()
+            .name("arlo-loadgen-rd".into())
+            .spawn(move || reader_until(&mut reader, &tally, &expected))?
+    };
+
+    let mut writer = stream;
+    let start = Instant::now();
+    let mut sent: u64 = 0;
+    for r in part.requests() {
+        let due = Duration::from_nanos(r.arrival / u64::from(time_scale));
+        if let Some(wait) = due.checked_sub(start.elapsed()) {
+            if wait > Duration::from_micros(100) {
+                std::thread::sleep(wait);
+            }
+        }
+        Frame::Submit {
+            id: r.id,
+            length: r.length,
+        }
+        .write_to(&mut writer)?;
+        sent += 1;
+    }
+    expected.store(sent, Ordering::SeqCst);
+    // The reader exits on its own: answer count reached, or read timeout.
+    reader_thread.join().expect("loadgen reader panicked");
+    let tally = Arc::try_unwrap(tally).ok().expect("reader joined");
+    Ok(tally.into_outcome(sent))
+}
+
+fn closed_client(
+    addr: SocketAddr,
+    part: &Trace,
+    window: usize,
+    read_timeout: Duration,
+) -> io::Result<ClientOutcome> {
+    assert!(window >= 1, "closed-loop window must be >= 1");
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(read_timeout))?;
+
+    let tally = Tally::default();
+    let mut sent: u64 = 0;
+    let mut next = part.requests().iter();
+    // Prime the window, then one-for-one: each answer releases one send.
+    for r in next.by_ref().take(window) {
+        Frame::Submit {
+            id: r.id,
+            length: r.length,
+        }
+        .write_to(&mut stream)?;
+        sent += 1;
+    }
+    while tally.answered() < sent {
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => {
+                tally.record(&frame);
+                if let Some(r) = next.next() {
+                    Frame::Submit {
+                        id: r.id,
+                        length: r.length,
+                    }
+                    .write_to(&mut stream)?;
+                    sent += 1;
+                }
+            }
+            Ok(None) => break,
+            Err(ReadFrameError::Io(_) | ReadFrameError::Decode(_)) => break,
+        }
+    }
+    Ok(tally.into_outcome(sent))
+}

@@ -1,0 +1,652 @@
+//! The `arlo-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every message on an `arlo-serve` TCP connection is one **frame**: an
+//! 8-byte header followed by a fixed-layout payload. The header carries a
+//! two-byte magic (so a stray HTTP request fails fast instead of being
+//! misparsed), a protocol version, the frame type, and the payload length:
+//!
+//! ```text
+//! offset  0        2        3        4               8
+//!         +--------+--------+--------+---------------+-- payload … --+
+//!         | magic  | version| type   | payload_len   |               |
+//!         | 0xA770 | u8     | u8     | u32 LE        |               |
+//!         +--------+--------+--------+---------------+---------------+
+//! ```
+//!
+//! All multi-byte integers are little-endian. Payloads are fixed-size per
+//! frame type; a length mismatch is a [`DecodeError::PayloadLength`], never
+//! a silent truncation. Decoding is total: any byte sequence either yields a
+//! frame or a typed [`DecodeError`] — it must never panic, which the
+//! protocol test suite enforces over arbitrary inputs.
+//!
+//! | type | frame | direction | payload |
+//! |---|---|---|---|
+//! | 1 | [`Frame::Submit`] | client → server | `id: u64, length: u32` |
+//! | 2 | [`Frame::Response`] | server → client | `id, generation: u64, runtime_idx, instance_idx: u16, latency_ns: u64` |
+//! | 3 | [`Frame::Error`] | server → client | `id: u64, code: u8` |
+//! | 4 | [`Frame::StatsRequest`] | client → server | empty |
+//! | 5 | [`Frame::Stats`] | server → client | five `u64` counters |
+//! | 6 | [`Frame::Drain`] | client → server | empty |
+
+use std::io::{Read, Write};
+
+/// Frame magic: every frame starts with these two bytes.
+pub const MAGIC: [u8; 2] = [0xA7, 0x70];
+
+/// Protocol version this build speaks. Decoders reject everything else.
+pub const VERSION: u8 = 1;
+
+/// Header length in bytes (magic + version + type + payload length).
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on payload length. All defined frames are far smaller; a
+/// larger advertised length is a corrupt or hostile frame and is rejected
+/// before any allocation.
+pub const MAX_PAYLOAD: u32 = 256;
+
+/// Why the server answered a request with [`Frame::Error`] instead of a
+/// [`Frame::Response`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The admission/shedding layer refused the request under overload —
+    /// every candidate instance was congestion-gated or the dispatch queue
+    /// was full. The client may retry elsewhere or later.
+    Shed = 1,
+    /// No compiled runtime can serve the request's length; retrying is
+    /// pointless.
+    Unserviceable = 2,
+    /// The server is draining and no longer accepts new work.
+    Draining = 3,
+    /// The execution failed on the backend (the failure has been reported
+    /// into the engine's health layer). The client may retry.
+    Failed = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(code: u8) -> Result<Self, DecodeError> {
+        match code {
+            1 => Ok(ErrorCode::Shed),
+            2 => Ok(ErrorCode::Unserviceable),
+            3 => Ok(ErrorCode::Draining),
+            4 => Ok(ErrorCode::Failed),
+            other => Err(DecodeError::BadErrorCode(other)),
+        }
+    }
+}
+
+/// The server-side counters reported in a [`Frame::Stats`] response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsPayload {
+    /// Current deployment generation of the engine.
+    pub generation: u64,
+    /// Requests completed and answered with [`Frame::Response`].
+    pub served: u64,
+    /// Requests refused with [`ErrorCode::Shed`] or [`ErrorCode::Draining`].
+    pub shed: u64,
+    /// Requests admitted but not yet completed.
+    pub outstanding: u64,
+    /// Replacement plans applied since the server started.
+    pub reallocations: u64,
+}
+
+/// One protocol frame. See the module docs for the wire layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// Client submits a request of `length` tokens.
+    Submit {
+        /// Client-chosen request identifier, echoed back verbatim.
+        id: u64,
+        /// Input sequence length in tokens.
+        length: u32,
+    },
+    /// Server reports a completed execution.
+    Response {
+        /// The id of the completed request.
+        id: u64,
+        /// Deployment generation the request executed under.
+        generation: u64,
+        /// Runtime level the request was dispatched to.
+        runtime_idx: u16,
+        /// Instance index within that runtime.
+        instance_idx: u16,
+        /// Dispatch → completion latency in (virtual) nanoseconds.
+        latency_ns: u64,
+    },
+    /// Server refuses a request.
+    Error {
+        /// The id of the refused request.
+        id: u64,
+        /// Why it was refused.
+        code: ErrorCode,
+    },
+    /// Client asks for a [`Frame::Stats`] snapshot.
+    StatsRequest,
+    /// Server-side counters.
+    Stats(StatsPayload),
+    /// Client asks the server to drain gracefully: stop accepting, flush
+    /// outstanding work, then close.
+    Drain,
+}
+
+/// A frame failed to decode. Every variant is a protocol violation by the
+/// peer (or line corruption); none are recoverable on the same connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte was not [`VERSION`].
+    BadVersion(u8),
+    /// Unknown frame-type byte.
+    BadFrameType(u8),
+    /// Advertised payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The advertised payload length.
+        len: u32,
+    },
+    /// The buffer ended before the full frame: `needed` bytes required,
+    /// `got` available. When decoding from a stream this means "read more";
+    /// from a closed connection it means the peer hung up mid-frame.
+    Truncated {
+        /// Total bytes the frame requires.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// Payload length does not match the frame type's fixed layout.
+    PayloadLength {
+        /// The offending frame-type byte.
+        frame_type: u8,
+        /// The layout's required payload length.
+        expected: usize,
+        /// The advertised payload length.
+        got: usize,
+    },
+    /// Unknown [`ErrorCode`] discriminant in an error frame.
+    BadErrorCode(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DecodeError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            DecodeError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (expected {VERSION})")
+            }
+            DecodeError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
+            DecodeError::Oversized { len } => {
+                write!(f, "payload length {len} exceeds maximum {MAX_PAYLOAD}")
+            }
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, have {got}")
+            }
+            DecodeError::PayloadLength {
+                frame_type,
+                expected,
+                got,
+            } => write!(
+                f,
+                "frame type {frame_type} requires a {expected}-byte payload, got {got}"
+            ),
+            DecodeError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TYPE_SUBMIT: u8 = 1;
+const TYPE_RESPONSE: u8 = 2;
+const TYPE_ERROR: u8 = 3;
+const TYPE_STATS_REQUEST: u8 = 4;
+const TYPE_STATS: u8 = 5;
+const TYPE_DRAIN: u8 = 6;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(buf[at..at + 2].try_into().expect("bounds checked"))
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+}
+
+impl Frame {
+    /// The frame-type byte this frame encodes as.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Frame::Submit { .. } => TYPE_SUBMIT,
+            Frame::Response { .. } => TYPE_RESPONSE,
+            Frame::Error { .. } => TYPE_ERROR,
+            Frame::StatsRequest => TYPE_STATS_REQUEST,
+            Frame::Stats(_) => TYPE_STATS,
+            Frame::Drain => TYPE_DRAIN,
+        }
+    }
+
+    /// Serialize into a fresh byte vector (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(40);
+        match *self {
+            Frame::Submit { id, length } => {
+                put_u64(&mut payload, id);
+                put_u32(&mut payload, length);
+            }
+            Frame::Response {
+                id,
+                generation,
+                runtime_idx,
+                instance_idx,
+                latency_ns,
+            } => {
+                put_u64(&mut payload, id);
+                put_u64(&mut payload, generation);
+                payload.extend_from_slice(&runtime_idx.to_le_bytes());
+                payload.extend_from_slice(&instance_idx.to_le_bytes());
+                put_u64(&mut payload, latency_ns);
+            }
+            Frame::Error { id, code } => {
+                put_u64(&mut payload, id);
+                payload.push(code as u8);
+            }
+            Frame::StatsRequest | Frame::Drain => {}
+            Frame::Stats(s) => {
+                put_u64(&mut payload, s.generation);
+                put_u64(&mut payload, s.served);
+                put_u64(&mut payload, s.shed);
+                put_u64(&mut payload, s.outstanding);
+                put_u64(&mut payload, s.reallocations);
+            }
+        }
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(self.frame_type());
+        put_u32(&mut buf, payload.len() as u32);
+        buf.extend_from_slice(&payload);
+        buf
+    }
+
+    /// Decode one frame from the front of `buf`. On success returns the
+    /// frame and the number of bytes consumed. [`DecodeError::Truncated`]
+    /// means the buffer does not yet hold the whole frame.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        if buf[0..2] != MAGIC {
+            return Err(DecodeError::BadMagic([buf[0], buf[1]]));
+        }
+        if buf[2] != VERSION {
+            return Err(DecodeError::BadVersion(buf[2]));
+        }
+        let frame_type = buf[3];
+        let payload_len = get_u32(buf, 4);
+        if payload_len > MAX_PAYLOAD {
+            return Err(DecodeError::Oversized { len: payload_len });
+        }
+        let total = HEADER_LEN + payload_len as usize;
+        if buf.len() < total {
+            return Err(DecodeError::Truncated {
+                needed: total,
+                got: buf.len(),
+            });
+        }
+        let p = &buf[HEADER_LEN..total];
+        let expect = |expected: usize| -> Result<(), DecodeError> {
+            if p.len() == expected {
+                Ok(())
+            } else {
+                Err(DecodeError::PayloadLength {
+                    frame_type,
+                    expected,
+                    got: p.len(),
+                })
+            }
+        };
+        let frame = match frame_type {
+            TYPE_SUBMIT => {
+                expect(12)?;
+                Frame::Submit {
+                    id: get_u64(p, 0),
+                    length: get_u32(p, 8),
+                }
+            }
+            TYPE_RESPONSE => {
+                expect(28)?;
+                Frame::Response {
+                    id: get_u64(p, 0),
+                    generation: get_u64(p, 8),
+                    runtime_idx: get_u16(p, 16),
+                    instance_idx: get_u16(p, 18),
+                    latency_ns: get_u64(p, 20),
+                }
+            }
+            TYPE_ERROR => {
+                expect(9)?;
+                Frame::Error {
+                    id: get_u64(p, 0),
+                    code: ErrorCode::from_u8(p[8])?,
+                }
+            }
+            TYPE_STATS_REQUEST => {
+                expect(0)?;
+                Frame::StatsRequest
+            }
+            TYPE_STATS => {
+                expect(40)?;
+                Frame::Stats(StatsPayload {
+                    generation: get_u64(p, 0),
+                    served: get_u64(p, 8),
+                    shed: get_u64(p, 16),
+                    outstanding: get_u64(p, 24),
+                    reallocations: get_u64(p, 32),
+                })
+            }
+            TYPE_DRAIN => {
+                expect(0)?;
+                Frame::Drain
+            }
+            other => return Err(DecodeError::BadFrameType(other)),
+        };
+        Ok((frame, total))
+    }
+
+    /// Write the encoded frame to `w` in one `write_all` (callers serialize
+    /// concurrent writers per connection so frames never interleave).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.encode())
+    }
+}
+
+/// Why [`read_frame`] stopped.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// The underlying stream failed mid-frame.
+    Io(std::io::Error),
+    /// The bytes read do not form a valid frame.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for ReadFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadFrameError::Io(e) => write!(f, "i/o error reading frame: {e}"),
+            ReadFrameError::Decode(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadFrameError {}
+
+impl From<std::io::Error> for ReadFrameError {
+    fn from(e: std::io::Error) -> Self {
+        ReadFrameError::Io(e)
+    }
+}
+
+/// Read exactly one frame from a blocking stream. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary; EOF mid-frame is reported as
+/// [`DecodeError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ReadFrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None); // clean EOF between frames
+                }
+                return Err(ReadFrameError::Decode(DecodeError::Truncated {
+                    needed: HEADER_LEN,
+                    got: filled,
+                }));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // Validate the header before reading the payload so oversized or
+    // corrupt lengths never drive allocation or a long blocking read.
+    match Frame::decode(&header) {
+        // Header alone decoded: an empty-payload frame.
+        Ok((frame, consumed)) => {
+            debug_assert_eq!(consumed, HEADER_LEN);
+            Ok(Some(frame))
+        }
+        Err(DecodeError::Truncated { needed, .. }) => {
+            let mut buf = vec![0u8; needed];
+            buf[..HEADER_LEN].copy_from_slice(&header);
+            let mut filled = HEADER_LEN;
+            while filled < needed {
+                match r.read(&mut buf[filled..]) {
+                    Ok(0) => {
+                        return Err(ReadFrameError::Decode(DecodeError::Truncated {
+                            needed,
+                            got: filled,
+                        }))
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            let (frame, consumed) = Frame::decode(&buf).map_err(ReadFrameError::Decode)?;
+            debug_assert_eq!(consumed, needed);
+            Ok(Some(frame))
+        }
+        Err(other) => Err(ReadFrameError::Decode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Submit {
+                id: 0,
+                length: u32::MAX,
+            },
+            Frame::Submit {
+                id: u64::MAX,
+                length: 1,
+            },
+            Frame::Response {
+                id: 7,
+                generation: 3,
+                runtime_idx: 2,
+                instance_idx: 65535,
+                latency_ns: 1_234_567,
+            },
+            Frame::Error {
+                id: 9,
+                code: ErrorCode::Shed,
+            },
+            Frame::Error {
+                id: 10,
+                code: ErrorCode::Unserviceable,
+            },
+            Frame::Error {
+                id: 11,
+                code: ErrorCode::Draining,
+            },
+            Frame::Error {
+                id: 12,
+                code: ErrorCode::Failed,
+            },
+            Frame::StatsRequest,
+            Frame::Stats(StatsPayload {
+                generation: 1,
+                served: 2,
+                shed: 3,
+                outstanding: 4,
+                reallocations: 5,
+            }),
+            Frame::Drain,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in all_frames() {
+            let bytes = frame.encode();
+            let (decoded, consumed) = Frame::decode(&bytes).expect("round-trip");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_consumes_only_one_frame() {
+        let mut bytes = Frame::Drain.encode();
+        let second = Frame::Submit { id: 5, length: 64 };
+        bytes.extend_from_slice(&second.encode());
+        let (first, consumed) = Frame::decode(&bytes).expect("first");
+        assert_eq!(first, Frame::Drain);
+        let (next, _) = Frame::decode(&bytes[consumed..]).expect("second");
+        assert_eq!(next, second);
+    }
+
+    #[test]
+    fn truncated_frames_error_at_every_prefix() {
+        for frame in all_frames() {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                match Frame::decode(&bytes[..cut]) {
+                    Err(DecodeError::Truncated { needed, got }) => {
+                        assert_eq!(got, cut);
+                        assert!(needed > cut);
+                    }
+                    other => panic!("prefix {cut} of {frame:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = Frame::Drain.encode();
+        bytes[2] = VERSION + 1;
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::BadVersion(VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = Frame::StatsRequest.encode();
+        bytes[0] = b'G'; // "GET …"
+        bytes[1] = b'E';
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::BadMagic([b'G', b'E']))
+        );
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_buffering() {
+        let mut bytes = Frame::Submit { id: 1, length: 2 }.encode();
+        bytes[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::Oversized {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_frame_type_is_rejected() {
+        let mut bytes = Frame::Drain.encode();
+        bytes[3] = 0xEE;
+        assert_eq!(Frame::decode(&bytes), Err(DecodeError::BadFrameType(0xEE)));
+    }
+
+    #[test]
+    fn wrong_payload_length_is_rejected() {
+        // A Submit header claiming a Drain-sized (empty) payload.
+        let mut bytes = Frame::Drain.encode();
+        bytes[3] = 1; // Submit
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::PayloadLength {
+                frame_type: 1,
+                expected: 12,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_error_code_is_rejected() {
+        let mut bytes = Frame::Error {
+            id: 1,
+            code: ErrorCode::Shed,
+        }
+        .encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 77;
+        assert_eq!(Frame::decode(&bytes), Err(DecodeError::BadErrorCode(77)));
+    }
+
+    #[test]
+    fn read_frame_streams_and_reports_clean_eof() {
+        let mut wire = Vec::new();
+        for frame in all_frames() {
+            wire.extend_from_slice(&frame.encode());
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut seen = Vec::new();
+        while let Some(frame) = read_frame(&mut cursor).expect("stream decodes") {
+            seen.push(frame);
+        }
+        assert_eq!(seen, all_frames());
+    }
+
+    #[test]
+    fn read_frame_reports_mid_frame_eof_as_truncated() {
+        let bytes = Frame::Submit { id: 3, length: 9 }.encode();
+        let mut cursor = std::io::Cursor::new(bytes[..bytes.len() - 1].to_vec());
+        match read_frame(&mut cursor) {
+            Err(ReadFrameError::Decode(DecodeError::Truncated { .. })) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_format_distinctly() {
+        let errors = [
+            DecodeError::BadMagic([0, 0]),
+            DecodeError::BadVersion(9),
+            DecodeError::BadFrameType(9),
+            DecodeError::Oversized { len: 1000 },
+            DecodeError::Truncated { needed: 8, got: 2 },
+            DecodeError::PayloadLength {
+                frame_type: 1,
+                expected: 12,
+                got: 3,
+            },
+            DecodeError::BadErrorCode(0),
+        ];
+        let texts: std::collections::HashSet<String> =
+            errors.iter().map(|e| e.to_string()).collect();
+        assert_eq!(texts.len(), errors.len(), "messages must be distinct");
+    }
+}

@@ -1,0 +1,495 @@
+//! The multi-threaded TCP front door over [`ArloEngine`].
+//!
+//! Thread topology (one box per OS thread kind):
+//!
+//! ```text
+//!   clients ──TCP──► reader (1/conn) ──bounded MPSC──► dispatch ──► executor pool
+//!                        │                                │              │
+//!                        │ shed/drain errors              │ engine.submit│ sleeps exec,
+//!                        ▼                                ▼              ▼ reports health,
+//!                    conn writer ◄──────────────────── responses ◄── answers client
+//!
+//!   acceptor: accepts connections, spawns readers
+//!   timer:    engine.health_tick + maybe_reallocate/apply_allocation
+//! ```
+//!
+//! Backpressure is explicit end to end: the reader→dispatch channel is
+//! bounded, and when it is full — or when the engine's admission layer
+//! refuses a dispatch — the client gets a typed [`ErrorCode::Shed`] frame
+//! instead of a stalled or reset connection. Graceful drain stops the
+//! acceptor, refuses new submits with [`ErrorCode::Draining`], flushes every
+//! outstanding execution, then closes connections and joins all threads.
+
+use crate::clock::VirtualClock;
+use crate::executor::{CompletedJob, Executor, Job};
+use crate::protocol::{read_frame, ErrorCode, Frame, StatsPayload};
+use arlo_core::engine::ArloEngine;
+use arlo_runtime::latency::JitterSpec;
+use arlo_trace::Nanos;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// GPUs handed to the Runtime Scheduler at every decision.
+    pub gpus: u32,
+    /// Executor worker threads (concurrent sleeping executions).
+    pub workers: usize,
+    /// Virtual-time speed-up; 1 for production, 50–200 for tests/benches.
+    pub time_scale: u32,
+    /// Bound of the reader → dispatch channel; overflow sheds.
+    pub queue_capacity: usize,
+    /// Virtual interval between timer ticks (health + reallocation check).
+    pub tick_interval: Nanos,
+    /// Execution-time jitter applied by the executor.
+    pub jitter: JitterSpec,
+    /// Real-time cap on waiting for outstanding work during drain.
+    pub drain_timeout: Duration,
+    /// Fault injection: fail one in `n` executions (reported through
+    /// [`ArloEngine::report_failure`] and answered with
+    /// [`ErrorCode::Failed`]). `None` disables injection.
+    pub fail_one_in: Option<u64>,
+}
+
+impl ServeConfig {
+    /// Defaults for a loopback deployment of `gpus` GPUs at real-time pace.
+    pub fn new(gpus: u32) -> Self {
+        ServeConfig {
+            gpus,
+            workers: 8,
+            time_scale: 1,
+            queue_capacity: 4096,
+            tick_interval: arlo_trace::NANOS_PER_SEC / 5,
+            jitter: JitterSpec::NONE,
+            drain_timeout: Duration::from_secs(30),
+            fail_one_in: None,
+        }
+    }
+
+    /// Set the virtual-time speed-up factor.
+    pub fn with_time_scale(mut self, scale: u32) -> Self {
+        self.time_scale = scale;
+        self
+    }
+}
+
+/// Final accounting returned by [`Server::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests completed and answered with a response frame.
+    pub served: u64,
+    /// Requests refused by the admission/shedding layer or during drain.
+    pub shed: u64,
+    /// Requests no runtime could serve.
+    pub unserviceable: u64,
+    /// Injected execution failures answered with [`ErrorCode::Failed`].
+    pub failed: u64,
+    /// Requests still outstanding when the drain gave up (0 on a clean
+    /// drain).
+    pub outstanding_at_close: u64,
+    /// Replacement plans applied over the server's lifetime.
+    pub reallocations: u64,
+    /// Final deployment generation.
+    pub generation: u64,
+}
+
+struct Shared {
+    engine: ArloEngine,
+    clock: Arc<VirtualClock>,
+    max_length: u32,
+    fail_one_in: Option<u64>,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    shed: AtomicU64,
+    unserviceable: AtomicU64,
+    failed: AtomicU64,
+    outstanding: AtomicU64,
+    reallocations: AtomicU64,
+    conns: Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>,
+    reader_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsPayload {
+        StatsPayload {
+            generation: self.engine.deployment().0,
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed)
+                + self.unserviceable.load(Ordering::Relaxed)
+                + self.failed.load(Ordering::Relaxed),
+            outstanding: self.outstanding.load(Ordering::Relaxed),
+            reallocations: self.reallocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Write a frame to a connection; a vanished or broken connection is
+    /// the client's problem, not the server's.
+    fn respond(&self, conn_id: u64, frame: &Frame) {
+        let stream = self.conns.lock().get(&conn_id).cloned();
+        if let Some(stream) = stream {
+            let mut stream = stream.lock();
+            let _ = frame.write_to(&mut *stream);
+        }
+    }
+}
+
+enum DispatchMsg {
+    Submit { conn_id: u64, id: u64, length: u32 },
+}
+
+/// A running serve instance. Obtain one with [`Server::spawn`]; stop it
+/// with [`Server::drain`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    drain_timeout: Duration,
+    acceptor: std::thread::JoinHandle<()>,
+    dispatch: std::thread::JoinHandle<()>,
+    timer: std::thread::JoinHandle<()>,
+    executor: Arc<Executor>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and spawn the serving threads
+    /// over `engine`. The engine's clock starts at zero now: virtual
+    /// timestamps passed to it derive from a [`VirtualClock`] anchored in
+    /// this call.
+    pub fn spawn(engine: ArloEngine, addr: &str, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let clock = Arc::new(VirtualClock::new(config.time_scale));
+        let max_length = engine
+            .profiles()
+            .last()
+            .expect("engine has at least one runtime")
+            .max_length();
+        let shared = Arc::new(Shared {
+            engine,
+            clock: Arc::clone(&clock),
+            max_length,
+            fail_one_in: config.fail_one_in,
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            unserviceable: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            outstanding: AtomicU64::new(0),
+            reallocations: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            reader_handles: Mutex::new(Vec::new()),
+        });
+
+        let executor = {
+            let shared = Arc::clone(&shared);
+            Arc::new(Executor::new(
+                shared.engine.profiles().to_vec(),
+                config.workers,
+                clock,
+                config.jitter,
+                Box::new(move |done| complete_job(&shared, &done)),
+            ))
+        };
+
+        let (tx, rx) = mpsc::sync_channel::<DispatchMsg>(config.queue_capacity);
+
+        let dispatch = {
+            let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
+            std::thread::Builder::new()
+                .name("arlo-dispatch".into())
+                .spawn(move || dispatch_loop(&shared, &executor, &rx))?
+        };
+
+        let timer = {
+            let shared = Arc::clone(&shared);
+            let real_tick = Duration::from_nanos(
+                (config.tick_interval / Nanos::from(config.time_scale)).max(1_000_000),
+            );
+            std::thread::Builder::new()
+                .name("arlo-timer".into())
+                .spawn(move || timer_loop(&shared, real_tick, config.gpus))?
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("arlo-accept".into())
+                .spawn(move || accept_loop(&shared, &listener, &tx))?
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            drain_timeout: config.drain_timeout,
+            acceptor,
+            dispatch,
+            timer,
+            executor,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current server-side counters.
+    pub fn stats(&self) -> StatsPayload {
+        self.shared.stats()
+    }
+
+    /// Replacement plans applied so far.
+    pub fn reallocations(&self) -> u64 {
+        self.shared.reallocations.load(Ordering::Relaxed)
+    }
+
+    /// Whether a drain has been requested (locally or by a client's
+    /// [`Frame::Drain`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new submits with
+    /// [`ErrorCode::Draining`], wait for every outstanding execution to
+    /// complete (bounded by the configured drain timeout), then close all
+    /// connections and join every thread.
+    pub fn drain(self) -> DrainReport {
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::SeqCst);
+
+        // Flush: every admitted request completes and is answered.
+        let deadline = std::time::Instant::now() + self.drain_timeout;
+        while shared.outstanding.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        shared.shutdown.store(true, Ordering::SeqCst);
+        self.acceptor.join().expect("acceptor panicked");
+        self.timer.join().expect("timer panicked");
+        self.dispatch.join().expect("dispatch panicked");
+        let executor = Arc::try_unwrap(self.executor)
+            .ok()
+            .expect("dispatch joined; executor has one owner");
+        executor.shutdown();
+
+        // Close every connection so reader threads unblock and exit.
+        for stream in shared.conns.lock().values() {
+            let _ = stream.lock().shutdown(Shutdown::Both);
+        }
+        let handles = std::mem::take(&mut *shared.reader_handles.lock());
+        for handle in handles {
+            handle.join().expect("reader panicked");
+        }
+        shared.conns.lock().clear();
+
+        DrainReport {
+            served: shared.served.load(Ordering::SeqCst),
+            shed: shared.shed.load(Ordering::SeqCst),
+            unserviceable: shared.unserviceable.load(Ordering::SeqCst),
+            failed: shared.failed.load(Ordering::SeqCst),
+            outstanding_at_close: shared.outstanding.load(Ordering::SeqCst),
+            reallocations: shared.reallocations.load(Ordering::SeqCst),
+            generation: shared.engine.deployment().0,
+        }
+    }
+}
+
+/// Executor completion callback: report into the engine's health hooks,
+/// update counters, answer the client.
+fn complete_job(shared: &Shared, done: &CompletedJob) {
+    let job = done.job;
+    let failed = shared
+        .fail_one_in
+        .is_some_and(|n| n > 0 && job.request_id % n == n - 1);
+    if failed {
+        shared
+            .engine
+            .report_failure(job.placement, done.finished_at);
+        shared.failed.fetch_add(1, Ordering::Relaxed);
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        shared.respond(
+            job.conn_id,
+            &Frame::Error {
+                id: job.request_id,
+                code: ErrorCode::Failed,
+            },
+        );
+        return;
+    }
+    // Stale-generation completions return false here; the engine
+    // acknowledges them without touching the rebuilt frontend, and the
+    // client still gets its answer — the execution did happen.
+    shared
+        .engine
+        .report_success(job.placement, done.finished_at, done.exec_ns as f64);
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+    shared.respond(
+        job.conn_id,
+        &Frame::Response {
+            id: job.request_id,
+            generation: job.placement.generation,
+            runtime_idx: job.placement.runtime_idx as u16,
+            instance_idx: job.placement.instance_idx as u16,
+            latency_ns: done.finished_at.saturating_sub(job.submitted_at),
+        },
+    );
+}
+
+fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<DispatchMsg>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(2)) {
+            Ok(DispatchMsg::Submit {
+                conn_id,
+                id,
+                length,
+            }) => {
+                let now = shared.clock.now();
+                match shared.engine.submit(length, now) {
+                    Some(placement) => executor.submit(Job {
+                        placement,
+                        request_id: id,
+                        conn_id,
+                        length,
+                        submitted_at: now,
+                    }),
+                    None => {
+                        // The admission layer refused: either nothing can
+                        // ever serve this length, or every candidate level
+                        // is masked/empty (overload, quarantine).
+                        let code = if length > shared.max_length {
+                            shared.unserviceable.fetch_add(1, Ordering::Relaxed);
+                            ErrorCode::Unserviceable
+                        } else {
+                            shared.shed.fetch_add(1, Ordering::Relaxed);
+                            ErrorCode::Shed
+                        };
+                        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+                        shared.respond(conn_id, &Frame::Error { id, code });
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn timer_loop(shared: &Shared, real_tick: Duration, gpus: u32) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(real_tick);
+        let now = shared.clock.now();
+        shared.engine.health_tick(now);
+        if let Some(plan) = shared.engine.maybe_reallocate(now, gpus) {
+            // The executor's per-instance clocks for the new generation
+            // start idle; the engine switches dispatch atomically.
+            shared.engine.apply_allocation(&plan);
+            shared.reallocations.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &mpsc::SyncSender<DispatchMsg>) {
+    let mut next_conn_id: u64 = 0;
+    while !shared.draining.load(Ordering::SeqCst) && !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                let writer = match stream.try_clone() {
+                    Ok(w) => Arc::new(Mutex::new(w)),
+                    Err(_) => continue,
+                };
+                shared.conns.lock().insert(conn_id, writer);
+                let conn_shared = Arc::clone(shared);
+                let tx = tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("arlo-conn-{conn_id}"))
+                    .spawn(move || {
+                        reader_loop(&conn_shared, stream, conn_id, &tx);
+                        conn_shared.conns.lock().remove(&conn_id);
+                    })
+                    .expect("spawn reader");
+                shared.reader_handles.lock().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn reader_loop(
+    shared: &Shared,
+    mut stream: TcpStream,
+    conn_id: u64,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(Frame::Submit { id, length })) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.respond(
+                        conn_id,
+                        &Frame::Error {
+                            id,
+                            code: ErrorCode::Draining,
+                        },
+                    );
+                    continue;
+                }
+                // `outstanding` covers queued-for-dispatch as well as
+                // executing requests, so drain flushes both.
+                shared.outstanding.fetch_add(1, Ordering::SeqCst);
+                if tx
+                    .try_send(DispatchMsg::Submit {
+                        conn_id,
+                        id,
+                        length,
+                    })
+                    .is_err()
+                {
+                    // Bounded-queue overflow: explicit shed, not a stall.
+                    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.respond(
+                        conn_id,
+                        &Frame::Error {
+                            id,
+                            code: ErrorCode::Shed,
+                        },
+                    );
+                }
+            }
+            Ok(Some(Frame::StatsRequest)) => {
+                shared.respond(conn_id, &Frame::Stats(shared.stats()));
+            }
+            Ok(Some(Frame::Drain)) => {
+                shared.draining.store(true, Ordering::SeqCst);
+                shared.respond(conn_id, &Frame::Stats(shared.stats()));
+            }
+            // A client sending server-only frames is violating the
+            // protocol; close the connection.
+            Ok(Some(Frame::Response { .. } | Frame::Error { .. } | Frame::Stats(_))) => return,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,   // protocol violation or broken pipe
+        }
+    }
+}

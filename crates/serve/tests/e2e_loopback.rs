@@ -1,0 +1,211 @@
+//! End-to-end serving over real loopback sockets.
+//!
+//! The big test drives 10k+ requests from four open-loop clients through
+//! the full stack — wire protocol, reader threads, bounded dispatch,
+//! executor pool, engine health hooks, the timer-driven Runtime Scheduler
+//! — at 100× virtual time, then drains. It asserts the properties the
+//! stack exists to provide: every request answered exactly once, at least
+//! one reallocation applied mid-run, and a clean drain with nothing
+//! outstanding and every thread joined (drain blocks on the joins, so its
+//! return *is* the proof).
+
+use arlo_core::engine::{ArloEngine, EngineConfig};
+use arlo_runtime::latency::JitterSpec;
+use arlo_runtime::models::ModelSpec;
+use arlo_runtime::profile::profile_runtimes;
+use arlo_runtime::runtime_set::RuntimeSet;
+use arlo_serve::loadgen::{replay, LoadGenConfig};
+use arlo_serve::protocol::{read_frame, ErrorCode, Frame};
+use arlo_serve::server::{ServeConfig, Server};
+use arlo_trace::workload::TraceSpec;
+use arlo_trace::NANOS_PER_SEC;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const SLO_MS: f64 = 150.0;
+const GPUS: u32 = 8;
+const SCALE: u32 = 100;
+
+/// An engine with a deliberately lopsided initial deployment (everything
+/// but one GPU on the largest runtime) and a shortened decision period, so
+/// the Runtime Scheduler provably reshapes the fleet mid-test.
+fn engine() -> ArloEngine {
+    let family = RuntimeSet::natural(ModelSpec::bert_base());
+    let profiles = profile_runtimes(&family.compile(), SLO_MS, 512);
+    let n = profiles.len();
+    let mut counts = vec![0u32; n];
+    counts[0] = 1;
+    counts[n - 1] = GPUS - 1;
+    let mut cfg = EngineConfig::paper_default(SLO_MS);
+    cfg.allocation_period = 3 * NANOS_PER_SEC; // virtual; 30 ms real at 100×
+    cfg.sub_window = NANOS_PER_SEC / 2;
+    ArloEngine::new(profiles, counts, cfg)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        gpus: GPUS,
+        workers: 8,
+        time_scale: SCALE,
+        queue_capacity: 8192,
+        tick_interval: NANOS_PER_SEC / 5,
+        jitter: JitterSpec::NONE,
+        drain_timeout: Duration::from_secs(30),
+        fail_one_in: None,
+    }
+}
+
+#[test]
+fn ten_thousand_requests_with_reallocation_and_clean_drain() {
+    let server = Server::spawn(engine(), "127.0.0.1:0", config()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let trace = TraceSpec::twitter_stable(900.0, 12.0).generate(&mut rng);
+    assert!(trace.len() >= 10_000, "trace too small: {}", trace.len());
+
+    let report = replay(addr, &trace, &LoadGenConfig::open(4, SCALE)).expect("replay");
+
+    // Exactly-once accounting: every submitted request got exactly one
+    // answer — a response or a typed refusal, never silence.
+    assert_eq!(report.sent, trace.len() as u64);
+    assert_eq!(report.lost, 0, "unanswered requests: {report:?}");
+    assert_eq!(report.accounted(), report.sent, "{report:?}");
+    assert_eq!(report.draining, 0, "refused before drain began: {report:?}");
+    assert!(
+        report.ok >= report.sent / 2,
+        "overload collapsed the run: {report:?}"
+    );
+    assert_eq!(report.ok as usize, report.latencies_ms.len());
+    assert!(report
+        .latencies_ms
+        .iter()
+        .all(|l| l.is_finite() && *l >= 0.0));
+
+    // The lopsided start plus a 3-virtual-second decision period forces
+    // the Runtime Scheduler to reshape the fleet during the run.
+    assert!(
+        server.reallocations() >= 1,
+        "no reallocation happened: {:?}",
+        server.stats()
+    );
+
+    let drain = server.drain();
+    assert_eq!(drain.outstanding_at_close, 0, "drain left work behind");
+    assert_eq!(drain.served, report.ok);
+    assert_eq!(
+        drain.served + drain.shed + drain.unserviceable + drain.failed,
+        report.sent,
+        "server-side accounting disagrees: {drain:?} vs {report:?}"
+    );
+    assert!(drain.reallocations >= 1);
+    assert!(drain.generation >= 1);
+}
+
+#[test]
+fn drain_protocol_refuses_new_work_and_flushes() {
+    let server = Server::spawn(engine(), "127.0.0.1:0", config()).expect("bind loopback");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // A request before the drain is served normally.
+    Frame::Submit { id: 1, length: 64 }
+        .write_to(&mut conn)
+        .unwrap();
+    match read_frame(&mut conn).expect("read").expect("frame") {
+        Frame::Response { id, .. } => assert_eq!(id, 1),
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    // Stats on demand.
+    Frame::StatsRequest.write_to(&mut conn).unwrap();
+    match read_frame(&mut conn).expect("read").expect("frame") {
+        Frame::Stats(s) => assert_eq!(s.served, 1),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // A client-initiated drain is acknowledged with a stats snapshot…
+    Frame::Drain.write_to(&mut conn).unwrap();
+    match read_frame(&mut conn).expect("read").expect("frame") {
+        Frame::Stats(_) => {}
+        other => panic!("expected drain ack, got {other:?}"),
+    }
+    assert!(server.is_draining());
+
+    // …after which submits are refused with a typed Draining error.
+    Frame::Submit { id: 2, length: 64 }
+        .write_to(&mut conn)
+        .unwrap();
+    match read_frame(&mut conn).expect("read").expect("frame") {
+        Frame::Error { id, code } => {
+            assert_eq!(id, 2);
+            assert_eq!(code, ErrorCode::Draining);
+        }
+        other => panic!("expected a draining refusal, got {other:?}"),
+    }
+
+    let drain = server.drain();
+    assert_eq!(drain.served, 1);
+    assert_eq!(drain.shed, 1, "the refused submit counts as shed");
+    assert_eq!(drain.outstanding_at_close, 0);
+}
+
+#[test]
+fn injected_failures_flow_through_health_hooks() {
+    let mut cfg = config();
+    cfg.fail_one_in = Some(4);
+    let server = Server::spawn(engine(), "127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let trace = TraceSpec::twitter_stable(300.0, 2.0).generate(&mut rng);
+    let report = replay(addr, &trace, &LoadGenConfig::closed(2, 8)).expect("replay");
+
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert_eq!(report.accounted(), report.sent);
+    assert!(report.failed > 0, "fault injection produced no failures");
+    assert!(report.ok > 0);
+
+    let drain = server.drain();
+    assert_eq!(drain.failed, report.failed);
+    assert_eq!(drain.outstanding_at_close, 0);
+}
+
+#[test]
+fn oversized_lengths_are_unserviceable_not_fatal() {
+    let server = Server::spawn(engine(), "127.0.0.1:0", config()).expect("bind loopback");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // 512 is the largest compiled runtime; 100k tokens fits nothing.
+    Frame::Submit {
+        id: 9,
+        length: 100_000,
+    }
+    .write_to(&mut conn)
+    .unwrap();
+    match read_frame(&mut conn).expect("read").expect("frame") {
+        Frame::Error { id, code } => {
+            assert_eq!(id, 9);
+            assert_eq!(code, ErrorCode::Unserviceable);
+        }
+        other => panic!("expected unserviceable, got {other:?}"),
+    }
+
+    // The connection survives and keeps serving.
+    Frame::Submit { id: 10, length: 32 }
+        .write_to(&mut conn)
+        .unwrap();
+    match read_frame(&mut conn).expect("read").expect("frame") {
+        Frame::Response { id, .. } => assert_eq!(id, 10),
+        other => panic!("expected a response, got {other:?}"),
+    }
+
+    let drain = server.drain();
+    assert_eq!(drain.unserviceable, 1);
+    assert_eq!(drain.served, 1);
+}

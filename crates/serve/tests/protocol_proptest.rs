@@ -1,0 +1,132 @@
+//! Property tests for the wire protocol: arbitrary frames round-trip
+//! exactly, and arbitrary bytes — random, or mutations of valid frames —
+//! decode to a typed error or a frame, never a panic.
+
+use arlo_serve::protocol::{read_frame, ErrorCode, Frame, StatsPayload, HEADER_LEN};
+use proptest::prelude::*;
+use std::io::Read;
+
+/// Build a frame from raw generated scalars; `kind` selects the variant.
+fn frame_from(kind: u8, a: u64, b: u64, c: u64, d: u32) -> Frame {
+    match kind % 6 {
+        0 => Frame::Submit { id: a, length: d },
+        1 => Frame::Response {
+            id: a,
+            generation: b,
+            runtime_idx: (c >> 16) as u16,
+            instance_idx: c as u16,
+            latency_ns: b.rotate_left(17),
+        },
+        2 => Frame::Error {
+            id: a,
+            code: match b % 4 {
+                0 => ErrorCode::Shed,
+                1 => ErrorCode::Unserviceable,
+                2 => ErrorCode::Draining,
+                _ => ErrorCode::Failed,
+            },
+        },
+        3 => Frame::StatsRequest,
+        4 => Frame::Stats(StatsPayload {
+            generation: a,
+            served: b,
+            shed: c,
+            outstanding: u64::from(d),
+            reallocations: a ^ b,
+        }),
+        _ => Frame::Drain,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    fn arbitrary_frames_round_trip(
+        kind in 0u8..=255,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in 0u64..u64::MAX,
+        d in 0u32..=u32::MAX,
+    ) {
+        let frame = frame_from(kind, a, b, c, d);
+        let bytes = frame.encode();
+        let (decoded, consumed) = match Frame::decode(&bytes) {
+            Ok(ok) => ok,
+            Err(e) => return Err(TestCaseError(format!("{frame:?} failed to decode: {e}"))),
+        };
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(consumed, bytes.len());
+        // Streaming read agrees with buffer decode.
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            Ok(Some(streamed)) => prop_assert_eq!(streamed, frame),
+            other => prop_assert!(false, "streaming read of {:?}: {:?}", frame, other),
+        }
+    }
+
+    fn decode_never_panics_on_random_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        // Total decoding: any outcome is fine, panicking is not.
+        let _ = Frame::decode(&bytes);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = read_frame(&mut cursor);
+    }
+
+    fn decode_never_panics_on_mutated_frames(
+        kind in 0u8..=255,
+        a in 0u64..u64::MAX,
+        flip_at in 0usize..=63,
+        flip_bits in 1u8..=255,
+        truncate_to in 0usize..=63,
+    ) {
+        let mut bytes = frame_from(kind, a, a.rotate_left(13), a ^ 0xABCD, a as u32).encode();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= flip_bits;
+        let _ = Frame::decode(&bytes);
+        bytes.truncate(truncate_to.min(bytes.len()));
+        let _ = Frame::decode(&bytes);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = read_frame(&mut cursor);
+    }
+
+    fn header_corruption_yields_typed_errors(
+        byte in 0u8..=255,
+        pos in 0usize..4,
+    ) {
+        // Corrupting any of the first four header bytes of a valid frame
+        // either leaves it valid or produces a typed error; a frame whose
+        // header changed meaning must not decode to the original.
+        let original = Frame::Submit { id: 1, length: 2 };
+        let mut bytes = original.encode();
+        let before = bytes[pos];
+        bytes[pos] = byte;
+        match Frame::decode(&bytes) {
+            Ok((decoded, consumed)) => {
+                prop_assert_eq!(consumed, bytes.len());
+                if byte == before {
+                    prop_assert_eq!(decoded, original);
+                }
+            }
+            Err(_) => prop_assert_ne!(byte, before, "pristine frame must decode"),
+        }
+        let _ = read_frame(&mut std::io::Cursor::new(bytes));
+    }
+
+    fn split_streams_reassemble(
+        split in 1usize..=HEADER_LEN + 11,
+        id in 0u64..u64::MAX,
+        length in 0u32..=u32::MAX,
+    ) {
+        // A frame delivered in two TCP segments reads back whole.
+        let frame = Frame::Submit { id, length };
+        let bytes = frame.encode();
+        let cut = split % bytes.len();
+        let mut reader = std::io::Cursor::new(bytes[..cut].to_vec())
+            .chain(std::io::Cursor::new(bytes[cut..].to_vec()));
+        match read_frame(&mut reader) {
+            Ok(Some(decoded)) => prop_assert_eq!(decoded, frame),
+            other => prop_assert!(false, "split read failed: {:?}", other),
+        }
+    }
+}

@@ -6,18 +6,29 @@
 //! zero-padding (§2.2). This module implements those primitives over plain
 //! `f64` samples with deterministic, allocation-conscious code.
 
+/// Sort ascending with [`f64::total_cmp`], dropping NaN samples first.
+///
+/// NaN handling is a deliberate policy, not an accident of the comparator:
+/// a NaN sample carries no ordering information (it typically means "this
+/// replicate produced no data" — e.g. a summary statistic of an empty
+/// window fed back in as a sample), so it is excluded rather than allowed
+/// to poison every rank after it or panic the sort. Callers that consider
+/// NaN a bug should assert on their inputs; the statistics layer stays
+/// total.
+fn sorted_finite_order(samples: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    sorted.sort_by(f64::total_cmp);
+    sorted
+}
+
 /// Nearest-rank percentile of a sample set (`p` in `[0, 100]`).
 ///
 /// Uses linear interpolation between closest ranks (the "linear" method, same
 /// as NumPy's default), which is stable for the small-to-medium sample counts
-/// produced by simulation runs. Returns `NaN` for an empty slice.
+/// produced by simulation runs. NaN samples are excluded (see
+/// `sorted_finite_order`); returns `NaN` when no samples remain.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return f64::NAN;
-    }
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-    percentile_of_sorted(&sorted, p)
+    percentile_of_sorted(&sorted_finite_order(samples), p)
 }
 
 /// Percentile of an already-sorted (ascending) sample set.
@@ -82,9 +93,13 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarize a sample set. Returns a summary full of `NaN` when empty.
+    /// Summarize a sample set. NaN samples are excluded up front (they carry
+    /// no ordering information — see `sorted_finite_order`); when nothing
+    /// remains the summary propagates `NaN` in every statistic with
+    /// `count == 0`.
     pub fn from_samples(samples: &[f64]) -> Self {
-        if samples.is_empty() {
+        let sorted = sorted_finite_order(samples);
+        if sorted.is_empty() {
             return Summary {
                 count: 0,
                 mean: f64::NAN,
@@ -96,8 +111,6 @@ impl Summary {
                 max: f64::NAN,
             };
         }
-        let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
         Summary {
             count: sorted.len(),
             mean: mean(&sorted),
@@ -121,11 +134,12 @@ pub struct Cdf {
 }
 
 impl Cdf {
-    /// Build a CDF from samples. Panics on NaN samples.
+    /// Build a CDF from samples. NaN samples are excluded (they have no
+    /// place on the x-axis of a distribution — see `sorted_finite_order`).
     pub fn from_samples(samples: &[f64]) -> Self {
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        Cdf { sorted }
+        Cdf {
+            sorted: sorted_finite_order(samples),
+        }
     }
 
     /// Number of underlying samples.
@@ -323,6 +337,52 @@ mod tests {
     fn percentile_unsorted_input() {
         let v = [5.0, 1.0, 4.0, 2.0, 3.0];
         assert_eq!(percentile(&v, 50.0), 3.0);
+    }
+
+    #[test]
+    fn nan_samples_are_excluded_not_fatal() {
+        // Regression: these all used to panic on `partial_cmp().expect(..)`.
+        // NaN carries no ordering information, so it is dropped up front and
+        // the remaining samples summarize exactly as if it never arrived.
+        let dirty = [5.0, f64::NAN, 1.0, 3.0, f64::NAN, 4.0, 2.0];
+        let clean = [5.0, 1.0, 3.0, 4.0, 2.0];
+        assert_eq!(percentile(&dirty, 50.0), percentile(&clean, 50.0));
+        assert_eq!(percentile(&dirty, 98.0), percentile(&clean, 98.0));
+
+        let s = Summary::from_samples(&dirty);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+
+        let cdf = Cdf::from_samples(&dirty);
+        assert_eq!(cdf.len(), 5);
+        assert!((cdf.eval(3.0) - 0.6).abs() < 1e-12);
+        assert!(cdf.sorted_samples().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn all_nan_behaves_like_empty() {
+        let v = [f64::NAN, f64::NAN];
+        assert!(percentile(&v, 50.0).is_nan());
+        let s = Summary::from_samples(&v);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan() && s.p98.is_nan());
+        let cdf = Cdf::from_samples(&v);
+        assert!(cdf.is_empty());
+        assert!(cdf.eval(1.0).is_nan());
+    }
+
+    #[test]
+    fn infinities_still_sort_to_the_ends() {
+        // total_cmp keeps ±inf ordered; only NaN is filtered.
+        let v = [f64::INFINITY, 1.0, f64::NEG_INFINITY, 2.0];
+        assert_eq!(percentile(&v, 0.0), f64::NEG_INFINITY);
+        assert_eq!(percentile(&v, 100.0), f64::INFINITY);
+        let s = Summary::from_samples(&v);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, f64::NEG_INFINITY);
+        assert_eq!(s.max, f64::INFINITY);
     }
 
     #[test]

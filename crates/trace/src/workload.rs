@@ -158,6 +158,26 @@ impl Trace {
         }
     }
 
+    /// Split the trace round-robin into `n` sub-traces for concurrent
+    /// replay (one per load-generator client). Arrival times, lengths, and
+    /// — deliberately — **original ids** are preserved, so ids stay
+    /// globally unique across the partitions; each sub-trace keeps the full
+    /// horizon. Every request appears in exactly one partition.
+    pub fn partition(&self, n: usize) -> Vec<Trace> {
+        assert!(n >= 1, "need at least one partition");
+        let mut parts: Vec<Vec<Request>> = vec![Vec::with_capacity(self.len() / n + 1); n];
+        for (i, r) in self.requests.iter().enumerate() {
+            parts[i % n].push(*r);
+        }
+        parts
+            .into_iter()
+            .map(|requests| Trace {
+                requests,
+                horizon: self.horizon,
+            })
+            .collect()
+    }
+
     /// Concatenate another trace after this one, shifting its arrivals by
     /// this trace's horizon. Ids are re-densified.
     pub fn concat(mut self, other: &Trace) -> Trace {
@@ -669,6 +689,32 @@ mod tests {
         assert_eq!(c.horizon(), 20);
         assert_eq!(c.requests()[1].arrival, 13);
         assert_eq!(c.requests()[1].id, 1);
+    }
+
+    #[test]
+    fn partition_round_robins_and_preserves_ids() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let trace = TraceSpec::twitter_stable(200.0, 5.0).generate(&mut rng);
+        let parts = trace.partition(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(Trace::len).sum::<usize>(), trace.len());
+        // Every original id appears exactly once, arrivals stay sorted,
+        // and each partition keeps the full horizon.
+        let mut ids: Vec<u64> = parts
+            .iter()
+            .flat_map(|p| p.requests().iter().map(|r| r.id))
+            .collect();
+        ids.sort_unstable();
+        assert!(ids.iter().enumerate().all(|(i, &id)| id == i as u64));
+        for p in &parts {
+            assert_eq!(p.horizon(), trace.horizon());
+            assert!(p
+                .requests()
+                .windows(2)
+                .all(|w| w[0].arrival <= w[1].arrival));
+        }
+        // n = 1 is the identity.
+        assert_eq!(trace.partition(1)[0], trace);
     }
 
     #[test]

@@ -11,9 +11,15 @@
 //! arlo compare     --model bert-base --gpus 10 --rate 1500 --secs 30
 //! arlo plan        --model bert-base --gpus 10 --rate 1500 --secs 30
 //! arlo profile     --model bert-large [--slo-ms 450]
+//! arlo serve       --model bert-base --gpus 8 [--addr 127.0.0.1:7077] [--time-scale 1]
+//! arlo loadgen     --addr 127.0.0.1:7077 --rate 900 --secs 30 [--clients 4] [--drain]
 //! ```
 
 use arlo::prelude::*;
+use arlo::serve::loadgen::{replay, LoadGenConfig};
+use arlo::serve::protocol::Frame;
+use arlo::serve::server::{ServeConfig, Server};
+use arlo::trace::NANOS_PER_SEC;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -32,6 +38,8 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "plan" => cmd_plan(&flags),
         "profile" => cmd_profile(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -58,7 +66,13 @@ USAGE:
                   [--bursty] [--seed <n>] [--csv <file>]
   arlo compare    --model <m> --gpus <n> [--slo-ms <ms>] --rate <r> --secs <s> [--bursty]
   arlo plan       --model <m> --gpus <n> [--slo-ms <ms>] --rate <r> --secs <s>
-  arlo profile    --model <m> [--slo-ms <ms>]";
+  arlo profile    --model <m> [--slo-ms <ms>]
+  arlo serve      --model <m> --gpus <n> [--slo-ms <ms>] [--addr <ip:port>]
+                  [--time-scale <x>] [--workers <n>] [--period-secs <s>]
+                  (runs until a client sends a Drain frame, then flushes and exits)
+  arlo loadgen    --addr <ip:port> (--trace <file> | --rate <r> --secs <s>) [--bursty]
+                  [--seed <n>] [--clients <n>] [--time-scale <x>]
+                  [--closed [--window <n>]] [--drain]";
 
 type Flags = HashMap<String, String>;
 
@@ -316,6 +330,135 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
             model.dynamic_latency_ms(len),
             p.capacity_within_slo
         );
+    }
+    Ok(())
+}
+
+/// GPUs spread as evenly as possible across `n` runtimes, remainder to the
+/// smallest (highest-demand) levels first.
+fn even_allocation(gpus: u32, n: usize) -> Vec<u32> {
+    let mut counts = vec![gpus / n as u32; n];
+    for slot in counts.iter_mut().take(gpus as usize % n) {
+        *slot += 1;
+    }
+    counts
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let model = model_of(flags)?;
+    let gpus: u32 = num(flags, "gpus")?;
+    let slo: f64 = num_or(flags, "slo-ms", default_slo(&model))?;
+    let addr = flags.get("addr").map_or("127.0.0.1:7077", String::as_str);
+    let time_scale: u32 = num_or(flags, "time-scale", 1)?;
+    let workers: usize = num_or(flags, "workers", 8)?;
+    let period_secs: u64 = num_or(flags, "period-secs", 120)?;
+
+    let set = RuntimeSet::natural(model.clone());
+    let profiles = profile_runtimes(&set.compile(), slo, 512);
+    let counts = even_allocation(gpus, profiles.len());
+    let mut cfg = EngineConfig::paper_default(slo);
+    cfg.allocation_period = period_secs.max(1) * NANOS_PER_SEC;
+    cfg.sub_window = (cfg.allocation_period / 12).max(NANOS_PER_SEC / 2);
+    let engine = ArloEngine::new(profiles, counts, cfg);
+
+    let server = Server::spawn(
+        engine,
+        addr,
+        ServeConfig {
+            gpus,
+            workers,
+            time_scale,
+            queue_capacity: 8192,
+            tick_interval: NANOS_PER_SEC / 5,
+            jitter: JitterSpec::NONE,
+            drain_timeout: std::time::Duration::from_secs(60),
+            fail_one_in: None,
+        },
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving {} on {} — {gpus} GPUs, SLO {slo} ms, {time_scale}× virtual time",
+        model.name,
+        server.local_addr()
+    );
+    println!("(send a Drain frame — e.g. `arlo loadgen --drain` — to stop)");
+    while !server.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("drain requested; flushing outstanding work…");
+    let report = server.drain();
+    println!(
+        "served {} / shed {} / unserviceable {} / failed {}; {} reallocations, final generation {}",
+        report.served,
+        report.shed,
+        report.unserviceable,
+        report.failed,
+        report.reallocations,
+        report.generation
+    );
+    if report.outstanding_at_close > 0 {
+        return Err(format!(
+            "drain timed out with {} requests outstanding",
+            report.outstanding_at_close
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    let addr_str = req(flags, "addr")?;
+    let addr = addr_str
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr_str}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr_str} resolves to no address"))?;
+    let clients: usize = num_or(flags, "clients", 4)?;
+    let time_scale: u32 = num_or(flags, "time-scale", 1)?;
+
+    if flags.contains_key("trace") || flags.contains_key("rate") {
+        let trace = build_trace(flags)?;
+        let config = if flags.contains_key("closed") {
+            LoadGenConfig::closed(clients, num_or(flags, "window", 16)?)
+        } else {
+            LoadGenConfig::open(clients, time_scale)
+        };
+        println!(
+            "replaying {} requests against {addr} from {clients} connections…",
+            trace.len()
+        );
+        let report = replay(addr, &trace, &config).map_err(|e| format!("replay: {e}"))?;
+        let s = report.latency_summary();
+        println!(
+            "sent {} / ok {} / shed {} / unserviceable {} / draining {} / failed {} / lost {}",
+            report.sent,
+            report.ok,
+            report.shed,
+            report.unserviceable,
+            report.draining,
+            report.failed,
+            report.lost
+        );
+        println!(
+            "latency (virtual): mean {:.2} ms  p50 {:.2}  p98 {:.2}  p99 {:.2}  max {:.2}",
+            s.mean, s.p50, s.p98, s.p99, s.max
+        );
+        println!(
+            "goodput {:.0} req/s over {:.2} s wall",
+            report.goodput_rps(time_scale),
+            report.wall.as_secs_f64()
+        );
+    } else if !flags.contains_key("drain") {
+        return Err("nothing to do: pass --rate/--secs, --trace, or --drain".into());
+    }
+
+    if flags.contains_key("drain") {
+        let mut conn =
+            std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        Frame::Drain
+            .write_to(&mut conn)
+            .map_err(|e| format!("send drain: {e}"))?;
+        println!("drain requested at {addr}");
     }
     Ok(())
 }

@@ -22,6 +22,7 @@
 //! | [`solver`] | the Eq. 1–7 allocation problem, exact DP, simplex + B&B MILP |
 //! | [`sim`] | discrete-event GPU-cluster simulator with auto-scaling |
 //! | [`core`] | the Arlo schedulers, baselines (ST/DT/INFaaS/ILB/IG), system presets |
+//! | [`serve`] | live TCP serving stack: wire protocol, threaded server, load generator |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 
 pub use arlo_core as core;
 pub use arlo_runtime as runtime;
+pub use arlo_serve as serve;
 pub use arlo_sim as sim;
 pub use arlo_solver as solver;
 pub use arlo_trace as trace;
