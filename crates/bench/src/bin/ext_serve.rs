@@ -2,24 +2,42 @@
 //!
 //! Everything else in this harness measures the *simulated* system. This
 //! binary measures the *served* one: the `arlo-serve` stack — wire
-//! protocol, reader threads, bounded dispatch, worker-pool executor,
-//! timer-driven Runtime Scheduler — under the paper's two workloads,
-//! replayed by a multi-connection load generator in scaled virtual time.
-//! Latency percentiles are virtual dispatch→completion times (the serial
-//! execution model), so they are comparable to the simulator's numbers;
-//! shed counts and reallocation counts come from the server's own drain
-//! accounting.
+//! protocol, reader threads, bounded dispatch, batch-coalescing worker-pool
+//! executor, timer-driven Runtime Scheduler — under the paper's two
+//! workloads, replayed by a multi-connection load generator in scaled
+//! virtual time. Latency percentiles are virtual dispatch→completion times
+//! (the serial execution model), so they are comparable to the simulator's
+//! numbers; shed counts and reallocation counts come from the server's own
+//! drain accounting.
+//!
+//! Two families of cells:
+//!
+//! * **batch-1** (the paper's setting): the four historical cells, open and
+//!   closed replay of the stable and bursty Twitter traces, with periodic
+//!   reallocation. Unchanged by the batching refactor — greedy
+//!   [`BatchSpec::SINGLE`] is the per-request executor.
+//! * **batched live-vs-sim parity**: the same trace replayed through the
+//!   live server (greedy batch-4 coalescing, reallocation disabled) *and*
+//!   through the discrete-event simulator with the identical
+//!   [`BatchSpec`], zero per-request overhead and a no-op allocator. The
+//!   two stacks share one batch model (`arlo_runtime::batching`), so live
+//!   throughput and p98 must land within 5% of the simulator's prediction
+//!   — asserted here, recorded in the JSON along with the live executor's
+//!   batch-occupancy histogram.
 //!
 //! Writes `results/BENCH_serve.json`.
 
 use arlo_bench::{json_f64, print_table, write_json};
 use arlo_core::engine::{ArloEngine, EngineConfig};
+use arlo_core::request_scheduler::ArloRequestScheduler;
+use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::models::ModelSpec;
-use arlo_runtime::profile::profile_runtimes;
+use arlo_runtime::profile::{profile_runtimes, RuntimeProfile};
 use arlo_runtime::runtime_set::RuntimeSet;
 use arlo_serve::loadgen::{replay, LoadGenConfig};
 use arlo_serve::server::{ServeConfig, Server};
+use arlo_sim::driver::{NoopAllocator, SimConfig, Simulation};
 use arlo_trace::workload::TraceSpec;
 use arlo_trace::NANOS_PER_SEC;
 use rand::rngs::StdRng;
@@ -29,36 +47,56 @@ use std::time::Duration;
 const SLO_MS: f64 = 150.0;
 const GPUS: u32 = 8;
 const SCALE: u32 = 100;
+/// Parity cells run at a lower speed-up: at 100× the load generator's
+/// 100 µs sleep-skip threshold bunches arrivals into ~10 virtual ms clumps
+/// — queueing the idealized simulator never sees. At 10× inter-arrival
+/// gaps are real sleeps and pacing granularity is ~1 virtual ms, small
+/// against a multi-ms p98.
+const PARITY_SCALE: u32 = 10;
 const CLIENTS: usize = 4;
 const DURATION_SECS: f64 = 60.0;
+/// Batched-cell coalescing: batch 4, each extra request at 60% of a lone
+/// execution.
+const BATCH4: BatchSpec = BatchSpec {
+    max_batch: 4,
+    marginal_cost: 0.6,
+};
+/// Live-vs-sim agreement tolerance on throughput and p98.
+const PARITY_TOL: f64 = 0.05;
 
-fn engine() -> ArloEngine {
+fn profiles() -> Vec<RuntimeProfile> {
     let family = RuntimeSet::natural(ModelSpec::bert_base());
-    let profiles = profile_runtimes(&family.compile(), SLO_MS, 512);
-    let n = profiles.len();
-    // Even initial allocation; the Runtime Scheduler reshapes from demand.
+    profile_runtimes(&family.compile(), SLO_MS, 512)
+}
+
+fn even_counts(n: usize) -> Vec<u32> {
     let mut counts = vec![GPUS / n as u32; n];
     for c in counts.iter_mut().take(GPUS as usize % n) {
         *c += 1;
     }
+    counts
+}
+
+fn engine(allocation_period_secs: u64) -> ArloEngine {
+    let profiles = profiles();
+    let counts = even_counts(profiles.len());
     let mut cfg = EngineConfig::paper_default(SLO_MS);
-    // One decision every 10 virtual seconds: several reallocations fit in
-    // a 60-virtual-second run.
-    cfg.allocation_period = 10 * NANOS_PER_SEC;
-    cfg.sub_window = NANOS_PER_SEC;
+    cfg.allocation_period = allocation_period_secs * NANOS_PER_SEC;
+    cfg.sub_window = (cfg.allocation_period / 10).max(NANOS_PER_SEC);
     ArloEngine::new(profiles, counts, cfg)
 }
 
-fn serve_config() -> ServeConfig {
+fn serve_config(batch: BatchPolicy, time_scale: u32) -> ServeConfig {
     ServeConfig {
         gpus: GPUS,
         workers: 8,
-        time_scale: SCALE,
+        time_scale,
         queue_capacity: 8192,
         tick_interval: NANOS_PER_SEC / 5,
         jitter: JitterSpec::NONE,
         drain_timeout: Duration::from_secs(60),
         fail_one_in: None,
+        batch,
     }
 }
 
@@ -71,7 +109,14 @@ struct Cell {
 
 fn run_cell(workload: &'static str, spec: &TraceSpec, mode: &'static str, seed: u64) -> Cell {
     let trace = spec.generate(&mut StdRng::seed_from_u64(seed));
-    let server = Server::spawn(engine(), "127.0.0.1:0", serve_config()).expect("bind loopback");
+    // One decision every 10 virtual seconds: several reallocations fit in a
+    // 60-virtual-second run.
+    let server = Server::spawn(
+        engine(10),
+        "127.0.0.1:0",
+        serve_config(BatchPolicy::greedy(BatchSpec::SINGLE), SCALE),
+    )
+    .expect("bind loopback");
     let cfg = match mode {
         "open" => LoadGenConfig::open(CLIENTS, SCALE),
         _ => LoadGenConfig::closed(CLIENTS, 16),
@@ -91,6 +136,86 @@ fn run_cell(workload: &'static str, spec: &TraceSpec, mode: &'static str, seed: 
         mode,
         report,
         drain,
+    }
+}
+
+struct ParityCell {
+    workload: &'static str,
+    report: arlo_serve::loadgen::LoadGenReport,
+    drain: arlo_serve::server::DrainReport,
+    occupancy: Vec<u64>,
+    live_goodput: f64,
+    sim_goodput: f64,
+    sim_mean_ms: f64,
+    sim_p98_ms: f64,
+}
+
+/// Replay `spec` through the live batched server and through the simulator
+/// with the identical [`BatchSpec`]; assert throughput and p98 agreement.
+fn run_parity_cell(workload: &'static str, spec: &TraceSpec, seed: u64) -> ParityCell {
+    let trace = spec.generate(&mut StdRng::seed_from_u64(seed));
+    let policy = BatchPolicy::greedy(BATCH4);
+
+    // Live: reallocation disabled (period far beyond the horizon) so both
+    // stacks keep the identical even allocation throughout.
+    let server = Server::spawn(
+        engine(100_000),
+        "127.0.0.1:0",
+        serve_config(policy, PARITY_SCALE),
+    )
+    .expect("bind loopback");
+    let report = replay(
+        server.local_addr(),
+        &trace,
+        &LoadGenConfig::open(CLIENTS, PARITY_SCALE),
+    )
+    .expect("replay");
+    let occupancy = server.batch_occupancy();
+    let drain = server.drain();
+    assert_eq!(report.lost, 0, "{workload}/batched lost requests");
+    assert_eq!(drain.outstanding_at_close, 0, "{workload}/batched drain");
+    assert_eq!(
+        drain.shed + drain.unserviceable,
+        0,
+        "{workload}/batched shed {} — the parity comparison needs loss-free runs",
+        drain.shed + drain.unserviceable
+    );
+
+    // Simulated prediction: same profiles, same counts, same BatchSpec,
+    // greedy formation (the simulator's native rule), no allocator, no
+    // per-request overhead (the live path measures pure dispatch→complete).
+    let profiles = profiles();
+    let counts = even_counts(profiles.len());
+    let mut cfg = SimConfig::paper_default(SLO_MS);
+    cfg.overhead_ms = 0.0;
+    cfg.batch = BATCH4;
+    cfg.allocation_period_secs = 100_000.0;
+    let sim = Simulation::new(&trace, profiles, &counts, cfg).run(
+        &mut ArloRequestScheduler::paper_default(),
+        &mut NoopAllocator,
+    );
+    assert_eq!(sim.records.len(), trace.len(), "sim serves the whole trace");
+
+    let live_goodput = report.goodput_rps(PARITY_SCALE);
+    let sim_span = sim
+        .records
+        .iter()
+        .map(|r| r.completed)
+        .max()
+        .expect("non-empty") as f64
+        / NANOS_PER_SEC as f64;
+    let sim_goodput = sim.records.len() as f64 / sim_span;
+    let sim_s = sim.latency_summary();
+
+    ParityCell {
+        workload,
+        report,
+        drain,
+        occupancy,
+        live_goodput,
+        sim_goodput,
+        sim_mean_ms: sim_s.mean,
+        sim_p98_ms: sim_s.p98,
     }
 }
 
@@ -120,6 +245,21 @@ fn main() {
             &TraceSpec::twitter_bursty(rate, DURATION_SECS),
             "closed",
             4243,
+        ),
+    ];
+    // Batched parity cells run below the shed point so every request
+    // completes on both stacks and the comparison is loss-free.
+    let parity_rate = 600.0;
+    let parity_cells = vec![
+        run_parity_cell(
+            "twitter_stable",
+            &TraceSpec::twitter_stable(parity_rate, DURATION_SECS),
+            4244,
+        ),
+        run_parity_cell(
+            "twitter_bursty",
+            &TraceSpec::twitter_bursty(parity_rate, DURATION_SECS),
+            4245,
         ),
     ];
 
@@ -177,6 +317,81 @@ fn main() {
         &rows,
     );
 
+    let mut parity_rows = Vec::new();
+    let mut parity_json = Vec::new();
+    for cell in &parity_cells {
+        let s = cell.report.latency_summary();
+        parity_rows.push(vec![
+            cell.workload.to_string(),
+            format!("{}", cell.report.ok),
+            format!("{:.0}", cell.live_goodput),
+            format!("{:.0}", cell.sim_goodput),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", cell.sim_mean_ms),
+            format!("{:.2}", s.p98),
+            format!("{:.2}", cell.sim_p98_ms),
+            format!("{:?}", cell.occupancy),
+        ]);
+        parity_json.push(serde_json::json!({
+            "workload": cell.workload,
+            "mode": "open",
+            "batch": {
+                "max_batch": BATCH4.max_batch,
+                "marginal_cost": BATCH4.marginal_cost,
+                "max_wait_ns": 0,
+            },
+            "sent": cell.report.sent,
+            "ok": cell.report.ok,
+            "live_goodput_rps": json_f64(cell.live_goodput),
+            "sim_goodput_rps": json_f64(cell.sim_goodput),
+            "live_latency_mean_ms": json_f64(s.mean),
+            "sim_latency_mean_ms": json_f64(cell.sim_mean_ms),
+            "live_latency_p98_ms": json_f64(s.p98),
+            "sim_latency_p98_ms": json_f64(cell.sim_p98_ms),
+            "batch_occupancy": cell.occupancy,
+            "reallocations": cell.drain.reallocations,
+            "wall_secs": json_f64(cell.report.wall.as_secs_f64()),
+        }));
+    }
+    print_table(
+        "batched live vs simulated prediction (batch 4 @ 0.6, greedy)",
+        &[
+            "workload",
+            "ok",
+            "live rps",
+            "sim rps",
+            "live mean",
+            "sim mean",
+            "live p98",
+            "sim p98",
+            "occupancy",
+        ],
+        &parity_rows,
+    );
+
+    // The agreement contract: the two stacks consume one batch model, so
+    // live throughput and tail latency must track the simulator's
+    // prediction.
+    let rel = |live: f64, predicted: f64| (live - predicted).abs() / predicted;
+    for cell in &parity_cells {
+        assert!(
+            rel(cell.live_goodput, cell.sim_goodput) <= PARITY_TOL,
+            "{}/batched throughput diverges from the sim prediction: \
+             live {:.1} rps vs sim {:.1} rps",
+            cell.workload,
+            cell.live_goodput,
+            cell.sim_goodput
+        );
+        let live_p98 = cell.report.latency_summary().p98;
+        assert!(
+            rel(live_p98, cell.sim_p98_ms) <= PARITY_TOL,
+            "{}/batched p98 diverges from the sim prediction: \
+             live {live_p98:.2} ms vs sim {:.2} ms",
+            cell.workload,
+            cell.sim_p98_ms
+        );
+    }
+
     write_json(
         "BENCH_serve",
         &serde_json::json!({
@@ -187,6 +402,12 @@ fn main() {
             "offered_rps": rate,
             "duration_virtual_secs": DURATION_SECS,
             "cells": json_cells,
+            "batched_parity": {
+                "offered_rps": parity_rate,
+                "time_scale": PARITY_SCALE,
+                "tolerance": PARITY_TOL,
+                "cells": parity_json,
+            },
         }),
     );
 }

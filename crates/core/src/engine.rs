@@ -275,31 +275,45 @@ impl ArloEngine {
     /// latency is compared against the runtime's profiled execution time,
     /// and a persistently slow instance is quarantined out of dispatch.
     /// No-op (returns `false`) for superseded generations.
+    ///
+    /// Batch-1 wrapper over [`ArloEngine::report_batch`].
     pub fn report_success(&self, placement: Placement, now: Nanos, observed_ns: f64) -> bool {
-        let d = self.deployment.read();
-        if placement.generation != d.generation {
-            return false;
-        }
-        let handle = InstanceHandle {
-            level: placement.runtime_idx,
-            index: placement.instance_idx,
-        };
-        d.frontend.complete(handle);
-        if let Some(reg) = self.health.lock().as_mut() {
-            let flat = flat_index(&d.counts, placement.runtime_idx, placement.instance_idx);
-            // Static shapes make the profiled execution time the expectation
-            // regardless of the request's actual length (padding, §2.2).
-            let expected_ns = self.profiles[placement.runtime_idx].exec_ms * 1e6;
-            reg.record_success(flat, now, observed_ns, expected_ns);
-            Self::sync_gates(&d, reg);
-        }
-        true
+        self.report_batch(placement, 1, 0, now, observed_ns)
     }
 
     /// Report a failed execution (error, connection reset). Releases the
     /// frontend load and strikes the instance's health record. No-op
     /// (returns `false`) for superseded generations.
+    ///
+    /// Batch-1 wrapper over [`ArloEngine::report_batch`].
     pub fn report_failure(&self, placement: Placement, now: Nanos) -> bool {
+        self.report_batch(placement, 0, 1, now, 0.0)
+    }
+
+    /// Report a completed batch: `ok` successful and `failed` failed
+    /// executions that ran together on `placement`'s instance, finishing at
+    /// `now` with a per-request observed service time of
+    /// `observed_per_request_ns` (a batch shares its cost; divide the batch
+    /// duration by its size, as the simulator does).
+    ///
+    /// This is the batched sibling of [`ArloEngine::report_success`] /
+    /// [`ArloEngine::report_failure`]: one deployment-lock acquisition, one
+    /// [`SchedulerFrontend::complete_n`] load release, one health-registry
+    /// lock and one gate sync for the whole batch, instead of per request.
+    /// Health still receives one observation per request — the detector's
+    /// evidence stream is identical to reporting each request alone.
+    ///
+    /// Placements from a superseded generation are acknowledged (returns
+    /// `false`) without touching the rebuilt frontend or health registry.
+    pub fn report_batch(
+        &self,
+        placement: Placement,
+        ok: u32,
+        failed: u32,
+        now: Nanos,
+        observed_per_request_ns: f64,
+    ) -> bool {
+        assert!(ok + failed >= 1, "a batch has at least one request");
         let d = self.deployment.read();
         if placement.generation != d.generation {
             return false;
@@ -308,10 +322,18 @@ impl ArloEngine {
             level: placement.runtime_idx,
             index: placement.instance_idx,
         };
-        d.frontend.complete(handle);
+        d.frontend.complete_n(handle, ok + failed);
         if let Some(reg) = self.health.lock().as_mut() {
             let flat = flat_index(&d.counts, placement.runtime_idx, placement.instance_idx);
-            reg.record_failure(flat, now);
+            // Static shapes make the profiled execution time the expectation
+            // regardless of the request's actual length (padding, §2.2).
+            let expected_ns = self.profiles[placement.runtime_idx].exec_ms * 1e6;
+            for _ in 0..ok {
+                reg.record_success(flat, now, observed_per_request_ns, expected_ns);
+            }
+            for _ in 0..failed {
+                reg.record_failure(flat, now);
+            }
             Self::sync_gates(&d, reg);
         }
         true
@@ -649,6 +671,87 @@ mod tests {
         assert!(e.report_success(p, now + 2, expected_ns(&e, 0)));
         loads = e.level_loads();
         assert_eq!(loads, vec![0; 4], "exactly one decrement");
+    }
+
+    #[test]
+    fn report_batch_releases_the_whole_batch_load() {
+        let e = engine(&[1, 1, 1, 1]);
+        let p = e.submit(40, 0).expect("dispatches");
+        for t in 1..3u64 {
+            let q = e.submit(40, t).expect("dispatches");
+            assert_eq!(q, p, "single instance level batches on one placement");
+        }
+        assert_eq!(e.level_loads(), vec![3, 0, 0, 0]);
+        assert!(e.report_batch(p, 3, 0, 3, 1.0e6));
+        assert_eq!(e.level_loads(), vec![0, 0, 0, 0], "one call, three units");
+    }
+
+    #[test]
+    fn report_batch_is_equivalent_to_per_request_reports() {
+        // Two identical health engines see the same evidence: one as a
+        // single 4-batch report, the other as four individual reports. The
+        // detector and frontend must end in the same state.
+        let batched = health_engine(&[1, 1, 1, 1]);
+        let singles = health_engine(&[1, 1, 1, 1]);
+        let mut now = 0;
+        loop {
+            now += SEC / 100;
+            let mut pb = None;
+            let mut ps = None;
+            for t in 0..4u64 {
+                pb = Some(batched.submit(40, now + t).expect("dispatches"));
+                ps = Some(singles.submit(40, now + t).expect("dispatches"));
+            }
+            let (pb, ps) = (pb.unwrap(), ps.unwrap());
+            let slow = 5.0 * expected_ns(&batched, 0);
+            batched.report_batch(pb, 4, 0, now, slow);
+            for _ in 0..4 {
+                singles.report_success(ps, now, slow);
+            }
+            assert_eq!(
+                batched.health_states(),
+                singles.health_states(),
+                "same evidence, same verdict"
+            );
+            assert_eq!(batched.level_loads(), singles.level_loads());
+            if batched.health_states().expect("on")[0] == HealthState::Quarantined {
+                break;
+            }
+            assert!(now < SEC, "detector must trip quickly");
+        }
+    }
+
+    #[test]
+    fn report_batch_with_failures_strikes_health_and_releases_load() {
+        let e = health_engine(&[1, 1, 1, 1]);
+        let mut now = 0;
+        while e.health_states().expect("on")[0] != HealthState::Quarantined {
+            now += SEC / 100;
+            let mut p = None;
+            for t in 0..3u64 {
+                p = Some(e.submit(40, now + t).expect("dispatches"));
+            }
+            // A mixed batch: two clean, one failed execution.
+            e.report_batch(p.unwrap(), 2, 1, now, expected_ns(&e, 0));
+            assert!(now < 10 * SEC, "failures must condemn eventually");
+        }
+        assert_eq!(e.level_loads()[0], 0, "mixed batches release all load");
+    }
+
+    #[test]
+    fn stale_generation_batch_reports_are_acknowledged_only() {
+        let e = engine(&[2, 2, 2, 2]);
+        let old = e.submit(40, 0).expect("dispatches");
+        for i in 0..1000u64 {
+            e.submit(40, i * 100 * SEC / 1000);
+        }
+        let plan = e.maybe_reallocate(121 * SEC, 8).expect("reallocates");
+        e.apply_allocation(&plan);
+        assert!(
+            !e.report_batch(old, 3, 1, 122 * SEC, 1.0e6),
+            "stale batch must not apply"
+        );
+        assert_eq!(e.level_loads(), vec![0; 4], "rebuilt frontend untouched");
     }
 
     #[test]

@@ -217,12 +217,25 @@ impl SchedulerFrontend {
 
     /// Record a completed execution, releasing one unit of load.
     pub fn complete(&self, handle: InstanceHandle) {
+        self.complete_n(handle, 1);
+    }
+
+    /// Record a completed batch of `n` executions on one instance,
+    /// releasing `n` units of load under a single level lock — the batched
+    /// sibling of [`SchedulerFrontend::complete`], used by
+    /// batch-completion reporting so an N-request batch costs one heap
+    /// push instead of N.
+    pub fn complete_n(&self, handle: InstanceHandle, n: u32) {
+        if n == 0 {
+            return;
+        }
         let mut inner = self.levels[handle.level].inner.lock();
         assert!(
-            inner.loads[handle.index] > 0,
-            "completion without outstanding load on {handle:?}"
+            inner.loads[handle.index] >= n,
+            "completion without outstanding load on {handle:?}: {} < {n}",
+            inner.loads[handle.index]
         );
-        inner.bump(handle.index, -1);
+        inner.bump(handle.index, -i64::from(n));
     }
 
     /// Outstanding load of one instance.

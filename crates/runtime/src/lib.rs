@@ -22,6 +22,9 @@
 //!   64-token steps for Bert at 512).
 //! * [`compile`] — offline build-time accounting and the runtime registry
 //!   (workflow step ②): quantifies why §3.3 rejects per-length compilation.
+//! * [`batching`] — the batched-execution cost model and coalescing policy
+//!   (§6 extension), shared by the simulator's cluster and the live serve
+//!   executor so the two paths charge identical batch latencies.
 //!
 //! ## Substitution note
 //!
@@ -33,6 +36,7 @@
 //! static compilation. The schedulers only ever see profiles, so the code
 //! paths exercised are identical to a deployment with measured profiles.
 
+pub mod batching;
 pub mod compile;
 pub mod latency;
 pub mod models;
@@ -41,6 +45,7 @@ pub mod runtime_set;
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::batching::{BatchPolicy, BatchSpec, Coalescer, SealedBatch};
     pub use crate::compile::{CompileCostModel, RuntimeRegistry};
     pub use crate::latency::{CompileMode, CompiledRuntime, JitterSpec};
     pub use crate::models::{Framework, ModelSpec, Precision};

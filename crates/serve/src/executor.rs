@@ -1,29 +1,48 @@
 //! The worker-pool executor: a stand-in GPU fleet driven by the calibrated
-//! latency model.
+//! latency model, with per-instance batch coalescing.
 //!
 //! A real deployment hands each placement to a GPU instance that executes
-//! requests serially at the profiled per-execution cost. This executor
-//! reproduces that timing over OS threads: each admitted job is assigned a
-//! completion time on its target instance's **virtual busy-until clock**
-//! (`start = max(now, busy_until)`, `done = start + exec`, exactly the
-//! batch-1 serial model the profiler tabulates), then a pool of worker
-//! threads sleeps until each job's completion time and fires the completion
-//! callback — which reports back into the engine's health hooks and answers
-//! the client.
+//! requests in batches at the profiled cost. This executor reproduces that
+//! timing over OS threads. Each admitted job lands in a per-instance
+//! [`Coalescer`] keyed by `(generation, runtime, instance)`; batches seal
+//! under the shared [`BatchPolicy`] — up to `max_batch` jobs, waiting at
+//! most `max_wait_ns` for co-batchable arrivals, same-runtime by
+//! construction of the key — and each sealed batch is charged **one**
+//! batched execution on the instance's virtual busy-until clock:
+//! `start = max(busy_until, arrival)`, `done = start + exec`, where `exec`
+//! comes from the same [`BatchSpec::exec_ns`] evaluation the simulator's
+//! cluster uses (padded to the longest member, jitter keyed off the first
+//! request id). A pool of worker threads sleeps until each batch's
+//! completion time and fires the completion callback once per batch.
 //!
-//! Instance clocks are keyed by `(generation, runtime, instance)`, so a
-//! reallocation starts the new fleet idle while in-flight work on the old
-//! fleet still completes (and is acknowledged by the engine as stale).
+//! With [`BatchSpec::SINGLE`] under the greedy policy every job seals
+//! alone at push time and the schedule is identical to the historical
+//! per-job busy-until executor — pinned by the batch-1 parity test.
+//!
+//! Batches whose seal instant lies in the future (an open `max_wait`
+//! window, or a queue behind a busy instance) are armed on a dedicated
+//! flusher thread that sleeps on the virtual clock until the earliest
+//! deadline and re-advances that instance's coalescer.
+//!
+//! Coalescer keys include the deployment generation, so a reallocation
+//! starts the new fleet idle while in-flight work on the old fleet still
+//! completes (and is acknowledged by the engine as stale). The server
+//! evicts superseded keys via [`Executor::prune_before`] after each
+//! `apply_allocation`, keeping the key map bounded on long-running
+//! servers.
 
 use crate::clock::VirtualClock;
 use arlo_core::engine::Placement;
+use arlo_runtime::batching::{BatchPolicy, Coalescer};
 use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::profile::RuntimeProfile;
 use arlo_trace::Nanos;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// An admitted request on its way to execution.
 #[derive(Debug, Clone, Copy)]
@@ -40,139 +59,299 @@ pub struct Job {
     pub submitted_at: Nanos,
 }
 
-/// A finished execution, handed to the completion callback.
-#[derive(Debug, Clone, Copy)]
-pub struct CompletedJob {
-    /// The job as submitted.
-    pub job: Job,
-    /// Virtual completion time (start-of-execution + execution cost).
+/// A finished batched execution, handed to the completion callback once
+/// per batch.
+#[derive(Debug, Clone)]
+pub struct CompletedBatch {
+    /// The jobs that ran together (at least one; all share a placement).
+    pub jobs: Vec<Job>,
+    /// Virtual time the batch started executing.
+    pub started_at: Nanos,
+    /// Virtual completion time (`started_at + exec_ns`).
     pub finished_at: Nanos,
-    /// The execution cost charged, in virtual nanoseconds.
+    /// Total execution cost charged to the batch, in virtual nanoseconds.
     pub exec_ns: u64,
+}
+
+/// Coalescer key: one virtual instance of one deployment generation.
+type Key = (u64, usize, usize);
+
+struct KeyState {
+    coalescer: Coalescer<Job>,
+    /// Deadline of the earliest flush armed on the flusher thread for this
+    /// key, if any — dedupes re-arming on every push.
+    flush_at: Option<Nanos>,
 }
 
 struct ExecutorShared {
     clock: Arc<VirtualClock>,
     profiles: Vec<RuntimeProfile>,
     jitter: JitterSpec,
-    /// Per-instance virtual busy-until clocks, keyed by
+    policy: BatchPolicy,
+    /// Per-instance batch-forming state, keyed by
     /// `(generation, runtime_idx, instance_idx)`.
-    busy_until: Mutex<HashMap<(u64, usize, usize), Nanos>>,
-    on_done: Box<dyn Fn(CompletedJob) + Send + Sync>,
+    keys: Mutex<HashMap<Key, KeyState>>,
+    /// Sender side of the flusher thread's deadline queue. `None` once
+    /// shutdown begins; taking it is what lets the flusher observe
+    /// disconnection and exit.
+    flush_tx: Mutex<Option<mpsc::Sender<(Nanos, Key)>>>,
+    /// Histogram of sealed batch sizes: `occupancy[b-1]` counts batches of
+    /// size `b`.
+    occupancy: Mutex<Vec<u64>>,
+    on_done: Box<dyn Fn(CompletedBatch) + Send + Sync>,
 }
 
-struct ScheduledJob {
-    job: Job,
-    finished_at: Nanos,
-    exec_ns: u64,
+impl ExecutorShared {
+    /// Advance one key's coalescer at the current virtual time: seal every
+    /// batch whose seal instant has passed, send each to the worker pool,
+    /// and return the deadline of a flush to arm (if the head batch now
+    /// seals in the future and no earlier flush is armed).
+    ///
+    /// `fired` is the deadline of the flush that triggered this advance,
+    /// used to clear the dedupe marker.
+    fn advance(
+        &self,
+        key: Key,
+        fired: Option<Nanos>,
+        run_tx: &mpsc::Sender<CompletedBatch>,
+    ) -> Option<Nanos> {
+        let now = self.clock.now();
+        let (_, runtime_idx, _) = key;
+        let profile = &self.profiles[runtime_idx];
+        let spec = self.policy.spec;
+        let jitter = self.jitter;
+        let sealed;
+        let arm = {
+            let mut keys = self.keys.lock();
+            let state = keys.get_mut(&key)?;
+            if fired.is_some() && state.flush_at == fired {
+                state.flush_at = None;
+            }
+            // The batch→latency evaluation shared with the simulator's
+            // cluster: pad to the longest member, jitter keyed off the
+            // first request id, scale by the batch factor.
+            sealed = state.coalescer.drain_ready(now, &mut |jobs: &[Job], b| {
+                let longest = jobs
+                    .iter()
+                    .map(|j| j.length)
+                    .max()
+                    .expect("non-empty batch");
+                let base = profile
+                    .runtime
+                    .exec_nanos_jittered(longest, jitter, jobs[0].request_id);
+                spec.exec_ns(base, b, 1.0, 1.0)
+            });
+            match state.coalescer.next_deadline() {
+                Some(d) if state.flush_at.is_none_or(|f| f > d) => {
+                    state.flush_at = Some(d);
+                    Some(d)
+                }
+                _ => None,
+            }
+        };
+        if !sealed.is_empty() {
+            let mut occ = self.occupancy.lock();
+            for batch in &sealed {
+                let slot = batch.items.len() - 1;
+                if occ.len() <= slot {
+                    occ.resize(slot + 1, 0);
+                }
+                occ[slot] += 1;
+            }
+        }
+        for batch in sealed {
+            let _ = run_tx.send(CompletedBatch {
+                jobs: batch.items,
+                started_at: batch.started_at,
+                finished_at: batch.finished_at,
+                exec_ns: batch.exec_ns,
+            });
+        }
+        arm
+    }
 }
 
 /// The worker pool. Dropping the executor without calling
-/// [`Executor::shutdown`] detaches the workers; shutdown drains every
-/// scheduled job and joins the pool.
+/// [`Executor::shutdown`] detaches the threads; shutdown drains every
+/// pending and scheduled batch and joins the pool.
 pub struct Executor {
     shared: Arc<ExecutorShared>,
-    tx: mpsc::Sender<ScheduledJob>,
+    run_tx: mpsc::Sender<CompletedBatch>,
+    flusher: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Executor {
-    /// Spawn `workers` threads executing jobs against `profiles` under the
-    /// shared virtual clock. `on_done` runs on a worker thread once per job,
-    /// after the job's execution time has elapsed.
+    /// Spawn `workers` threads executing batches against `profiles` under
+    /// the shared virtual clock, coalescing per `policy`. `on_done` runs on
+    /// a worker thread once per sealed batch, after the batch's execution
+    /// time has elapsed.
     pub fn new(
         profiles: Vec<RuntimeProfile>,
         workers: usize,
         clock: Arc<VirtualClock>,
         jitter: JitterSpec,
-        on_done: Box<dyn Fn(CompletedJob) + Send + Sync>,
+        policy: BatchPolicy,
+        on_done: Box<dyn Fn(CompletedBatch) + Send + Sync>,
     ) -> Self {
         assert!(workers >= 1, "need at least one worker");
         assert!(!profiles.is_empty(), "need at least one profile");
+        policy.validate();
+        let (flush_tx, flush_rx) = mpsc::channel::<(Nanos, Key)>();
         let shared = Arc::new(ExecutorShared {
             clock,
             profiles,
             jitter,
-            busy_until: Mutex::new(HashMap::new()),
+            policy,
+            keys: Mutex::new(HashMap::new()),
+            flush_tx: Mutex::new(Some(flush_tx)),
+            occupancy: Mutex::new(Vec::new()),
             on_done,
         });
-        let (tx, rx) = mpsc::channel::<ScheduledJob>();
-        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let (run_tx, run_rx) = mpsc::channel::<CompletedBatch>();
+        let run_rx = Arc::new(std::sync::Mutex::new(run_rx));
         let workers = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
+                let run_rx = Arc::clone(&run_rx);
                 std::thread::Builder::new()
                     .name(format!("arlo-exec-{i}"))
                     .spawn(move || loop {
                         // Workers take turns holding the receiver lock while
                         // blocked; processing happens outside the lock.
-                        let next = rx.lock().expect("executor queue lock").recv();
-                        let Ok(sched) = next else { return };
-                        shared.clock.sleep_until(sched.finished_at);
-                        (shared.on_done)(CompletedJob {
-                            job: sched.job,
-                            finished_at: sched.finished_at,
-                            exec_ns: sched.exec_ns,
-                        });
+                        let next = run_rx.lock().expect("executor queue lock").recv();
+                        let Ok(batch) = next else { return };
+                        shared.clock.sleep_until(batch.finished_at);
+                        (shared.on_done)(batch);
                     })
                     .expect("spawn executor worker")
             })
             .collect();
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            let run_tx = run_tx.clone();
+            std::thread::Builder::new()
+                .name("arlo-exec-flush".into())
+                .spawn(move || flusher_loop(&shared, &flush_rx, &run_tx))
+                .expect("spawn executor flusher")
+        };
         Executor {
             shared,
-            tx,
+            run_tx,
+            flusher,
             workers,
         }
     }
 
-    /// Schedule a job: charge it the profiled execution cost behind
-    /// whatever is already queued on its instance, and hand it to the pool.
+    /// Submit a job: queue it on its instance's coalescer and seal whatever
+    /// batches the policy allows right now. A batch that must wait (for
+    /// co-batchable arrivals or for the instance to free) is armed on the
+    /// flusher thread instead.
     pub fn submit(&self, job: Job) {
         let p = job.placement;
-        let exec_ns = self.shared.profiles[p.runtime_idx]
-            .runtime
-            .exec_nanos_jittered(job.length, self.shared.jitter, job.request_id);
-        let finished_at = {
-            let mut busy = self.shared.busy_until.lock();
-            let slot = busy
-                .entry((p.generation, p.runtime_idx, p.instance_idx))
-                .or_insert(0);
-            let start = (*slot).max(self.shared.clock.now()).max(job.submitted_at);
-            let done = start + exec_ns;
-            *slot = done;
-            done
-        };
-        self.tx
-            .send(ScheduledJob {
-                job,
-                finished_at,
-                exec_ns,
-            })
-            .expect("executor workers alive");
+        let key = (p.generation, p.runtime_idx, p.instance_idx);
+        {
+            let mut keys = self.shared.keys.lock();
+            let state = keys.entry(key).or_insert_with(|| KeyState {
+                coalescer: Coalescer::new(self.shared.policy),
+                flush_at: None,
+            });
+            let arrival = job.submitted_at.max(self.shared.clock.now());
+            state.coalescer.push(arrival, job);
+        }
+        if let Some(due) = self.shared.advance(key, None, &self.run_tx) {
+            if let Some(tx) = self.shared.flush_tx.lock().as_ref() {
+                let _ = tx.send((due, key));
+            }
+        }
     }
 
-    /// Drop the busy clocks of every generation before `generation` — the
-    /// old fleet no longer exists after a reallocation. In-flight jobs keep
-    /// their already-assigned completion times.
+    /// Drop the coalescer state of every generation before `generation` —
+    /// the old fleet no longer exists after a reallocation. In-flight
+    /// batches keep their already-assigned completion times; a superseded
+    /// key still holding unsealed jobs survives until its flush drains it,
+    /// so pruning never loses work.
     pub fn prune_before(&self, generation: u64) {
         self.shared
-            .busy_until
+            .keys
             .lock()
-            .retain(|&(g, _, _), _| g >= generation);
+            .retain(|&(g, _, _), s| g >= generation || s.coalescer.pending_len() > 0);
     }
 
-    /// Number of distinct instance clocks currently tracked (tests).
+    /// Number of distinct instance coalescers currently tracked (tests and
+    /// the clock-eviction regression).
     pub fn tracked_instances(&self) -> usize {
-        self.shared.busy_until.lock().len()
+        self.shared.keys.lock().len()
     }
 
-    /// Stop accepting jobs, finish everything already scheduled, and join
-    /// the pool.
-    pub fn shutdown(self) {
-        drop(self.tx);
+    /// Histogram of sealed batch sizes so far: entry `b-1` counts batches
+    /// of `b` jobs.
+    pub fn batch_occupancy(&self) -> Vec<u64> {
+        self.shared.occupancy.lock().clone()
+    }
+
+    /// Stop accepting jobs, flush every open batch at its deadline, finish
+    /// everything scheduled, and join all threads. Returns the final
+    /// batch-occupancy histogram.
+    pub fn shutdown(self) -> Vec<u64> {
+        // Disconnect the flusher's queue; it drains its armed deadlines
+        // (sleeping each out on the virtual clock) and exits, dropping its
+        // clone of the run sender.
+        *self.shared.flush_tx.lock() = None;
+        self.flusher.join().expect("executor flusher panicked");
+        drop(self.run_tx);
         for handle in self.workers {
             handle.join().expect("executor worker panicked");
+        }
+        self.shared.occupancy.lock().clone()
+    }
+}
+
+/// The flusher thread: a min-heap of `(deadline, key)` wake-ups. Sleeps on
+/// the virtual clock until the earliest armed deadline, then re-advances
+/// that key's coalescer (which may seal batches and/or arm the next
+/// deadline). Exits once the executor disconnects the queue and every
+/// armed deadline has fired.
+fn flusher_loop(
+    shared: &ExecutorShared,
+    rx: &mpsc::Receiver<(Nanos, Key)>,
+    run_tx: &mpsc::Sender<CompletedBatch>,
+) {
+    let mut heap: BinaryHeap<Reverse<(Nanos, Key)>> = BinaryHeap::new();
+    let mut disconnected = false;
+    loop {
+        while let Some(&Reverse((due, key))) = heap.peek() {
+            if shared.clock.now() < due {
+                break;
+            }
+            heap.pop();
+            if let Some(next) = shared.advance(key, Some(due), run_tx) {
+                heap.push(Reverse((next, key)));
+            }
+        }
+        if disconnected && heap.is_empty() {
+            return;
+        }
+        let wait = match heap.peek() {
+            Some(&Reverse((due, _))) => shared
+                .clock
+                .to_real(due.saturating_sub(shared.clock.now()))
+                .clamp(Duration::from_micros(100), Duration::from_millis(5)),
+            None => Duration::from_millis(5),
+        };
+        if disconnected {
+            std::thread::sleep(wait);
+            continue;
+        }
+        match rx.recv_timeout(wait) {
+            Ok(item) => {
+                heap.push(Reverse(item));
+                while let Ok(more) = rx.try_recv() {
+                    heap.push(Reverse(more));
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
         }
     }
 }
@@ -180,10 +359,10 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use arlo_runtime::batching::BatchSpec;
     use arlo_runtime::latency::CompiledRuntime;
     use arlo_runtime::models::ModelSpec;
     use arlo_runtime::profile::profile_runtimes;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn profiles() -> Vec<RuntimeProfile> {
         let model = ModelSpec::bert_base();
@@ -208,28 +387,39 @@ mod tests {
         }
     }
 
-    #[test]
-    fn jobs_on_one_instance_serialize_in_virtual_time() {
-        let clock = Arc::new(VirtualClock::new(10_000));
-        let done: Arc<Mutex<Vec<CompletedJob>>> = Arc::new(Mutex::new(Vec::new()));
+    fn executor(
+        workers: usize,
+        scale: u32,
+        policy: BatchPolicy,
+    ) -> (Executor, Arc<VirtualClock>, Arc<Mutex<Vec<CompletedBatch>>>) {
+        let clock = Arc::new(VirtualClock::new(scale));
+        let done: Arc<Mutex<Vec<CompletedBatch>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&done);
         let exec = Executor::new(
             profiles(),
-            4,
+            workers,
             Arc::clone(&clock),
             JitterSpec::NONE,
-            Box::new(move |c| sink.lock().push(c)),
+            policy,
+            Box::new(move |b| sink.lock().push(b)),
         );
+        (exec, clock, done)
+    }
+
+    #[test]
+    fn jobs_on_one_instance_serialize_in_virtual_time() {
+        let (exec, clock, done) = executor(4, 10_000, BatchPolicy::greedy(BatchSpec::SINGLE));
         let t0 = clock.now();
         for id in 0..8 {
             exec.submit(job(id, 0, 0, t0));
         }
         exec.shutdown();
         let done = done.lock();
-        assert_eq!(done.len(), 8);
+        assert_eq!(done.len(), 8, "batch-1: one completion per job");
+        assert!(done.iter().all(|b| b.jobs.len() == 1));
         // Completion times on one instance are spaced by at least one
         // execution cost — the serial batch-1 model.
-        let mut finishes: Vec<Nanos> = done.iter().map(|c| c.finished_at).collect();
+        let mut finishes: Vec<Nanos> = done.iter().map(|b| b.finished_at).collect();
         finishes.sort_unstable();
         let exec_ns = done[0].exec_ns;
         for w in finishes.windows(2) {
@@ -239,16 +429,7 @@ mod tests {
 
     #[test]
     fn distinct_instances_run_concurrently() {
-        let clock = Arc::new(VirtualClock::new(10_000));
-        let done: Arc<Mutex<Vec<CompletedJob>>> = Arc::new(Mutex::new(Vec::new()));
-        let sink = Arc::clone(&done);
-        let exec = Executor::new(
-            profiles(),
-            4,
-            Arc::clone(&clock),
-            JitterSpec::NONE,
-            Box::new(move |c| sink.lock().push(c)),
-        );
+        let (exec, clock, done) = executor(4, 10_000, BatchPolicy::greedy(BatchSpec::SINGLE));
         let t0 = clock.now();
         for inst in 0..4 {
             exec.submit(job(inst as u64, 0, inst, t0));
@@ -261,30 +442,97 @@ mod tests {
         assert_eq!(done.len(), 4);
         // Parallel instances each pay one execution, not a shared queue:
         // no job waits behind another.
-        for c in done.iter() {
+        for b in done.iter() {
             assert!(
-                c.finished_at <= after + c.exec_ns,
+                b.finished_at <= after + b.exec_ns,
                 "finished {} vs bound {}",
-                c.finished_at,
-                after + c.exec_ns
+                b.finished_at,
+                after + b.exec_ns
             );
         }
     }
 
     #[test]
-    fn prune_drops_old_generations_only() {
-        let clock = Arc::new(VirtualClock::new(10_000));
-        let count = Arc::new(AtomicU64::new(0));
-        let sink = Arc::clone(&count);
-        let exec = Executor::new(
-            profiles(),
-            2,
-            Arc::clone(&clock),
-            JitterSpec::NONE,
-            Box::new(move |_| {
-                sink.fetch_add(1, Ordering::SeqCst);
-            }),
+    fn a_burst_coalesces_into_batches_with_amortized_cost() {
+        let spec = BatchSpec {
+            max_batch: 4,
+            marginal_cost: 0.5,
+        };
+        let (exec, clock, done) = executor(4, 1_000, BatchPolicy::greedy(spec));
+        // Eight jobs stamped 2 virtual seconds out (2 ms real at 1000×) on
+        // one instance: all are pending when the seal instant arrives, so
+        // they form 4+4.
+        let t0 = clock.now() + 2_000_000_000;
+        for id in 0..8 {
+            exec.submit(job(id, 0, 0, t0));
+        }
+        exec.shutdown();
+        let done = done.lock();
+        assert_eq!(done.len(), 2, "two full batches: {done:?}");
+        for b in done.iter() {
+            assert_eq!(b.jobs.len(), 4);
+            let lone = profiles()[0].runtime.exec_nanos_jittered(
+                32,
+                JitterSpec::NONE,
+                b.jobs[0].request_id,
+            );
+            assert_eq!(b.exec_ns, spec.exec_ns(lone, 4, 1.0, 1.0));
+        }
+        // Second batch starts when the first frees the instance.
+        let mut batches: Vec<_> = done.iter().collect();
+        batches.sort_by_key(|b| b.started_at);
+        assert_eq!(batches[0].started_at, t0);
+        assert_eq!(batches[1].started_at, batches[0].finished_at);
+    }
+
+    #[test]
+    fn max_wait_holds_a_batch_open_for_stragglers() {
+        let spec = BatchSpec {
+            max_batch: 8,
+            marginal_cost: 0.5,
+        };
+        let policy = BatchPolicy {
+            spec,
+            // 20 virtual ms at 10_000× is 2 µs real: the flusher, not the
+            // submit path, must seal this batch.
+            max_wait_ns: 20_000_000,
+        };
+        let (exec, clock, done) = executor(2, 10_000, policy);
+        let t0 = clock.now();
+        exec.submit(job(0, 0, 0, t0));
+        exec.submit(job(1, 0, 0, t0));
+        exec.shutdown();
+        let done = done.lock();
+        let total: usize = done.iter().map(|b| b.jobs.len()).sum();
+        assert_eq!(total, 2, "no job is lost to an open window");
+        assert_eq!(done.len(), 1, "both jobs share the held-open batch");
+        assert!(
+            done[0].started_at >= t0 + policy.max_wait_ns,
+            "sealed at the wait deadline, not at push: {} vs {}",
+            done[0].started_at,
+            t0 + policy.max_wait_ns
         );
+    }
+
+    #[test]
+    fn occupancy_histogram_counts_batch_sizes() {
+        let spec = BatchSpec {
+            max_batch: 4,
+            marginal_cost: 0.5,
+        };
+        let (exec, clock, _done) = executor(2, 1_000, BatchPolicy::greedy(spec));
+        let t0 = clock.now() + 2_000_000_000;
+        for id in 0..5 {
+            exec.submit(job(id, 0, 0, t0));
+        }
+        // 4 + 1: one full batch, one singleton.
+        let occ = exec.shutdown();
+        assert_eq!(occ, vec![1, 0, 0, 1], "occupancy: one 1-batch, one 4-batch");
+    }
+
+    #[test]
+    fn prune_drops_idle_old_generations_only() {
+        let (exec, _clock, done) = executor(2, 10_000, BatchPolicy::greedy(BatchSpec::SINGLE));
         let mut j0 = job(0, 0, 0, 0);
         j0.placement.generation = 0;
         let mut j1 = job(1, 0, 0, 0);
@@ -295,6 +543,37 @@ mod tests {
         exec.prune_before(1);
         assert_eq!(exec.tracked_instances(), 1);
         exec.shutdown();
-        assert_eq!(count.load(Ordering::SeqCst), 2, "pruning loses no jobs");
+        let total: usize = done.lock().iter().map(|b| b.jobs.len()).sum();
+        assert_eq!(total, 2, "pruning loses no jobs");
+    }
+
+    #[test]
+    fn tracked_instances_stay_bounded_across_repeated_reallocations() {
+        // Regression for the busy-until map leak: before eviction was wired
+        // into the server's reallocation path, every generation left its
+        // clock entries behind forever. Simulate 50 generations of traffic
+        // with a prune after each "reallocation" and pin the bound.
+        let (exec, clock, done) = executor(2, 10_000, BatchPolicy::greedy(BatchSpec::SINGLE));
+        const INSTANCES: usize = 4;
+        for generation in 0..50u64 {
+            let t = clock.now();
+            for inst in 0..INSTANCES {
+                let mut j = job(generation * 10 + inst as u64, 0, inst, t);
+                j.placement.generation = generation;
+                exec.submit(j);
+            }
+            // The server calls this right after apply_allocation.
+            exec.prune_before(generation);
+            assert!(
+                exec.tracked_instances() <= 2 * INSTANCES,
+                "generation {generation}: {} keys tracked — the map leaks",
+                exec.tracked_instances()
+            );
+        }
+        exec.prune_before(50);
+        assert_eq!(exec.tracked_instances(), 0, "all superseded keys evicted");
+        exec.shutdown();
+        let total: usize = done.lock().iter().map(|b| b.jobs.len()).sum();
+        assert_eq!(total, 50 * INSTANCES, "eviction loses no jobs");
     }
 }

@@ -27,6 +27,16 @@
 //! | 4 | [`Frame::StatsRequest`] | client → server | empty |
 //! | 5 | [`Frame::Stats`] | server → client | five `u64` counters |
 //! | 6 | [`Frame::Drain`] | client → server | empty |
+//! | 7 | *reserved: `BatchedSubmit`* | client → server | *(v2)* |
+//!
+//! Frame id 7 is reserved for a future protocol-v2 `BatchedSubmit` — a
+//! client-side batch of submits in one frame, pairing the wire with the
+//! executor's batch coalescing. Until v2 ships, a v1 decoder rejects id 7
+//! as [`DecodeError::BadFrameType`], and any frame tagged with a newer
+//! version byte is rejected up front as [`DecodeError::BadVersion`]
+//! (version is checked before the frame type, so a v2 peer gets a typed
+//! version error rather than a misleading type error) — both pinned by
+//! regression tests.
 
 use std::io::{Read, Write};
 
@@ -200,6 +210,10 @@ const TYPE_ERROR: u8 = 3;
 const TYPE_STATS_REQUEST: u8 = 4;
 const TYPE_STATS: u8 = 5;
 const TYPE_DRAIN: u8 = 6;
+/// Reserved for protocol v2's `BatchedSubmit` (see the module docs). Not a
+/// valid v1 frame type: decoding it must stay a [`DecodeError::BadFrameType`]
+/// until the v2 negotiation lands.
+pub const TYPE_BATCHED_SUBMIT_RESERVED: u8 = 7;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -546,6 +560,31 @@ mod tests {
         assert_eq!(
             Frame::decode(&bytes),
             Err(DecodeError::BadVersion(VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn v2_tagged_batched_submit_is_rejected_as_bad_version() {
+        // Protocol-v2 groundwork: a peer speaking v2 tags its frames with
+        // version 2 and may send the reserved BatchedSubmit type (7). A v1
+        // decoder must reject on the *version* byte — checked before the
+        // frame type — so the client gets a typed version error it can act
+        // on, never a misleading BadFrameType or a partial parse.
+        let mut bytes = Frame::Submit { id: 1, length: 64 }.encode();
+        bytes[2] = 2; // v2 version tag
+        bytes[3] = TYPE_BATCHED_SUBMIT_RESERVED;
+        assert_eq!(Frame::decode(&bytes), Err(DecodeError::BadVersion(2)));
+    }
+
+    #[test]
+    fn reserved_batched_submit_type_is_not_a_valid_v1_frame() {
+        // The id-7 reservation holds: under the current version byte the
+        // reserved type stays a typed BadFrameType until v2 defines it.
+        let mut bytes = Frame::Drain.encode();
+        bytes[3] = TYPE_BATCHED_SUBMIT_RESERVED;
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::BadFrameType(TYPE_BATCHED_SUBMIT_RESERVED))
         );
     }
 

@@ -21,9 +21,10 @@
 //! outstanding execution, then closes connections and joins all threads.
 
 use crate::clock::VirtualClock;
-use crate::executor::{CompletedJob, Executor, Job};
+use crate::executor::{CompletedBatch, Executor, Job};
 use crate::protocol::{read_frame, ErrorCode, Frame, StatsPayload};
 use arlo_core::engine::ArloEngine;
+use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::latency::JitterSpec;
 use arlo_trace::Nanos;
 use parking_lot::Mutex;
@@ -55,6 +56,10 @@ pub struct ServeConfig {
     /// [`ArloEngine::report_failure`] and answered with
     /// [`ErrorCode::Failed`]). `None` disables injection.
     pub fail_one_in: Option<u64>,
+    /// Batch coalescing policy for the executor. The default —
+    /// greedy [`BatchSpec::SINGLE`] — reproduces per-request execution
+    /// exactly (the paper's batch-1 setting).
+    pub batch: BatchPolicy,
 }
 
 impl ServeConfig {
@@ -69,12 +74,19 @@ impl ServeConfig {
             jitter: JitterSpec::NONE,
             drain_timeout: Duration::from_secs(30),
             fail_one_in: None,
+            batch: BatchPolicy::greedy(BatchSpec::SINGLE),
         }
     }
 
     /// Set the virtual-time speed-up factor.
     pub fn with_time_scale(mut self, scale: u32) -> Self {
         self.time_scale = scale;
+        self
+    }
+
+    /// Set the executor's batch coalescing policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
         self
     }
 }
@@ -195,7 +207,8 @@ impl Server {
                 config.workers,
                 clock,
                 config.jitter,
-                Box::new(move |done| complete_job(&shared, &done)),
+                config.batch,
+                Box::new(move |done| complete_batch(&shared, &done)),
             ))
         };
 
@@ -211,12 +224,13 @@ impl Server {
 
         let timer = {
             let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
             let real_tick = Duration::from_nanos(
                 (config.tick_interval / Nanos::from(config.time_scale)).max(1_000_000),
             );
             std::thread::Builder::new()
                 .name("arlo-timer".into())
-                .spawn(move || timer_loop(&shared, real_tick, config.gpus))?
+                .spawn(move || timer_loop(&shared, &executor, real_tick, config.gpus))?
         };
 
         let acceptor = {
@@ -258,6 +272,19 @@ impl Server {
         self.shared.draining.load(Ordering::Relaxed)
     }
 
+    /// Distinct `(generation, runtime, instance)` coalescers the executor
+    /// currently tracks — bounded across reallocations by the post-apply
+    /// eviction (regression hook).
+    pub fn tracked_instances(&self) -> usize {
+        self.executor.tracked_instances()
+    }
+
+    /// Histogram of sealed batch sizes so far (entry `b-1` counts batches
+    /// of `b` jobs). Final once all in-flight work has completed.
+    pub fn batch_occupancy(&self) -> Vec<u64> {
+        self.executor.batch_occupancy()
+    }
+
     /// Graceful shutdown: stop accepting, refuse new submits with
     /// [`ErrorCode::Draining`], wait for every outstanding execution to
     /// complete (bounded by the configured drain timeout), then close all
@@ -279,8 +306,8 @@ impl Server {
         self.dispatch.join().expect("dispatch panicked");
         let executor = Arc::try_unwrap(self.executor)
             .ok()
-            .expect("dispatch joined; executor has one owner");
-        executor.shutdown();
+            .expect("dispatch and timer joined; executor has one owner");
+        let _occupancy = executor.shutdown();
 
         // Close every connection so reader threads unblock and exit.
         for stream in shared.conns.lock().values() {
@@ -304,46 +331,62 @@ impl Server {
     }
 }
 
-/// Executor completion callback: report into the engine's health hooks,
-/// update counters, answer the client.
-fn complete_job(shared: &Shared, done: &CompletedJob) {
-    let job = done.job;
-    let failed = shared
-        .fail_one_in
-        .is_some_and(|n| n > 0 && job.request_id % n == n - 1);
-    if failed {
-        shared
-            .engine
-            .report_failure(job.placement, done.finished_at);
-        shared.failed.fetch_add(1, Ordering::Relaxed);
-        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-        shared.respond(
-            job.conn_id,
-            &Frame::Error {
+/// Executor completion callback, fired once per sealed batch: report one
+/// amortized batch into the engine's health/load hooks, update counters,
+/// answer every member's client.
+fn complete_batch(shared: &Shared, done: &CompletedBatch) {
+    let mut ok: u32 = 0;
+    let mut failed: u32 = 0;
+    for job in &done.jobs {
+        let failing = shared
+            .fail_one_in
+            .is_some_and(|n| n > 0 && job.request_id % n == n - 1);
+        if failing {
+            failed += 1;
+        } else {
+            ok += 1;
+        }
+    }
+    // One report per batch: the frontend releases the whole batch's load
+    // under a single lock, and health sees the amortized per-request time
+    // (batch-1 makes this exactly the historical per-request report).
+    // Stale-generation reports return false; the engine acknowledges them
+    // without touching the rebuilt frontend.
+    let observed_per_request = done.exec_ns as f64 / done.jobs.len() as f64;
+    shared.engine.report_batch(
+        done.jobs[0].placement,
+        ok,
+        failed,
+        done.finished_at,
+        observed_per_request,
+    );
+    shared.served.fetch_add(u64::from(ok), Ordering::Relaxed);
+    shared
+        .failed
+        .fetch_add(u64::from(failed), Ordering::Relaxed);
+    for job in &done.jobs {
+        let failing = shared
+            .fail_one_in
+            .is_some_and(|n| n > 0 && job.request_id % n == n - 1);
+        let frame = if failing {
+            Frame::Error {
                 id: job.request_id,
                 code: ErrorCode::Failed,
-            },
-        );
-        return;
+            }
+        } else {
+            Frame::Response {
+                id: job.request_id,
+                generation: job.placement.generation,
+                runtime_idx: job.placement.runtime_idx as u16,
+                instance_idx: job.placement.instance_idx as u16,
+                latency_ns: done.finished_at.saturating_sub(job.submitted_at),
+            }
+        };
+        shared.respond(job.conn_id, &frame);
     }
-    // Stale-generation completions return false here; the engine
-    // acknowledges them without touching the rebuilt frontend, and the
-    // client still gets its answer — the execution did happen.
     shared
-        .engine
-        .report_success(job.placement, done.finished_at, done.exec_ns as f64);
-    shared.served.fetch_add(1, Ordering::Relaxed);
-    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-    shared.respond(
-        job.conn_id,
-        &Frame::Response {
-            id: job.request_id,
-            generation: job.placement.generation,
-            runtime_idx: job.placement.runtime_idx as u16,
-            instance_idx: job.placement.instance_idx as u16,
-            latency_ns: done.finished_at.saturating_sub(job.submitted_at),
-        },
-    );
+        .outstanding
+        .fetch_sub(done.jobs.len() as u64, Ordering::SeqCst);
 }
 
 fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<DispatchMsg>) {
@@ -389,7 +432,7 @@ fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<Dispa
     }
 }
 
-fn timer_loop(shared: &Shared, real_tick: Duration, gpus: u32) {
+fn timer_loop(shared: &Shared, executor: &Executor, real_tick: Duration, gpus: u32) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(real_tick);
         let now = shared.clock.now();
@@ -398,6 +441,10 @@ fn timer_loop(shared: &Shared, real_tick: Duration, gpus: u32) {
             // The executor's per-instance clocks for the new generation
             // start idle; the engine switches dispatch atomically.
             shared.engine.apply_allocation(&plan);
+            // Evict superseded generations' coalescer state so the key map
+            // stays bounded on long-running servers (keys still holding
+            // unsealed jobs survive until their flush drains them).
+            executor.prune_before(plan.generation);
             shared.reallocations.fetch_add(1, Ordering::SeqCst);
         }
     }

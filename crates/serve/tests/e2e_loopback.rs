@@ -10,6 +10,7 @@
 //! return *is* the proof).
 
 use arlo_core::engine::{ArloEngine, EngineConfig};
+use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::profile_runtimes;
@@ -54,6 +55,7 @@ fn config() -> ServeConfig {
         jitter: JitterSpec::NONE,
         drain_timeout: Duration::from_secs(30),
         fail_one_in: None,
+        batch: BatchPolicy::greedy(BatchSpec::SINGLE),
     }
 }
 
@@ -90,6 +92,16 @@ fn ten_thousand_requests_with_reallocation_and_clean_drain() {
         server.reallocations() >= 1,
         "no reallocation happened: {:?}",
         server.stats()
+    );
+
+    // Superseded generations' executor state is evicted after each
+    // reallocation: the coalescer map stays bounded by the live fleet plus
+    // at most one draining generation, however many plans were applied.
+    assert!(
+        server.tracked_instances() <= 2 * GPUS as usize,
+        "executor key map leaks across reallocations: {} entries after {} plans",
+        server.tracked_instances(),
+        server.reallocations()
     );
 
     let drain = server.drain();

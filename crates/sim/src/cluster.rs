@@ -36,43 +36,10 @@ pub enum InstanceState {
 }
 
 /// Batched execution configuration (the §6 "dynamic batch execution"
-/// extension; the paper's evaluation fixes batch size at 1).
-///
-/// An instance pulls up to `max_batch` queued requests into one execution.
-/// The batch is padded to its longest member and costs
-/// `exec(longest) · (1 + marginal_cost · (b − 1))` — GPUs amortize the
-/// fixed per-launch work across a batch, so `marginal_cost < 1` trades
-/// per-request latency for throughput.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct BatchSpec {
-    /// Maximum requests per execution (1 = the paper's setting).
-    pub max_batch: u32,
-    /// Marginal cost of each additional batched request, as a fraction of
-    /// a single execution (e.g. 0.6).
-    pub marginal_cost: f64,
-}
-
-impl BatchSpec {
-    /// The paper's batch-1 execution.
-    pub const SINGLE: BatchSpec = BatchSpec {
-        max_batch: 1,
-        marginal_cost: 1.0,
-    };
-
-    /// Validate the configuration.
-    pub fn validate(&self) {
-        assert!(self.max_batch >= 1, "batch size must be >= 1");
-        assert!(
-            self.marginal_cost > 0.0 && self.marginal_cost <= 1.0,
-            "marginal cost must be in (0, 1]"
-        );
-    }
-
-    /// Cost multiplier for a batch of `b` requests.
-    pub fn factor(&self, b: usize) -> f64 {
-        1.0 + self.marginal_cost * (b as f64 - 1.0)
-    }
-}
+/// extension), re-exported from the shared [`arlo_runtime::batching`]
+/// model so the simulator and the live serve executor consume one
+/// implementation.
+pub use arlo_runtime::batching::BatchSpec;
 
 /// Circuit-breaker position for one instance, set by the fault-tolerance
 /// layer from its health state. The gate composes with the existing
@@ -668,7 +635,7 @@ impl Cluster {
         if inst.queue.is_empty() {
             return None;
         }
-        let take = (batch.max_batch as usize).min(inst.queue.len());
+        let take = batch.take(inst.queue.len());
         let requests: Vec<Request> = inst.queue.drain(..take).collect();
         let profile = &self.profiles[inst.runtime_idx];
         // The batch pads to its longest member; jitter keys off the first
@@ -680,8 +647,7 @@ impl Cluster {
         let degrade = inst.fail_slow.map_or(1.0, |(since, ramp)| {
             1.0 + ramp * (now.saturating_sub(since) as f64 / arlo_trace::NANOS_PER_SEC as f64)
         });
-        let exec =
-            (base as f64 * batch.factor(requests.len()) * inst.slowdown * degrade).round() as Nanos;
+        let exec = batch.exec_ns(base, requests.len(), inst.slowdown, degrade);
         inst.running = requests.clone();
         inst.busy_since = Some(now);
         Some(StartedExecution {

@@ -718,6 +718,43 @@ mod tests {
     }
 
     #[test]
+    fn partition_edge_cases_produce_no_phantom_shares() {
+        // Empty trace: n well-formed empty partitions, horizon preserved.
+        let empty = Trace::from_requests(Vec::new(), 42);
+        let parts = empty.partition(3);
+        assert_eq!(parts.len(), 3);
+        for p in &parts {
+            assert_eq!(p.len(), 0);
+            assert_eq!(p.horizon(), 42);
+        }
+
+        // More partitions than requests: each request lands in exactly one
+        // partition and the surplus partitions are empty, not phantom
+        // duplicates.
+        let trace = Trace::from_requests(
+            (0..3)
+                .map(|i| Request {
+                    id: i,
+                    arrival: i * 5,
+                    length: 32,
+                })
+                .collect(),
+            100,
+        );
+        let parts = trace.partition(8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(Trace::len).sum::<usize>(), trace.len());
+        let mut ids: Vec<u64> = parts
+            .iter()
+            .flat_map(|p| p.requests().iter().map(|r| r.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2], "every request exactly once");
+        assert!(parts[3..].iter().all(|p| p.requests().is_empty()));
+        assert!(parts.iter().all(|p| p.horizon() == 100));
+    }
+
+    #[test]
     #[should_panic(expected = "sorted")]
     fn from_requests_rejects_unsorted() {
         Trace::from_requests(

@@ -69,6 +69,7 @@ USAGE:
   arlo profile    --model <m> [--slo-ms <ms>]
   arlo serve      --model <m> --gpus <n> [--slo-ms <ms>] [--addr <ip:port>]
                   [--time-scale <x>] [--workers <n>] [--period-secs <s>]
+                  [--max-batch <n> [--marginal-cost <f>] [--max-wait-ms <ms>]]
                   (runs until a client sends a Drain frame, then flushes and exits)
   arlo loadgen    --addr <ip:port> (--trace <file> | --rate <r> --secs <s>) [--bursty]
                   [--seed <n>] [--clients <n>] [--time-scale <x>]
@@ -352,6 +353,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let time_scale: u32 = num_or(flags, "time-scale", 1)?;
     let workers: usize = num_or(flags, "workers", 8)?;
     let period_secs: u64 = num_or(flags, "period-secs", 120)?;
+    let max_batch: u32 = num_or(flags, "max-batch", 1)?;
+    let marginal_cost: f64 = num_or(flags, "marginal-cost", 0.6)?;
+    let max_wait_ms: f64 = num_or(flags, "max-wait-ms", 0.0)?;
+    if max_batch == 0 || !(0.0..=1.0).contains(&marginal_cost) || marginal_cost == 0.0 {
+        return Err("--max-batch must be >= 1 and --marginal-cost in (0, 1]".into());
+    }
+    let batch = BatchPolicy {
+        spec: BatchSpec {
+            max_batch,
+            marginal_cost,
+        },
+        max_wait_ns: (max_wait_ms * 1e6) as u64,
+    };
 
     let set = RuntimeSet::natural(model.clone());
     let profiles = profile_runtimes(&set.compile(), slo, 512);
@@ -373,11 +387,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             jitter: JitterSpec::NONE,
             drain_timeout: std::time::Duration::from_secs(60),
             fail_one_in: None,
+            batch,
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "serving {} on {} — {gpus} GPUs, SLO {slo} ms, {time_scale}× virtual time",
+        "serving {} on {} — {gpus} GPUs, SLO {slo} ms, {time_scale}× virtual time, batch {max_batch}",
         model.name,
         server.local_addr()
     );
