@@ -31,7 +31,6 @@ use arlo_bench::{json_f64, print_table, write_json};
 use arlo_core::engine::{ArloEngine, EngineConfig};
 use arlo_core::request_scheduler::ArloRequestScheduler;
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
-use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::{profile_runtimes, RuntimeProfile};
 use arlo_runtime::runtime_set::RuntimeSet;
@@ -88,15 +87,12 @@ fn engine(allocation_period_secs: u64) -> ArloEngine {
 
 fn serve_config(batch: BatchPolicy, time_scale: u32) -> ServeConfig {
     ServeConfig {
-        gpus: GPUS,
-        workers: 8,
         time_scale,
         queue_capacity: 8192,
         tick_interval: NANOS_PER_SEC / 5,
-        jitter: JitterSpec::NONE,
         drain_timeout: Duration::from_secs(60),
-        fail_one_in: None,
         batch,
+        ..ServeConfig::new(GPUS)
     }
 }
 

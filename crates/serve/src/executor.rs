@@ -76,6 +76,9 @@ pub struct CompletedBatch {
 /// Coalescer key: one virtual instance of one deployment generation.
 type Key = (u64, usize, usize);
 
+/// Completion/panic callback: receives each finished batch exactly once.
+type BatchCallback = dyn Fn(CompletedBatch) + Send + Sync;
+
 struct KeyState {
     coalescer: Coalescer<Job>,
     /// Deadline of the earliest flush armed on the flusher thread for this
@@ -98,7 +101,13 @@ struct ExecutorShared {
     /// Histogram of sealed batch sizes: `occupancy[b-1]` counts batches of
     /// size `b`.
     occupancy: Mutex<Vec<u64>>,
-    on_done: Box<dyn Fn(CompletedBatch) + Send + Sync>,
+    on_done: Box<BatchCallback>,
+    /// Invoked with the in-flight batch when `on_done` panics, so the
+    /// embedder can account the batch as failed instead of losing it (see
+    /// [`Executor::set_panic_handler`]). `None` = panics only count.
+    on_panic: Mutex<Option<Box<BatchCallback>>>,
+    /// Completion-callback panics caught and recovered so far.
+    panics: std::sync::atomic::AtomicU64,
 }
 
 impl ExecutorShared {
@@ -151,13 +160,7 @@ impl ExecutorShared {
         };
         if !sealed.is_empty() {
             let mut occ = self.occupancy.lock();
-            for batch in &sealed {
-                let slot = batch.items.len() - 1;
-                if occ.len() <= slot {
-                    occ.resize(slot + 1, 0);
-                }
-                occ[slot] += 1;
-            }
+            occ_update(&mut occ, &sealed);
         }
         for batch in sealed {
             let _ = run_tx.send(CompletedBatch {
@@ -168,6 +171,40 @@ impl ExecutorShared {
             });
         }
         arm
+    }
+
+    /// Fire the completion callback for one finished batch, surviving a
+    /// panicking callback: the panic is caught, counted, and the batch is
+    /// handed to the panic handler for failure accounting instead of being
+    /// silently lost. The worker thread then continues with the next batch
+    /// — the pool never shrinks and drain never deadlocks on a poisoned
+    /// worker.
+    fn run_completion(&self, batch: CompletedBatch) {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (self.on_done)(batch.clone());
+        }));
+        if attempt.is_err() {
+            self.panics
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if let Some(handler) = self.on_panic.lock().as_ref() {
+                // A panicking *recovery* handler would poison the pool the
+                // same way; catch it too and settle for the counter.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handler(batch);
+                }));
+            }
+        }
+    }
+}
+
+/// Bump the batch-size histogram for a round of sealed batches.
+fn occ_update<T>(occ: &mut Vec<u64>, sealed: &[arlo_runtime::batching::SealedBatch<T>]) {
+    for batch in sealed {
+        let slot = batch.items.len() - 1;
+        if occ.len() <= slot {
+            occ.resize(slot + 1, 0);
+        }
+        occ[slot] += 1;
     }
 }
 
@@ -192,7 +229,7 @@ impl Executor {
         clock: Arc<VirtualClock>,
         jitter: JitterSpec,
         policy: BatchPolicy,
-        on_done: Box<dyn Fn(CompletedBatch) + Send + Sync>,
+        on_done: Box<BatchCallback>,
     ) -> Self {
         assert!(workers >= 1, "need at least one worker");
         assert!(!profiles.is_empty(), "need at least one profile");
@@ -207,6 +244,8 @@ impl Executor {
             flush_tx: Mutex::new(Some(flush_tx)),
             occupancy: Mutex::new(Vec::new()),
             on_done,
+            on_panic: Mutex::new(None),
+            panics: std::sync::atomic::AtomicU64::new(0),
         });
         let (run_tx, run_rx) = mpsc::channel::<CompletedBatch>();
         let run_rx = Arc::new(std::sync::Mutex::new(run_rx));
@@ -222,7 +261,7 @@ impl Executor {
                         let next = run_rx.lock().expect("executor queue lock").recv();
                         let Ok(batch) = next else { return };
                         shared.clock.sleep_until(batch.finished_at);
-                        (shared.on_done)(batch);
+                        shared.run_completion(batch);
                     })
                     .expect("spawn executor worker")
             })
@@ -276,6 +315,25 @@ impl Executor {
             .keys
             .lock()
             .retain(|&(g, _, _), s| g >= generation || s.coalescer.pending_len() > 0);
+    }
+
+    /// Install the panic-recovery handler: when the completion callback
+    /// panics on a worker, the caught batch is handed here so the embedder
+    /// can account every member as failed (report it into the engine,
+    /// answer the clients) instead of silently losing the batch. The
+    /// worker itself survives — it catches the panic, recovers, and keeps
+    /// draining the queue, so the pool never shrinks and a drain never
+    /// deadlocks on a poisoned worker.
+    ///
+    /// Install before traffic flows; a panic with no handler installed is
+    /// still caught and counted, but the batch is not re-accounted.
+    pub fn set_panic_handler(&self, handler: Box<BatchCallback>) {
+        *self.shared.on_panic.lock() = Some(handler);
+    }
+
+    /// Completion-callback panics caught (and recovered from) so far.
+    pub fn panics_recovered(&self) -> u64 {
+        self.shared.panics.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Number of distinct instance coalescers currently tracked (tests and
@@ -528,6 +586,61 @@ mod tests {
         // 4 + 1: one full batch, one singleton.
         let occ = exec.shutdown();
         assert_eq!(occ, vec![1, 0, 0, 1], "occupancy: one 1-batch, one 4-batch");
+    }
+
+    #[test]
+    fn panicking_completion_callback_is_caught_and_batch_reaccounted() {
+        // A completion callback that panics on every 3rd request id: the
+        // worker must catch it, hand the batch to the panic handler, and
+        // keep serving — shutdown still joins every thread (a deadlocked
+        // or dead pool would hang the test instead).
+        let clock = Arc::new(VirtualClock::new(10_000));
+        let done: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let failed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let done_sink = Arc::clone(&done);
+        let exec = Executor::new(
+            profiles(),
+            2,
+            Arc::clone(&clock),
+            JitterSpec::NONE,
+            BatchPolicy::greedy(BatchSpec::SINGLE),
+            Box::new(move |b: CompletedBatch| {
+                if b.jobs[0].request_id.is_multiple_of(3) {
+                    panic!("injected completion panic");
+                }
+                done_sink.lock().extend(b.jobs.iter().map(|j| j.request_id));
+            }),
+        );
+        let failed_sink = Arc::clone(&failed);
+        exec.set_panic_handler(Box::new(move |b: CompletedBatch| {
+            failed_sink
+                .lock()
+                .extend(b.jobs.iter().map(|j| j.request_id));
+        }));
+
+        let t0 = clock.now();
+        for id in 0..30 {
+            exec.submit(job(id, 0, (id % 4) as usize, t0));
+        }
+        // Wait for all 30 completions (20 normal + 10 recovered) before
+        // shutdown consumes the executor, so the counter read is final.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while done.lock().len() + failed.lock().len() < 30 {
+            assert!(std::time::Instant::now() < deadline, "completions stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            exec.panics_recovered(),
+            10,
+            "each panic counted exactly once"
+        );
+        exec.shutdown();
+
+        let done = done.lock();
+        let failed = failed.lock();
+        assert_eq!(failed.len(), 10, "every 3rd id re-accounted: {failed:?}");
+        assert!(failed.iter().all(|id| id % 3 == 0));
+        assert_eq!(done.len(), 20, "the rest completed normally");
     }
 
     #[test]

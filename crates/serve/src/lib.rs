@@ -11,7 +11,12 @@
 //! The stack, bottom to top:
 //!
 //! - [`protocol`] — a versioned, length-prefixed binary wire format with
-//!   total (never-panicking) decoding.
+//!   total (never-panicking) decoding, plus the incremental
+//!   [`protocol::FrameReader`] that reassembles frames from arbitrary
+//!   fragments and resyncs past malformed ones.
+//! - [`chaos`] — deterministic, seeded network-fault injection
+//!   ([`chaos::FaultyStream`] driven by a [`chaos::ChaosPlan`]): delays,
+//!   partial I/O, bit corruption, abrupt resets, slowloris stalls.
 //! - [`clock`] — the [`clock::VirtualClock`] that anchors the engine's
 //!   monotonic nanoseconds and scales them for accelerated runs.
 //! - [`executor`] — a worker pool that charges each placed request its
@@ -24,13 +29,17 @@
 //! - [`loadgen`] — open- and closed-loop trace replay over real sockets,
 //!   for the `ext_serve` benchmark and the end-to-end tests.
 
+pub mod chaos;
 pub mod clock;
 pub mod executor;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosPlan, FaultClass, FaultyStream};
 pub use clock::VirtualClock;
-pub use loadgen::{replay, LoadGenConfig, LoadGenReport, LoadMode};
+pub use loadgen::{
+    chaos_replay, replay, ChaosReplayConfig, ChaosReport, LoadGenConfig, LoadGenReport, LoadMode,
+};
 pub use protocol::{ErrorCode, Frame, StatsPayload};
 pub use server::{DrainReport, ServeConfig, Server};

@@ -19,7 +19,8 @@
 //! serial-execution model — so percentiles are meaningful at any time
 //! scale and immune to OS sleep jitter on the loadgen side.
 
-use crate::protocol::{read_frame, ErrorCode, Frame, ReadFrameError};
+use crate::chaos::{ChaosConfig, FaultyStream, SplitMix64};
+use crate::protocol::{read_frame, ErrorCode, Frame, FrameReader, ReadFrameError, CONN_ERROR_ID};
 use arlo_trace::stats::Summary;
 use arlo_trace::workload::Trace;
 use parking_lot::Mutex;
@@ -174,12 +175,18 @@ impl Tally {
                 self.latencies_ns.lock().push(*latency_ns);
                 self.ok.fetch_add(1, Ordering::SeqCst);
             }
+            // A Protocol error is connection-level (sentinel id), not the
+            // answer to any request: the server is about to hang up.
+            Frame::Error {
+                code: ErrorCode::Protocol,
+                ..
+            } => {}
             Frame::Error { code, .. } => {
                 let counter = match code {
                     ErrorCode::Shed => &self.shed,
                     ErrorCode::Unserviceable => &self.unserviceable,
                     ErrorCode::Draining => &self.draining,
-                    ErrorCode::Failed => &self.failed,
+                    ErrorCode::Failed | ErrorCode::Protocol => &self.failed,
                 };
                 counter.fetch_add(1, Ordering::SeqCst);
             }
@@ -365,4 +372,349 @@ fn closed_client(
         }
     }
     Ok(tally.into_outcome(sent))
+}
+
+// ---------------------------------------------------------------------------
+// Chaos replay: fault-injected clients with reconnect, retry, and
+// per-request terminal-state conservation.
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`chaos_replay`]: fault-injected clients that retry
+/// through failures instead of giving up.
+#[derive(Debug, Clone)]
+pub struct ChaosReplayConfig {
+    /// Concurrent client connections (each drives its trace partition one
+    /// request at a time, so terminal states are exact).
+    pub clients: usize,
+    /// Fault recipe applied to every client-side stream. Each (re)connect
+    /// draws a fresh deterministic plan from the recipe, numbered by a
+    /// global connection counter, so a run is reproducible from the seed.
+    pub chaos: ChaosConfig,
+    /// Attempts per request (first try included) before the client gives
+    /// up and records the request as exhausted.
+    pub max_attempts: u32,
+    /// How long one attempt waits for its answer before the client drops
+    /// the connection (so a late answer can never be double-counted) and
+    /// retries.
+    pub attempt_timeout: Duration,
+    /// Base of the jittered exponential reconnect/retry backoff.
+    pub backoff_base: Duration,
+    /// Largest virtual `latency_ns` in a `Response` the client will
+    /// believe. v1 frames carry no checksum, so a bit-flip in the latency
+    /// field of an otherwise well-formed `Response` decodes cleanly; a
+    /// value beyond this bound is treated as frame corruption — the
+    /// connection is dropped and the attempt retried — instead of being
+    /// folded into the latency statistics. This bounds the damage; flips
+    /// that land below the bound are indistinguishable from truth until
+    /// frames grow checksums. A false positive only costs a retry on a
+    /// fresh connection, never a lost request — raise the bound for
+    /// saturated closed-loop runs where multi-second virtual latencies
+    /// are legitimate.
+    pub max_credible_latency: Duration,
+}
+
+impl ChaosReplayConfig {
+    /// `clients` chaos clients under `chaos`, with defaults tuned for
+    /// accelerated loopback runs.
+    pub fn new(clients: usize, chaos: ChaosConfig) -> Self {
+        ChaosReplayConfig {
+            clients,
+            chaos,
+            max_attempts: 6,
+            attempt_timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(2),
+            // Two virtual seconds: >10× any SLO this repo models, yet low
+            // enough that a single surviving bit-flip (necessarily below
+            // the bound) biases a mean by at most a few ms.
+            max_credible_latency: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Outcome of a [`chaos_replay`], merged across clients.
+///
+/// Conservation invariant (checked by [`ChaosReport::conserved`]): every
+/// request in the trace terminates in **exactly one** of `ok`,
+/// `unserviceable`, `draining`, or `exhausted` — a request that vanished
+/// without a terminal state would break the sum, so zero silent loss is
+/// an equality, not an absence of evidence.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Unique requests driven (the trace length).
+    pub requests: u64,
+    /// Requests that got a successful response (possibly after retries).
+    pub ok: u64,
+    /// Requests no runtime could ever serve (terminal on first answer —
+    /// retrying cannot change the fleet's compiled maximum length).
+    pub unserviceable: u64,
+    /// Requests refused because the server was draining (terminal: the
+    /// server is going away).
+    pub draining: u64,
+    /// Requests abandoned after `max_attempts` tries.
+    pub exhausted: u64,
+    /// Extra attempts beyond each request's first.
+    pub retries: u64,
+    /// Connections (re)established, including each client's first.
+    pub connects: u64,
+    /// Virtual dispatch→completion latencies (ms) of the `ok` responses
+    /// (final successful attempt only).
+    pub latencies_ms: Vec<f64>,
+    /// Real wall-clock duration of the replay.
+    pub wall: Duration,
+}
+
+impl ChaosReport {
+    /// The zero-loss conservation check: `ok + unserviceable + draining +
+    /// exhausted == requests`.
+    pub fn conserved(&self) -> bool {
+        self.ok + self.unserviceable + self.draining + self.exhausted == self.requests
+    }
+
+    /// Summary statistics over the successful-response latencies.
+    pub fn latency_summary(&self) -> Summary {
+        Summary::from_samples(&self.latencies_ms)
+    }
+
+    fn merge(&mut self, other: ChaosReport) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.unserviceable += other.unserviceable;
+        self.draining += other.draining;
+        self.exhausted += other.exhausted;
+        self.retries += other.retries;
+        self.connects += other.connects;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+}
+
+/// Replay `trace` against `addr` through fault-injected connections,
+/// retrying each request until it reaches a terminal state or its attempt
+/// budget runs out. Never returns an error for network trouble — that is
+/// the point — only for thread-spawn failure.
+pub fn chaos_replay(
+    addr: SocketAddr,
+    trace: &Trace,
+    config: &ChaosReplayConfig,
+) -> io::Result<ChaosReport> {
+    assert!(config.clients >= 1, "need at least one client");
+    assert!(config.max_attempts >= 1, "need at least one attempt");
+    let parts = trace.partition(config.clients);
+    let conn_counter = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.clients);
+    for (client_idx, part) in parts.into_iter().enumerate() {
+        let config = config.clone();
+        let conn_counter = Arc::clone(&conn_counter);
+        handles.push(
+            std::thread::Builder::new()
+                .name("arlo-chaosgen".into())
+                .spawn(move || {
+                    chaos_client(addr, &part, &config, client_idx as u64, &conn_counter)
+                })?,
+        );
+    }
+    let mut report = ChaosReport::default();
+    for handle in handles {
+        report.merge(handle.join().expect("chaos client panicked"));
+    }
+    report.wall = started.elapsed();
+    report.latencies_ms.sort_by(f64::total_cmp);
+    Ok(report)
+}
+
+/// One live chaos connection: the fault-wrapped stream plus its
+/// incremental frame reassembler (client side of the same machinery the
+/// server uses, so client decoding survives fragmentation too).
+struct ChaosConn {
+    stream: FaultyStream<TcpStream>,
+    frames: FrameReader,
+}
+
+/// How one attempt at one request ended.
+enum Attempt {
+    /// Response received; virtual latency in nanoseconds.
+    Ok(u64),
+    /// Terminal refusal: retrying is pointless.
+    Terminal(ErrorCode),
+    /// Transient failure (fault, timeout, shed, failed execution): retry
+    /// with backoff. `true` means the connection must be replaced.
+    Retry { reconnect: bool },
+}
+
+fn chaos_client(
+    addr: SocketAddr,
+    part: &Trace,
+    config: &ChaosReplayConfig,
+    client_idx: u64,
+    conn_counter: &AtomicU64,
+) -> ChaosReport {
+    let mut report = ChaosReport {
+        requests: part.len() as u64,
+        ..ChaosReport::default()
+    };
+    // Backoff jitter gets its own deterministic stream, decorrelated from
+    // the fault plans by the client index.
+    let mut rng = SplitMix64::new(
+        config
+            .chaos
+            .seed
+            .wrapping_add(client_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    let mut conn: Option<ChaosConn> = None;
+    for r in part.requests() {
+        let mut attempts: u32 = 0;
+        loop {
+            if attempts >= config.max_attempts {
+                report.exhausted += 1;
+                break;
+            }
+            if attempts > 0 {
+                report.retries += 1;
+                backoff(&mut rng, config.backoff_base, attempts);
+            }
+            attempts += 1;
+            if conn.is_none() {
+                match connect_chaos(addr, config, conn_counter) {
+                    Some(c) => {
+                        report.connects += 1;
+                        conn = Some(c);
+                    }
+                    None => continue, // burn an attempt, back off, retry
+                }
+            }
+            let c = conn.as_mut().expect("connected above");
+            match drive_attempt(c, r.id, r.length, config) {
+                Attempt::Ok(latency_ns) => {
+                    report.ok += 1;
+                    report.latencies_ms.push(latency_ns as f64 / 1e6);
+                    break;
+                }
+                Attempt::Terminal(ErrorCode::Unserviceable) => {
+                    report.unserviceable += 1;
+                    break;
+                }
+                Attempt::Terminal(_) => {
+                    report.draining += 1;
+                    break;
+                }
+                Attempt::Retry { reconnect } => {
+                    if reconnect {
+                        conn = None;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Establish one fault-wrapped connection; `None` if even the TCP connect
+/// failed (the caller backs off and retries).
+fn connect_chaos(
+    addr: SocketAddr,
+    config: &ChaosReplayConfig,
+    conn_counter: &AtomicU64,
+) -> Option<ChaosConn> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    // Short socket timeout: the attempt deadline is enforced in
+    // `drive_attempt`, and a fine poll keeps injected stalls from pinning
+    // the client past it.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok()?;
+    let plan = config
+        .chaos
+        .plan_for(conn_counter.fetch_add(1, Ordering::SeqCst));
+    Some(ChaosConn {
+        stream: FaultyStream::new(stream, plan),
+        frames: FrameReader::new(),
+    })
+}
+
+/// Send one submit and wait for *its* answer through the faulty stream.
+///
+/// Any path that might leave the request's answer in flight (timeout,
+/// fatal decode desync, I/O failure) demands a reconnect, so a stale
+/// answer from a previous attempt can never arrive on the connection used
+/// by the next one — that discipline is what makes `ok` count *requests*
+/// rather than responses.
+fn drive_attempt(
+    conn: &mut ChaosConn,
+    id: u64,
+    length: u32,
+    config: &ChaosReplayConfig,
+) -> Attempt {
+    if (Frame::Submit { id, length })
+        .write_to(&mut conn.stream)
+        .is_err()
+    {
+        return Attempt::Retry { reconnect: true };
+    }
+    let credible_ns = u64::try_from(config.max_credible_latency.as_nanos()).unwrap_or(u64::MAX);
+    let deadline = Instant::now() + config.attempt_timeout;
+    loop {
+        // Drain everything decodable before touching the socket again.
+        loop {
+            match conn.frames.next_frame() {
+                Ok(Some(Frame::Response {
+                    id: rid,
+                    latency_ns,
+                    ..
+                })) if rid == id => {
+                    if latency_ns > credible_ns {
+                        // A bit-flip inside the latency field decodes as a
+                        // perfectly well-formed Response. An incredible
+                        // value means the stream mangled *our* answer, so
+                        // the connection is untrustworthy: reconnect and
+                        // retry instead of poisoning the statistics.
+                        return Attempt::Retry { reconnect: true };
+                    }
+                    return Attempt::Ok(latency_ns);
+                }
+                Ok(Some(Frame::Error { id: rid, code })) if rid == id => {
+                    return match code {
+                        // Refusals that cannot change on retry.
+                        ErrorCode::Unserviceable | ErrorCode::Draining => Attempt::Terminal(code),
+                        // Load shedding and failed executions are
+                        // transient by design; retry on the same socket.
+                        _ => Attempt::Retry { reconnect: false },
+                    };
+                }
+                Ok(Some(Frame::Error { id: rid, code })) if rid == CONN_ERROR_ID => {
+                    // Connection-scoped verdict: admission refusal or a
+                    // protocol disconnect. Either way this socket is done.
+                    let _ = code;
+                    return Attempt::Retry { reconnect: true };
+                }
+                Ok(Some(_)) => {} // stats, or an answer to a dead attempt
+                Ok(None) => break,
+                Err(e) if e.resynchronizable() => {
+                    // A corrupted frame was skipped; our answer may have
+                    // been inside it. Keep waiting until the deadline.
+                }
+                Err(_) => return Attempt::Retry { reconnect: true },
+            }
+        }
+        if Instant::now() >= deadline {
+            return Attempt::Retry { reconnect: true };
+        }
+        match conn.frames.fill(&mut conn.stream) {
+            Ok(0) => return Attempt::Retry { reconnect: true },
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return Attempt::Retry { reconnect: true },
+        }
+    }
+}
+
+/// Sleep a jittered exponential backoff: `base · 2^(attempt-1) · U[0.5,1.5)`,
+/// capped at 100 ms so accelerated runs never stall on recovery.
+fn backoff(rng: &mut SplitMix64, base: Duration, attempt: u32) {
+    let exp = 1u32 << attempt.saturating_sub(1).min(6);
+    let jitter = 0.5 + rng.next_f64();
+    let wait = base.mul_f64(f64::from(exp) * jitter);
+    std::thread::sleep(wait.min(Duration::from_millis(100)));
 }

@@ -70,7 +70,19 @@ pub enum ErrorCode {
     /// The execution failed on the backend (the failure has been reported
     /// into the engine's health layer). The client may retry.
     Failed = 4,
+    /// The peer violated the protocol (malformed frames beyond the
+    /// connection's error budget, or a refused connection): the connection
+    /// is about to close. Sent with the sentinel id
+    /// [`CONN_ERROR_ID`] because it concerns the connection, not any one
+    /// request. The client should reconnect before retrying.
+    Protocol = 5,
 }
+
+/// The request-id sentinel used on connection-level [`Frame::Error`]s
+/// ([`ErrorCode::Protocol`], and [`ErrorCode::Shed`] on a refused
+/// connection): the error describes the connection itself, not a request,
+/// so no real request id fits. Real ids are never `u64::MAX` by contract.
+pub const CONN_ERROR_ID: u64 = u64::MAX;
 
 impl ErrorCode {
     fn from_u8(code: u8) -> Result<Self, DecodeError> {
@@ -79,6 +91,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Unserviceable),
             3 => Ok(ErrorCode::Draining),
             4 => Ok(ErrorCode::Failed),
+            5 => Ok(ErrorCode::Protocol),
             other => Err(DecodeError::BadErrorCode(other)),
         }
     }
@@ -173,6 +186,29 @@ pub enum DecodeError {
     },
     /// Unknown [`ErrorCode`] discriminant in an error frame.
     BadErrorCode(u8),
+}
+
+impl DecodeError {
+    /// Whether the byte stream can keep being decoded after this error.
+    ///
+    /// A *resynchronizable* error means the offending frame's header was
+    /// intact (magic, version, and a sane payload length), so its exact
+    /// byte extent is known and can be skipped — decoding continues at the
+    /// next frame boundary. This is what lets a server charge malformed
+    /// frames against a per-connection error budget instead of dropping
+    /// the connection on the first one.
+    ///
+    /// Non-resynchronizable errors (bad magic, bad version, an absurd
+    /// declared length, or a truncation) mean framing itself is lost: the
+    /// only safe recovery is closing the connection.
+    pub fn resynchronizable(&self) -> bool {
+        matches!(
+            self,
+            DecodeError::BadFrameType(_)
+                | DecodeError::PayloadLength { .. }
+                | DecodeError::BadErrorCode(_)
+        )
+    }
 }
 
 impl std::fmt::Display for DecodeError {
@@ -467,6 +503,87 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ReadFrameError> {
     }
 }
 
+/// An incremental frame decoder for streams that deliver bytes in
+/// arbitrary fragments — short TCP segments, slowloris peers, chaos-mode
+/// partial reads — and possibly with a socket read timeout armed.
+///
+/// Unlike [`read_frame`], which performs blocking reads until a whole
+/// frame arrives (and therefore loses its partial state if a read times
+/// out), a `FrameReader` buffers across calls:
+///
+/// - [`FrameReader::fill`] performs **one** `read` into the internal
+///   buffer and reports how many bytes arrived (`Ok(0)` is EOF). A timeout
+///   (`WouldBlock`/`TimedOut`) surfaces as the `Err` it is, with the
+///   partial frame safely retained for the next call — this is what makes
+///   per-connection read timeouts compatible with fragmented frames.
+/// - [`FrameReader::next_frame`] decodes the next buffered frame:
+///   `Ok(Some(frame))`, `Ok(None)` ("need more bytes"), or a typed
+///   [`DecodeError`]. When the error is
+///   [resynchronizable](DecodeError::resynchronizable), the offending
+///   frame's bytes have been consumed and decoding may continue — callers
+///   implement an error *budget* rather than a hair-trigger disconnect.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Perform one `read` from `r` into the buffer. Returns the byte count
+    /// (`Ok(0)` = EOF). Timeouts and other I/O errors pass through
+    /// untouched; buffered partial frames survive them.
+    pub fn fill(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        // Reclaim consumed prefix before growing the buffer further.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        // 32 KiB per syscall: small frames mean a reader doing one read
+        // per frame cannot keep up with a response storm; bulk fills keep
+        // consumption comfortably above any production rate.
+        let mut chunk = [0u8; 32 * 1024];
+        let n = r.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Decode the next frame from the buffer. `Ok(None)` means the buffer
+    /// holds only a partial frame — [`fill`](FrameReader::fill) more. On a
+    /// resynchronizable [`DecodeError`] the bad frame is consumed and the
+    /// next call resumes at the following frame boundary; on any other
+    /// error the stream is unrecoverable and the connection should close.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        let avail = &self.buf[self.start..];
+        match Frame::decode(avail) {
+            Ok((frame, consumed)) => {
+                self.start += consumed;
+                Ok(Some(frame))
+            }
+            Err(DecodeError::Truncated { .. }) => Ok(None),
+            Err(e) => {
+                if e.resynchronizable() {
+                    // Header was intact, so the frame's extent is known:
+                    // skip exactly that frame and keep the stream alive.
+                    let payload_len = get_u32(avail, 4) as usize;
+                    self.start += HEADER_LEN + payload_len;
+                    debug_assert!(self.start <= self.buf.len());
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +620,10 @@ mod tests {
             Frame::Error {
                 id: 12,
                 code: ErrorCode::Failed,
+            },
+            Frame::Error {
+                id: CONN_ERROR_ID,
+                code: ErrorCode::Protocol,
             },
             Frame::StatsRequest,
             Frame::Stats(StatsPayload {
@@ -667,6 +788,80 @@ mod tests {
             Err(ReadFrameError::Decode(DecodeError::Truncated { .. })) => {}
             other => panic!("expected truncation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_one_byte_fragments() {
+        let mut wire = Vec::new();
+        for frame in all_frames() {
+            wire.extend_from_slice(&frame.encode());
+        }
+        let mut fr = FrameReader::new();
+        let mut seen = Vec::new();
+        // Deliver the wire image one byte at a time, pulling frames as
+        // soon as they complete — the slowloris-survival property.
+        for byte in wire {
+            let mut one = std::io::Cursor::new(vec![byte]);
+            assert_eq!(fr.fill(&mut one).expect("read"), 1);
+            while let Some(frame) = fr.next_frame().expect("stream stays valid") {
+                seen.push(frame);
+            }
+        }
+        assert_eq!(seen, all_frames());
+        assert_eq!(fr.buffered(), 0, "no stray bytes left behind");
+    }
+
+    #[test]
+    fn frame_reader_skips_resynchronizable_errors_and_continues() {
+        let good = Frame::Submit { id: 77, length: 32 };
+        let mut bad = Frame::Drain.encode();
+        bad[3] = 0xEE; // unknown frame type, intact header
+        let mut wire = good.encode();
+        wire.extend_from_slice(&bad);
+        wire.extend_from_slice(&good.encode());
+
+        let mut fr = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        while fr.fill(&mut cursor).expect("read") > 0 {}
+        assert_eq!(fr.next_frame(), Ok(Some(good)));
+        let err = fr.next_frame().expect_err("the bad frame surfaces");
+        assert_eq!(err, DecodeError::BadFrameType(0xEE));
+        assert!(err.resynchronizable(), "typed, and the stream continues");
+        assert_eq!(
+            fr.next_frame(),
+            Ok(Some(good)),
+            "resynced past the bad frame"
+        );
+        assert_eq!(fr.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn frame_reader_reports_fatal_errors_without_consuming() {
+        let mut wire = Frame::Drain.encode();
+        wire[0] = 0x00; // bad magic: framing is lost
+        let mut fr = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        while fr.fill(&mut cursor).expect("read") > 0 {}
+        let err = fr.next_frame().expect_err("bad magic is fatal");
+        assert!(!err.resynchronizable());
+        // A fatal error repeats: the caller's only move is to disconnect.
+        assert_eq!(fr.next_frame(), Err(err));
+    }
+
+    #[test]
+    fn resynchronizable_classification_matches_header_integrity() {
+        assert!(DecodeError::BadFrameType(9).resynchronizable());
+        assert!(DecodeError::BadErrorCode(9).resynchronizable());
+        assert!(DecodeError::PayloadLength {
+            frame_type: 1,
+            expected: 12,
+            got: 0
+        }
+        .resynchronizable());
+        assert!(!DecodeError::BadMagic([0, 0]).resynchronizable());
+        assert!(!DecodeError::BadVersion(2).resynchronizable());
+        assert!(!DecodeError::Oversized { len: 1 << 20 }.resynchronizable());
+        assert!(!DecodeError::Truncated { needed: 8, got: 1 }.resynchronizable());
     }
 
     #[test]

@@ -7,22 +7,46 @@
 //!                        │                                │              │
 //!                        │ shed/drain errors              │ engine.submit│ sleeps exec,
 //!                        ▼                                ▼              ▼ reports health,
-//!                    conn writer ◄──────────────────── responses ◄── answers client
+//!        writer (1/conn) ◄── bounded outbound queue ◄── responses ◄── completion
 //!
-//!   acceptor: accepts connections, spawns readers
-//!   timer:    engine.health_tick + maybe_reallocate/apply_allocation
+//!   acceptor: accepts connections (admission-limited), spawns reader+writer
+//!   timer:    engine.health_tick + maybe_reallocate/apply_allocation,
+//!             joins finished connection threads
 //! ```
 //!
-//! Backpressure is explicit end to end: the reader→dispatch channel is
-//! bounded, and when it is full — or when the engine's admission layer
-//! refuses a dispatch — the client gets a typed [`ErrorCode::Shed`] frame
-//! instead of a stalled or reset connection. Graceful drain stops the
-//! acceptor, refuses new submits with [`ErrorCode::Draining`], flushes every
-//! outstanding execution, then closes connections and joins all threads.
+//! Backpressure and failure are explicit end to end:
+//!
+//! - The reader→dispatch channel is bounded; overflow (or an engine-level
+//!   refusal) answers a typed [`ErrorCode::Shed`] frame, never a stall.
+//! - Every response travels through a **bounded per-connection outbound
+//!   queue** drained by that connection's dedicated writer thread, so a
+//!   stalled or slow client can never block the dispatch thread or the
+//!   executor's completion path. A full queue (or a write timeout) dooms
+//!   only that connection — a typed disconnect, not shared-fate
+//!   backpressure.
+//! - Readers poll with a socket read timeout and **reap idle connections**:
+//!   a half-open or silent socket is closed after `idle_timeout` and its
+//!   thread joined by the timer, so reader threads cannot leak.
+//! - Malformed frames with an intact header are *skipped* and charged
+//!   against a per-connection **error budget**; exhausting it (or losing
+//!   framing entirely) earns a connection-level
+//!   [`ErrorCode::Protocol`] frame and a disconnect.
+//! - The acceptor enforces `max_conns`: beyond it, a new connection is
+//!   answered with a single [`ErrorCode::Shed`] frame and closed.
+//! - A panicking executor completion callback is caught by the worker; the
+//!   in-flight batch is re-accounted as failed through
+//!   [`ArloEngine::report_batch`] and every member's client is answered
+//!   with [`ErrorCode::Failed`], so drain can never deadlock on a poisoned
+//!   pool.
+//!
+//! Graceful drain stops the acceptor, refuses new submits with
+//! [`ErrorCode::Draining`], flushes every outstanding execution *and*
+//! every queued response frame, then closes connections and joins all
+//! threads.
 
 use crate::clock::VirtualClock;
 use crate::executor::{CompletedBatch, Executor, Job};
-use crate::protocol::{read_frame, ErrorCode, Frame, StatsPayload};
+use crate::protocol::{ErrorCode, Frame, FrameReader, StatsPayload, CONN_ERROR_ID};
 use arlo_core::engine::ArloEngine;
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::latency::JitterSpec;
@@ -30,10 +54,11 @@ use arlo_trace::Nanos;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
+use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -53,13 +78,41 @@ pub struct ServeConfig {
     /// Real-time cap on waiting for outstanding work during drain.
     pub drain_timeout: Duration,
     /// Fault injection: fail one in `n` executions (reported through
-    /// [`ArloEngine::report_failure`] and answered with
+    /// [`ArloEngine::report_batch`] and answered with
     /// [`ErrorCode::Failed`]). `None` disables injection.
     pub fail_one_in: Option<u64>,
+    /// Chaos injection: panic the executor's completion callback whenever a
+    /// batch contains a request id hitting one-in-`n` — exercises the
+    /// worker's catch/re-account/respawn path. `None` disables injection.
+    pub panic_one_in: Option<u64>,
     /// Batch coalescing policy for the executor. The default —
     /// greedy [`BatchSpec::SINGLE`] — reproduces per-request execution
     /// exactly (the paper's batch-1 setting).
     pub batch: BatchPolicy,
+    /// Socket read timeout per poll on connection readers. This is the
+    /// granularity at which readers notice shutdown, doom flags, and idle;
+    /// it does **not** bound frame size or rate (partial frames survive
+    /// timeouts via the incremental [`FrameReader`]).
+    pub read_timeout: Duration,
+    /// Real-time silence window after which a connection is reaped: no
+    /// bytes from the client for this long closes the socket and retires
+    /// the reader thread. Half-open sockets die here instead of leaking.
+    pub idle_timeout: Duration,
+    /// Bound of each connection's outbound response queue. A connection
+    /// whose client stalls long enough to fill it is doomed (typed
+    /// disconnect) rather than allowed to backpressure dispatch.
+    pub outbound_queue: usize,
+    /// Socket write timeout for connection writer threads; a blocked write
+    /// past this dooms the connection.
+    pub write_timeout: Duration,
+    /// Malformed frames tolerated per connection before a
+    /// [`ErrorCode::Protocol`] disconnect. Only *resynchronizable* errors
+    /// (intact header, known extent) are budgetable; losing framing is an
+    /// immediate typed disconnect.
+    pub frame_error_budget: u32,
+    /// Admission limit on concurrent connections: beyond it the acceptor
+    /// answers one [`ErrorCode::Shed`] frame and closes.
+    pub max_conns: usize,
 }
 
 impl ServeConfig {
@@ -74,7 +127,14 @@ impl ServeConfig {
             jitter: JitterSpec::NONE,
             drain_timeout: Duration::from_secs(30),
             fail_one_in: None,
+            panic_one_in: None,
             batch: BatchPolicy::greedy(BatchSpec::SINGLE),
+            read_timeout: Duration::from_millis(100),
+            idle_timeout: Duration::from_secs(30),
+            outbound_queue: 1024,
+            write_timeout: Duration::from_secs(5),
+            frame_error_budget: 8,
+            max_conns: 4096,
         }
     }
 
@@ -94,13 +154,19 @@ impl ServeConfig {
 /// Final accounting returned by [`Server::drain`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DrainReport {
+    /// Submit frames decoded off the wire over the server's lifetime.
+    /// Conservation: `submits == served + shed + unserviceable + failed +
+    /// outstanding_at_close` — every accepted request terminates in
+    /// exactly one bucket.
+    pub submits: u64,
     /// Requests completed and answered with a response frame.
     pub served: u64,
     /// Requests refused by the admission/shedding layer or during drain.
     pub shed: u64,
     /// Requests no runtime could serve.
     pub unserviceable: u64,
-    /// Injected execution failures answered with [`ErrorCode::Failed`].
+    /// Execution failures (injected faults and recovered completion
+    /// panics) answered with [`ErrorCode::Failed`].
     pub failed: u64,
     /// Requests still outstanding when the drain gave up (0 on a clean
     /// drain).
@@ -109,6 +175,37 @@ pub struct DrainReport {
     pub reallocations: u64,
     /// Final deployment generation.
     pub generation: u64,
+    /// Connections reaped for idling past the configured window.
+    pub reaped_idle: u64,
+    /// Connections doomed because a stalled client overflowed its bounded
+    /// outbound queue (or timed out a write).
+    pub slow_disconnects: u64,
+    /// Connections closed with a typed [`ErrorCode::Protocol`] error
+    /// (malformed-frame budget exhausted or framing lost).
+    pub protocol_disconnects: u64,
+    /// Connections refused at the admission limit with a typed
+    /// [`ErrorCode::Shed`].
+    pub refused_conns: u64,
+    /// Executor completion panics caught and re-accounted as failures.
+    pub panics_recovered: u64,
+}
+
+struct ConnHandle {
+    tx: mpsc::SyncSender<Frame>,
+    /// Clone of the connection's stream, used only to `shutdown` it.
+    stream: TcpStream,
+    doomed: Arc<AtomicBool>,
+}
+
+impl ConnHandle {
+    /// Kill this connection: both directions shut down, reader and writer
+    /// notice and exit on their next poll/write. Returns true only for the
+    /// transition (so dooming is counted once per connection).
+    fn doom(&self) -> bool {
+        let first = !self.doomed.swap(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        first
+    }
 }
 
 struct Shared {
@@ -116,16 +213,30 @@ struct Shared {
     clock: Arc<VirtualClock>,
     max_length: u32,
     fail_one_in: Option<u64>,
+    panic_one_in: Option<u64>,
     draining: AtomicBool,
     shutdown: AtomicBool,
+    submits: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
     unserviceable: AtomicU64,
     failed: AtomicU64,
     outstanding: AtomicU64,
     reallocations: AtomicU64,
-    conns: Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>,
-    reader_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Response frames enqueued on writer queues and not yet written;
+    /// drain flushes this to zero before closing sockets.
+    queued_frames: AtomicU64,
+    reaped_idle: AtomicU64,
+    slow_disconnects: AtomicU64,
+    protocol_disconnects: AtomicU64,
+    refused_conns: AtomicU64,
+    /// Response frames dropped because their connection was gone or
+    /// doomed (the client's loss — chaos clients retry).
+    dropped_responses: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    /// Reader + writer thread handles; finished ones are joined by the
+    /// timer thread so reaped connections don't leak threads.
+    conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -141,13 +252,50 @@ impl Shared {
         }
     }
 
-    /// Write a frame to a connection; a vanished or broken connection is
-    /// the client's problem, not the server's.
+    /// Enqueue a frame on a connection's bounded outbound queue. Never
+    /// blocks: a vanished connection drops the frame, and a *full* queue —
+    /// a client that stopped reading while responses kept coming — dooms
+    /// the connection (typed disconnect) instead of stalling the caller.
+    /// This is the only way frames reach sockets, so neither the dispatch
+    /// thread nor executor workers can ever block on a slow client.
     fn respond(&self, conn_id: u64, frame: &Frame) {
-        let stream = self.conns.lock().get(&conn_id).cloned();
-        if let Some(stream) = stream {
-            let mut stream = stream.lock();
-            let _ = frame.write_to(&mut *stream);
+        let conns = self.conns.lock();
+        let Some(handle) = conns.get(&conn_id) else {
+            self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // Count the frame *before* sending it: the writer decrements after
+        // handling, so incrementing afterwards could race the counter
+        // below zero (u64 wrap) and wedge drain's flush wait.
+        self.queued_frames.fetch_add(1, Ordering::SeqCst);
+        match handle.tx.try_send(*frame) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.queued_frames.fetch_sub(1, Ordering::SeqCst);
+                self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                if handle.doom() {
+                    self.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.queued_frames.fetch_sub(1, Ordering::SeqCst);
+                self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Join every connection thread that has already exited (reaped or
+    /// disconnected); live ones stay. Called by the timer so reader/writer
+    /// threads are reclaimed within roughly one tick of finishing.
+    fn join_finished_conn_threads(&self) {
+        let mut registry = self.conn_threads.lock();
+        let handles = std::mem::take(&mut *registry);
+        for handle in handles {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                registry.push(handle);
+            }
         }
     }
 }
@@ -188,16 +336,24 @@ impl Server {
             clock: Arc::clone(&clock),
             max_length,
             fail_one_in: config.fail_one_in,
+            panic_one_in: config.panic_one_in,
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            submits: AtomicU64::new(0),
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             unserviceable: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             outstanding: AtomicU64::new(0),
             reallocations: AtomicU64::new(0),
+            queued_frames: AtomicU64::new(0),
+            reaped_idle: AtomicU64::new(0),
+            slow_disconnects: AtomicU64::new(0),
+            protocol_disconnects: AtomicU64::new(0),
+            refused_conns: AtomicU64::new(0),
+            dropped_responses: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
-            reader_handles: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
         });
 
         let executor = {
@@ -211,6 +367,13 @@ impl Server {
                 Box::new(move |done| complete_batch(&shared, &done)),
             ))
         };
+        // A panicking completion callback must not lose its batch: the
+        // worker catches the panic and this handler re-accounts every
+        // member as failed (engine report + typed client error).
+        {
+            let shared = Arc::clone(&shared);
+            executor.set_panic_handler(Box::new(move |done| fail_batch(&shared, &done)));
+        }
 
         let (tx, rx) = mpsc::sync_channel::<DispatchMsg>(config.queue_capacity);
 
@@ -235,9 +398,10 @@ impl Server {
 
         let acceptor = {
             let shared = Arc::clone(&shared);
+            let config = config.clone();
             std::thread::Builder::new()
                 .name("arlo-accept".into())
-                .spawn(move || accept_loop(&shared, &listener, &tx))?
+                .spawn(move || accept_loop(&shared, &listener, &tx, &config))?
         };
 
         Ok(Server {
@@ -272,6 +436,38 @@ impl Server {
         self.shared.draining.load(Ordering::Relaxed)
     }
 
+    /// Live connections currently registered.
+    pub fn active_connections(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+
+    /// Connection reader/writer threads not yet joined (finished threads
+    /// are reclaimed by the timer within about one tick).
+    pub fn live_conn_threads(&self) -> usize {
+        self.shared.conn_threads.lock().len()
+    }
+
+    /// Connections reaped for idling past the configured window.
+    pub fn reaped_idle(&self) -> u64 {
+        self.shared.reaped_idle.load(Ordering::SeqCst)
+    }
+
+    /// Connections doomed by a stalled client (outbound-queue overflow or
+    /// write timeout).
+    pub fn slow_disconnects(&self) -> u64 {
+        self.shared.slow_disconnects.load(Ordering::SeqCst)
+    }
+
+    /// Connections disconnected with a typed protocol error.
+    pub fn protocol_disconnects(&self) -> u64 {
+        self.shared.protocol_disconnects.load(Ordering::SeqCst)
+    }
+
+    /// Executor completion panics caught and re-accounted so far.
+    pub fn panics_recovered(&self) -> u64 {
+        self.executor.panics_recovered()
+    }
+
     /// Distinct `(generation, runtime, instance)` coalescers the executor
     /// currently tracks — bounded across reallocations by the post-apply
     /// eviction (regression hook).
@@ -287,15 +483,19 @@ impl Server {
 
     /// Graceful shutdown: stop accepting, refuse new submits with
     /// [`ErrorCode::Draining`], wait for every outstanding execution to
-    /// complete (bounded by the configured drain timeout), then close all
-    /// connections and join every thread.
+    /// complete **and** every queued response frame to flush (bounded by
+    /// the configured drain timeout), then close all connections and join
+    /// every thread.
     pub fn drain(self) -> DrainReport {
         let shared = &self.shared;
         shared.draining.store(true, Ordering::SeqCst);
 
-        // Flush: every admitted request completes and is answered.
-        let deadline = std::time::Instant::now() + self.drain_timeout;
-        while shared.outstanding.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline
+        // Flush: every admitted request completes, and its response frame
+        // leaves the writer queue for the socket, before anything closes.
+        let deadline = Instant::now() + self.drain_timeout;
+        while (shared.outstanding.load(Ordering::SeqCst) > 0
+            || shared.queued_frames.load(Ordering::SeqCst) > 0)
+            && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(1));
         }
@@ -307,19 +507,24 @@ impl Server {
         let executor = Arc::try_unwrap(self.executor)
             .ok()
             .expect("dispatch and timer joined; executor has one owner");
+        let panics_recovered = executor.panics_recovered();
         let _occupancy = executor.shutdown();
 
-        // Close every connection so reader threads unblock and exit.
-        for stream in shared.conns.lock().values() {
-            let _ = stream.lock().shutdown(Shutdown::Both);
+        // Close every connection: dropping the handles disconnects the
+        // writer queues (writers drain and exit) and the socket shutdown
+        // unblocks readers.
+        let handles: Vec<ConnHandle> = shared.conns.lock().drain().map(|(_, h)| h).collect();
+        for handle in &handles {
+            handle.doom();
         }
-        let handles = std::mem::take(&mut *shared.reader_handles.lock());
-        for handle in handles {
-            handle.join().expect("reader panicked");
+        drop(handles);
+        let threads = std::mem::take(&mut *shared.conn_threads.lock());
+        for thread in threads {
+            thread.join().expect("connection thread panicked");
         }
-        shared.conns.lock().clear();
 
         DrainReport {
+            submits: shared.submits.load(Ordering::SeqCst),
             served: shared.served.load(Ordering::SeqCst),
             shed: shared.shed.load(Ordering::SeqCst),
             unserviceable: shared.unserviceable.load(Ordering::SeqCst),
@@ -327,6 +532,11 @@ impl Server {
             outstanding_at_close: shared.outstanding.load(Ordering::SeqCst),
             reallocations: shared.reallocations.load(Ordering::SeqCst),
             generation: shared.engine.deployment().0,
+            reaped_idle: shared.reaped_idle.load(Ordering::SeqCst),
+            slow_disconnects: shared.slow_disconnects.load(Ordering::SeqCst),
+            protocol_disconnects: shared.protocol_disconnects.load(Ordering::SeqCst),
+            refused_conns: shared.refused_conns.load(Ordering::SeqCst),
+            panics_recovered,
         }
     }
 }
@@ -335,6 +545,14 @@ impl Server {
 /// amortized batch into the engine's health/load hooks, update counters,
 /// answer every member's client.
 fn complete_batch(shared: &Shared, done: &CompletedBatch) {
+    // Chaos hook: a one-in-n completion panic, *before* any accounting, so
+    // the executor's catch → fail_batch path re-accounts the whole batch
+    // exactly once.
+    if let Some(n) = shared.panic_one_in {
+        if n > 0 && done.jobs.iter().any(|j| j.request_id % n == n - 1) {
+            panic!("injected executor completion panic (one in {n})");
+        }
+    }
     let mut ok: u32 = 0;
     let mut failed: u32 = 0;
     for job in &done.jobs {
@@ -383,6 +601,38 @@ fn complete_batch(shared: &Shared, done: &CompletedBatch) {
             }
         };
         shared.respond(job.conn_id, &frame);
+    }
+    shared
+        .outstanding
+        .fetch_sub(done.jobs.len() as u64, Ordering::SeqCst);
+}
+
+/// Panic-recovery accounting: the completion callback died before touching
+/// any counter (the injection point is its first statement, and a genuine
+/// panic aborts the engine report), so account the whole batch as failed —
+/// report it into the engine's health layer, answer every client with a
+/// typed [`ErrorCode::Failed`], and release `outstanding` so drain
+/// completes.
+fn fail_batch(shared: &Shared, done: &CompletedBatch) {
+    let observed_per_request = done.exec_ns as f64 / done.jobs.len() as f64;
+    shared.engine.report_batch(
+        done.jobs[0].placement,
+        0,
+        done.jobs.len() as u32,
+        done.finished_at,
+        observed_per_request,
+    );
+    shared
+        .failed
+        .fetch_add(done.jobs.len() as u64, Ordering::Relaxed);
+    for job in &done.jobs {
+        shared.respond(
+            job.conn_id,
+            &Frame::Error {
+                id: job.request_id,
+                code: ErrorCode::Failed,
+            },
+        );
     }
     shared
         .outstanding
@@ -447,32 +697,42 @@ fn timer_loop(shared: &Shared, executor: &Executor, real_tick: Duration, gpus: u
             executor.prune_before(plan.generation);
             shared.reallocations.fetch_add(1, Ordering::SeqCst);
         }
+        // Reclaim reader/writer threads of reaped or closed connections.
+        shared.join_finished_conn_threads();
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &mpsc::SyncSender<DispatchMsg>) {
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+    config: &ServeConfig,
+) {
     let mut next_conn_id: u64 = 0;
     while !shared.draining.load(Ordering::SeqCst) && !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
+                if shared.conns.lock().len() >= config.max_conns {
+                    // Admission limit: answer one typed Shed frame so the
+                    // client knows this was load, not a network fault, and
+                    // close. Never occupies a reader thread.
+                    shared.refused_conns.fetch_add(1, Ordering::SeqCst);
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = Frame::Error {
+                        id: CONN_ERROR_ID,
+                        code: ErrorCode::Shed,
+                    }
+                    .write_to(&mut stream);
+                    continue;
+                }
                 let conn_id = next_conn_id;
                 next_conn_id += 1;
-                let writer = match stream.try_clone() {
-                    Ok(w) => Arc::new(Mutex::new(w)),
-                    Err(_) => continue,
-                };
-                shared.conns.lock().insert(conn_id, writer);
-                let conn_shared = Arc::clone(shared);
-                let tx = tx.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("arlo-conn-{conn_id}"))
-                    .spawn(move || {
-                        reader_loop(&conn_shared, stream, conn_id, &tx);
-                        conn_shared.conns.lock().remove(&conn_id);
-                    })
-                    .expect("spawn reader");
-                shared.reader_handles.lock().push(handle);
+                if spawn_connection(shared, stream, conn_id, tx, config).is_err() {
+                    // Stream clone or thread spawn failed: drop the socket.
+                    shared.conns.lock().remove(&conn_id);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -482,61 +742,256 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &mpsc::SyncSend
     }
 }
 
+/// Register a new connection: one bounded outbound queue, one writer
+/// thread draining it to the socket, one reader thread decoding frames.
+fn spawn_connection(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    conn_id: u64,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+    config: &ServeConfig,
+) -> io::Result<()> {
+    let writer_stream = stream.try_clone()?;
+    let shutdown_stream = stream.try_clone()?;
+    let (out_tx, out_rx) = mpsc::sync_channel::<Frame>(config.outbound_queue);
+    let doomed = Arc::new(AtomicBool::new(false));
+    shared.conns.lock().insert(
+        conn_id,
+        ConnHandle {
+            tx: out_tx,
+            stream: shutdown_stream,
+            doomed: Arc::clone(&doomed),
+        },
+    );
+
+    let writer = {
+        let shared = Arc::clone(shared);
+        let doomed = Arc::clone(&doomed);
+        let write_timeout = config.write_timeout;
+        std::thread::Builder::new()
+            .name(format!("arlo-conn-{conn_id}-wr"))
+            .spawn(move || writer_loop(&shared, writer_stream, &out_rx, &doomed, write_timeout))?
+    };
+    let reader = {
+        let shared = Arc::clone(shared);
+        let doomed = Arc::clone(&doomed);
+        let tx = tx.clone();
+        let config = ReaderConfig {
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            frame_error_budget: config.frame_error_budget,
+        };
+        std::thread::Builder::new()
+            .name(format!("arlo-conn-{conn_id}"))
+            .spawn(move || {
+                reader_loop(&shared, stream, conn_id, &tx, &doomed, &config);
+                // Removing the handle drops the queue's only sender: the
+                // writer drains whatever is left and exits.
+                if let Some(handle) = shared.conns.lock().remove(&conn_id) {
+                    // Half-close: stop reading; the writer still flushes.
+                    let _ = handle.stream.shutdown(Shutdown::Read);
+                }
+            })?
+    };
+    shared.conn_threads.lock().extend([writer, reader]);
+    Ok(())
+}
+
+/// Drain one connection's outbound queue onto its socket. Exits when every
+/// sender is gone (connection removed from the registry) and the queue is
+/// empty. A write failure or timeout dooms the connection; remaining
+/// frames are then discarded (still decrementing the flush counter, so
+/// drain never hangs on a dead client) rather than written to a dead
+/// socket.
+fn writer_loop(
+    shared: &Shared,
+    mut stream: TcpStream,
+    rx: &mpsc::Receiver<Frame>,
+    doomed: &AtomicBool,
+    write_timeout: Duration,
+) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let mut dead = false;
+    let mut wire = Vec::with_capacity(16 * 1024);
+    while let Ok(first) = rx.recv() {
+        // Coalesce everything already queued into one syscall: the shed
+        // path can produce error frames far faster than per-frame writes
+        // can drain them, and without batching that alone would overflow
+        // the bounded queue even with a healthy, fast-reading client.
+        wire.clear();
+        wire.extend_from_slice(&first.encode());
+        let mut batch: u64 = 1;
+        while batch < 1024 {
+            match rx.try_recv() {
+                Ok(frame) => {
+                    wire.extend_from_slice(&frame.encode());
+                    batch += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if !dead && doomed.load(Ordering::SeqCst) {
+            dead = true;
+        }
+        if !dead {
+            match stream.write_all(&wire) {
+                Ok(()) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // The client stalled a single write past the timeout:
+                    // same fate as overflowing the queue.
+                    if !doomed.swap(true, Ordering::SeqCst) {
+                        shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let _ = stream.shutdown(Shutdown::Both);
+                    dead = true;
+                }
+                Err(_) => {
+                    doomed.store(true, Ordering::SeqCst);
+                    dead = true;
+                }
+            }
+        }
+        shared.queued_frames.fetch_sub(batch, Ordering::SeqCst);
+    }
+}
+
+struct ReaderConfig {
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    frame_error_budget: u32,
+}
+
 fn reader_loop(
     shared: &Shared,
     mut stream: TcpStream,
     conn_id: u64,
     tx: &mpsc::SyncSender<DispatchMsg>,
+    doomed: &AtomicBool,
+    config: &ReaderConfig,
 ) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut frames = FrameReader::new();
+    let mut budget = config.frame_error_budget;
+    let mut last_activity = Instant::now();
     loop {
-        match read_frame(&mut stream) {
-            Ok(Some(Frame::Submit { id, length })) => {
-                if shared.draining.load(Ordering::SeqCst) {
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
+        // Decode everything already buffered before touching the socket.
+        loop {
+            match frames.next_frame() {
+                Ok(Some(frame)) => {
+                    if !handle_frame(shared, conn_id, tx, &frame) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) if e.resynchronizable() && budget > 0 => {
+                    // Malformed but skippable: charge the budget and keep
+                    // the connection; the bad frame's bytes are consumed.
+                    budget -= 1;
+                }
+                Err(_) => {
+                    // Budget exhausted or framing lost: typed disconnect.
+                    shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
                     shared.respond(
                         conn_id,
                         &Frame::Error {
-                            id,
-                            code: ErrorCode::Draining,
+                            id: CONN_ERROR_ID,
+                            code: ErrorCode::Protocol,
                         },
                     );
-                    continue;
+                    return;
                 }
-                // `outstanding` covers queued-for-dispatch as well as
-                // executing requests, so drain flushes both.
-                shared.outstanding.fetch_add(1, Ordering::SeqCst);
-                if tx
-                    .try_send(DispatchMsg::Submit {
-                        conn_id,
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) || doomed.load(Ordering::SeqCst) {
+            return;
+        }
+        match frames.fill(&mut stream) {
+            Ok(0) => return, // EOF (clean or mid-frame; nothing more comes)
+            Ok(_) => last_activity = Instant::now(),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Poll tick: no bytes. Reap the connection if the client
+                // has been silent past the idle window — this is the
+                // half-open-socket defence; without it this thread would
+                // block forever on a peer that will never speak again.
+                if last_activity.elapsed() >= config.idle_timeout {
+                    shared.reaped_idle.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+            }
+            Err(_) => return, // reset or broken pipe
+        }
+    }
+}
+
+/// React to one decoded frame; `false` means "close the connection".
+fn handle_frame(
+    shared: &Shared,
+    conn_id: u64,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+    frame: &Frame,
+) -> bool {
+    match *frame {
+        Frame::Submit { id, length } => {
+            shared.submits.fetch_add(1, Ordering::SeqCst);
+            if shared.draining.load(Ordering::SeqCst) {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                shared.respond(
+                    conn_id,
+                    &Frame::Error {
                         id,
-                        length,
-                    })
-                    .is_err()
-                {
-                    // Bounded-queue overflow: explicit shed, not a stall.
-                    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
-                    shared.respond(
-                        conn_id,
-                        &Frame::Error {
-                            id,
-                            code: ErrorCode::Shed,
-                        },
-                    );
-                }
+                        code: ErrorCode::Draining,
+                    },
+                );
+                return true;
             }
-            Ok(Some(Frame::StatsRequest)) => {
-                shared.respond(conn_id, &Frame::Stats(shared.stats()));
+            // `outstanding` covers queued-for-dispatch as well as
+            // executing requests, so drain flushes both.
+            shared.outstanding.fetch_add(1, Ordering::SeqCst);
+            let msg = DispatchMsg::Submit {
+                conn_id,
+                id,
+                length,
+            };
+            if tx.try_send(msg).is_err() {
+                // Bounded-queue overflow: explicit shed, not a stall.
+                shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                shared.respond(
+                    conn_id,
+                    &Frame::Error {
+                        id,
+                        code: ErrorCode::Shed,
+                    },
+                );
             }
-            Ok(Some(Frame::Drain)) => {
-                shared.draining.store(true, Ordering::SeqCst);
-                shared.respond(conn_id, &Frame::Stats(shared.stats()));
-            }
-            // A client sending server-only frames is violating the
-            // protocol; close the connection.
-            Ok(Some(Frame::Response { .. } | Frame::Error { .. } | Frame::Stats(_))) => return,
-            Ok(None) => return, // clean EOF
-            Err(_) => return,   // protocol violation or broken pipe
+            true
+        }
+        Frame::StatsRequest => {
+            shared.respond(conn_id, &Frame::Stats(shared.stats()));
+            true
+        }
+        Frame::Drain => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.respond(conn_id, &Frame::Stats(shared.stats()));
+            true
+        }
+        // A client sending server-only frames is violating the protocol;
+        // answer a typed connection error and close.
+        Frame::Response { .. } | Frame::Error { .. } | Frame::Stats(_) => {
+            shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
+            shared.respond(
+                conn_id,
+                &Frame::Error {
+                    id: CONN_ERROR_ID,
+                    code: ErrorCode::Protocol,
+                },
+            );
+            false
         }
     }
 }

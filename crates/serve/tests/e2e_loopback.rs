@@ -11,7 +11,6 @@
 
 use arlo_core::engine::{ArloEngine, EngineConfig};
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
-use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::profile_runtimes;
 use arlo_runtime::runtime_set::RuntimeSet;
@@ -47,15 +46,12 @@ fn engine() -> ArloEngine {
 
 fn config() -> ServeConfig {
     ServeConfig {
-        gpus: GPUS,
-        workers: 8,
         time_scale: SCALE,
         queue_capacity: 8192,
         tick_interval: NANOS_PER_SEC / 5,
-        jitter: JitterSpec::NONE,
         drain_timeout: Duration::from_secs(30),
-        fail_one_in: None,
         batch: BatchPolicy::greedy(BatchSpec::SINGLE),
+        ..ServeConfig::new(GPUS)
     }
 }
 

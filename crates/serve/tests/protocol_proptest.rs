@@ -2,7 +2,10 @@
 //! exactly, and arbitrary bytes — random, or mutations of valid frames —
 //! decode to a typed error or a frame, never a panic.
 
-use arlo_serve::protocol::{read_frame, ErrorCode, Frame, StatsPayload, HEADER_LEN};
+use arlo_serve::chaos::{ChaosConfig, FaultClass, FaultyStream};
+use arlo_serve::protocol::{
+    read_frame, DecodeError, ErrorCode, Frame, FrameReader, StatsPayload, HEADER_LEN, MAX_PAYLOAD,
+};
 use proptest::prelude::*;
 use std::io::Read;
 
@@ -19,10 +22,11 @@ fn frame_from(kind: u8, a: u64, b: u64, c: u64, d: u32) -> Frame {
         },
         2 => Frame::Error {
             id: a,
-            code: match b % 4 {
+            code: match b % 5 {
                 0 => ErrorCode::Shed,
                 1 => ErrorCode::Unserviceable,
                 2 => ErrorCode::Draining,
+                3 => ErrorCode::Protocol,
                 _ => ErrorCode::Failed,
             },
         },
@@ -128,5 +132,144 @@ proptest! {
             Ok(Some(decoded)) => prop_assert_eq!(decoded, frame),
             other => prop_assert!(false, "split read failed: {:?}", other),
         }
+    }
+}
+
+/// Feed every byte of `bytes` into `reader` (Cursor never blocks, so this
+/// terminates once the cursor is drained).
+fn fill_all(reader: &mut FrameReader, bytes: &[u8]) {
+    let mut cursor = std::io::Cursor::new(bytes.to_vec());
+    while reader.fill(&mut cursor).expect("cursor read cannot fail") > 0 {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn corrupted_length_prefix_yields_typed_errors(
+        declared in 0u32..=u32::MAX,
+        id in 0u64..u64::MAX,
+    ) {
+        // Overwrite the payload-length word of a valid frame, follow it
+        // with an intact frame, and drive the reader: every outcome must
+        // be a typed frame/error — no panic, no hang. A declared length
+        // beyond MAX_PAYLOAD is unbounded-allocation bait and must be the
+        // fatal Oversized error, never a resynchronizable skip.
+        let mut bytes = (Frame::Submit { id, length: 3 }).encode();
+        bytes[4..8].copy_from_slice(&declared.to_le_bytes());
+        bytes.extend_from_slice(&(Frame::Submit { id: id ^ 1, length: 7 }).encode());
+        let mut reader = FrameReader::new();
+        fill_all(&mut reader, &bytes);
+        let first = reader.next_frame();
+        if declared > MAX_PAYLOAD {
+            match first {
+                Err(e @ DecodeError::Oversized { .. }) => prop_assert!(!e.resynchronizable()),
+                other => prop_assert!(false, "declared {} must be Oversized, got {:?}", declared, other),
+            }
+        } else {
+            // In-range but wrong length: the reader may skip the mangled
+            // frame (resynchronizable) and then land mid-stream; drive to
+            // quiescence — bounded because every step consumes ≥ HEADER_LEN
+            // or ends the stream.
+            let mut step = first;
+            for _ in 0..8 {
+                match step {
+                    Ok(None) => break,
+                    Err(ref e) if !e.resynchronizable() => break,
+                    _ => step = reader.next_frame(),
+                }
+            }
+        }
+    }
+
+    fn mid_frame_truncation_is_need_more_bytes(
+        kind in 0u8..=255,
+        a in 0u64..u64::MAX,
+        cut in 0usize..64,
+    ) {
+        // A frame cut anywhere before its end is "need more bytes", never
+        // an error; delivering the remainder completes it exactly.
+        let frame = frame_from(kind, a, a.rotate_left(29), a ^ 0x55AA, a as u32);
+        let bytes = frame.encode();
+        let cut = cut % bytes.len();
+        let mut reader = FrameReader::new();
+        fill_all(&mut reader, &bytes[..cut]);
+        match reader.next_frame() {
+            Ok(None) => {}
+            other => prop_assert!(false, "truncated at {} gave {:?}", cut, other),
+        }
+        fill_all(&mut reader, &bytes[cut..]);
+        match reader.next_frame() {
+            Ok(Some(decoded)) => prop_assert_eq!(decoded, frame),
+            other => prop_assert!(false, "completion failed: {:?}", other),
+        }
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+
+    fn partial_io_delivers_every_frame_intact(
+        seed in 0u64..u64::MAX,
+        count in 1usize..24,
+    ) {
+        // Pathological fragmentation (1–3 bytes per read, max intensity)
+        // must reassemble the exact frame sequence: chaos may slow the
+        // wire, never reorder or lose on it.
+        let frames: Vec<Frame> = (0..count as u64)
+            .map(|i| Frame::Submit { id: seed ^ i, length: i as u32 })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let plan = ChaosConfig::new(FaultClass::PartialIo, 1.0, seed).plan_for(0);
+        let mut faulty = FaultyStream::new(std::io::Cursor::new(wire), plan);
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            while let Some(f) = reader.next_frame().expect("partial I/O never corrupts") {
+                got.push(f);
+            }
+            if reader.fill(&mut faulty).expect("partial I/O never errors") == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    fn corrupting_stream_never_panics(
+        seed in 0u64..u64::MAX,
+        count in 1usize..24,
+    ) {
+        // Bit-flips on both the write and read paths: the reader must
+        // terminate with only typed frames/errors. The iteration bound is
+        // generous — each step consumes ≥ HEADER_LEN bytes or ends.
+        let plan = ChaosConfig::new(FaultClass::Corrupt, 1.0, seed).plan_for(0);
+        let mut out = FaultyStream::new(Vec::new(), plan);
+        for i in 0..count as u64 {
+            (Frame::Submit { id: i, length: i as u32 })
+                .write_to(&mut out)
+                .expect("corruption never fails a Vec write");
+        }
+        let wire = out.into_inner();
+        let read_plan = ChaosConfig::new(FaultClass::Corrupt, 1.0, seed ^ 0xDEAD).plan_for(1);
+        let mut faulty = FaultyStream::new(std::io::Cursor::new(wire.clone()), read_plan);
+        let mut reader = FrameReader::new();
+        let mut quiesced = false;
+        'drive: for _ in 0..wire.len() / HEADER_LEN + 4 {
+            loop {
+                match reader.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) if e.resynchronizable() => {}
+                    Err(_) => {
+                        quiesced = true; // fatal desync: connection would close
+                        break 'drive;
+                    }
+                }
+            }
+            if reader.fill(&mut faulty).expect("cursor read cannot fail") == 0 {
+                quiesced = true; // EOF with all bytes processed
+                break 'drive;
+            }
+        }
+        prop_assert!(quiesced, "corrupt-stream drive did not quiesce");
     }
 }

@@ -16,7 +16,8 @@
 //! ```
 
 use arlo::prelude::*;
-use arlo::serve::loadgen::{replay, LoadGenConfig};
+use arlo::serve::chaos::{ChaosConfig, FaultClass};
+use arlo::serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig};
 use arlo::serve::protocol::Frame;
 use arlo::serve::server::{ServeConfig, Server};
 use arlo::trace::NANOS_PER_SEC;
@@ -73,7 +74,9 @@ USAGE:
                   (runs until a client sends a Drain frame, then flushes and exits)
   arlo loadgen    --addr <ip:port> (--trace <file> | --rate <r> --secs <s>) [--bursty]
                   [--seed <n>] [--clients <n>] [--time-scale <x>]
-                  [--closed [--window <n>]] [--drain]";
+                  [--closed [--window <n>]] [--drain]
+                  [--chaos <delay|partial|corrupt|reset|stall>
+                   [--chaos-intensity <0..1>] [--chaos-seed <n>] [--retries <n>]]";
 
 type Flags = HashMap<String, String>;
 
@@ -379,15 +382,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         engine,
         addr,
         ServeConfig {
-            gpus,
             workers,
             time_scale,
             queue_capacity: 8192,
             tick_interval: NANOS_PER_SEC / 5,
             jitter: JitterSpec::NONE,
             drain_timeout: std::time::Duration::from_secs(60),
-            fail_one_in: None,
             batch,
+            ..ServeConfig::new(gpus)
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -431,7 +433,45 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
     let clients: usize = num_or(flags, "clients", 4)?;
     let time_scale: u32 = num_or(flags, "time-scale", 1)?;
 
-    if flags.contains_key("trace") || flags.contains_key("rate") {
+    if flags.contains_key("chaos") {
+        // Fault-injected replay: wrap every client stream in a seeded
+        // FaultyStream and retry each request to a terminal state.
+        let class_name = req(flags, "chaos")?;
+        let class = FaultClass::parse(class_name).ok_or_else(|| {
+            format!("unknown fault class `{class_name}` (delay, partial, corrupt, reset, stall)")
+        })?;
+        let intensity: f64 = num_or(flags, "chaos-intensity", 0.5)?;
+        let seed: u64 = num_or(flags, "chaos-seed", 42)?;
+        let trace = build_trace(flags)?;
+        let mut config = ChaosReplayConfig::new(clients, ChaosConfig::new(class, intensity, seed));
+        config.max_attempts = num_or(flags, "retries", 6)?;
+        println!(
+            "chaos-replaying {} requests against {addr}: {} @ intensity {intensity}, seed {seed}…",
+            trace.len(),
+            class.name()
+        );
+        let report = chaos_replay(addr, &trace, &config).map_err(|e| format!("replay: {e}"))?;
+        let s = report.latency_summary();
+        println!(
+            "requests {} / ok {} / unserviceable {} / draining {} / exhausted {}  (retries {}, connects {})",
+            report.requests,
+            report.ok,
+            report.unserviceable,
+            report.draining,
+            report.exhausted,
+            report.retries,
+            report.connects
+        );
+        println!(
+            "latency (virtual): mean {:.2} ms  p50 {:.2}  p98 {:.2}  p99 {:.2}  max {:.2}",
+            s.mean, s.p50, s.p98, s.p99, s.max
+        );
+        if report.conserved() {
+            println!("conservation holds: every request reached exactly one terminal state");
+        } else {
+            return Err(format!("conservation VIOLATED: {report:?}"));
+        }
+    } else if flags.contains_key("trace") || flags.contains_key("rate") {
         let trace = build_trace(flags)?;
         let config = if flags.contains_key("closed") {
             LoadGenConfig::closed(clients, num_or(flags, "window", 16)?)
@@ -464,7 +504,7 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
             report.wall.as_secs_f64()
         );
     } else if !flags.contains_key("drain") {
-        return Err("nothing to do: pass --rate/--secs, --trace, or --drain".into());
+        return Err("nothing to do: pass --rate/--secs, --trace, --chaos, or --drain".into());
     }
 
     if flags.contains_key("drain") {
