@@ -5,13 +5,23 @@
 //!
 //! * **fault grid** — every [`FaultClass`] at each grid intensity, plus a
 //!   quiet (intensity 0) baseline, replayed by retrying chaos clients.
-//!   Each cell asserts the client-side conservation invariant (`ok +
-//!   unserviceable + draining + exhausted == requests` — a request that
-//!   vanished without a terminal state breaks the equality) and the
-//!   server-side drain equation (`submits == served + shed +
-//!   unserviceable + failed`). The recorded columns show *degradation*,
-//!   not loss: retries, reconnects, exhausted requests, and the p98
-//!   inflation over the quiet baseline.
+//!   The grid carries a protocol dimension: cells run under negotiated v2
+//!   (the default), with v1-compat cells replaying the corruption column
+//!   through `ProtocolMode::Legacy` clients, and server-side-chaos cells
+//!   injecting the same faults on the *server's* accepted sockets via
+//!   [`ServeConfig::server_chaos`]. Each cell asserts the client-side
+//!   conservation invariant (`ok + unserviceable + draining + exhausted
+//!   == requests` — a request that vanished without a terminal state
+//!   breaks the equality) and the server-side drain equation (`submits ==
+//!   served + shed + unserviceable + failed`). Every **v2** cell
+//!   additionally asserts zero `unserviceable` verdicts and zero
+//!   credibility rejects: with a CRC32C trailer on every frame, a
+//!   bit-flip can no longer forge a well-formed terminal refusal (the
+//!   ~1.7% phantom-unserviceable rate of the v1 stack at corrupt@0.75),
+//!   and the v1 latency-plausibility heuristic is retired. The recorded
+//!   columns show *degradation*, not loss: retries, reconnects, exhausted
+//!   requests, corrupt resend signals, and the p98 inflation over the
+//!   quiet baseline.
 //! * **slow-client isolation** — the same healthy load twice, once with a
 //!   bulk client that stops reading mid-response-storm. The stalled
 //!   connection must be doomed (bounded outbound queue / write timeout)
@@ -19,7 +29,8 @@
 //!   stall-free run.
 //!
 //! `EXT_CHAOS_SMOKE=1` shrinks the grid and trace for CI: two classes,
-//! one intensity, a short trace — same invariants, small wall clock.
+//! one intensity, a short trace — same invariants (including one
+//! v1-compat and one server-side-chaos cell), small wall clock.
 
 use arlo_bench::{json_f64, print_table, write_json};
 use arlo_core::engine::{ArloEngine, EngineConfig};
@@ -28,7 +39,7 @@ use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::profile_runtimes;
 use arlo_runtime::runtime_set::RuntimeSet;
 use arlo_serve::chaos::{ChaosConfig, FaultClass};
-use arlo_serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig};
+use arlo_serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, ProtocolMode};
 use arlo_serve::protocol::Frame;
 use arlo_serve::server::{DrainReport, ServeConfig, Server};
 use arlo_trace::workload::{Trace, TraceSpec};
@@ -70,25 +81,56 @@ fn config() -> ServeConfig {
 }
 
 struct GridCell {
+    label: String,
     class: FaultClass,
     intensity: f64,
+    proto: ProtocolMode,
+    server_chaos: bool,
     report: arlo_serve::loadgen::ChaosReport,
     drain: DrainReport,
 }
 
-/// One grid cell: spawn a fresh server, replay `trace` through retrying
-/// chaos clients under `(class, intensity)`, assert both conservation
-/// equations, return the measurements.
-fn run_grid_cell(trace: &Trace, class: FaultClass, intensity: f64) -> GridCell {
-    let server = Server::spawn(engine(), "127.0.0.1:0", config()).expect("bind loopback");
-    let mut cfg = ChaosReplayConfig::new(CLIENTS, ChaosConfig::new(class, intensity, CHAOS_SEED));
+fn proto_name(proto: ProtocolMode) -> &'static str {
+    match proto {
+        ProtocolMode::Negotiate => "v2",
+        ProtocolMode::Legacy => "v1",
+    }
+}
+
+/// One grid cell: spawn a fresh server (with `server_chaos` attached to
+/// its accepted sockets when given), replay `trace` through retrying
+/// chaos clients speaking `proto` under `(class, intensity)`, assert both
+/// conservation equations, return the measurements.
+///
+/// v2 cells carry two extra assertions — the protocol revision's headline
+/// claims: corruption never forges an `Unserviceable` verdict through the
+/// checksum, and the retired v1 credibility heuristic never fires.
+fn run_grid_cell(
+    trace: &Trace,
+    class: FaultClass,
+    intensity: f64,
+    proto: ProtocolMode,
+    server_chaos: Option<ChaosConfig>,
+) -> GridCell {
+    let mut server_cfg = config();
+    if let Some(chaos) = server_chaos {
+        server_cfg = server_cfg.with_server_chaos(chaos);
+    }
+    let server = Server::spawn(engine(), "127.0.0.1:0", server_cfg).expect("bind loopback");
+    let mut cfg = ChaosReplayConfig::new(CLIENTS, ChaosConfig::new(class, intensity, CHAOS_SEED))
+        .with_protocol(proto);
     cfg.max_attempts = 8;
     cfg.attempt_timeout = Duration::from_millis(400);
     cfg.backoff_base = Duration::from_millis(1);
     let report = chaos_replay(server.local_addr(), trace, &cfg).expect("chaos replay");
     let drain = server.drain();
 
-    let cell = format!("{}@{intensity}", class.name());
+    let cell = format!(
+        "{}@{intensity}/{}{}",
+        class.name(),
+        proto_name(proto),
+        if server_chaos.is_some() { "+srv" } else { "" }
+    );
     assert!(
         report.conserved(),
         "{cell}: client conservation violated: {report:?}"
@@ -103,9 +145,22 @@ fn run_grid_cell(trace: &Trace, class: FaultClass, intensity: f64) -> GridCell {
         drain.outstanding_at_close, 0,
         "{cell}: drain left work behind: {drain:?}"
     );
+    if proto == ProtocolMode::Negotiate {
+        assert_eq!(
+            report.unserviceable, 0,
+            "{cell}: corruption forged an Unserviceable verdict through the checksum: {report:?}"
+        );
+        assert_eq!(
+            report.credibility_rejects, 0,
+            "{cell}: retired v1 heuristic fired on a v2 connection: {report:?}"
+        );
+    }
     GridCell {
+        label: cell,
         class,
         intensity,
+        proto,
+        server_chaos: server_chaos.is_some(),
         report,
         drain,
     }
@@ -205,15 +260,50 @@ fn main() {
     // Quiet baseline first: the degradation reference. Intensity 0 means
     // the chaos machinery is live (same client, same retry budget) but
     // never fires.
-    let baseline = run_grid_cell(&trace, FaultClass::Delay, 0.0);
+    let baseline = run_grid_cell(
+        &trace,
+        FaultClass::Delay,
+        0.0,
+        ProtocolMode::Negotiate,
+        None,
+    );
     let base_p98 = baseline.report.latency_summary().p98.max(1.0);
 
     let mut cells = vec![baseline];
     for &class in classes {
         for &intensity in intensities {
-            cells.push(run_grid_cell(&trace, class, intensity));
+            cells.push(run_grid_cell(
+                &trace,
+                class,
+                intensity,
+                ProtocolMode::Negotiate,
+                None,
+            ));
         }
     }
+    // v1-compat column: the pre-v2 client against the same server, on the
+    // corruption class — the one whose phantom verdicts v2 retires. These
+    // cells are the "before" side of the unserviceable-rate comparison.
+    let compat: &[f64] = if smoke { &[0.5] } else { &[0.25, 0.75] };
+    for &intensity in compat {
+        cells.push(run_grid_cell(
+            &trace,
+            FaultClass::Corrupt,
+            intensity,
+            ProtocolMode::Legacy,
+            None,
+        ));
+    }
+    // Server-side chaos: faults on the server's accepted sockets (reads
+    // and writes both), layered over corrupting clients. Conservation and
+    // the v2 zero-phantom claims must hold with the injection point moved.
+    cells.push(run_grid_cell(
+        &trace,
+        FaultClass::Corrupt,
+        0.25,
+        ProtocolMode::Negotiate,
+        Some(ChaosConfig::new(FaultClass::Corrupt, 0.5, CHAOS_SEED ^ 1)),
+    ));
 
     let mut rows = Vec::new();
     let mut json_cells = Vec::new();
@@ -221,12 +311,13 @@ fn main() {
         let s = cell.report.latency_summary();
         let p98_x = s.p98 / base_p98;
         rows.push(vec![
-            format!("{}@{}", cell.class.name(), cell.intensity),
+            cell.label.clone(),
             format!("{}", cell.report.requests),
             format!("{}", cell.report.ok),
+            format!("{}", cell.report.unserviceable),
             format!("{}", cell.report.exhausted),
             format!("{}", cell.report.retries),
-            format!("{}", cell.report.connects),
+            format!("{}", cell.report.corrupt_signals),
             format!("{}", cell.drain.protocol_disconnects),
             format!("{:.2}", s.p98),
             format!("{p98_x:.2}x"),
@@ -234,6 +325,8 @@ fn main() {
         json_cells.push(serde_json::json!({
             "class": cell.class.name(),
             "intensity": json_f64(cell.intensity),
+            "proto": proto_name(cell.proto),
+            "server_chaos": cell.server_chaos,
             "requests": cell.report.requests,
             "ok": cell.report.ok,
             "unserviceable": cell.report.unserviceable,
@@ -241,6 +334,8 @@ fn main() {
             "exhausted": cell.report.exhausted,
             "retries": cell.report.retries,
             "connects": cell.report.connects,
+            "credibility_rejects": cell.report.credibility_rejects,
+            "corrupt_signals": cell.report.corrupt_signals,
             "conserved": cell.report.conserved(),
             "latency_mean_ms": json_f64(s.mean),
             "latency_p50_ms": json_f64(s.p50),
@@ -255,6 +350,8 @@ fn main() {
                 "failed": cell.drain.failed,
                 "protocol_disconnects": cell.drain.protocol_disconnects,
                 "slow_disconnects": cell.drain.slow_disconnects,
+                "corrupt_frames": cell.drain.corrupt_frames,
+                "v2_conns": cell.drain.v2_conns,
                 "outstanding_at_close": cell.drain.outstanding_at_close,
             },
             "wall_secs": json_f64(cell.report.wall.as_secs_f64()),
@@ -263,18 +360,62 @@ fn main() {
     print_table(
         "fault grid: retrying clients, conservation asserted per cell",
         &[
-            "class@i",
+            "cell",
             "requests",
             "ok",
+            "unserv",
             "exhausted",
             "retries",
-            "connects",
+            "corrupt-sig",
             "proto-dc",
             "p98",
             "p98/base",
         ],
         &rows,
     );
+
+    // The headline v1-vs-v2 comparison: phantom-unserviceable rate on the
+    // hottest corruption cell each protocol ran.
+    let hottest = |proto: ProtocolMode| {
+        cells
+            .iter()
+            .filter(|c| c.class == FaultClass::Corrupt && c.proto == proto && !c.server_chaos)
+            .max_by(|a, b| a.intensity.total_cmp(&b.intensity))
+    };
+    let phantoms = match (
+        hottest(ProtocolMode::Legacy),
+        hottest(ProtocolMode::Negotiate),
+    ) {
+        (Some(v1), Some(v2)) => {
+            let rate =
+                |c: &GridCell| c.report.unserviceable as f64 / c.report.requests.max(1) as f64;
+            print_table(
+                "phantom unserviceable verdicts: v1 vs v2 at the hottest corruption cell",
+                &["cell", "unserviceable", "rate"],
+                &[
+                    vec![
+                        v1.label.clone(),
+                        format!("{}", v1.report.unserviceable),
+                        format!("{:.4}", rate(v1)),
+                    ],
+                    vec![
+                        v2.label.clone(),
+                        format!("{}", v2.report.unserviceable),
+                        format!("{:.4}", rate(v2)),
+                    ],
+                ],
+            );
+            Some(serde_json::json!({
+                "v1_cell": v1.label,
+                "v1_unserviceable": v1.report.unserviceable,
+                "v1_rate": json_f64(rate(v1)),
+                "v2_cell": v2.label,
+                "v2_unserviceable": v2.report.unserviceable,
+                "v2_rate": json_f64(rate(v2)),
+            }))
+        }
+        _ => None,
+    };
 
     // Slow-client isolation: healthy latency with and without one stalled
     // bulk connection. Three runs per variant, median p98: one run's p98
@@ -347,6 +488,7 @@ fn main() {
             "chaos_seed": CHAOS_SEED,
             "trace_requests": trace.len(),
             "grid": json_cells,
+            "phantom_unserviceable": phantoms,
             "isolation": {
                 "tolerance": ISOLATION_TOL,
                 "baseline_p98_ms": json_f64(healthy_base_p98),

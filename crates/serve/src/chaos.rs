@@ -20,10 +20,15 @@
 //!   `--chaos` mode over real sockets and by in-process loopback tests over
 //!   `Cursor`s.
 //!
-//! The injection is strictly *client-side* (the wrapper lives in the load
-//! generator or the test harness), which means the server under test sees
-//! genuine network weather — fragmented frames, flipped bits, vanished
-//! peers — through an unmodified `TcpStream`.
+//! The wrapper attaches on either side of the wire. Client-side (the load
+//! generator's `--chaos` mode), the server under test sees genuine network
+//! weather — fragmented frames, flipped bits, vanished peers — through an
+//! unmodified `TcpStream`. Server-side
+//! ([`crate::server::ServeConfig::server_chaos`], tests only), each
+//! accepted socket's read and write halves get their own deterministic
+//! plans (`conn_id * 2` and `conn_id * 2 + 1`), so the server's reader,
+//! writer, and dispatch error paths run under the same seeded schedules
+//! without any client cooperation.
 
 use std::io::{self, Read, Write};
 use std::time::Duration;

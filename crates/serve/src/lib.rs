@@ -13,10 +13,17 @@
 //! - [`protocol`] — a versioned, length-prefixed binary wire format with
 //!   total (never-panicking) decoding, plus the incremental
 //!   [`protocol::FrameReader`] that reassembles frames from arbitrary
-//!   fragments and resyncs past malformed ones.
+//!   fragments and resyncs past malformed ones. Protocol v2 — negotiated
+//!   per connection via `Hello`/`HelloAck`, with transparent v1 fallback —
+//!   adds a CRC32C trailer to every frame (corruption becomes the typed,
+//!   retryable `ChecksumMismatch`/`Corrupt` pair instead of a misparse)
+//!   and the `BatchedSubmit` frame that amortizes framing over batches.
 //! - [`chaos`] — deterministic, seeded network-fault injection
 //!   ([`chaos::FaultyStream`] driven by a [`chaos::ChaosPlan`]): delays,
-//!   partial I/O, bit corruption, abrupt resets, slowloris stalls.
+//!   partial I/O, bit corruption, abrupt resets, slowloris stalls —
+//!   attachable on the client side (loadgen) and, via
+//!   [`server::ServeConfig::server_chaos`], to the server's accepted
+//!   sockets.
 //! - [`clock`] — the [`clock::VirtualClock`] that anchors the engine's
 //!   monotonic nanoseconds and scales them for accelerated runs.
 //! - [`executor`] — a worker pool that charges each placed request its
@@ -40,6 +47,7 @@ pub use chaos::{ChaosConfig, ChaosPlan, FaultClass, FaultyStream};
 pub use clock::VirtualClock;
 pub use loadgen::{
     chaos_replay, replay, ChaosReplayConfig, ChaosReport, LoadGenConfig, LoadGenReport, LoadMode,
+    ProtocolMode,
 };
-pub use protocol::{ErrorCode, Frame, StatsPayload};
+pub use protocol::{ErrorBudget, ErrorCode, Frame, StatsPayload, Sub, WireVersion};
 pub use server::{DrainReport, ServeConfig, Server};

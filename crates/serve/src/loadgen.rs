@@ -20,7 +20,10 @@
 //! scale and immune to OS sleep jitter on the loadgen side.
 
 use crate::chaos::{ChaosConfig, FaultyStream, SplitMix64};
-use crate::protocol::{read_frame, ErrorCode, Frame, FrameReader, ReadFrameError, CONN_ERROR_ID};
+use crate::protocol::{
+    client_handshake, read_frame, ErrorCode, Frame, FrameReader, ReadFrameError, Sub, WireVersion,
+    CONN_ERROR_ID, MAX_BATCH,
+};
 use arlo_trace::stats::Summary;
 use arlo_trace::workload::Trace;
 use parking_lot::Mutex;
@@ -48,6 +51,19 @@ pub enum LoadMode {
     },
 }
 
+/// Which protocol dialect a client speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolMode {
+    /// Negotiate at connect (`Hello`/`HelloAck`): v2 against a current
+    /// server, transparently v1 against an old one.
+    #[default]
+    Negotiate,
+    /// Behave exactly like a pre-v2 client: no handshake, unchecksummed
+    /// v1 frames throughout. Exists so compatibility keeps getting tested
+    /// after the default moves on.
+    Legacy,
+}
+
 /// Load generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadGenConfig {
@@ -58,6 +74,16 @@ pub struct LoadGenConfig {
     /// Socket read timeout: a client that hears nothing for this long
     /// counts its unanswered requests as lost rather than hanging.
     pub read_timeout: Duration,
+    /// Protocol dialect (negotiated v2 by default; [`ProtocolMode::Legacy`]
+    /// replays as an old v1 client).
+    pub protocol: ProtocolMode,
+    /// Coalesce up to this many submits into one
+    /// [`Frame::BatchedSubmit`] (capped at [`MAX_BATCH`]; `1` disables).
+    /// Requires a negotiated v2 connection — on v1 the knob is ignored
+    /// and submits go out one frame each. Open-loop batching sends each
+    /// chunk at its *last* member's arrival time, trading a bounded
+    /// arrival-fidelity delay for framing/checksum amortization.
+    pub submit_batch: usize,
 }
 
 impl LoadGenConfig {
@@ -67,6 +93,8 @@ impl LoadGenConfig {
             clients,
             mode: LoadMode::Open { time_scale },
             read_timeout: Duration::from_secs(10),
+            protocol: ProtocolMode::Negotiate,
+            submit_batch: 1,
         }
     }
 
@@ -76,7 +104,21 @@ impl LoadGenConfig {
             clients,
             mode: LoadMode::Closed { window },
             read_timeout: Duration::from_secs(10),
+            protocol: ProtocolMode::Negotiate,
+            submit_batch: 1,
         }
+    }
+
+    /// Select the protocol dialect.
+    pub fn with_protocol(mut self, protocol: ProtocolMode) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Coalesce submits into batches of up to `n` (v2 connections only).
+    pub fn with_submit_batch(mut self, n: usize) -> Self {
+        self.submit_batch = n.clamp(1, MAX_BATCH);
+        self
     }
 }
 
@@ -175,10 +217,14 @@ impl Tally {
                 self.latencies_ns.lock().push(*latency_ns);
                 self.ok.fetch_add(1, Ordering::SeqCst);
             }
-            // A Protocol error is connection-level (sentinel id), not the
-            // answer to any request: the server is about to hang up.
+            // Protocol and Corrupt errors are connection-level (sentinel
+            // id), not the answer to any request: Protocol means the
+            // server is about to hang up, Corrupt means one frame was
+            // mangled in flight and should be retried by clients that do
+            // retries (this plain replayer just keeps waiting — its
+            // unanswered requests surface as `lost`).
             Frame::Error {
-                code: ErrorCode::Protocol,
+                code: ErrorCode::Protocol | ErrorCode::Corrupt,
                 ..
             } => {}
             Frame::Error { code, .. } => {
@@ -186,7 +232,7 @@ impl Tally {
                     ErrorCode::Shed => &self.shed,
                     ErrorCode::Unserviceable => &self.unserviceable,
                     ErrorCode::Draining => &self.draining,
-                    ErrorCode::Failed | ErrorCode::Protocol => &self.failed,
+                    ErrorCode::Failed | ErrorCode::Protocol | ErrorCode::Corrupt => &self.failed,
                 };
                 counter.fetch_add(1, Ordering::SeqCst);
             }
@@ -228,12 +274,11 @@ pub fn replay(
     let started = Instant::now();
     let mut handles = Vec::with_capacity(config.clients);
     for part in parts {
-        let mode = config.mode;
-        let read_timeout = config.read_timeout;
+        let config = config.clone();
         handles.push(
             std::thread::Builder::new()
                 .name("arlo-loadgen".into())
-                .spawn(move || run_client(addr, &part, mode, read_timeout))?,
+                .spawn(move || run_client(addr, &part, &config))?,
         );
     }
     let mut report = LoadGenReport::default();
@@ -252,15 +297,20 @@ pub fn replay(
     Ok(report)
 }
 
-fn run_client(
-    addr: SocketAddr,
-    part: &Trace,
-    mode: LoadMode,
-    read_timeout: Duration,
-) -> io::Result<ClientOutcome> {
-    match mode {
-        LoadMode::Open { time_scale } => open_client(addr, part, time_scale, read_timeout),
-        LoadMode::Closed { window } => closed_client(addr, part, window, read_timeout),
+fn run_client(addr: SocketAddr, part: &Trace, config: &LoadGenConfig) -> io::Result<ClientOutcome> {
+    match config.mode {
+        LoadMode::Open { time_scale } => open_client(addr, part, time_scale, config),
+        LoadMode::Closed { window } => closed_client(addr, part, window, config),
+    }
+}
+
+/// Negotiate (or skip negotiating) the connection's wire version per the
+/// configured [`ProtocolMode`]. Runs before any reader thread exists, so
+/// the handshake's blocking read cannot race request traffic.
+fn negotiate(stream: &mut TcpStream, protocol: ProtocolMode) -> io::Result<WireVersion> {
+    match protocol {
+        ProtocolMode::Legacy => Ok(WireVersion::V1),
+        ProtocolMode::Negotiate => client_handshake(stream),
     }
 }
 
@@ -287,12 +337,13 @@ fn open_client(
     addr: SocketAddr,
     part: &Trace,
     time_scale: u32,
-    read_timeout: Duration,
+    config: &LoadGenConfig,
 ) -> io::Result<ClientOutcome> {
     assert!(time_scale >= 1, "time scale must be >= 1");
-    let stream = TcpStream::connect(addr)?;
+    let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let version = negotiate(&mut stream, config.protocol)?;
     let mut reader = stream.try_clone()?;
 
     let tally = Arc::new(Tally::default());
@@ -310,19 +361,49 @@ fn open_client(
     let mut writer = stream;
     let start = Instant::now();
     let mut sent: u64 = 0;
-    for r in part.requests() {
-        let due = Duration::from_nanos(r.arrival / u64::from(time_scale));
-        if let Some(wait) = due.checked_sub(start.elapsed()) {
-            if wait > Duration::from_micros(100) {
-                std::thread::sleep(wait);
+    let batch = if version >= WireVersion::V2 {
+        config.submit_batch.clamp(1, MAX_BATCH)
+    } else {
+        1
+    };
+    if batch > 1 {
+        // Batched replay: chunks of up to `batch` requests leave as one
+        // BatchedSubmit frame at the chunk's last arrival time — one
+        // header, one checksum, one syscall for the whole chunk.
+        for chunk in part.requests().chunks(batch) {
+            let due = Duration::from_nanos(
+                chunk.last().expect("chunks are non-empty").arrival / u64::from(time_scale),
+            );
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                if wait > Duration::from_micros(100) {
+                    std::thread::sleep(wait);
+                }
             }
+            let subs: Vec<Sub> = chunk
+                .iter()
+                .map(|r| Sub {
+                    id: r.id,
+                    length: r.length,
+                })
+                .collect();
+            sent += subs.len() as u64;
+            Frame::BatchedSubmit { subs }.write_to_v(&mut writer, version)?;
         }
-        Frame::Submit {
-            id: r.id,
-            length: r.length,
+    } else {
+        for r in part.requests() {
+            let due = Duration::from_nanos(r.arrival / u64::from(time_scale));
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                if wait > Duration::from_micros(100) {
+                    std::thread::sleep(wait);
+                }
+            }
+            Frame::Submit {
+                id: r.id,
+                length: r.length,
+            }
+            .write_to_v(&mut writer, version)?;
+            sent += 1;
         }
-        .write_to(&mut writer)?;
-        sent += 1;
     }
     expected.store(sent, Ordering::SeqCst);
     // The reader exits on its own: answer count reached, or read timeout.
@@ -335,24 +416,47 @@ fn closed_client(
     addr: SocketAddr,
     part: &Trace,
     window: usize,
-    read_timeout: Duration,
+    config: &LoadGenConfig,
 ) -> io::Result<ClientOutcome> {
     assert!(window >= 1, "closed-loop window must be >= 1");
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let version = negotiate(&mut stream, config.protocol)?;
 
     let tally = Tally::default();
     let mut sent: u64 = 0;
     let mut next = part.requests().iter();
     // Prime the window, then one-for-one: each answer releases one send.
-    for r in next.by_ref().take(window) {
-        Frame::Submit {
-            id: r.id,
-            length: r.length,
+    // With batching on a v2 connection the priming window leaves as
+    // BatchedSubmit chunks; the steady state is one-at-a-time by nature.
+    let batch = if version >= WireVersion::V2 {
+        config.submit_batch.clamp(1, MAX_BATCH)
+    } else {
+        1
+    };
+    if batch > 1 {
+        let prime: Vec<_> = next.by_ref().take(window).collect();
+        for chunk in prime.chunks(batch) {
+            let subs: Vec<Sub> = chunk
+                .iter()
+                .map(|r| Sub {
+                    id: r.id,
+                    length: r.length,
+                })
+                .collect();
+            sent += subs.len() as u64;
+            Frame::BatchedSubmit { subs }.write_to_v(&mut stream, version)?;
         }
-        .write_to(&mut stream)?;
-        sent += 1;
+    } else {
+        for r in next.by_ref().take(window) {
+            Frame::Submit {
+                id: r.id,
+                length: r.length,
+            }
+            .write_to_v(&mut stream, version)?;
+            sent += 1;
+        }
     }
     while tally.answered() < sent {
         match read_frame(&mut stream) {
@@ -363,7 +467,7 @@ fn closed_client(
                         id: r.id,
                         length: r.length,
                     }
-                    .write_to(&mut stream)?;
+                    .write_to_v(&mut stream, version)?;
                     sent += 1;
                 }
             }
@@ -399,18 +503,25 @@ pub struct ChaosReplayConfig {
     pub attempt_timeout: Duration,
     /// Base of the jittered exponential reconnect/retry backoff.
     pub backoff_base: Duration,
-    /// Largest virtual `latency_ns` in a `Response` the client will
-    /// believe. v1 frames carry no checksum, so a bit-flip in the latency
-    /// field of an otherwise well-formed `Response` decodes cleanly; a
-    /// value beyond this bound is treated as frame corruption — the
-    /// connection is dropped and the attempt retried — instead of being
-    /// folded into the latency statistics. This bounds the damage; flips
-    /// that land below the bound are indistinguishable from truth until
-    /// frames grow checksums. A false positive only costs a retry on a
-    /// fresh connection, never a lost request — raise the bound for
-    /// saturated closed-loop runs where multi-second virtual latencies
-    /// are legitimate.
+    /// Largest virtual `latency_ns` in a `Response` a **v1** connection
+    /// will believe. v1 frames carry no checksum, so a bit-flip in the
+    /// latency field of an otherwise well-formed `Response` decodes
+    /// cleanly; a value beyond this bound is treated as frame corruption —
+    /// the connection is dropped and the attempt retried — instead of
+    /// being folded into the latency statistics. A false positive only
+    /// costs a retry on a fresh connection, never a lost request — raise
+    /// the bound for saturated closed-loop runs where multi-second virtual
+    /// latencies are legitimate.
+    ///
+    /// On a negotiated **v2** connection the heuristic is retired: the
+    /// CRC32C trailer subsumes it (a flipped latency can no longer decode
+    /// as a well-formed frame), so every latency that decodes is believed.
+    /// [`ChaosReport::credibility_rejects`] staying zero under v2
+    /// corruption chaos is the regression that proves the retirement.
     pub max_credible_latency: Duration,
+    /// Protocol dialect ([`ProtocolMode::Negotiate`] by default;
+    /// [`ProtocolMode::Legacy`] reproduces the pre-v2 client exactly).
+    pub protocol: ProtocolMode,
 }
 
 impl ChaosReplayConfig {
@@ -427,7 +538,14 @@ impl ChaosReplayConfig {
             // enough that a single surviving bit-flip (necessarily below
             // the bound) biases a mean by at most a few ms.
             max_credible_latency: Duration::from_secs(2),
+            protocol: ProtocolMode::Negotiate,
         }
+    }
+
+    /// Select the protocol dialect.
+    pub fn with_protocol(mut self, protocol: ProtocolMode) -> Self {
+        self.protocol = protocol;
+        self
     }
 }
 
@@ -456,6 +574,14 @@ pub struct ChaosReport {
     pub retries: u64,
     /// Connections (re)established, including each client's first.
     pub connects: u64,
+    /// Times the v1 `max_credible_latency` heuristic rejected a decoded
+    /// `Response` as corrupt. Structurally zero on v2 connections (the
+    /// heuristic is retired there — checksums subsume it).
+    pub credibility_rejects: u64,
+    /// Retryable [`ErrorCode::Corrupt`] verdicts received: frames the
+    /// server refused by checksum and invited the client to resend. Only
+    /// a v2 server emits these.
+    pub corrupt_signals: u64,
     /// Virtual dispatch→completion latencies (ms) of the `ok` responses
     /// (final successful attempt only).
     pub latencies_ms: Vec<f64>,
@@ -483,6 +609,8 @@ impl ChaosReport {
         self.exhausted += other.exhausted;
         self.retries += other.retries;
         self.connects += other.connects;
+        self.credibility_rejects += other.credibility_rejects;
+        self.corrupt_signals += other.corrupt_signals;
         self.latencies_ms.extend(other.latencies_ms);
     }
 }
@@ -528,6 +656,8 @@ pub fn chaos_replay(
 struct ChaosConn {
     stream: FaultyStream<TcpStream>,
     frames: FrameReader,
+    /// Version agreed at connect ([`WireVersion::V1`] for legacy mode).
+    version: WireVersion,
 }
 
 /// How one attempt at one request ended.
@@ -539,6 +669,13 @@ enum Attempt {
     /// Transient failure (fault, timeout, shed, failed execution): retry
     /// with backoff. `true` means the connection must be replaced.
     Retry { reconnect: bool },
+    /// The v1 credibility heuristic rejected a decoded `Response` as
+    /// corrupt: counted, then retried on a fresh connection.
+    Incredible,
+    /// The server answered [`ErrorCode::Corrupt`] — a checksummed frame
+    /// failed verification in flight. The connection is fine (v2 resyncs
+    /// exactly); resend on the same socket.
+    Corrupt,
 }
 
 fn chaos_client(
@@ -602,6 +739,13 @@ fn chaos_client(
                         conn = None;
                     }
                 }
+                Attempt::Incredible => {
+                    report.credibility_rejects += 1;
+                    conn = None;
+                }
+                Attempt::Corrupt => {
+                    report.corrupt_signals += 1;
+                }
             }
         }
     }
@@ -610,6 +754,11 @@ fn chaos_client(
 
 /// Establish one fault-wrapped connection; `None` if even the TCP connect
 /// failed (the caller backs off and retries).
+///
+/// In [`ProtocolMode::Negotiate`] the `Hello`/`HelloAck` exchange runs
+/// *through the faulty stream* — chaos may eat or mangle either frame, in
+/// which case the handshake times out and the whole connection is retried
+/// (a connect that cannot even negotiate is not worth keeping).
 fn connect_chaos(
     addr: SocketAddr,
     config: &ChaosReplayConfig,
@@ -626,10 +775,47 @@ fn connect_chaos(
     let plan = config
         .chaos
         .plan_for(conn_counter.fetch_add(1, Ordering::SeqCst));
-    Some(ChaosConn {
+    let mut conn = ChaosConn {
         stream: FaultyStream::new(stream, plan),
         frames: FrameReader::new(),
-    })
+        version: WireVersion::V1,
+    };
+    if config.protocol == ProtocolMode::Legacy {
+        return Some(conn);
+    }
+    Frame::Hello {
+        max_version: WireVersion::MAX.byte(),
+    }
+    .write_to(&mut conn.stream)
+    .ok()?;
+    let deadline = Instant::now() + config.attempt_timeout;
+    loop {
+        loop {
+            match conn.frames.next_frame() {
+                Ok(Some(Frame::HelloAck { version })) => {
+                    conn.version = WireVersion::from_byte(version)?.min(WireVersion::MAX);
+                    return Some(conn);
+                }
+                Ok(Some(_)) => {} // stray frames ahead of the ack
+                Ok(None) => break,
+                // A mangled ack is skippable but will never be resent:
+                // this path ends at the deadline with a fresh connection.
+                Err(e) if e.resynchronizable() => {}
+                Err(_) => return None,
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        match conn.frames.fill(&mut conn.stream) {
+            Ok(0) => return None,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return None,
+        }
+    }
 }
 
 /// Send one submit and wait for *its* answer through the faulty stream.
@@ -646,12 +832,19 @@ fn drive_attempt(
     config: &ChaosReplayConfig,
 ) -> Attempt {
     if (Frame::Submit { id, length })
-        .write_to(&mut conn.stream)
+        .write_to_v(&mut conn.stream, conn.version)
         .is_err()
     {
         return Attempt::Retry { reconnect: true };
     }
-    let credible_ns = u64::try_from(config.max_credible_latency.as_nanos()).unwrap_or(u64::MAX);
+    // The credibility bound guards v1 connections only: a v2 Response that
+    // decodes has survived its CRC32C, so whatever latency it carries is
+    // what the server wrote.
+    let credible_ns = if conn.version >= WireVersion::V2 {
+        u64::MAX
+    } else {
+        u64::try_from(config.max_credible_latency.as_nanos()).unwrap_or(u64::MAX)
+    };
     let deadline = Instant::now() + config.attempt_timeout;
     loop {
         // Drain everything decodable before touching the socket again.
@@ -664,11 +857,11 @@ fn drive_attempt(
                 })) if rid == id => {
                     if latency_ns > credible_ns {
                         // A bit-flip inside the latency field decodes as a
-                        // perfectly well-formed Response. An incredible
+                        // perfectly well-formed v1 Response. An incredible
                         // value means the stream mangled *our* answer, so
                         // the connection is untrustworthy: reconnect and
                         // retry instead of poisoning the statistics.
-                        return Attempt::Retry { reconnect: true };
+                        return Attempt::Incredible;
                     }
                     return Attempt::Ok(latency_ns);
                 }
@@ -680,6 +873,16 @@ fn drive_attempt(
                         // transient by design; retry on the same socket.
                         _ => Attempt::Retry { reconnect: false },
                     };
+                }
+                Ok(Some(Frame::Error {
+                    id: rid,
+                    code: ErrorCode::Corrupt,
+                })) if rid == CONN_ERROR_ID => {
+                    // The server checksummed away a mangled frame — very
+                    // possibly our submit — and says "resend". The stream
+                    // itself resynchronized exactly, so the same socket
+                    // stays in service.
+                    return Attempt::Corrupt;
                 }
                 Ok(Some(Frame::Error { id: rid, code })) if rid == CONN_ERROR_ID => {
                     // Connection-scoped verdict: admission refusal or a

@@ -28,9 +28,22 @@
 //!   a half-open or silent socket is closed after `idle_timeout` and its
 //!   thread joined by the timer, so reader threads cannot leak.
 //! - Malformed frames with an intact header are *skipped* and charged
-//!   against a per-connection **error budget**; exhausting it (or losing
-//!   framing entirely) earns a connection-level
-//!   [`ErrorCode::Protocol`] frame and a disconnect.
+//!   against a per-connection **weighted error budget** (see
+//!   [`ErrorBudget`]): a v2 checksum failure costs a single point and is
+//!   answered with a retryable [`ErrorCode::Corrupt`] frame, well-framed
+//!   garbage costs more, and good frames earn points back — so escalation
+//!   to a connection-level [`ErrorCode::Protocol`] disconnect requires
+//!   *sustained* corruption, not one noisy burst. Losing framing entirely
+//!   (bad magic/version, absurd length) disconnects immediately.
+//! - Connections negotiate their protocol version at connect: a
+//!   [`Frame::Hello`] earns a [`Frame::HelloAck`] and flips the
+//!   connection to the agreed version (v2 preferred — checksummed frames,
+//!   [`Frame::BatchedSubmit`]); a legacy client that never says hello
+//!   stays on v1 and everything keeps working.
+//! - With [`ServeConfig::server_chaos`] set (tests only), every accepted
+//!   socket is wrapped in a [`FaultyStream`] on both directions, so the
+//!   reader/writer/dispatch error paths run under the same deterministic
+//!   seeded fault schedules the client-side chaos harness uses.
 //! - The acceptor enforces `max_conns`: beyond it, a new connection is
 //!   answered with a single [`ErrorCode::Shed`] frame and closed.
 //! - A panicking executor completion callback is caught by the worker; the
@@ -44,9 +57,13 @@
 //! every queued response frame, then closes connections and joins all
 //! threads.
 
+use crate::chaos::{ChaosConfig, FaultyStream};
 use crate::clock::VirtualClock;
 use crate::executor::{CompletedBatch, Executor, Job};
-use crate::protocol::{ErrorCode, Frame, FrameReader, StatsPayload, CONN_ERROR_ID};
+use crate::protocol::{
+    DecodeError, ErrorBudget, ErrorCode, Frame, FrameReader, StatsPayload, WireVersion,
+    CONN_ERROR_ID,
+};
 use arlo_core::engine::ArloEngine;
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::latency::JitterSpec;
@@ -54,9 +71,9 @@ use arlo_trace::Nanos;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::io::Write as _;
+use std::io::{IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -105,7 +122,12 @@ pub struct ServeConfig {
     /// Socket write timeout for connection writer threads; a blocked write
     /// past this dooms the connection.
     pub write_timeout: Duration,
-    /// Malformed frames tolerated per connection before a
+    /// Malformed-frame tolerance per connection, in [`ErrorBudget`]
+    /// *points*: a v2 checksum mismatch costs
+    /// [`crate::protocol::CHECKSUM_ERROR_COST`], well-framed garbage costs
+    /// [`crate::protocol::GARBAGE_ERROR_COST`], and every good frame earns
+    /// one point back (up to this maximum). Exhausting the budget — which
+    /// therefore requires *sustained* corruption — earns a
     /// [`ErrorCode::Protocol`] disconnect. Only *resynchronizable* errors
     /// (intact header, known extent) are budgetable; losing framing is an
     /// immediate typed disconnect.
@@ -113,6 +135,12 @@ pub struct ServeConfig {
     /// Admission limit on concurrent connections: beyond it the acceptor
     /// answers one [`ErrorCode::Shed`] frame and closes.
     pub max_conns: usize,
+    /// Test-only fault injection on *accepted* sockets: wrap each
+    /// connection's read and write halves in a [`FaultyStream`] driven by
+    /// deterministic per-connection schedules derived from this config
+    /// (reader plan `conn_id * 2`, writer plan `conn_id * 2 + 1`). `None`
+    /// — the production setting — serves on bare sockets.
+    pub server_chaos: Option<ChaosConfig>,
 }
 
 impl ServeConfig {
@@ -133,8 +161,11 @@ impl ServeConfig {
             idle_timeout: Duration::from_secs(30),
             outbound_queue: 1024,
             write_timeout: Duration::from_secs(5),
-            frame_error_budget: 8,
+            // 32 points = the historical 8 garbage frames at
+            // GARBAGE_ERROR_COST, or 32 isolated checksum failures.
+            frame_error_budget: 32,
             max_conns: 4096,
+            server_chaos: None,
         }
     }
 
@@ -147,6 +178,12 @@ impl ServeConfig {
     /// Set the executor's batch coalescing policy.
     pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Enable server-side fault injection on accepted sockets (tests).
+    pub fn with_server_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.server_chaos = Some(chaos);
         self
     }
 }
@@ -183,6 +220,13 @@ pub struct DrainReport {
     /// Connections closed with a typed [`ErrorCode::Protocol`] error
     /// (malformed-frame budget exhausted or framing lost).
     pub protocol_disconnects: u64,
+    /// v2 frames refused for a checksum mismatch and answered with a
+    /// retryable [`ErrorCode::Corrupt`] — line corruption the protocol
+    /// *named* instead of misparsing.
+    pub corrupt_frames: u64,
+    /// Connections that negotiated protocol v2 via `Hello`/`HelloAck`
+    /// (the remainder stayed on the v1 fallback).
+    pub v2_conns: u64,
     /// Connections refused at the admission limit with a typed
     /// [`ErrorCode::Shed`].
     pub refused_conns: u64,
@@ -229,6 +273,8 @@ struct Shared {
     reaped_idle: AtomicU64,
     slow_disconnects: AtomicU64,
     protocol_disconnects: AtomicU64,
+    corrupt_frames: AtomicU64,
+    v2_conns: AtomicU64,
     refused_conns: AtomicU64,
     /// Response frames dropped because their connection was gone or
     /// doomed (the client's loss — chaos clients retry).
@@ -268,7 +314,7 @@ impl Shared {
         // handling, so incrementing afterwards could race the counter
         // below zero (u64 wrap) and wedge drain's flush wait.
         self.queued_frames.fetch_add(1, Ordering::SeqCst);
-        match handle.tx.try_send(*frame) {
+        match handle.tx.try_send(frame.clone()) {
             Ok(()) => {}
             Err(mpsc::TrySendError::Full(_)) => {
                 self.queued_frames.fetch_sub(1, Ordering::SeqCst);
@@ -350,6 +396,8 @@ impl Server {
             reaped_idle: AtomicU64::new(0),
             slow_disconnects: AtomicU64::new(0),
             protocol_disconnects: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
+            v2_conns: AtomicU64::new(0),
             refused_conns: AtomicU64::new(0),
             dropped_responses: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
@@ -463,6 +511,17 @@ impl Server {
         self.shared.protocol_disconnects.load(Ordering::SeqCst)
     }
 
+    /// v2 frames refused for a checksum mismatch (each answered with a
+    /// retryable [`ErrorCode::Corrupt`]).
+    pub fn corrupt_frames(&self) -> u64 {
+        self.shared.corrupt_frames.load(Ordering::SeqCst)
+    }
+
+    /// Connections that negotiated protocol v2.
+    pub fn v2_conns(&self) -> u64 {
+        self.shared.v2_conns.load(Ordering::SeqCst)
+    }
+
     /// Executor completion panics caught and re-accounted so far.
     pub fn panics_recovered(&self) -> u64 {
         self.executor.panics_recovered()
@@ -535,6 +594,8 @@ impl Server {
             reaped_idle: shared.reaped_idle.load(Ordering::SeqCst),
             slow_disconnects: shared.slow_disconnects.load(Ordering::SeqCst),
             protocol_disconnects: shared.protocol_disconnects.load(Ordering::SeqCst),
+            corrupt_frames: shared.corrupt_frames.load(Ordering::SeqCst),
+            v2_conns: shared.v2_conns.load(Ordering::SeqCst),
             refused_conns: shared.refused_conns.load(Ordering::SeqCst),
             panics_recovered,
         }
@@ -744,6 +805,10 @@ fn accept_loop(
 
 /// Register a new connection: one bounded outbound queue, one writer
 /// thread draining it to the socket, one reader thread decoding frames.
+/// Both halves share the connection's negotiated [`WireVersion`] (v1
+/// until a `Hello` upgrades it), and — with server-side chaos enabled —
+/// each half runs behind its own deterministically-scheduled
+/// [`FaultyStream`].
 fn spawn_connection(
     shared: &Arc<Shared>,
     stream: TcpStream,
@@ -752,9 +817,15 @@ fn spawn_connection(
     config: &ServeConfig,
 ) -> io::Result<()> {
     let writer_stream = stream.try_clone()?;
+    let writer_shutdown = stream.try_clone()?;
     let shutdown_stream = stream.try_clone()?;
     let (out_tx, out_rx) = mpsc::sync_channel::<Frame>(config.outbound_queue);
     let doomed = Arc::new(AtomicBool::new(false));
+    // Socket-level timeouts must land on the raw TcpStream before the
+    // halves disappear behind chaos wrappers (`dyn Read`/`dyn Write`).
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = writer_stream.set_write_timeout(Some(config.write_timeout));
+    let negotiated = Arc::new(AtomicU8::new(WireVersion::V1.byte()));
     shared.conns.lock().insert(
         conn_id,
         ConnHandle {
@@ -764,27 +835,55 @@ fn spawn_connection(
         },
     );
 
+    let (read_half, write_half): (Box<dyn Read + Send>, Box<dyn Write + Send>) =
+        match &config.server_chaos {
+            Some(chaos) => (
+                Box::new(FaultyStream::new(stream, chaos.plan_for(conn_id * 2))),
+                Box::new(FaultyStream::new(
+                    writer_stream,
+                    chaos.plan_for(conn_id * 2 + 1),
+                )),
+            ),
+            None => (Box::new(stream), Box::new(writer_stream)),
+        };
+
     let writer = {
         let shared = Arc::clone(shared);
         let doomed = Arc::clone(&doomed);
-        let write_timeout = config.write_timeout;
+        let negotiated = Arc::clone(&negotiated);
         std::thread::Builder::new()
             .name(format!("arlo-conn-{conn_id}-wr"))
-            .spawn(move || writer_loop(&shared, writer_stream, &out_rx, &doomed, write_timeout))?
+            .spawn(move || {
+                writer_loop(
+                    &shared,
+                    write_half,
+                    &writer_shutdown,
+                    &out_rx,
+                    &doomed,
+                    &negotiated,
+                )
+            })?
     };
     let reader = {
         let shared = Arc::clone(shared);
         let doomed = Arc::clone(&doomed);
         let tx = tx.clone();
         let config = ReaderConfig {
-            read_timeout: config.read_timeout,
             idle_timeout: config.idle_timeout,
             frame_error_budget: config.frame_error_budget,
         };
         std::thread::Builder::new()
             .name(format!("arlo-conn-{conn_id}"))
             .spawn(move || {
-                reader_loop(&shared, stream, conn_id, &tx, &doomed, &config);
+                reader_loop(
+                    &shared,
+                    read_half,
+                    conn_id,
+                    &tx,
+                    &doomed,
+                    &negotiated,
+                    &config,
+                );
                 // Removing the handle drops the queue's only sender: the
                 // writer drains whatever is left and exits.
                 if let Some(handle) = shared.conns.lock().remove(&conn_id) {
@@ -797,44 +896,92 @@ fn spawn_connection(
     Ok(())
 }
 
+/// Write every buffer in `bufs` to `w`, as few syscalls as the kernel
+/// allows: one gathered `write_vectored` per iteration, advancing past
+/// partially-written slices by hand (std's `write_all_vectored` is
+/// unstable). Kept total: short writes resume mid-buffer, `Interrupted`
+/// retries, and a zero-length write is the `WriteZero` error it is.
+fn write_all_vectored(w: &mut (impl Write + ?Sized), bufs: &[Vec<u8>]) -> io::Result<()> {
+    let mut idx = 0; // first buffer with unwritten bytes
+    let mut offset = 0; // bytes of bufs[idx] already written
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(bufs.len());
+    while idx < bufs.len() {
+        slices.clear();
+        slices.push(IoSlice::new(&bufs[idx][offset..]));
+        slices.extend(bufs[idx + 1..].iter().map(|b| IoSlice::new(b)));
+        let mut n = match w.write_vectored(&slices) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while idx < bufs.len() && n >= bufs[idx].len() - offset {
+            n -= bufs[idx].len() - offset;
+            idx += 1;
+            offset = 0;
+        }
+        offset += n;
+    }
+    Ok(())
+}
+
 /// Drain one connection's outbound queue onto its socket. Exits when every
 /// sender is gone (connection removed from the registry) and the queue is
 /// empty. A write failure or timeout dooms the connection; remaining
 /// frames are then discarded (still decrementing the flush counter, so
 /// drain never hangs on a dead client) rather than written to a dead
 /// socket.
+///
+/// Frames encode at the connection's negotiated version into a pool of
+/// **reusable per-slot buffers** (no allocation per frame once the pool
+/// warms up) and leave in one gathered [`write_all_vectored`] call per
+/// coalesced batch. The lone exception is [`Frame::HelloAck`], which
+/// always travels v1-framed: it is the bootstrap dialect's answer, and
+/// may race the version flip it announces.
 fn writer_loop(
     shared: &Shared,
-    mut stream: TcpStream,
+    mut sink: Box<dyn Write + Send>,
+    shutdown: &TcpStream,
     rx: &mpsc::Receiver<Frame>,
     doomed: &AtomicBool,
-    write_timeout: Duration,
+    negotiated: &AtomicU8,
 ) {
-    let _ = stream.set_write_timeout(Some(write_timeout));
     let mut dead = false;
-    let mut wire = Vec::with_capacity(16 * 1024);
+    let mut pending: Vec<Frame> = Vec::with_capacity(64);
+    let mut bufs: Vec<Vec<u8>> = Vec::new();
     while let Ok(first) = rx.recv() {
         // Coalesce everything already queued into one syscall: the shed
         // path can produce error frames far faster than per-frame writes
         // can drain them, and without batching that alone would overflow
         // the bounded queue even with a healthy, fast-reading client.
-        wire.clear();
-        wire.extend_from_slice(&first.encode());
-        let mut batch: u64 = 1;
-        while batch < 1024 {
+        pending.clear();
+        pending.push(first);
+        while pending.len() < 1024 {
             match rx.try_recv() {
-                Ok(frame) => {
-                    wire.extend_from_slice(&frame.encode());
-                    batch += 1;
-                }
+                Ok(frame) => pending.push(frame),
                 Err(_) => break,
             }
         }
+        let batch = pending.len() as u64;
         if !dead && doomed.load(Ordering::SeqCst) {
             dead = true;
         }
         if !dead {
-            match stream.write_all(&wire) {
+            while bufs.len() < pending.len() {
+                bufs.push(Vec::with_capacity(64));
+            }
+            let version = WireVersion::from_byte(negotiated.load(Ordering::SeqCst))
+                .unwrap_or(WireVersion::V1);
+            for (frame, buf) in pending.iter().zip(bufs.iter_mut()) {
+                buf.clear();
+                let frame_version = if matches!(frame, Frame::HelloAck { .. }) {
+                    WireVersion::V1
+                } else {
+                    version
+                };
+                frame.encode_into(frame_version, buf);
+            }
+            match write_all_vectored(&mut *sink, &bufs[..pending.len()]) {
                 Ok(()) => {}
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -845,7 +992,7 @@ fn writer_loop(
                     if !doomed.swap(true, Ordering::SeqCst) {
                         shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
                     }
-                    let _ = stream.shutdown(Shutdown::Both);
+                    let _ = shutdown.shutdown(Shutdown::Both);
                     dead = true;
                 }
                 Err(_) => {
@@ -859,37 +1006,50 @@ fn writer_loop(
 }
 
 struct ReaderConfig {
-    read_timeout: Duration,
     idle_timeout: Duration,
     frame_error_budget: u32,
 }
 
 fn reader_loop(
     shared: &Shared,
-    mut stream: TcpStream,
+    mut stream: Box<dyn Read + Send>,
     conn_id: u64,
     tx: &mpsc::SyncSender<DispatchMsg>,
     doomed: &AtomicBool,
+    negotiated: &AtomicU8,
     config: &ReaderConfig,
 ) {
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
     let mut frames = FrameReader::new();
-    let mut budget = config.frame_error_budget;
+    let mut budget = ErrorBudget::new(config.frame_error_budget);
     let mut last_activity = Instant::now();
     loop {
         // Decode everything already buffered before touching the socket.
         loop {
             match frames.next_frame() {
                 Ok(Some(frame)) => {
-                    if !handle_frame(shared, conn_id, tx, &frame) {
+                    budget.credit();
+                    if !handle_frame(shared, conn_id, tx, negotiated, &frame) {
                         return;
                     }
                 }
                 Ok(None) => break,
-                Err(e) if e.resynchronizable() && budget > 0 => {
-                    // Malformed but skippable: charge the budget and keep
-                    // the connection; the bad frame's bytes are consumed.
-                    budget -= 1;
+                Err(e) if budget.charge(&e) => {
+                    // Malformed but skippable, and within budget: the bad
+                    // frame's bytes are consumed and the stream continues.
+                    // A checksum mismatch additionally earns the client a
+                    // retryable verdict — the line mangled the frame, so
+                    // the server cannot know which request it carried, but
+                    // it *can* say "resend whatever you have in flight".
+                    if matches!(e, DecodeError::ChecksumMismatch { .. }) {
+                        shared.corrupt_frames.fetch_add(1, Ordering::SeqCst);
+                        shared.respond(
+                            conn_id,
+                            &Frame::Error {
+                                id: CONN_ERROR_ID,
+                                code: ErrorCode::Corrupt,
+                            },
+                        );
+                    }
                 }
                 Err(_) => {
                     // Budget exhausted or framing lost: typed disconnect.
@@ -928,47 +1088,89 @@ fn reader_loop(
     }
 }
 
+/// Admit one submit: shed under drain, enqueue for dispatch, shed on
+/// queue overflow. Shared by [`Frame::Submit`] and every sub-request of a
+/// [`Frame::BatchedSubmit`] — batching amortizes framing, never
+/// accounting.
+fn submit_one(
+    shared: &Shared,
+    conn_id: u64,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+    id: u64,
+    length: u32,
+) {
+    shared.submits.fetch_add(1, Ordering::SeqCst);
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        shared.respond(
+            conn_id,
+            &Frame::Error {
+                id,
+                code: ErrorCode::Draining,
+            },
+        );
+        return;
+    }
+    // `outstanding` covers queued-for-dispatch as well as
+    // executing requests, so drain flushes both.
+    shared.outstanding.fetch_add(1, Ordering::SeqCst);
+    let msg = DispatchMsg::Submit {
+        conn_id,
+        id,
+        length,
+    };
+    if tx.try_send(msg).is_err() {
+        // Bounded-queue overflow: explicit shed, not a stall.
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        shared.respond(
+            conn_id,
+            &Frame::Error {
+                id,
+                code: ErrorCode::Shed,
+            },
+        );
+    }
+}
+
 /// React to one decoded frame; `false` means "close the connection".
 fn handle_frame(
     shared: &Shared,
     conn_id: u64,
     tx: &mpsc::SyncSender<DispatchMsg>,
+    negotiated: &AtomicU8,
     frame: &Frame,
 ) -> bool {
     match *frame {
         Frame::Submit { id, length } => {
-            shared.submits.fetch_add(1, Ordering::SeqCst);
-            if shared.draining.load(Ordering::SeqCst) {
-                shared.shed.fetch_add(1, Ordering::Relaxed);
-                shared.respond(
-                    conn_id,
-                    &Frame::Error {
-                        id,
-                        code: ErrorCode::Draining,
-                    },
-                );
-                return true;
+            submit_one(shared, conn_id, tx, id, length);
+            true
+        }
+        Frame::BatchedSubmit { ref subs } => {
+            // One frame, many admissions: every sub-request is answered
+            // individually, exactly as if submitted alone.
+            for sub in subs {
+                submit_one(shared, conn_id, tx, sub.id, sub.length);
             }
-            // `outstanding` covers queued-for-dispatch as well as
-            // executing requests, so drain flushes both.
-            shared.outstanding.fetch_add(1, Ordering::SeqCst);
-            let msg = DispatchMsg::Submit {
+            true
+        }
+        Frame::Hello { max_version } => {
+            // Version negotiation: agree on the best common version, flip
+            // the connection to it, and ack. The ack itself always leaves
+            // v1-framed (the writer pins HelloAck to the bootstrap
+            // dialect), so the client decodes it regardless of when the
+            // writer observes the flip.
+            let agreed = WireVersion::negotiate(max_version);
+            negotiated.store(agreed.byte(), Ordering::SeqCst);
+            if agreed >= WireVersion::V2 {
+                shared.v2_conns.fetch_add(1, Ordering::SeqCst);
+            }
+            shared.respond(
                 conn_id,
-                id,
-                length,
-            };
-            if tx.try_send(msg).is_err() {
-                // Bounded-queue overflow: explicit shed, not a stall.
-                shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-                shared.shed.fetch_add(1, Ordering::Relaxed);
-                shared.respond(
-                    conn_id,
-                    &Frame::Error {
-                        id,
-                        code: ErrorCode::Shed,
-                    },
-                );
-            }
+                &Frame::HelloAck {
+                    version: agreed.byte(),
+                },
+            );
             true
         }
         Frame::StatsRequest => {
@@ -982,7 +1184,7 @@ fn handle_frame(
         }
         // A client sending server-only frames is violating the protocol;
         // answer a typed connection error and close.
-        Frame::Response { .. } | Frame::Error { .. } | Frame::Stats(_) => {
+        Frame::Response { .. } | Frame::Error { .. } | Frame::Stats(_) | Frame::HelloAck { .. } => {
             shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
             shared.respond(
                 conn_id,

@@ -1,7 +1,7 @@
 //! End-to-end robustness tests: the server under deliberately hostile
 //! clients and injected faults.
 //!
-//! Four properties, each the regression test for one hardening layer:
+//! Seven properties, each the regression test for one hardening layer:
 //!
 //! 1. **Idle reaping** — a connection that never speaks is closed after
 //!    the idle window and its reader/writer threads are *joined*, not
@@ -18,6 +18,17 @@
 //! 4. **Executor panic recovery** — an injected completion-callback panic
 //!    is caught, the batch is re-accounted as failed (typed answers, engine
 //!    report), and the drain still finishes clean.
+//! 5. **Server-side chaos** — the same conservation laws hold when the
+//!    faults are injected on the *server's* accepted sockets
+//!    ([`ServeConfig::server_chaos`]), not just the clients'.
+//! 6. **Checksums end phantom terminal states** — under heavy corruption a
+//!    v2 pool records zero `unserviceable` verdicts: a bit-flipped frame
+//!    can no longer decode into a well-formed refusal that kills a healthy
+//!    request (the ~1.7% phantom-unserviceable rate of the v1 stack).
+//! 7. **Credibility heuristic retired on v2** — the v1 `latency_ns`
+//!    plausibility bound still fires on legacy connections but is
+//!    structurally off on negotiated v2 connections, where the CRC
+//!    subsumes it.
 
 use arlo_core::engine::{ArloEngine, EngineConfig};
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
@@ -25,8 +36,10 @@ use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::profile_runtimes;
 use arlo_runtime::runtime_set::RuntimeSet;
 use arlo_serve::chaos::{ChaosConfig, FaultClass};
-use arlo_serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, LoadGenReport};
-use arlo_serve::protocol::Frame;
+use arlo_serve::loadgen::{
+    chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, LoadGenReport, ProtocolMode,
+};
+use arlo_serve::protocol::{read_frame, Frame, WireVersion};
 use arlo_serve::server::{DrainReport, ServeConfig, Server};
 use arlo_trace::workload::TraceSpec;
 use arlo_trace::NANOS_PER_SEC;
@@ -289,6 +302,183 @@ fn drain_under_chaos_conserves_every_request() {
             class.name()
         );
     }
+}
+
+#[test]
+fn server_side_chaos_conserves_every_request() {
+    // Faults on both sides of the wire at once: the server's accepted
+    // sockets corrupt reads and writes (plans drawn per connection from
+    // `server_chaos`), while the clients run their own corrupting streams.
+    // Conservation must still be an equality on both ends.
+    let cfg = config().with_server_chaos(ChaosConfig::new(FaultClass::Corrupt, 0.5, 4242));
+    let server = Server::spawn(engine(), "127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let trace = TraceSpec::twitter_stable(150.0, 2.0).generate(&mut rng);
+    let mut cfg = ChaosReplayConfig::new(3, ChaosConfig::new(FaultClass::Corrupt, 0.25, 5678));
+    cfg.max_attempts = 8;
+    cfg.attempt_timeout = Duration::from_millis(250);
+    cfg.backoff_base = Duration::from_millis(1);
+    let report = chaos_replay(addr, &trace, &cfg).expect("chaos replay");
+
+    assert!(
+        report.conserved(),
+        "client conservation violated under server-side chaos: {report:?}"
+    );
+    assert!(
+        report.ok > 0,
+        "server-side chaos killed every request: {report:?}"
+    );
+
+    let drain = server.drain();
+    assert_eq!(
+        drain.outstanding_at_close, 0,
+        "server-side chaos left work outstanding: {drain:?}"
+    );
+    assert_eq!(
+        drain.submits,
+        drain.served + drain.shed + drain.unserviceable + drain.failed,
+        "server conservation violated under server-side chaos: {drain:?}"
+    );
+}
+
+#[test]
+fn v2_checksums_eliminate_phantom_unserviceable_under_heavy_corruption() {
+    // The headline v1 failure mode this protocol revision retires: at
+    // Corrupt@0.75 a bit-flipped frame occasionally decodes as a
+    // well-formed `Error { Unserviceable }`, terminally killing a healthy
+    // request (~1.7% of the trace on the v1 stack). On a negotiated v2
+    // pool every flip dies at the CRC, so the phantom rate is exactly
+    // zero — and the credibility heuristic, retired on v2, never fires.
+    let server = Server::spawn(engine(), "127.0.0.1:0", config()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut rng = StdRng::seed_from_u64(23);
+    let trace = TraceSpec::twitter_stable(150.0, 2.0).generate(&mut rng);
+    let mut cfg = ChaosReplayConfig::new(3, ChaosConfig::new(FaultClass::Corrupt, 0.75, 1234));
+    cfg.max_attempts = 8;
+    cfg.attempt_timeout = Duration::from_millis(250);
+    cfg.backoff_base = Duration::from_millis(1);
+    let report = chaos_replay(addr, &trace, &cfg).expect("chaos replay");
+
+    assert!(report.conserved(), "conservation violated: {report:?}");
+    assert!(report.ok > 0, "corruption killed every request: {report:?}");
+    assert_eq!(
+        report.unserviceable, 0,
+        "corruption forged an Unserviceable verdict through the checksum: {report:?}"
+    );
+    assert_eq!(
+        report.credibility_rejects, 0,
+        "retired v1 heuristic fired on a v2 connection: {report:?}"
+    );
+    assert!(
+        report.corrupt_signals > 0,
+        "at 0.75 intensity the server should have checksummed away submits: {report:?}"
+    );
+
+    let drain = server.drain();
+    assert_eq!(
+        drain.unserviceable, 0,
+        "a corrupted submit decoded into a real one: {drain:?}"
+    );
+    assert_eq!(
+        drain.submits,
+        drain.served + drain.shed + drain.unserviceable + drain.failed
+    );
+    assert_eq!(drain.outstanding_at_close, 0);
+}
+
+/// A hand-rolled server that negotiates honestly but reports an absurd
+/// virtual latency (one hour) in every `Response` — the decoded-but-wrong
+/// shape the v1 credibility heuristic exists to catch.
+fn absurd_latency_server() -> std::net::SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { break };
+            std::thread::spawn(move || {
+                let _ = conn.set_nodelay(true);
+                let mut version = WireVersion::V1;
+                loop {
+                    match read_frame(&mut conn) {
+                        Ok(Some(Frame::Hello { max_version })) => {
+                            version = WireVersion::negotiate(max_version);
+                            let ack = Frame::HelloAck {
+                                version: version.byte(),
+                            };
+                            if ack.write_to(&mut conn).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(Some(Frame::Submit { id, .. })) => {
+                            let absurd = Frame::Response {
+                                id,
+                                generation: 0,
+                                runtime_idx: 0,
+                                instance_idx: 0,
+                                latency_ns: 3_600 * NANOS_PER_SEC,
+                            };
+                            if absurd.write_to_v(&mut conn, version).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(Some(_)) => {}
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn credibility_heuristic_fires_on_v1_and_is_retired_on_v2() {
+    let addr = absurd_latency_server();
+    let mut rng = StdRng::seed_from_u64(77);
+    let trace = TraceSpec::twitter_stable(60.0, 1.0).generate(&mut rng);
+
+    // Zero-intensity chaos: the full retry/credibility machinery with a
+    // clean wire, so every verdict below is the heuristic's alone.
+    let base = || {
+        let mut cfg = ChaosReplayConfig::new(2, ChaosConfig::new(FaultClass::Corrupt, 0.0, 9));
+        cfg.max_attempts = 3;
+        cfg.attempt_timeout = Duration::from_millis(250);
+        cfg.backoff_base = Duration::from_millis(1);
+        cfg
+    };
+
+    // Legacy (v1) connections: the unchecksummed latency field cannot be
+    // trusted, so the absurd value is rejected as presumed corruption on
+    // every attempt and each request exhausts its budget.
+    let legacy =
+        chaos_replay(addr, &trace, &base().with_protocol(ProtocolMode::Legacy)).expect("legacy");
+    assert!(legacy.conserved(), "legacy conservation: {legacy:?}");
+    assert!(
+        legacy.credibility_rejects > 0,
+        "v1 heuristic never fired on an absurd latency: {legacy:?}"
+    );
+    assert_eq!(
+        legacy.ok, 0,
+        "v1 believed a latency beyond the credibility bound: {legacy:?}"
+    );
+    assert_eq!(legacy.exhausted, legacy.requests, "{legacy:?}");
+
+    // Negotiated v2 connections: the frame survived its CRC, so whatever
+    // latency it carries is what the server wrote — believed verbatim,
+    // heuristic structurally off.
+    let modern = chaos_replay(addr, &trace, &base()).expect("negotiate");
+    assert!(modern.conserved(), "v2 conservation: {modern:?}");
+    assert_eq!(
+        modern.credibility_rejects, 0,
+        "retired heuristic fired on v2: {modern:?}"
+    );
+    assert_eq!(
+        modern.ok, modern.requests,
+        "v2 rejected checksummed responses: {modern:?}"
+    );
 }
 
 #[test]

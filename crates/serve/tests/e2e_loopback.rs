@@ -14,8 +14,8 @@ use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::profile_runtimes;
 use arlo_runtime::runtime_set::RuntimeSet;
-use arlo_serve::loadgen::{replay, LoadGenConfig};
-use arlo_serve::protocol::{read_frame, ErrorCode, Frame};
+use arlo_serve::loadgen::{replay, LoadGenConfig, ProtocolMode};
+use arlo_serve::protocol::{client_handshake, read_frame, ErrorCode, Frame, Sub, WireVersion};
 use arlo_serve::server::{ServeConfig, Server};
 use arlo_trace::workload::TraceSpec;
 use arlo_trace::NANOS_PER_SEC;
@@ -179,6 +179,92 @@ fn injected_failures_flow_through_health_hooks() {
 
     let drain = server.drain();
     assert_eq!(drain.failed, report.failed);
+    assert_eq!(drain.outstanding_at_close, 0);
+}
+
+#[test]
+fn mixed_v1_and_v2_connection_pools_drain_cleanly() {
+    // The interop acceptance test: legacy v1 clients (no handshake,
+    // unchecksummed frames) and negotiated v2 clients (checksummed,
+    // batched submits) share one server concurrently; both pools get
+    // exactly-once answers and the drain equation still balances.
+    let server = Server::spawn(engine(), "127.0.0.1:0", config()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let trace_v1 = TraceSpec::twitter_stable(400.0, 4.0).generate(&mut rng);
+    let trace_v2 = TraceSpec::twitter_stable(400.0, 4.0).generate(&mut rng);
+    let sent_total = (trace_v1.len() + trace_v2.len()) as u64;
+
+    let legacy = std::thread::spawn({
+        let cfg = LoadGenConfig::open(2, SCALE).with_protocol(ProtocolMode::Legacy);
+        move || replay(addr, &trace_v1, &cfg).expect("legacy replay")
+    });
+    let modern = std::thread::spawn({
+        let cfg = LoadGenConfig::open(2, SCALE).with_submit_batch(8);
+        move || replay(addr, &trace_v2, &cfg).expect("v2 replay")
+    });
+    let legacy = legacy.join().expect("legacy clients");
+    let modern = modern.join().expect("v2 clients");
+
+    for (name, report) in [("v1", &legacy), ("v2", &modern)] {
+        assert_eq!(report.lost, 0, "{name} pool lost answers: {report:?}");
+        assert_eq!(report.accounted(), report.sent, "{name}: {report:?}");
+        assert!(report.ok > 0, "{name} pool served nothing: {report:?}");
+    }
+    assert_eq!(
+        server.v2_conns(),
+        2,
+        "exactly the negotiating pool's connections should be v2"
+    );
+
+    let drain = server.drain();
+    assert_eq!(drain.outstanding_at_close, 0);
+    assert_eq!(drain.submits, sent_total);
+    assert_eq!(
+        drain.served + drain.shed + drain.unserviceable + drain.failed,
+        sent_total,
+        "mixed-pool accounting disagrees: {drain:?}"
+    );
+    assert_eq!(drain.served, legacy.ok + modern.ok);
+}
+
+#[test]
+fn batched_submit_is_answered_per_sub_request() {
+    let server = Server::spawn(engine(), "127.0.0.1:0", config()).expect("bind loopback");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let version = client_handshake(&mut conn).expect("handshake");
+    assert_eq!(version, WireVersion::V2);
+
+    let subs: Vec<Sub> = (0..32u64)
+        .map(|i| Sub {
+            id: 1000 + i,
+            length: 16 + (i as u32 % 101),
+        })
+        .collect();
+    let expected: std::collections::BTreeSet<u64> = subs.iter().map(|s| s.id).collect();
+    Frame::BatchedSubmit { subs }
+        .write_to_v(&mut conn, version)
+        .unwrap();
+
+    // One frame in, 32 individual answers out — every sub-request id
+    // exactly once, all successful at these tiny lengths.
+    let mut answered = std::collections::BTreeSet::new();
+    for _ in 0..expected.len() {
+        match read_frame(&mut conn).expect("read").expect("frame") {
+            Frame::Response { id, .. } => {
+                assert!(answered.insert(id), "duplicate answer for {id}");
+            }
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+    assert_eq!(answered, expected);
+
+    let drain = server.drain();
+    assert_eq!(drain.submits, 32);
+    assert_eq!(drain.served, 32);
     assert_eq!(drain.outstanding_at_close, 0);
 }
 

@@ -4,14 +4,16 @@
 
 use arlo_serve::chaos::{ChaosConfig, FaultClass, FaultyStream};
 use arlo_serve::protocol::{
-    read_frame, DecodeError, ErrorCode, Frame, FrameReader, StatsPayload, HEADER_LEN, MAX_PAYLOAD,
+    read_frame, DecodeError, ErrorCode, Frame, FrameReader, StatsPayload, Sub, WireVersion,
+    HEADER_LEN, MAX_BATCH, MAX_PAYLOAD,
 };
 use proptest::prelude::*;
 use std::io::Read;
 
 /// Build a frame from raw generated scalars; `kind` selects the variant.
+/// Covers every v1-expressible type, handshake frames included.
 fn frame_from(kind: u8, a: u64, b: u64, c: u64, d: u32) -> Frame {
-    match kind % 6 {
+    match kind % 8 {
         0 => Frame::Submit { id: a, length: d },
         1 => Frame::Response {
             id: a,
@@ -38,7 +40,11 @@ fn frame_from(kind: u8, a: u64, b: u64, c: u64, d: u32) -> Frame {
             outstanding: u64::from(d),
             reallocations: a ^ b,
         }),
-        _ => Frame::Drain,
+        5 => Frame::Drain,
+        6 => Frame::Hello {
+            max_version: b as u8,
+        },
+        _ => Frame::HelloAck { version: c as u8 },
     }
 }
 
@@ -115,6 +121,110 @@ proptest! {
             Err(_) => prop_assert_ne!(byte, before, "pristine frame must decode"),
         }
         let _ = read_frame(&mut std::io::Cursor::new(bytes));
+    }
+
+    fn single_bit_flips_in_v2_frames_never_decode(
+        kind in 0u8..=255,
+        a in 0u64..u64::MAX,
+        bit in 0usize..1 << 16,
+    ) {
+        // The v2 acceptance property: no single-bit flip anywhere in a
+        // checksummed frame — header, payload, or trailer — ever yields a
+        // successfully decoded frame. Flips past the version byte are
+        // caught by the CRC specifically (typed, retryable
+        // `ChecksumMismatch`); flips inside magic/version/length get their
+        // own typed errors because those fields gate reading the trailer.
+        let frame = frame_from(kind, a, a.rotate_left(7), a ^ 0x1234, a as u32);
+        let bytes = frame.encode_v(WireVersion::V2);
+        let bit = bit % (bytes.len() * 8);
+        let (pos, shift) = (bit / 8, bit % 8);
+        let mut mangled = bytes;
+        mangled[pos] ^= 1u8 << shift;
+        match Frame::decode(&mangled) {
+            Ok((decoded, _)) => {
+                return Err(TestCaseError(format!(
+                    "bit {shift} of byte {pos} flipped yet decoded Ok: {decoded:?}"
+                )));
+            }
+            Err(e) => match pos {
+                0 | 1 => prop_assert!(matches!(e, DecodeError::BadMagic(_)), "magic flip: {e:?}"),
+                // v2's version byte (0b10) can't reach v1 (0b01) in one
+                // bit flip, so a flipped version is always unknown.
+                2 => prop_assert!(matches!(e, DecodeError::BadVersion(_)), "version flip: {e:?}"),
+                3 => prop_assert!(
+                    matches!(e, DecodeError::ChecksumMismatch { .. }),
+                    "type flip must fail the CRC before type parse: {e:?}"
+                ),
+                4..=7 => prop_assert!(
+                    matches!(
+                        e,
+                        DecodeError::Oversized { .. }
+                            | DecodeError::Truncated { .. }
+                            | DecodeError::ChecksumMismatch { .. }
+                    ),
+                    "length flip: {e:?}"
+                ),
+                _ => prop_assert!(
+                    matches!(e, DecodeError::ChecksumMismatch { .. }),
+                    "payload/trailer flip at byte {}: {:?}", pos, e
+                ),
+            },
+        }
+    }
+
+    fn v1_v2_downgrade_round_trips_all_frame_types(
+        kind in 0u8..=255,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        c in 0u64..u64::MAX,
+        d in 0u32..=u32::MAX,
+    ) {
+        // Negotiation downgrade safety: every v1-expressible frame type
+        // encodes and decodes identically at both wire versions, so a pool
+        // downgraded to v1 (or a mixed v1/v2 stream, each frame tagged
+        // with its own version byte) never changes meaning.
+        let frame = frame_from(kind, a, b, c, d);
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let bytes = frame.encode_v(version);
+            let (decoded, consumed) = match Frame::decode(&bytes) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return Err(TestCaseError(format!(
+                        "{frame:?} at v{} failed to decode: {e}", version.byte()
+                    )));
+                }
+            };
+            prop_assert_eq!(decoded, frame.clone());
+            prop_assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    fn batched_submit_round_trips_arbitrary_batches(
+        subs in proptest::collection::vec((0u64..u64::MAX, 0u32..=u32::MAX), 0..=MAX_BATCH),
+    ) {
+        // BatchedSubmit round-trips any batch the protocol admits — empty
+        // through MAX_BATCH — and stays v2-only: the identical payload
+        // under a v1 version byte is rejected as an unknown frame type.
+        let frame = Frame::BatchedSubmit {
+            subs: subs.iter().map(|&(id, length)| Sub { id, length }).collect(),
+        };
+        let bytes = frame.encode_v(WireVersion::V2);
+        match Frame::decode(&bytes) {
+            Ok((decoded, consumed)) => {
+                prop_assert_eq!(decoded, frame.clone());
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            Err(e) => {
+                return Err(TestCaseError(format!(
+                    "batch of {} failed to decode: {e}", subs.len()
+                )));
+            }
+        }
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            Ok(Some(streamed)) => prop_assert_eq!(streamed, frame),
+            other => prop_assert!(false, "streaming batch read: {:?}", other),
+        }
     }
 
     fn split_streams_reassemble(

@@ -17,7 +17,7 @@
 
 use arlo::prelude::*;
 use arlo::serve::chaos::{ChaosConfig, FaultClass};
-use arlo::serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig};
+use arlo::serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, ProtocolMode};
 use arlo::serve::protocol::Frame;
 use arlo::serve::server::{ServeConfig, Server};
 use arlo::trace::NANOS_PER_SEC;
@@ -71,9 +71,12 @@ USAGE:
   arlo serve      --model <m> --gpus <n> [--slo-ms <ms>] [--addr <ip:port>]
                   [--time-scale <x>] [--workers <n>] [--period-secs <s>]
                   [--max-batch <n> [--marginal-cost <f>] [--max-wait-ms <ms>]]
+                  [--server-chaos <delay|partial|corrupt|reset|stall>
+                   [--server-chaos-intensity <0..1>] [--server-chaos-seed <n>]]
                   (runs until a client sends a Drain frame, then flushes and exits)
   arlo loadgen    --addr <ip:port> (--trace <file> | --rate <r> --secs <s>) [--bursty]
                   [--seed <n>] [--clients <n>] [--time-scale <x>]
+                  [--proto <v1|v2>] [--submit-batch <n>]
                   [--closed [--window <n>]] [--drain]
                   [--chaos <delay|partial|corrupt|reset|stall>
                    [--chaos-intensity <0..1>] [--chaos-seed <n>] [--retries <n>]]";
@@ -131,6 +134,16 @@ fn model_of(flags: &Flags) -> Result<ModelSpec, String> {
         other => Err(format!(
             "unknown model {other:?} (bert-base | bert-large | dolly)"
         )),
+    }
+}
+
+fn proto_of(flags: &Flags) -> Result<ProtocolMode, String> {
+    // v2 negotiates at connect and falls back transparently, so it is the
+    // default; `--proto v1` reproduces the pre-v2 client exactly.
+    match flags.get("proto").map(String::as_str) {
+        None | Some("v2") => Ok(ProtocolMode::Negotiate),
+        Some("v1") => Ok(ProtocolMode::Legacy),
+        Some(other) => Err(format!("unknown --proto {other:?} (v1 | v2)")),
     }
 }
 
@@ -378,21 +391,31 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     cfg.sub_window = (cfg.allocation_period / 12).max(NANOS_PER_SEC / 2);
     let engine = ArloEngine::new(profiles, counts, cfg);
 
-    let server = Server::spawn(
-        engine,
-        addr,
-        ServeConfig {
-            workers,
-            time_scale,
-            queue_capacity: 8192,
-            tick_interval: NANOS_PER_SEC / 5,
-            jitter: JitterSpec::NONE,
-            drain_timeout: std::time::Duration::from_secs(60),
-            batch,
-            ..ServeConfig::new(gpus)
-        },
-    )
-    .map_err(|e| format!("bind {addr}: {e}"))?;
+    let mut serve_cfg = ServeConfig {
+        workers,
+        time_scale,
+        queue_capacity: 8192,
+        tick_interval: NANOS_PER_SEC / 5,
+        jitter: JitterSpec::NONE,
+        drain_timeout: std::time::Duration::from_secs(60),
+        batch,
+        ..ServeConfig::new(gpus)
+    };
+    if let Some(class_name) = flags.get("server-chaos") {
+        // Test-only: wrap every accepted socket in a seeded FaultyStream so
+        // the server's own error paths can be driven from the CLI.
+        let class = FaultClass::parse(class_name).ok_or_else(|| {
+            format!("unknown fault class `{class_name}` (delay, partial, corrupt, reset, stall)")
+        })?;
+        let intensity: f64 = num_or(flags, "server-chaos-intensity", 0.5)?;
+        let chaos_seed: u64 = num_or(flags, "server-chaos-seed", 42)?;
+        serve_cfg = serve_cfg.with_server_chaos(ChaosConfig::new(class, intensity, chaos_seed));
+        println!(
+            "server-side chaos: {} @ intensity {intensity}, seed {chaos_seed}",
+            class.name()
+        );
+    }
+    let server = Server::spawn(engine, addr, serve_cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "serving {} on {} — {gpus} GPUs, SLO {slo} ms, {time_scale}× virtual time, batch {max_batch}",
         model.name,
@@ -443,7 +466,8 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         let intensity: f64 = num_or(flags, "chaos-intensity", 0.5)?;
         let seed: u64 = num_or(flags, "chaos-seed", 42)?;
         let trace = build_trace(flags)?;
-        let mut config = ChaosReplayConfig::new(clients, ChaosConfig::new(class, intensity, seed));
+        let mut config = ChaosReplayConfig::new(clients, ChaosConfig::new(class, intensity, seed))
+            .with_protocol(proto_of(flags)?);
         config.max_attempts = num_or(flags, "retries", 6)?;
         println!(
             "chaos-replaying {} requests against {addr}: {} @ intensity {intensity}, seed {seed}…",
@@ -453,14 +477,17 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         let report = chaos_replay(addr, &trace, &config).map_err(|e| format!("replay: {e}"))?;
         let s = report.latency_summary();
         println!(
-            "requests {} / ok {} / unserviceable {} / draining {} / exhausted {}  (retries {}, connects {})",
+            "requests {} / ok {} / unserviceable {} / draining {} / exhausted {}  \
+             (retries {}, connects {}, corrupt signals {}, credibility rejects {})",
             report.requests,
             report.ok,
             report.unserviceable,
             report.draining,
             report.exhausted,
             report.retries,
-            report.connects
+            report.connects,
+            report.corrupt_signals,
+            report.credibility_rejects
         );
         println!(
             "latency (virtual): mean {:.2} ms  p50 {:.2}  p98 {:.2}  p99 {:.2}  max {:.2}",
@@ -477,7 +504,9 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
             LoadGenConfig::closed(clients, num_or(flags, "window", 16)?)
         } else {
             LoadGenConfig::open(clients, time_scale)
-        };
+        }
+        .with_protocol(proto_of(flags)?)
+        .with_submit_batch(num_or(flags, "submit-batch", 1)?);
         println!(
             "replaying {} requests against {addr} from {clients} connections…",
             trace.len()
