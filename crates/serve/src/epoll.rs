@@ -1,0 +1,379 @@
+//! A minimal, dependency-free epoll wrapper for the readiness-based front
+//! door.
+//!
+//! The workspace is hermetic (no `libc` crate, no `mio`), so this module
+//! declares the four syscall wrappers it needs — `epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd` — as raw `extern "C"` bindings
+//! against the C library `std` already links on Linux, and owns the file
+//! descriptors through [`std::os::fd::OwnedFd`] so they close on drop.
+//!
+//! Design choices, all deliberately boring:
+//!
+//! * **Level-triggered** (no `EPOLLET`): a connection that still has
+//!   buffered bytes or queued frames keeps reporting ready, so the event
+//!   loop never needs to remember "I stopped early". Shards bound the work
+//!   per wakeup instead (see `server::shard_loop`).
+//! * **One `u64` token per registration** — the connection id. The wrapper
+//!   never dereferences it.
+//! * **[`Waker`]** is an `eventfd` registered like any other fd; writing 1
+//!   to it makes `epoll_wait` return, and [`Waker::drain`] resets it. This
+//!   is how other threads (the acceptor handing over a socket, `respond`
+//!   queuing a frame, `drain` broadcasting shutdown) interrupt a sleeping
+//!   shard.
+//!
+//! Everything unsafe is confined to this module; the rest of the crate
+//! (and workspace) keeps `unsafe_code = "deny"`/`forbid`.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// The token [`Epoll::wait`] reports for the registered [`Waker`].
+pub const WAKER_TOKEN: u64 = u64::MAX;
+
+mod ffi {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    /// `struct epoll_event`. On x86/x86-64 the kernel ABI packs it (the
+    /// `u64` payload is unaligned); other architectures use natural
+    /// alignment.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Which readiness events a registration asks for. `EPOLLERR`/`EPOLLHUP`
+/// are always reported by the kernel and need not be requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Report when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read+write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// No events at all (the registration stays; useful to mute a
+    /// connection during a chaos block window without churning add/del).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = ffi::EPOLLRDHUP;
+        if self.readable {
+            m |= ffi::EPOLLIN;
+        }
+        if self.writable {
+            m |= ffi::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness report from [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes peer half-close, so a read will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup: the connection is dead or dying; a subsequent
+    /// read/write will report the specific error.
+    pub closed: bool,
+}
+
+/// An owned epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Create a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) })?;
+        // SAFETY: epoll_create1 returned a fresh fd we now own.
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<ffi::EpollEvent>) -> io::Result<()> {
+        let mut ev = event.unwrap_or(ffi::EpollEvent { events: 0, data: 0 });
+        cvt(unsafe { ffi::epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with the given `token` and `interest`.
+    pub fn add(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            ffi::EPOLL_CTL_ADD,
+            fd.as_raw_fd(),
+            Some(ffi::EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Change the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            ffi::EPOLL_CTL_MOD,
+            fd.as_raw_fd(),
+            Some(ffi::EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Deregister `fd`. Safe to call right before closing it.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(ffi::EPOLL_CTL_DEL, fd.as_raw_fd(), None)
+    }
+
+    /// Block for up to `timeout` (`None` = forever) and fill `events` with
+    /// readiness reports. Returns the number of events. `EINTR` retries.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        const CAPACITY: usize = 1024;
+        let mut raw = [ffi::EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100 µs timeout does not spin at 0 ms.
+            Some(d) => i32::try_from(d.as_millis().max(u128::from(u32::from(!d.is_zero()))))
+                .unwrap_or(i32::MAX),
+        };
+        let n = loop {
+            let r = unsafe {
+                ffi::epoll_wait(
+                    self.fd.as_raw_fd(),
+                    raw.as_mut_ptr(),
+                    CAPACITY as i32,
+                    timeout_ms,
+                )
+            };
+            match cvt(r) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        events.clear();
+        for ev in &raw[..n] {
+            let bits = ev.events;
+            events.push(Event {
+                token: { ev.data },
+                readable: bits & (ffi::EPOLLIN | ffi::EPOLLRDHUP | ffi::EPOLLHUP) != 0,
+                writable: bits & ffi::EPOLLOUT != 0,
+                closed: bits & (ffi::EPOLLERR | ffi::EPOLLHUP | ffi::EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// A cross-thread wakeup handle: an `eventfd` registered on an [`Epoll`]
+/// under [`WAKER_TOKEN`]. Cloneable across threads via `try_clone`.
+#[derive(Debug)]
+pub struct Waker {
+    fd: OwnedFd,
+}
+
+impl Waker {
+    /// Create a waker and register it (read interest) on `epoll`.
+    pub fn new(epoll: &Epoll) -> io::Result<Waker> {
+        let fd = cvt(unsafe { ffi::eventfd(0, ffi::EFD_CLOEXEC | ffi::EFD_NONBLOCK) })?;
+        // SAFETY: eventfd returned a fresh fd we now own.
+        let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+        epoll.add(&fd, WAKER_TOKEN, Interest::READ)?;
+        Ok(Waker { fd })
+    }
+
+    /// Wake the owning event loop. Non-blocking; a full counter (already
+    /// pending wakeups) is success.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // Failure modes are EAGAIN (counter saturated — a wakeup is already
+        // pending, which is all we want) or the fd dying with its loop.
+        let _ = unsafe {
+            ffi::write(
+                self.fd.as_raw_fd(),
+                (&one as *const u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+
+    /// Consume pending wakeups so level-triggered readiness stops firing.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        let _ = unsafe {
+            ffi::read(
+                self.fd.as_raw_fd(),
+                (&mut counter as *mut u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_after_peer_writes() {
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(&server, 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing pending: a short wait times out empty.
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        assert!(!events[0].closed);
+    }
+
+    #[test]
+    fn peer_close_reports_closed() {
+        let (client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(&server, 9, Interest::READ).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].closed, "{:?}", events[0]);
+    }
+
+    #[test]
+    fn modify_gates_write_readiness() {
+        let (_client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        // Read-only first: an idle writable socket must not report.
+        ep.add(&server, 3, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // Ask for write: an empty send buffer reports immediately.
+        ep.modify(&server, 3, Interest::READ_WRITE).unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+        // And NONE mutes it again.
+        ep.modify(&server, 3, Interest::NONE).unwrap();
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // Deregister cleanly.
+        ep.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_drains() {
+        let ep = Epoll::new().unwrap();
+        let waker = Waker::new(&ep).unwrap();
+        let mut events = Vec::new();
+
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                waker.wake();
+                waker.wake(); // coalesces with the first
+            });
+            let n = ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(events[0].token, WAKER_TOKEN);
+        });
+        waker.drain();
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker must stop reporting readiness");
+    }
+}

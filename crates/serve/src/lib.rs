@@ -29,25 +29,36 @@
 //! - [`executor`] — a worker pool that charges each placed request its
 //!   profiled execution cost on a per-instance serial clock, then reports
 //!   completion through the engine's health hooks.
-//! - [`server`] — the TCP front door: acceptor, per-connection readers, a
-//!   bounded dispatch queue (overflow ⇒ explicit shed frames), a timer
-//!   thread driving health ticks and periodic reallocation, and a graceful
-//!   drain that flushes every outstanding request before closing.
+//! - [`epoll`] — a dependency-free, level-triggered epoll/eventfd wrapper
+//!   over [`std::os::fd`], the readiness substrate for the event-loop
+//!   front door (and the high-connection-count load generator).
+//! - [`server`] — the TCP front door: acceptor, a bounded dispatch queue
+//!   (overflow ⇒ explicit shed frames), a timer thread driving health
+//!   ticks and periodic reallocation, and a graceful drain that flushes
+//!   every outstanding request before closing. Two interchangeable
+//!   connection planes ([`server::FrontDoor`]): the historical
+//!   thread-per-connection reader/writer pairs, and N sharded epoll event
+//!   loops driving non-blocking per-connection state machines — same
+//!   doom/backpressure/chaos semantics, two OS threads *total* per shard
+//!   instead of two per connection.
 //! - [`loadgen`] — open- and closed-loop trace replay over real sockets,
-//!   for the `ext_serve` benchmark and the end-to-end tests.
+//!   for the `ext_serve` benchmark and the end-to-end tests, plus the
+//!   epoll-based [`loadgen::connection_storm`] client pool that holds tens
+//!   of thousands of concurrent connections from a handful of threads.
 
 pub mod chaos;
 pub mod clock;
+pub mod epoll;
 pub mod executor;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use chaos::{ChaosConfig, ChaosPlan, FaultClass, FaultyStream};
+pub use chaos::{ChaosConfig, ChaosPlan, FaultClass, FaultyStream, NonBlockingChaos};
 pub use clock::VirtualClock;
 pub use loadgen::{
-    chaos_replay, replay, ChaosReplayConfig, ChaosReport, LoadGenConfig, LoadGenReport, LoadMode,
-    ProtocolMode,
+    chaos_replay, connection_storm, replay, ChaosReplayConfig, ChaosReport, LoadGenConfig,
+    LoadGenReport, LoadMode, ProtocolMode, StormConfig, StormReport,
 };
-pub use protocol::{ErrorBudget, ErrorCode, Frame, StatsPayload, Sub, WireVersion};
-pub use server::{DrainReport, ServeConfig, Server};
+pub use protocol::{ErrorBudget, ErrorCode, Frame, FrameWriteBuf, StatsPayload, Sub, WireVersion};
+pub use server::{DrainReport, FrontDoor, ServeConfig, Server};

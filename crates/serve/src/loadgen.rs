@@ -20,9 +20,10 @@
 //! scale and immune to OS sleep jitter on the loadgen side.
 
 use crate::chaos::{ChaosConfig, FaultyStream, SplitMix64};
+use crate::epoll::{Epoll, Interest};
 use crate::protocol::{
-    client_handshake, read_frame, ErrorCode, Frame, FrameReader, ReadFrameError, Sub, WireVersion,
-    CONN_ERROR_ID, MAX_BATCH,
+    client_handshake, read_frame, ErrorCode, Frame, FrameReader, FrameWriteBuf, ReadFrameError,
+    Sub, WireVersion, CONN_ERROR_ID, MAX_BATCH,
 };
 use arlo_trace::stats::Summary;
 use arlo_trace::workload::Trace;
@@ -304,6 +305,17 @@ fn run_client(addr: SocketAddr, part: &Trace, config: &LoadGenConfig) -> io::Res
     }
 }
 
+/// Wall-clock send deadline for a virtual arrival time, rounded **up** to
+/// the next nanosecond. Truncating division (`arrival / scale`) rounded
+/// every deadline *down*, so at high time scales whole runs of distinct
+/// arrivals collapsed onto the same earlier instant and left the wire as
+/// a burst — offered load arrived bunched instead of paced, front-loading
+/// queue depth and overstating shed rates. Ceiling division keeps the
+/// mapping monotone and never early: `deadline · scale ≥ arrival`.
+fn pace_deadline(arrival_ns: u64, time_scale: u32) -> Duration {
+    Duration::from_nanos(arrival_ns.div_ceil(u64::from(time_scale)))
+}
+
 /// Negotiate (or skip negotiating) the connection's wire version per the
 /// configured [`ProtocolMode`]. Runs before any reader thread exists, so
 /// the handshake's blocking read cannot race request traffic.
@@ -371,8 +383,9 @@ fn open_client(
         // BatchedSubmit frame at the chunk's last arrival time — one
         // header, one checksum, one syscall for the whole chunk.
         for chunk in part.requests().chunks(batch) {
-            let due = Duration::from_nanos(
-                chunk.last().expect("chunks are non-empty").arrival / u64::from(time_scale),
+            let due = pace_deadline(
+                chunk.last().expect("chunks are non-empty").arrival,
+                time_scale,
             );
             if let Some(wait) = due.checked_sub(start.elapsed()) {
                 if wait > Duration::from_micros(100) {
@@ -391,7 +404,7 @@ fn open_client(
         }
     } else {
         for r in part.requests() {
-            let due = Duration::from_nanos(r.arrival / u64::from(time_scale));
+            let due = pace_deadline(r.arrival, time_scale);
             if let Some(wait) = due.checked_sub(start.elapsed()) {
                 if wait > Duration::from_micros(100) {
                     std::thread::sleep(wait);
@@ -920,4 +933,418 @@ fn backoff(rng: &mut SplitMix64, base: Duration, attempt: u32) {
     let jitter = 0.5 + rng.next_f64();
     let wait = base.mul_f64(f64::from(exp) * jitter);
     std::thread::sleep(wait.min(Duration::from_millis(100)));
+}
+
+// ---------------------------------------------------------------------------
+// Connection storm: an epoll-based client pool that holds tens of
+// thousands of concurrent connections from a handful of threads.
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`connection_storm`].
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Concurrent connections to establish and hold.
+    pub conns: usize,
+    /// Client threads sharing the connections (each owns one epoll).
+    pub threads: usize,
+    /// Submits sent per connection once every thread has connected.
+    pub submits_per_conn: u32,
+    /// Request length for every submit.
+    pub length: u32,
+    /// How long to hold the fully-connected pool open *before* the first
+    /// submit — the window in which the caller can observe peak
+    /// concurrency on the server.
+    pub hold: Duration,
+    /// Per-connection TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Wall budget for the submit/answer phase; unanswered submits at the
+    /// deadline count as `lost`.
+    pub deadline: Duration,
+}
+
+impl StormConfig {
+    /// `conns` connections with defaults sized for loopback runs.
+    pub fn new(conns: usize) -> Self {
+        StormConfig {
+            conns,
+            threads: 4,
+            submits_per_conn: 1,
+            length: 64,
+            hold: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(10),
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Outcome of a [`connection_storm`], merged across threads.
+///
+/// Conservation invariant (checked by [`StormReport::conserved`]): every
+/// submit written terminates in exactly one of `ok`, `shed`,
+/// `unserviceable`, `draining`, `failed`, or `lost`.
+#[derive(Debug, Clone, Default)]
+pub struct StormReport {
+    /// Connections successfully established (admission refusals included —
+    /// the TCP connect itself succeeded).
+    pub connected: u64,
+    /// Connections the server refused at admission
+    /// ([`ErrorCode::Shed`] on the connection sentinel id).
+    pub refused: u64,
+    /// TCP connects that failed outright.
+    pub connect_errors: u64,
+    /// Submit frames queued to the wire.
+    pub submitted: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// [`ErrorCode::Shed`] answers.
+    pub shed: u64,
+    /// [`ErrorCode::Unserviceable`] answers.
+    pub unserviceable: u64,
+    /// [`ErrorCode::Draining`] answers.
+    pub draining: u64,
+    /// [`ErrorCode::Failed`] answers.
+    pub failed: u64,
+    /// Submits with no answer by the deadline (or whose connection died).
+    pub lost: u64,
+    /// Real wall-clock duration, connect phase included.
+    pub wall: Duration,
+}
+
+impl StormReport {
+    /// The zero-loss conservation check over everything submitted.
+    pub fn conserved(&self) -> bool {
+        self.ok + self.shed + self.unserviceable + self.draining + self.failed + self.lost
+            == self.submitted
+    }
+
+    fn merge(&mut self, other: StormReport) {
+        self.connected += other.connected;
+        self.refused += other.refused;
+        self.connect_errors += other.connect_errors;
+        self.submitted += other.submitted;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.unserviceable += other.unserviceable;
+        self.draining += other.draining;
+        self.failed += other.failed;
+        self.lost += other.lost;
+    }
+}
+
+/// One stormed connection: non-blocking socket, incremental reassembly in,
+/// buffered writes out. Sockets stay open until *every* connection in the
+/// pool has finished, so concurrency is sustained, not just peaked.
+struct StormConn {
+    stream: TcpStream,
+    frames: FrameReader,
+    wbuf: FrameWriteBuf,
+    /// Submits queued or written whose answers are still outstanding.
+    pending: u64,
+    interest: Interest,
+    refused: bool,
+    dead: bool,
+}
+
+/// Open `config.conns` connections against `addr` from
+/// `config.threads` epoll-driven threads, hold them all concurrently,
+/// push `submits_per_conn` requests down each, and account every answer.
+/// v1 protocol only — a storm measures the front door, not the dialect.
+///
+/// Unlike [`replay`] (two OS threads per connection), the storm costs one
+/// fd per connection and a fixed handful of threads, which is what makes
+/// a 10k-connection client fit in the same process limits as the server
+/// it is aimed at.
+pub fn connection_storm(addr: SocketAddr, config: &StormConfig) -> io::Result<StormReport> {
+    assert!(config.conns >= 1, "need at least one connection");
+    let threads = config.threads.clamp(1, config.conns);
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        // Split `conns` across threads; ids are globally unique.
+        let share = config.conns / threads + usize::from(t < config.conns % threads);
+        let first_conn: usize = (0..t)
+            .map(|u| config.conns / threads + usize::from(u < config.conns % threads))
+            .sum();
+        let config = config.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("arlo-storm-{t}"))
+                .spawn(move || storm_worker(addr, &config, first_conn, share, &barrier))?,
+        );
+    }
+    let mut report = StormReport::default();
+    let mut first_err: Option<io::Error> = None;
+    for handle in handles {
+        match handle.join().expect("storm worker panicked") {
+            Ok(part) => report.merge(part),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    report.wall = started.elapsed();
+    Ok(report)
+}
+
+fn storm_worker(
+    addr: SocketAddr,
+    config: &StormConfig,
+    first_conn: usize,
+    share: usize,
+    barrier: &std::sync::Barrier,
+) -> io::Result<StormReport> {
+    let mut report = StormReport::default();
+    let epoll = Epoll::new()?;
+    let mut conns: Vec<Option<StormConn>> = Vec::with_capacity(share);
+
+    // Phase 1: connect everything (blocking, then flip non-blocking).
+    for i in 0..share {
+        match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                stream.set_nonblocking(true)?;
+                epoll.add(&stream, i as u64, Interest::READ)?;
+                report.connected += 1;
+                conns.push(Some(StormConn {
+                    stream,
+                    frames: FrameReader::new(),
+                    wbuf: FrameWriteBuf::new(),
+                    pending: 0,
+                    interest: Interest::READ,
+                    refused: false,
+                    dead: false,
+                }));
+            }
+            Err(_) => {
+                report.connect_errors += 1;
+                conns.push(None);
+            }
+        }
+    }
+
+    // Phase 2: every thread fully connected; hold the pool open so the
+    // caller can observe sustained concurrency server-side.
+    barrier.wait();
+    std::thread::sleep(config.hold);
+
+    // Phase 3: queue every submit, then pump readiness until all answers
+    // arrive or the deadline passes.
+    for (i, slot) in conns.iter_mut().enumerate() {
+        let Some(conn) = slot.as_mut() else { continue };
+        for k in 0..u64::from(config.submits_per_conn) {
+            let id = ((first_conn + i) as u64) * u64::from(config.submits_per_conn) + k;
+            conn.wbuf.push(
+                &Frame::Submit {
+                    id,
+                    length: config.length,
+                },
+                WireVersion::V1,
+            );
+            conn.pending += 1;
+            report.submitted += 1;
+        }
+    }
+    let deadline = Instant::now() + config.deadline;
+    let mut events = Vec::new();
+    let mut open: usize = conns.iter().flatten().filter(|c| c.pending > 0).count();
+    // First write pass (no EPOLLOUT arrives for a socket we never asked
+    // about): push what fits, arm write interest for the rest.
+    for (i, slot) in conns.iter_mut().enumerate() {
+        if let Some(conn) = slot.as_mut() {
+            drive_storm_conn(conn, &epoll, i as u64, &mut report, &mut open);
+        }
+    }
+    while open > 0 && Instant::now() < deadline {
+        let timeout = deadline
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(100));
+        let _ = epoll.wait(&mut events, Some(timeout));
+        for token in events.iter().map(|ev| ev.token as usize) {
+            if let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) {
+                drive_storm_conn(conn, &epoll, token as u64, &mut report, &mut open);
+            }
+        }
+    }
+    // Deadline: whatever never got an answer is lost, by definition.
+    for conn in conns.iter().flatten() {
+        if !conn.dead {
+            report.lost += conn.pending;
+        }
+    }
+    Ok(report)
+}
+
+/// Pump one stormed connection: flush queued submits, decode and account
+/// every answer, and keep epoll interest in sync with what is pending.
+fn drive_storm_conn(
+    conn: &mut StormConn,
+    epoll: &Epoll,
+    token: u64,
+    report: &mut StormReport,
+    open: &mut usize,
+) {
+    if conn.dead {
+        return;
+    }
+    let had_pending = conn.pending > 0;
+    // Writes first: submits still queued locally cannot be answered.
+    while !conn.wbuf.is_empty() {
+        match conn.wbuf.write_some(&mut conn.stream) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                storm_conn_died(conn, epoll, report, open, had_pending);
+                return;
+            }
+        }
+    }
+    // Reads: drain everything decodable, then the socket until WouldBlock.
+    loop {
+        loop {
+            match conn.frames.next_frame() {
+                Ok(Some(frame)) => storm_account(conn, &frame, report),
+                Ok(None) => break,
+                // v1 answers from a correct server never fail to decode;
+                // treat any junk as a dead connection.
+                Err(_) => {
+                    storm_conn_died(conn, epoll, report, open, had_pending);
+                    return;
+                }
+            }
+        }
+        match conn.frames.fill(&mut conn.stream) {
+            Ok(0) => {
+                storm_conn_died(conn, epoll, report, open, had_pending);
+                return;
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                storm_conn_died(conn, epoll, report, open, had_pending);
+                return;
+            }
+        }
+    }
+    if had_pending && conn.pending == 0 {
+        *open -= 1;
+    }
+    let desired = Interest {
+        readable: true,
+        writable: !conn.wbuf.is_empty(),
+    };
+    if desired != conn.interest && epoll.modify(&conn.stream, token, desired).is_ok() {
+        conn.interest = desired;
+    }
+}
+
+fn storm_account(conn: &mut StormConn, frame: &Frame, report: &mut StormReport) {
+    match frame {
+        Frame::Response { .. } => {
+            report.ok += 1;
+            conn.pending = conn.pending.saturating_sub(1);
+        }
+        // Connection-scoped verdicts: an admission refusal (Shed before
+        // anything was served) or a protocol disconnect. The socket is
+        // about to close; EOF handling accounts the pending rest.
+        Frame::Error {
+            id: CONN_ERROR_ID,
+            code: ErrorCode::Shed,
+        } if !conn.refused => {
+            conn.refused = true;
+            report.refused += 1;
+        }
+        Frame::Error {
+            id: CONN_ERROR_ID, ..
+        } => {}
+        Frame::Error { code, .. } => {
+            let counter = match code {
+                ErrorCode::Shed => &mut report.shed,
+                ErrorCode::Unserviceable => &mut report.unserviceable,
+                ErrorCode::Draining => &mut report.draining,
+                _ => &mut report.failed,
+            };
+            *counter += 1;
+            conn.pending = conn.pending.saturating_sub(1);
+        }
+        _ => {}
+    }
+}
+
+fn storm_conn_died(
+    conn: &mut StormConn,
+    epoll: &Epoll,
+    report: &mut StormReport,
+    open: &mut usize,
+    had_pending: bool,
+) {
+    conn.dead = true;
+    let _ = epoll.delete(&conn.stream);
+    // Queued-but-unwritten submits are already in `pending`, so this one
+    // line accounts everything the connection will never answer.
+    report.lost += conn.pending;
+    conn.pending = 0;
+    if had_pending {
+        *open -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pace_deadline_is_never_early() {
+        // The contract that fixes arrival bunching: scaling the wall
+        // deadline back up must never undershoot the virtual arrival.
+        for scale in [1u32, 7, 100, 1000] {
+            for arrival in [0u64, 1, 999, 1000, 1001, 123_456_789] {
+                let due = pace_deadline(arrival, scale);
+                assert!(
+                    due.as_nanos() as u64 * u64::from(scale) >= arrival,
+                    "deadline {due:?} early for arrival {arrival} at scale {scale}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pace_deadline_is_monotone_and_unbunched_at_high_scale() {
+        // Regression for the truncating division: arrivals 1ms apart at
+        // time_scale=1000 used to collapse onto the *floor* of their
+        // window; with ceiling division the mapping stays monotone and
+        // distinct arrivals a full scale-quantum apart stay distinct.
+        let scale = 1000u32;
+        let arrivals: Vec<u64> = (0..50).map(|i| i * 1_000_000).collect(); // 1ms spacing
+        let deadlines: Vec<Duration> = arrivals.iter().map(|&a| pace_deadline(a, scale)).collect();
+        for pair in deadlines.windows(2) {
+            assert!(pair[0] < pair[1], "bunched: {pair:?}");
+        }
+        // And the old bug, pinned: truncation said "send at 0" for an
+        // arrival just shy of one quantum; ceiling says one quantum.
+        assert_eq!(pace_deadline(999, 1000), Duration::from_nanos(1));
+        assert_eq!(pace_deadline(1000, 1000), Duration::from_nanos(1));
+        assert_eq!(pace_deadline(1001, 1000), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn storm_report_conservation() {
+        let report = StormReport {
+            submitted: 10,
+            ok: 6,
+            shed: 2,
+            unserviceable: 1,
+            draining: 1,
+            ..StormReport::default()
+        };
+        assert!(report.conserved());
+        let short = StormReport {
+            submitted: 10,
+            ok: 6,
+            ..StormReport::default()
+        };
+        assert!(!short.conserved());
+    }
 }

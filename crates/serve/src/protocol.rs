@@ -989,6 +989,94 @@ impl FrameReader {
     }
 }
 
+/// The write-side twin of [`FrameReader`]: an incremental frame *encoder*
+/// for non-blocking transports that accept bytes in arbitrary amounts.
+///
+/// The thread-per-connection writer can loop `write_all` until a frame is
+/// out; an event loop cannot — a `WouldBlock` mid-frame must leave the
+/// remaining bytes buffered and resume exactly where it stopped once the
+/// socket turns writable. A `FrameWriteBuf` owns that state:
+///
+/// - [`FrameWriteBuf::push`] appends a frame's full encoding (at the
+///   connection's negotiated version) and remembers its end offset.
+/// - [`FrameWriteBuf::write_some`] performs **one** `write` of everything
+///   still pending and returns how many whole frames that attempt
+///   completed — the unit the server's `queued_frames` accounting is kept
+///   in. `WouldBlock` passes through untouched; `Ok(0)` from the transport
+///   is reported as [`std::io::ErrorKind::WriteZero`] so callers treat a
+///   dead peer as an error, not an infinite loop.
+///
+/// Consecutive pushes coalesce into one buffer, so a single syscall can
+/// carry hundreds of small frames — the same amortization the threaded
+/// writer gets from its vectored batch writes.
+#[derive(Debug, Default)]
+pub struct FrameWriteBuf {
+    buf: Vec<u8>,
+    written: usize,
+    /// End offset (into `buf`) of each pending frame, in push order.
+    ends: std::collections::VecDeque<usize>,
+}
+
+impl FrameWriteBuf {
+    /// An empty write buffer.
+    pub fn new() -> Self {
+        FrameWriteBuf::default()
+    }
+
+    /// No bytes pending.
+    pub fn is_empty(&self) -> bool {
+        self.written == self.buf.len()
+    }
+
+    /// Frames pushed but not yet fully written to the transport.
+    pub fn pending_frames(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Bytes pushed but not yet written to the transport.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.written
+    }
+
+    /// Append `frame`'s encoding at `version`.
+    pub fn push(&mut self, frame: &Frame, version: WireVersion) {
+        frame.encode_into(version, &mut self.buf);
+        self.ends.push_back(self.buf.len());
+    }
+
+    /// One write attempt of all pending bytes. Returns the number of whole
+    /// frames this attempt finished flushing. Must not be called empty.
+    pub fn write_some(&mut self, w: &mut impl Write) -> std::io::Result<usize> {
+        debug_assert!(!self.is_empty(), "write_some on an empty FrameWriteBuf");
+        let n = w.write(&self.buf[self.written..])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "transport accepted zero bytes",
+            ));
+        }
+        self.written += n;
+        let mut completed = 0;
+        while self.ends.front().is_some_and(|&end| end <= self.written) {
+            self.ends.pop_front();
+            completed += 1;
+        }
+        if self.is_empty() {
+            self.buf.clear();
+            self.written = 0;
+        } else if self.written >= 64 * 1024 {
+            // A slow peer mid-stall: reclaim the flushed prefix so the
+            // buffer tracks the *pending* bytes, not the history.
+            self.buf.drain(..self.written);
+            for end in &mut self.ends {
+                *end -= self.written;
+            }
+            self.written = 0;
+        }
+        Ok(completed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1541,5 +1629,110 @@ mod tests {
         let texts: std::collections::HashSet<String> =
             errors.iter().map(|e| e.to_string()).collect();
         assert_eq!(texts.len(), errors.len(), "messages must be distinct");
+    }
+
+    /// A writer that accepts at most `cap` bytes per call and can be told
+    /// to refuse (WouldBlock) — the shape of a non-blocking socket.
+    struct Trickle {
+        out: Vec<u8>,
+        cap: usize,
+        block_next: bool,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_write_buf_survives_trickle_and_wouldblock() {
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let frames = all_frames();
+            let mut wbuf = FrameWriteBuf::new();
+            for f in &frames {
+                wbuf.push(f, version);
+            }
+            assert_eq!(wbuf.pending_frames(), frames.len());
+            let mut sink = Trickle {
+                out: Vec::new(),
+                cap: 3,
+                block_next: false,
+            };
+            let mut completed = 0;
+            let mut attempts = 0;
+            while !wbuf.is_empty() {
+                // Inject a WouldBlock every few attempts: pending state
+                // must survive it untouched.
+                sink.block_next = attempts % 5 == 4;
+                match wbuf.write_some(&mut sink) {
+                    Ok(n) => completed += n,
+                    Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock),
+                }
+                attempts += 1;
+            }
+            assert_eq!(completed, frames.len());
+            assert_eq!(wbuf.pending_frames(), 0);
+            // The byte stream decodes back to the exact frame sequence.
+            let mut reader = FrameReader::new();
+            let mut cursor = std::io::Cursor::new(sink.out);
+            let mut decoded = Vec::new();
+            loop {
+                while let Some(f) = reader.next_frame().expect("clean stream") {
+                    decoded.push(f);
+                }
+                if reader.fill(&mut cursor).expect("cursor read") == 0 {
+                    break;
+                }
+            }
+            assert_eq!(decoded, frames, "v{} trickle round-trip", version.byte());
+        }
+    }
+
+    #[test]
+    fn frame_write_buf_counts_whole_frames_only() {
+        let mut wbuf = FrameWriteBuf::new();
+        wbuf.push(&Frame::StatsRequest, WireVersion::V1);
+        wbuf.push(&Frame::Drain, WireVersion::V1);
+        let total = wbuf.pending_bytes();
+        // A write that stops one byte short of the second frame completes
+        // exactly one.
+        let mut sink = Trickle {
+            out: Vec::new(),
+            cap: total - 1,
+            block_next: false,
+        };
+        assert_eq!(wbuf.write_some(&mut sink).unwrap(), 1);
+        assert_eq!(wbuf.pending_frames(), 1);
+        assert_eq!(wbuf.pending_bytes(), 1);
+        sink.cap = usize::MAX;
+        assert_eq!(wbuf.write_some(&mut sink).unwrap(), 1);
+        assert!(wbuf.is_empty());
+    }
+
+    #[test]
+    fn frame_write_buf_reports_write_zero() {
+        let mut wbuf = FrameWriteBuf::new();
+        wbuf.push(&Frame::Drain, WireVersion::V1);
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let e = wbuf.write_some(&mut Dead).expect_err("zero-byte sink");
+        assert_eq!(e.kind(), std::io::ErrorKind::WriteZero);
     }
 }

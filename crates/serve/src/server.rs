@@ -1,6 +1,10 @@
 //! The multi-threaded TCP front door over [`ArloEngine`].
 //!
-//! Thread topology (one box per OS thread kind):
+//! Two interchangeable connection planes share everything behind the
+//! accept socket — dispatch, executor, drain, error budgets, negotiation,
+//! chaos contract — selected by [`ServeConfig::front_door`]:
+//!
+//! **Threaded** (the historical plane; one box per OS thread kind):
 //!
 //! ```text
 //!   clients ──TCP──► reader (1/conn) ──bounded MPSC──► dispatch ──► executor pool
@@ -13,6 +17,32 @@
 //!   timer:    engine.health_tick + maybe_reallocate/apply_allocation,
 //!             joins finished connection threads
 //! ```
+//!
+//! **Epoll** ([`FrontDoor::Epoll`]; see `DESIGN.md` §12): the same
+//! acceptor/dispatch/executor/timer threads, but connections live as
+//! *non-blocking state machines* on `N` sharded event-loop threads —
+//! two OS threads per **shard** instead of two per **connection**, which
+//! is what makes 10k+ concurrent connections a configuration rather than
+//! a thread-count incident:
+//!
+//! ```text
+//!   clients ──TCP──► acceptor ──hand-off──► shard 0..N (epoll event loops)
+//!                                             │  each owns its conns:
+//!                                             │  FrameReader ◄─ nonblocking reads
+//!                                             │  FrameWriteBuf ─► nonblocking writes
+//!                                             ├──bounded MPSC──► dispatch ──► executor
+//!                                             ◄── bounded outbound queues ◄── responses
+//! ```
+//!
+//! A shard sleeps in `epoll_wait` and is woken by socket readiness, by an
+//! eventfd [`Waker`](crate::epoll::Waker) when another thread queues a
+//! response or dooms a connection, or by its poll timeout (idle reaping,
+//! write-stall dooming, chaos block windows). Per-connection semantics —
+//! bounded outbound queue, doom-on-overflow, write-stall doom, idle reap,
+//! error budget, v1/v2 negotiation, server-side chaos — are identical on
+//! both planes; chaos merely swaps [`FaultyStream`] (which may sleep on
+//! the connection's own thread) for [`NonBlockingChaos`] (which turns the
+//! same schedule's delays into `WouldBlock` windows).
 //!
 //! Backpressure and failure are explicit end to end:
 //!
@@ -57,25 +87,92 @@
 //! every queued response frame, then closes connections and joins all
 //! threads.
 
-use crate::chaos::{ChaosConfig, FaultyStream};
+use crate::chaos::{ChaosConfig, FaultyStream, NonBlockingChaos};
 use crate::clock::VirtualClock;
+use crate::epoll::{Epoll, Interest, Waker, WAKER_TOKEN};
 use crate::executor::{CompletedBatch, Executor, Job};
 use crate::protocol::{
-    DecodeError, ErrorBudget, ErrorCode, Frame, FrameReader, StatsPayload, WireVersion,
-    CONN_ERROR_ID,
+    DecodeError, ErrorBudget, ErrorCode, Frame, FrameReader, FrameWriteBuf, StatsPayload,
+    WireVersion, CONN_ERROR_ID,
 };
 use arlo_core::engine::ArloEngine;
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::latency::JitterSpec;
+use arlo_runtime::profile::RuntimeProfile;
 use arlo_trace::Nanos;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::io::{IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Which connection plane the server runs its accepted sockets on.
+///
+/// Everything above the sockets — dispatch, executor, drain, counters,
+/// protocol — is identical; the choice is purely how many OS threads a
+/// connection costs (two each, vs. two per *shard*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontDoor {
+    /// One reader and one writer thread per connection (the historical
+    /// plane). Simple, blocking I/O; costs two OS threads per connection.
+    Threaded,
+    /// `shards` epoll event-loop threads, each owning a slice of the
+    /// connections as non-blocking state machines. Scales to tens of
+    /// thousands of connections on a handful of threads.
+    Epoll {
+        /// Event-loop threads (clamped to at least 1). Connections are
+        /// assigned round-robin at accept.
+        shards: usize,
+    },
+}
+
+impl FrontDoor {
+    /// Default shard count for [`FrontDoor::epoll`].
+    pub const DEFAULT_EPOLL_SHARDS: usize = 2;
+
+    /// The epoll plane with the default shard count.
+    pub fn epoll() -> FrontDoor {
+        FrontDoor::Epoll {
+            shards: FrontDoor::DEFAULT_EPOLL_SHARDS,
+        }
+    }
+
+    /// Read the plane from `ARLO_FRONT_DOOR`: `epoll` or `epoll:<shards>`
+    /// select the event loop, anything else (including unset) the
+    /// threaded plane. This is how the shared e2e suites run against both
+    /// planes in CI without duplicating tests.
+    pub fn from_env() -> FrontDoor {
+        match std::env::var("ARLO_FRONT_DOOR") {
+            Ok(v) => FrontDoor::parse(&v).unwrap_or(FrontDoor::Threaded),
+            Err(_) => FrontDoor::Threaded,
+        }
+    }
+
+    /// Parse `threaded`, `epoll`, or `epoll:<shards>`.
+    pub fn parse(s: &str) -> Option<FrontDoor> {
+        match s {
+            "threaded" => Some(FrontDoor::Threaded),
+            "epoll" => Some(FrontDoor::epoll()),
+            _ => {
+                let shards = s.strip_prefix("epoll:")?.parse::<usize>().ok()?;
+                Some(FrontDoor::Epoll {
+                    shards: shards.max(1),
+                })
+            }
+        }
+    }
+
+    /// Short name for logs and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontDoor::Threaded => "threaded",
+            FrontDoor::Epoll { .. } => "epoll",
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -141,6 +238,9 @@ pub struct ServeConfig {
     /// (reader plan `conn_id * 2`, writer plan `conn_id * 2 + 1`). `None`
     /// — the production setting — serves on bare sockets.
     pub server_chaos: Option<ChaosConfig>,
+    /// Connection plane: thread-per-connection or sharded epoll event
+    /// loops. See [`FrontDoor`].
+    pub front_door: FrontDoor,
 }
 
 impl ServeConfig {
@@ -166,6 +266,7 @@ impl ServeConfig {
             frame_error_budget: 32,
             max_conns: 4096,
             server_chaos: None,
+            front_door: FrontDoor::Threaded,
         }
     }
 
@@ -185,6 +286,32 @@ impl ServeConfig {
     pub fn with_server_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.server_chaos = Some(chaos);
         self
+    }
+
+    /// Select the connection plane.
+    pub fn with_front_door(mut self, front_door: FrontDoor) -> Self {
+        self.front_door = front_door;
+        self
+    }
+}
+
+/// The largest length any runtime in `profiles` can serve; 0 for an empty
+/// family. Total on purpose: a zero-runtime engine (post-retirement or
+/// misconfiguration) must surface as typed [`ErrorCode::Unserviceable`]
+/// refusals, never as a server panic.
+fn family_max_length(profiles: &[RuntimeProfile]) -> u32 {
+    profiles.last().map_or(0, |p| p.max_length())
+}
+
+/// Typed refusal for a submit the engine would not place: lengths beyond
+/// the family's reach — including *any* length when the family is empty —
+/// are [`ErrorCode::Unserviceable`]; a serviceable length refused anyway
+/// is load, i.e. [`ErrorCode::Shed`].
+fn refusal_code(length: u32, max_length: u32) -> ErrorCode {
+    if max_length == 0 || length > max_length {
+        ErrorCode::Unserviceable
+    } else {
+        ErrorCode::Shed
     }
 }
 
@@ -234,20 +361,80 @@ pub struct DrainReport {
     pub panics_recovered: u64,
 }
 
-struct ConnHandle {
-    tx: mpsc::SyncSender<Frame>,
-    /// Clone of the connection's stream, used only to `shutdown` it.
+/// A connection's bounded outbound frame queue on the epoll plane — the
+/// event-loop analogue of the threaded plane's `mpsc::sync_channel`.
+/// Producers (`respond`) push under the registry lock; the owning shard
+/// pops into the connection's [`FrameWriteBuf`].
+struct Outbound {
+    capacity: usize,
+    queue: Mutex<VecDeque<Frame>>,
+}
+
+/// One thread: an incoming connection handed from the acceptor to a shard.
+struct IncomingConn {
+    conn_id: u64,
     stream: TcpStream,
+    outbound: Arc<Outbound>,
+    doomed: Arc<AtomicBool>,
+    negotiated: Arc<AtomicU8>,
+}
+
+/// The cross-thread face of one epoll shard: how the acceptor injects
+/// connections and how `respond`/`doom`/`drain` nudge a sleeping
+/// `epoll_wait`.
+struct ShardHandle {
+    waker: Waker,
+    /// Connections with fresh outbound frames or a freshly-set doom flag.
+    dirty: Mutex<Vec<u64>>,
+    /// Accepted sockets awaiting adoption by the shard.
+    incoming: Mutex<Vec<IncomingConn>>,
+}
+
+impl ShardHandle {
+    fn notify(&self, conn_id: u64) {
+        self.dirty.lock().push(conn_id);
+        self.waker.wake();
+    }
+}
+
+/// How frames reach a connection's socket: through its writer thread's
+/// queue (threaded plane) or its shard's outbound queue (epoll plane).
+enum ConnRoute {
+    Threaded {
+        tx: mpsc::SyncSender<Frame>,
+        /// Clone of the connection's stream, used only to `shutdown` it —
+        /// the kick that unblocks a reader/writer thread parked in a
+        /// blocking syscall. The epoll route needs no such clone (its
+        /// shard closes the one real socket), which keeps the server at
+        /// one fd per connection — the difference between 10k and 20k
+        /// descriptors at storm scale.
+        stream: TcpStream,
+    },
+    Epoll {
+        outbound: Arc<Outbound>,
+        shard: Arc<ShardHandle>,
+    },
+}
+
+struct ConnHandle {
+    conn_id: u64,
+    route: ConnRoute,
     doomed: Arc<AtomicBool>,
 }
 
 impl ConnHandle {
-    /// Kill this connection: both directions shut down, reader and writer
-    /// notice and exit on their next poll/write. Returns true only for the
+    /// Kill this connection: the reader/writer pair (threaded, kicked by
+    /// a socket shutdown) or the owning shard (epoll, kicked by a waker
+    /// notification) notices and closes it. Returns true only for the
     /// transition (so dooming is counted once per connection).
     fn doom(&self) -> bool {
         let first = !self.doomed.swap(true, Ordering::SeqCst);
-        let _ = self.stream.shutdown(Shutdown::Both);
+        match &self.route {
+            ConnRoute::Threaded { stream, .. } => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            ConnRoute::Epoll { shard, .. } => shard.notify(self.conn_id),
+        }
         first
     }
 }
@@ -310,22 +497,50 @@ impl Shared {
             self.dropped_responses.fetch_add(1, Ordering::Relaxed);
             return;
         };
-        // Count the frame *before* sending it: the writer decrements after
-        // handling, so incrementing afterwards could race the counter
+        // Count the frame *before* sending it: the consumer decrements
+        // after handling, so incrementing afterwards could race the counter
         // below zero (u64 wrap) and wedge drain's flush wait.
         self.queued_frames.fetch_add(1, Ordering::SeqCst);
-        match handle.tx.try_send(frame.clone()) {
-            Ok(()) => {}
-            Err(mpsc::TrySendError::Full(_)) => {
-                self.queued_frames.fetch_sub(1, Ordering::SeqCst);
-                self.dropped_responses.fetch_add(1, Ordering::Relaxed);
-                if handle.doom() {
-                    self.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+        match &handle.route {
+            ConnRoute::Threaded { tx, .. } => match tx.try_send(frame.clone()) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(_)) => {
+                    self.queued_frames.fetch_sub(1, Ordering::SeqCst);
+                    self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                    if handle.doom() {
+                        self.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => {
-                self.queued_frames.fetch_sub(1, Ordering::SeqCst);
-                self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    self.queued_frames.fetch_sub(1, Ordering::SeqCst);
+                    self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            ConnRoute::Epoll { outbound, shard } => {
+                // Same bounded-queue/doom contract as the threaded plane's
+                // sync_channel, just under an explicit lock. The push
+                // happens while we hold the registry lock, so a shard
+                // closing this connection (which removes the handle first,
+                // under the same lock) can never race a frame in behind
+                // its leftover accounting.
+                let overflowed = {
+                    let mut queue = outbound.queue.lock();
+                    if queue.len() >= outbound.capacity {
+                        true
+                    } else {
+                        queue.push_back(frame.clone());
+                        false
+                    }
+                };
+                if overflowed {
+                    self.queued_frames.fetch_sub(1, Ordering::SeqCst);
+                    self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                    if handle.doom() {
+                        self.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                    }
+                } else {
+                    shard.notify(handle.conn_id);
+                }
             }
         }
     }
@@ -356,9 +571,14 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     drain_timeout: Duration,
+    front_door: FrontDoor,
     acceptor: std::thread::JoinHandle<()>,
     dispatch: std::thread::JoinHandle<()>,
     timer: std::thread::JoinHandle<()>,
+    /// Epoll plane only: one handle + thread per shard (empty on the
+    /// threaded plane).
+    shard_handles: Vec<Arc<ShardHandle>>,
+    shard_threads: Vec<std::thread::JoinHandle<()>>,
     executor: Arc<Executor>,
 }
 
@@ -372,11 +592,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let clock = Arc::new(VirtualClock::new(config.time_scale));
-        let max_length = engine
-            .profiles()
-            .last()
-            .expect("engine has at least one runtime")
-            .max_length();
+        let max_length = family_max_length(engine.profiles());
         let shared = Arc::new(Shared {
             engine,
             clock: Arc::clone(&clock),
@@ -444,23 +660,71 @@ impl Server {
                 .spawn(move || timer_loop(&shared, &executor, real_tick, config.gpus))?
         };
 
+        // Epoll plane: spawn the shard event loops before accepting, so
+        // the acceptor always has somewhere to hand a socket.
+        let (shard_handles, shard_threads) = match config.front_door {
+            FrontDoor::Threaded => (Vec::new(), Vec::new()),
+            FrontDoor::Epoll { shards } => {
+                let n = shards.max(1);
+                let mut handles = Vec::with_capacity(n);
+                let mut threads = Vec::with_capacity(n);
+                for i in 0..n {
+                    let epoll = Epoll::new()?;
+                    let waker = Waker::new(&epoll)?;
+                    let handle = Arc::new(ShardHandle {
+                        waker,
+                        dirty: Mutex::new(Vec::new()),
+                        incoming: Mutex::new(Vec::new()),
+                    });
+                    let shard_cfg = ShardConfig {
+                        tick: config.read_timeout,
+                        idle_timeout: config.idle_timeout,
+                        write_timeout: config.write_timeout,
+                        frame_error_budget: config.frame_error_budget,
+                        server_chaos: config.server_chaos,
+                    };
+                    let shared = Arc::clone(&shared);
+                    let handle2 = Arc::clone(&handle);
+                    let tx = tx.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("arlo-shard-{i}"))
+                            .spawn(move || {
+                                shard_loop(&shared, &handle2, &epoll, &tx, &shard_cfg)
+                            })?,
+                    );
+                    handles.push(handle);
+                }
+                (handles, threads)
+            }
+        };
+
         let acceptor = {
             let shared = Arc::clone(&shared);
             let config = config.clone();
+            let shards = shard_handles.clone();
             std::thread::Builder::new()
                 .name("arlo-accept".into())
-                .spawn(move || accept_loop(&shared, &listener, &tx, &config))?
+                .spawn(move || accept_loop(&shared, &listener, &tx, &config, &shards))?
         };
 
         Ok(Server {
             shared,
             local_addr,
             drain_timeout: config.drain_timeout,
+            front_door: config.front_door,
             acceptor,
             dispatch,
             timer,
+            shard_handles,
+            shard_threads,
             executor,
         })
+    }
+
+    /// The connection plane this server is running.
+    pub fn front_door(&self) -> FrontDoor {
+        self.front_door
     }
 
     /// The bound address (useful with port 0).
@@ -504,6 +768,11 @@ impl Server {
     /// write timeout).
     pub fn slow_disconnects(&self) -> u64 {
         self.shared.slow_disconnects.load(Ordering::SeqCst)
+    }
+
+    /// Connections refused at admission (over [`ServeConfig::max_conns`]).
+    pub fn refused_conns(&self) -> u64 {
+        self.shared.refused_conns.load(Ordering::SeqCst)
     }
 
     /// Connections disconnected with a typed protocol error.
@@ -560,9 +829,19 @@ impl Server {
         }
 
         shared.shutdown.store(true, Ordering::SeqCst);
+        // Epoll shards sleep in epoll_wait: nudge them so they observe the
+        // shutdown flag now rather than at their next poll timeout.
+        for handle in &self.shard_handles {
+            handle.waker.wake();
+        }
         self.acceptor.join().expect("acceptor panicked");
         self.timer.join().expect("timer panicked");
         self.dispatch.join().expect("dispatch panicked");
+        // Shards close their connections (deregistering them and balancing
+        // the flush counter for anything undeliverable) on the way out.
+        for thread in self.shard_threads {
+            thread.join().expect("shard panicked");
+        }
         let executor = Arc::try_unwrap(self.executor)
             .ok()
             .expect("dispatch and timer joined; executor has one owner");
@@ -719,15 +998,16 @@ fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<Dispa
                     }),
                     None => {
                         // The admission layer refused: either nothing can
-                        // ever serve this length, or every candidate level
-                        // is masked/empty (overload, quarantine).
-                        let code = if length > shared.max_length {
+                        // ever serve this length — including the degenerate
+                        // zero-runtime family, max_length 0 — or every
+                        // candidate level is masked/empty (overload,
+                        // quarantine).
+                        let code = refusal_code(length, shared.max_length);
+                        if code == ErrorCode::Unserviceable {
                             shared.unserviceable.fetch_add(1, Ordering::Relaxed);
-                            ErrorCode::Unserviceable
                         } else {
                             shared.shed.fetch_add(1, Ordering::Relaxed);
-                            ErrorCode::Shed
-                        };
+                        }
                         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
                         shared.respond(conn_id, &Frame::Error { id, code });
                     }
@@ -768,8 +1048,20 @@ fn accept_loop(
     listener: &TcpListener,
     tx: &mpsc::SyncSender<DispatchMsg>,
     config: &ServeConfig,
+    shards: &[Arc<ShardHandle>],
 ) {
     let mut next_conn_id: u64 = 0;
+    // Pre-encoded admission refusal (always v1: the peer has not
+    // negotiated anything yet).
+    let refusal = {
+        let mut buf = Vec::new();
+        Frame::Error {
+            id: CONN_ERROR_ID,
+            code: ErrorCode::Shed,
+        }
+        .encode_into(WireVersion::V1, &mut buf);
+        buf
+    };
     while !shared.draining.load(Ordering::SeqCst) && !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -777,21 +1069,29 @@ fn accept_loop(
                 if shared.conns.lock().len() >= config.max_conns {
                     // Admission limit: answer one typed Shed frame so the
                     // client knows this was load, not a network fault, and
-                    // close. Never occupies a reader thread.
+                    // close. Fire-and-forget on a non-blocking socket —
+                    // the frame fits any fresh send buffer, and a hostile
+                    // or stalled connector that somehow doesn't accept it
+                    // just misses the courtesy; it must never stall
+                    // accepting (the old inline write blocked the acceptor
+                    // for up to 1 s per refusal).
                     shared.refused_conns.fetch_add(1, Ordering::SeqCst);
                     let mut stream = stream;
-                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                    let _ = Frame::Error {
-                        id: CONN_ERROR_ID,
-                        code: ErrorCode::Shed,
-                    }
-                    .write_to(&mut stream);
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.write(&refusal);
                     continue;
                 }
                 let conn_id = next_conn_id;
                 next_conn_id += 1;
-                if spawn_connection(shared, stream, conn_id, tx, config).is_err() {
-                    // Stream clone or thread spawn failed: drop the socket.
+                let registered = if shards.is_empty() {
+                    spawn_connection(shared, stream, conn_id, tx, config)
+                } else {
+                    let shard = &shards[(conn_id as usize) % shards.len()];
+                    register_epoll_conn(shared, stream, conn_id, shard, config)
+                };
+                if registered.is_err() {
+                    // Stream clone, thread spawn, or nonblocking setup
+                    // failed: drop the socket.
                     shared.conns.lock().remove(&conn_id);
                 }
             }
@@ -801,6 +1101,46 @@ fn accept_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
+}
+
+/// Hand an accepted socket to its epoll shard: make it non-blocking,
+/// publish the [`ConnHandle`] (so `respond`/doom work immediately), and
+/// inject it into the shard's adoption queue. The shard wires up chaos
+/// plans and epoll registration when it adopts the connection.
+fn register_epoll_conn(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    conn_id: u64,
+    shard: &Arc<ShardHandle>,
+    config: &ServeConfig,
+) -> io::Result<()> {
+    stream.set_nonblocking(true)?;
+    let outbound = Arc::new(Outbound {
+        capacity: config.outbound_queue,
+        queue: Mutex::new(VecDeque::new()),
+    });
+    let doomed = Arc::new(AtomicBool::new(false));
+    let negotiated = Arc::new(AtomicU8::new(WireVersion::V1.byte()));
+    shared.conns.lock().insert(
+        conn_id,
+        ConnHandle {
+            conn_id,
+            route: ConnRoute::Epoll {
+                outbound: Arc::clone(&outbound),
+                shard: Arc::clone(shard),
+            },
+            doomed: Arc::clone(&doomed),
+        },
+    );
+    shard.incoming.lock().push(IncomingConn {
+        conn_id,
+        stream,
+        outbound,
+        doomed,
+        negotiated,
+    });
+    shard.waker.wake();
+    Ok(())
 }
 
 /// Register a new connection: one bounded outbound queue, one writer
@@ -829,8 +1169,11 @@ fn spawn_connection(
     shared.conns.lock().insert(
         conn_id,
         ConnHandle {
-            tx: out_tx,
-            stream: shutdown_stream,
+            conn_id,
+            route: ConnRoute::Threaded {
+                tx: out_tx,
+                stream: shutdown_stream,
+            },
             doomed: Arc::clone(&doomed),
         },
     );
@@ -887,8 +1230,11 @@ fn spawn_connection(
                 // Removing the handle drops the queue's only sender: the
                 // writer drains whatever is left and exits.
                 if let Some(handle) = shared.conns.lock().remove(&conn_id) {
-                    // Half-close: stop reading; the writer still flushes.
-                    let _ = handle.stream.shutdown(Shutdown::Read);
+                    if let ConnRoute::Threaded { stream, .. } = &handle.route {
+                        // Half-close: stop reading; the writer still
+                        // flushes.
+                        let _ = stream.shutdown(Shutdown::Read);
+                    }
                 }
             })?
     };
@@ -1088,6 +1434,484 @@ fn reader_loop(
     }
 }
 
+/// Per-shard snapshot of the [`ServeConfig`] knobs a shard needs.
+struct ShardConfig {
+    /// Poll granularity: how often a sleeping shard wakes to sweep for
+    /// idle, doomed, or write-stalled connections. Reuses `read_timeout`
+    /// — the same knob that paces the threaded reader's poll tick.
+    tick: Duration,
+    idle_timeout: Duration,
+    write_timeout: Duration,
+    frame_error_budget: u32,
+    server_chaos: Option<ChaosConfig>,
+}
+
+/// One connection's state machine on an epoll shard: the incremental
+/// [`FrameReader`] on the way in, the [`FrameWriteBuf`] fed from the
+/// bounded outbound queue on the way out, plus doom/idle/chaos state.
+/// This is the non-blocking equivalent of a reader+writer thread pair.
+struct FramedConn {
+    stream: TcpStream,
+    frames: FrameReader,
+    budget: ErrorBudget,
+    negotiated: Arc<AtomicU8>,
+    outbound: Arc<Outbound>,
+    doomed: Arc<AtomicBool>,
+    wbuf: FrameWriteBuf,
+    last_activity: Instant,
+    read_chaos: Option<NonBlockingChaos>,
+    write_chaos: Option<NonBlockingChaos>,
+    /// Interest currently registered with the shard's epoll.
+    interest: Interest,
+    /// When the current socket-level write stall began (`None` while
+    /// writes make progress).
+    write_blocked_since: Option<Instant>,
+    /// Read side finished (EOF, protocol disconnect, idle reap): flush
+    /// the remaining outbound frames, then close — mirroring the threaded
+    /// plane, where the writer drains after the reader exits.
+    closing: bool,
+}
+
+impl FramedConn {
+    fn adopt(inc: IncomingConn, cfg: &ShardConfig) -> FramedConn {
+        // Chaos plans use the same per-connection derivation as the
+        // threaded plane (reader `conn_id * 2`, writer `conn_id * 2 + 1`),
+        // so a seeded schedule reproduces identically on both front doors.
+        let (read_chaos, write_chaos) = match &cfg.server_chaos {
+            Some(chaos) => (
+                Some(NonBlockingChaos::new(chaos.plan_for(inc.conn_id * 2))),
+                Some(NonBlockingChaos::new(chaos.plan_for(inc.conn_id * 2 + 1))),
+            ),
+            None => (None, None),
+        };
+        FramedConn {
+            stream: inc.stream,
+            frames: FrameReader::new(),
+            budget: ErrorBudget::new(cfg.frame_error_budget),
+            negotiated: inc.negotiated,
+            outbound: inc.outbound,
+            doomed: inc.doomed,
+            wbuf: FrameWriteBuf::new(),
+            last_activity: Instant::now(),
+            read_chaos,
+            write_chaos,
+            interest: Interest::NONE,
+            write_blocked_since: None,
+            closing: false,
+        }
+    }
+
+    fn has_pending_writes(&self) -> bool {
+        !self.wbuf.is_empty() || !self.outbound.queue.lock().is_empty()
+    }
+
+    fn read_blocked_until(&self) -> Option<Instant> {
+        self.read_chaos
+            .as_ref()
+            .and_then(NonBlockingChaos::ready_at)
+    }
+
+    fn write_blocked_until(&self) -> Option<Instant> {
+        self.write_chaos
+            .as_ref()
+            .and_then(NonBlockingChaos::ready_at)
+    }
+
+    /// The epoll interest this connection should be registered with right
+    /// now. Chaos block windows *drop* the corresponding interest — a
+    /// level-triggered ready socket would otherwise busy-spin against an
+    /// armed delay; the shard's poll timeout retries them instead.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.closing && self.read_blocked_until().is_none(),
+            writable: self.has_pending_writes()
+                && self.write_blocked_until().is_none()
+                && self.write_blocked_since.is_some(),
+        }
+    }
+}
+
+/// Read adapter pairing a non-blocking socket with its chaos plan.
+struct ChaosRead<'a> {
+    stream: &'a mut TcpStream,
+    chaos: &'a mut NonBlockingChaos,
+}
+
+impl Read for ChaosRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.chaos.read(self.stream, buf)
+    }
+}
+
+/// Write adapter pairing a non-blocking socket with its chaos plan.
+struct ChaosWrite<'a> {
+    stream: &'a mut TcpStream,
+    chaos: &'a mut NonBlockingChaos,
+}
+
+impl Write for ChaosWrite<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.chaos.write(self.stream, buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// How long the shard may sleep in `epoll_wait`: the sweep tick, shortened
+/// to the nearest chaos block-window deadline so armed delays resume on
+/// time. The scan only runs under server-side chaos (a test-only mode with
+/// a handful of connections); production shards sleep the full tick.
+fn poll_timeout(conns: &HashMap<u64, FramedConn>, cfg: &ShardConfig) -> Duration {
+    let mut timeout = cfg.tick;
+    if cfg.server_chaos.is_some() {
+        let now = Instant::now();
+        for conn in conns.values() {
+            for at in [conn.read_blocked_until(), conn.write_blocked_until()]
+                .into_iter()
+                .flatten()
+            {
+                let remaining = at.saturating_duration_since(now);
+                timeout = timeout.min(remaining.max(Duration::from_micros(200)));
+            }
+        }
+    }
+    timeout
+}
+
+/// One epoll shard: adopt connections from the acceptor, pump readiness
+/// events through the per-connection state machines, sweep for idle /
+/// doomed / stalled connections, and on shutdown close everything owned
+/// (balancing the drain flush counter for undeliverable frames).
+fn shard_loop(
+    shared: &Arc<Shared>,
+    handle: &Arc<ShardHandle>,
+    epoll: &Epoll,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+    cfg: &ShardConfig,
+) {
+    let mut conns: HashMap<u64, FramedConn> = HashMap::new();
+    let mut events = Vec::new();
+    let mut last_sweep = Instant::now();
+    loop {
+        let timeout = poll_timeout(&conns, cfg);
+        let _ = epoll.wait(&mut events, Some(timeout));
+        handle.waker.drain();
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Bind the drained queue before iterating: a `for` loop keeps
+            // temporaries in its iterator expression alive for the whole
+            // body, and `close_conn` takes the shared registry lock.
+            let orphaned = std::mem::take(&mut *handle.incoming.lock());
+            for inc in orphaned {
+                let conn_id = inc.conn_id;
+                close_conn(shared, epoll, conn_id, FramedConn::adopt(inc, cfg));
+            }
+            for (conn_id, conn) in conns.drain() {
+                close_conn(shared, epoll, conn_id, conn);
+            }
+            return;
+        }
+
+        // Adopt connections the acceptor handed over. (Same guard-lifetime
+        // rule as above: drain under the lock, iterate after it drops.)
+        let adopted = std::mem::take(&mut *handle.incoming.lock());
+        for inc in adopted {
+            let conn_id = inc.conn_id;
+            let mut conn = FramedConn::adopt(inc, cfg);
+            if epoll.add(&conn.stream, conn_id, Interest::READ).is_err() {
+                close_conn(shared, epoll, conn_id, conn);
+                continue;
+            }
+            conn.interest = Interest::READ;
+            conns.insert(conn_id, conn);
+        }
+
+        // Connections with fresh outbound frames or fresh doom flags. The
+        // drained list MUST be bound before the loop: iterating the
+        // `mem::take` expression directly keeps the `dirty` guard alive for
+        // the whole body, and `drive_conn` reaches `Shared::respond`, which
+        // locks the registry and then `notify`s this same shard — the
+        // reverse order. Holding `dirty` across the body deadlocks the
+        // shard against any responder (dispatch or an executor worker).
+        let dirty = std::mem::take(&mut *handle.dirty.lock());
+        for conn_id in dirty {
+            drive_conn(shared, epoll, &mut conns, conn_id, tx, cfg, false);
+        }
+
+        // Socket readiness.
+        for &ev in &events {
+            if ev.token == WAKER_TOKEN {
+                continue;
+            }
+            drive_conn(
+                shared,
+                epoll,
+                &mut conns,
+                ev.token,
+                tx,
+                cfg,
+                ev.readable || ev.closed,
+            );
+        }
+
+        // Periodic sweep; under server chaos every wakeup sweeps, so armed
+        // block windows resume as soon as their deadline passes.
+        if cfg.server_chaos.is_some() || last_sweep.elapsed() >= cfg.tick {
+            last_sweep = Instant::now();
+            sweep(shared, epoll, &mut conns, tx, cfg);
+        }
+    }
+}
+
+/// Drive one connection's state machine: read if readable, then flush
+/// writes, then close or refresh epoll interest as the new state demands.
+fn drive_conn(
+    shared: &Shared,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, FramedConn>,
+    conn_id: u64,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+    cfg: &ShardConfig,
+    readable: bool,
+) {
+    let close = {
+        let Some(conn) = conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.doomed.load(Ordering::SeqCst) {
+            true
+        } else {
+            if readable && !conn.closing {
+                drive_read(shared, conn, conn_id, tx);
+            }
+            let alive = drive_write(shared, conn, cfg);
+            if !alive || (conn.closing && !conn.has_pending_writes()) {
+                true
+            } else {
+                let desired = conn.desired_interest();
+                if desired != conn.interest && epoll.modify(&conn.stream, conn_id, desired).is_ok()
+                {
+                    conn.interest = desired;
+                }
+                false
+            }
+        }
+    };
+    if close {
+        if let Some(conn) = conns.remove(&conn_id) {
+            close_conn(shared, epoll, conn_id, conn);
+        }
+    }
+}
+
+/// Non-blocking read pump: decode everything buffered, fill from the
+/// socket (through the chaos plan when armed), repeat — bounded per call
+/// so one firehose connection cannot starve its shard (level-triggered
+/// epoll re-reports leftover readiness). Sets `closing` on EOF, protocol
+/// disconnect, or a hard error; the flush-then-close mirrors the threaded
+/// plane, where the writer drains after the reader exits.
+fn drive_read(
+    shared: &Shared,
+    conn: &mut FramedConn,
+    conn_id: u64,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+) {
+    let mut fills = 0;
+    loop {
+        loop {
+            match conn.frames.next_frame() {
+                Ok(Some(frame)) => {
+                    conn.budget.credit();
+                    if !handle_frame(shared, conn_id, tx, &conn.negotiated, &frame) {
+                        conn.closing = true;
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) if conn.budget.charge(&e) => {
+                    // Same budgeted-resync semantics as reader_loop.
+                    if matches!(e, DecodeError::ChecksumMismatch { .. }) {
+                        shared.corrupt_frames.fetch_add(1, Ordering::SeqCst);
+                        shared.respond(
+                            conn_id,
+                            &Frame::Error {
+                                id: CONN_ERROR_ID,
+                                code: ErrorCode::Corrupt,
+                            },
+                        );
+                    }
+                }
+                Err(_) => {
+                    shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
+                    shared.respond(
+                        conn_id,
+                        &Frame::Error {
+                            id: CONN_ERROR_ID,
+                            code: ErrorCode::Protocol,
+                        },
+                    );
+                    conn.closing = true;
+                    return;
+                }
+            }
+        }
+        if fills >= 4 {
+            return;
+        }
+        fills += 1;
+        let filled = match &mut conn.read_chaos {
+            Some(chaos) => conn.frames.fill(&mut ChaosRead {
+                stream: &mut conn.stream,
+                chaos,
+            }),
+            None => conn.frames.fill(&mut conn.stream),
+        };
+        match filled {
+            Ok(0) => {
+                conn.closing = true;
+                return;
+            }
+            Ok(_) => conn.last_activity = Instant::now(),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => {
+                // Reset or broken pipe: like the threaded reader, stop
+                // reading but still flush queued responses before closing.
+                conn.closing = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Non-blocking write pump: refill the [`FrameWriteBuf`] from the bounded
+/// outbound queue (≤1024-frame coalescing, HelloAck pinned v1 — both as on
+/// the threaded plane), write until empty or blocked. Returns `false` when
+/// the connection doomed itself (write stall past the timeout, or a hard
+/// error).
+fn drive_write(shared: &Shared, conn: &mut FramedConn, cfg: &ShardConfig) -> bool {
+    loop {
+        if conn.wbuf.is_empty() {
+            let mut queue = conn.outbound.queue.lock();
+            if queue.is_empty() {
+                break;
+            }
+            let version = WireVersion::from_byte(conn.negotiated.load(Ordering::SeqCst))
+                .unwrap_or(WireVersion::V1);
+            for _ in 0..1024 {
+                let Some(frame) = queue.pop_front() else {
+                    break;
+                };
+                let frame_version = if matches!(frame, Frame::HelloAck { .. }) {
+                    WireVersion::V1
+                } else {
+                    version
+                };
+                conn.wbuf.push(&frame, frame_version);
+            }
+        }
+        let wrote = match &mut conn.write_chaos {
+            Some(chaos) => conn.wbuf.write_some(&mut ChaosWrite {
+                stream: &mut conn.stream,
+                chaos,
+            }),
+            None => conn.wbuf.write_some(&mut conn.stream),
+        };
+        match wrote {
+            Ok(completed) => {
+                if completed > 0 {
+                    shared
+                        .queued_frames
+                        .fetch_sub(completed as u64, Ordering::SeqCst);
+                }
+                conn.write_blocked_since = None;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if conn.write_blocked_until().is_some() {
+                    // Chaos block window, not a stalled peer: the shard's
+                    // poll timeout retries at the deadline.
+                    return true;
+                }
+                let since = *conn.write_blocked_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= cfg.write_timeout {
+                    // The client stalled a write past the timeout: same
+                    // fate as overflowing the queue.
+                    if !conn.doomed.swap(true, Ordering::SeqCst) {
+                        shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                    }
+                    return false;
+                }
+                return true; // EPOLLOUT (or the sweep) re-drives
+            }
+            Err(_) => {
+                conn.doomed.store(true, Ordering::SeqCst);
+                return false;
+            }
+        }
+    }
+    conn.write_blocked_since = None;
+    true
+}
+
+/// Close one epoll connection: deregister the public handle first (under
+/// the registry lock `respond` holds across its push, so no frame can slip
+/// in behind the accounting), then discard undeliverable frames while
+/// keeping the drain flush counter balanced, then drop the socket.
+fn close_conn(shared: &Shared, epoll: &Epoll, conn_id: u64, conn: FramedConn) {
+    shared.conns.lock().remove(&conn_id);
+    let _ = epoll.delete(&conn.stream);
+    let leftover = {
+        let mut queue = conn.outbound.queue.lock();
+        let n = queue.len() + conn.wbuf.pending_frames();
+        queue.clear();
+        n
+    };
+    if leftover > 0 {
+        shared
+            .queued_frames
+            .fetch_sub(leftover as u64, Ordering::SeqCst);
+        shared
+            .dropped_responses
+            .fetch_add(leftover as u64, Ordering::Relaxed);
+    }
+}
+
+/// Time-driven connection maintenance: idle reaping, write-stall dooming,
+/// and resuming connections whose chaos block windows elapsed.
+fn sweep(
+    shared: &Shared,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, FramedConn>,
+    tx: &mpsc::SyncSender<DispatchMsg>,
+    cfg: &ShardConfig,
+) {
+    let now = Instant::now();
+    let mut due: Vec<(u64, bool, bool)> = Vec::new();
+    for (&conn_id, conn) in conns.iter() {
+        let read_window_over = conn.read_blocked_until().is_some_and(|at| now >= at);
+        let write_window_over = conn.write_blocked_until().is_some_and(|at| now >= at);
+        let idle = !conn.closing && now.duration_since(conn.last_activity) >= cfg.idle_timeout;
+        if conn.doomed.load(Ordering::SeqCst)
+            || read_window_over
+            || write_window_over
+            || conn.write_blocked_since.is_some()
+            || idle
+        {
+            due.push((conn_id, read_window_over, idle));
+        }
+    }
+    for (conn_id, read_ready, idle) in due {
+        if idle {
+            if let Some(conn) = conns.get_mut(&conn_id) {
+                // Counted exactly once: `closing` guards re-entry.
+                shared.reaped_idle.fetch_add(1, Ordering::SeqCst);
+                conn.closing = true;
+            }
+        }
+        drive_conn(shared, epoll, conns, conn_id, tx, cfg, read_ready);
+    }
+}
+
 /// Admit one submit: shed under drain, enqueue for dispatch, shed on
 /// queue overflow. Shared by [`Frame::Submit`] and every sub-request of a
 /// [`Frame::BatchedSubmit`] — batching amortizes framing, never
@@ -1195,5 +2019,74 @@ fn handle_frame(
             );
             false
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arlo_runtime::latency::CompiledRuntime;
+    use arlo_runtime::models::ModelSpec;
+    use arlo_runtime::profile::profile_runtimes;
+
+    // --- Admission refusal typing (the zero-runtime / oversized split) ---
+
+    #[test]
+    fn empty_family_has_zero_max_length() {
+        assert_eq!(family_max_length(&[]), 0);
+    }
+
+    #[test]
+    fn family_max_length_is_last_profile() {
+        let model = ModelSpec::bert_base();
+        let rts = vec![
+            CompiledRuntime::new_static(model.clone(), 64),
+            CompiledRuntime::new_static(model, 512),
+        ];
+        let profiles = profile_runtimes(&rts, 150.0, 64);
+        assert_eq!(family_max_length(&profiles), 512);
+    }
+
+    #[test]
+    fn refusal_with_no_runtimes_is_unserviceable_not_a_panic() {
+        // The regression: with zero live runtimes the old code did
+        // `profiles().iter().map(max_length).max().expect(..)` and the
+        // dispatch thread died, taking the whole server with it. Every
+        // length must now classify as Unserviceable (permanent: no fleet
+        // can ever serve it) rather than Shed (transient backpressure).
+        for length in [1, 128, u32::MAX] {
+            assert_eq!(refusal_code(length, 0), ErrorCode::Unserviceable);
+        }
+    }
+
+    #[test]
+    fn refusal_splits_transient_from_permanent() {
+        assert_eq!(refusal_code(10, 512), ErrorCode::Shed);
+        assert_eq!(refusal_code(512, 512), ErrorCode::Shed);
+        assert_eq!(refusal_code(513, 512), ErrorCode::Unserviceable);
+    }
+
+    // --- Front-door selection ---
+
+    #[test]
+    fn front_door_parses() {
+        assert_eq!(FrontDoor::parse("threaded"), Some(FrontDoor::Threaded));
+        assert_eq!(
+            FrontDoor::parse("epoll"),
+            Some(FrontDoor::Epoll {
+                shards: FrontDoor::DEFAULT_EPOLL_SHARDS
+            })
+        );
+        assert_eq!(
+            FrontDoor::parse("epoll:4"),
+            Some(FrontDoor::Epoll { shards: 4 })
+        );
+        // Zero shards is nonsense; clamp rather than divide by zero later.
+        assert_eq!(
+            FrontDoor::parse("epoll:0"),
+            Some(FrontDoor::Epoll { shards: 1 })
+        );
+        assert_eq!(FrontDoor::parse("kqueue"), None);
+        assert_eq!(FrontDoor::parse("epoll:x"), None);
     }
 }

@@ -40,7 +40,7 @@ use arlo_serve::loadgen::{
     chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, LoadGenReport, ProtocolMode,
 };
 use arlo_serve::protocol::{read_frame, Frame, WireVersion};
-use arlo_serve::server::{DrainReport, ServeConfig, Server};
+use arlo_serve::server::{DrainReport, FrontDoor, ServeConfig, Server};
 use arlo_trace::workload::TraceSpec;
 use arlo_trace::NANOS_PER_SEC;
 use rand::rngs::StdRng;
@@ -70,6 +70,10 @@ fn config() -> ServeConfig {
         tick_interval: NANOS_PER_SEC / 5,
         drain_timeout: Duration::from_secs(30),
         batch: BatchPolicy::greedy(BatchSpec::SINGLE),
+        // Both suites run against both connection planes: plain `cargo
+        // test` exercises the threaded default, and CI's serve-epoll job
+        // re-runs them with ARLO_FRONT_DOOR=epoll.
+        front_door: FrontDoor::from_env(),
         ..ServeConfig::new(GPUS)
     }
 }

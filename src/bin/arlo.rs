@@ -12,6 +12,7 @@
 //! arlo plan        --model bert-base --gpus 10 --rate 1500 --secs 30
 //! arlo profile     --model bert-large [--slo-ms 450]
 //! arlo serve       --model bert-base --gpus 8 [--addr 127.0.0.1:7077] [--time-scale 1]
+//!                  [--front-door threaded|epoll|epoll:N]
 //! arlo loadgen     --addr 127.0.0.1:7077 --rate 900 --secs 30 [--clients 4] [--drain]
 //! ```
 
@@ -19,7 +20,7 @@ use arlo::prelude::*;
 use arlo::serve::chaos::{ChaosConfig, FaultClass};
 use arlo::serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, ProtocolMode};
 use arlo::serve::protocol::Frame;
-use arlo::serve::server::{ServeConfig, Server};
+use arlo::serve::server::{FrontDoor, ServeConfig, Server};
 use arlo::trace::NANOS_PER_SEC;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +71,7 @@ USAGE:
   arlo profile    --model <m> [--slo-ms <ms>]
   arlo serve      --model <m> --gpus <n> [--slo-ms <ms>] [--addr <ip:port>]
                   [--time-scale <x>] [--workers <n>] [--period-secs <s>]
+                  [--front-door <threaded|epoll|epoll:N>]
                   [--max-batch <n> [--marginal-cost <f>] [--max-wait-ms <ms>]]
                   [--server-chaos <delay|partial|corrupt|reset|stall>
                    [--server-chaos-intensity <0..1>] [--server-chaos-seed <n>]]
@@ -401,6 +403,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         batch,
         ..ServeConfig::new(gpus)
     };
+    // Connection plane: --front-door wins, ARLO_FRONT_DOOR is the
+    // fallback, threaded the default.
+    serve_cfg.front_door = match flags.get("front-door") {
+        Some(v) => FrontDoor::parse(v)
+            .ok_or_else(|| format!("unknown --front-door `{v}` (threaded | epoll | epoll:N)"))?,
+        None => FrontDoor::from_env(),
+    };
     if let Some(class_name) = flags.get("server-chaos") {
         // Test-only: wrap every accepted socket in a seeded FaultyStream so
         // the server's own error paths can be driven from the CLI.
@@ -417,9 +426,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
     let server = Server::spawn(engine, addr, serve_cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "serving {} on {} — {gpus} GPUs, SLO {slo} ms, {time_scale}× virtual time, batch {max_batch}",
+        "serving {} on {} — {gpus} GPUs, SLO {slo} ms, {time_scale}× virtual time, batch \
+         {max_batch}, {} front door",
         model.name,
-        server.local_addr()
+        server.local_addr(),
+        server.front_door().name()
     );
     println!("(send a Drain frame — e.g. `arlo loadgen --drain` — to stop)");
     while !server.is_draining() {
