@@ -40,7 +40,7 @@ use arlo_runtime::profile::profile_runtimes;
 use arlo_runtime::runtime_set::RuntimeSet;
 use arlo_serve::chaos::{ChaosConfig, FaultClass};
 use arlo_serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, ProtocolMode};
-use arlo_serve::protocol::Frame;
+use arlo_serve::protocol::{Frame, DEFAULT_TENANT};
 use arlo_serve::server::{DrainReport, ServeConfig, Server};
 use arlo_trace::workload::{Trace, TraceSpec};
 use arlo_trace::NANOS_PER_SEC;
@@ -215,6 +215,7 @@ fn run_isolation(stall: bool) -> (arlo_serve::loadgen::LoadGenReport, DrainRepor
                 let frame = Frame::Submit {
                     id: 10_000_000 + i,
                     length: 1_000_000, // beyond every compiled runtime
+                    tenant: DEFAULT_TENANT,
                 };
                 if frame.write_to(&mut writer).is_err() {
                     break 'burst;

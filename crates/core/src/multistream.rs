@@ -350,6 +350,66 @@ mod tests {
     }
 
     #[test]
+    fn zero_gpu_pool_is_infeasible() {
+        // Eq. 7 floors every stream at one instance, so an empty pool can
+        // never be partitioned — it must fail loudly, not grant phantoms.
+        let plans = vec![plan("only", ModelSpec::bert_base(), 150.0, 1.0)];
+        assert!(matches!(
+            PoolCoordinator.partition(&plans, 0),
+            Err(SolveError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn infeasible_min_sum_is_an_error_not_a_partial_grant() {
+        // Demand backoff shrinks offered load, never the Eq. 7 one-GPU
+        // floor: more streams than GPUs stays infeasible at any backoff.
+        let plans = vec![
+            plan("a", ModelSpec::bert_base(), 150.0, 1.0),
+            plan("b", ModelSpec::bert_base(), 150.0, 1.0),
+            plan("c", ModelSpec::bert_large(), 450.0, 1.0),
+        ];
+        assert!(matches!(
+            PoolCoordinator.partition(&plans, 2),
+            Err(SolveError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn single_stream_gets_the_whole_pool() {
+        let plans = vec![plan("solo", ModelSpec::bert_base(), 150.0, 1.0)];
+        let total = 9;
+        let part = PoolCoordinator.partition(&plans, total).expect("feasible");
+        assert_eq!(part.gpus, vec![total]);
+        assert_eq!(part.allocations[0].iter().sum::<u32>(), total);
+    }
+
+    #[test]
+    fn allocations_sum_to_total_across_pool_sizes() {
+        // The conservation invariant the serving coordinator leans on:
+        // grants spend exactly the pool, and each grant's inner allocation
+        // spends exactly the grant, at every feasible pool size.
+        let plans = vec![
+            plan("base", ModelSpec::bert_base(), 150.0, 1.2),
+            plan("large", ModelSpec::bert_large(), 450.0, 0.6),
+        ];
+        let floor: u32 = plans.iter().map(StreamPlan::min_gpus).sum();
+        for total in floor..floor + 10 {
+            let part = PoolCoordinator
+                .partition(&plans, total)
+                .unwrap_or_else(|e| panic!("pool of {total} infeasible: {e:?}"));
+            assert_eq!(part.gpus.iter().sum::<u32>(), total, "grants at {total}");
+            for (grant, alloc) in part.gpus.iter().zip(&part.allocations) {
+                assert_eq!(
+                    alloc.iter().sum::<u32>(),
+                    *grant,
+                    "inner allocation at {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn three_streams_exact_vs_exhaustive() {
         let plans = vec![
             plan("a", ModelSpec::bert_base(), 150.0, 0.8),

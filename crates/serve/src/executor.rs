@@ -53,6 +53,9 @@ pub struct Job {
     pub request_id: u64,
     /// Connection the response goes back to.
     pub conn_id: u64,
+    /// Tenant stream the request was admitted to — completion accounting
+    /// credits this tenant's engine and counters.
+    pub tenant: u32,
     /// Request length in tokens.
     pub length: u32,
     /// Virtual time the request was dispatched.
@@ -440,6 +443,7 @@ mod tests {
             },
             request_id: id,
             conn_id: 0,
+            tenant: 0,
             length: 32,
             submitted_at: at,
         }

@@ -32,6 +32,10 @@
 //! - [`epoll`] — a dependency-free, level-triggered epoll/eventfd wrapper
 //!   over [`std::os::fd`], the readiness substrate for the event-loop
 //!   front door (and the high-connection-count load generator).
+//! - [`tenants`] — multi-tenant primitives: SLO classes (weighted
+//!   admission under overload), tenant specs, the sliding per-tenant
+//!   demand windows the GPU re-granting coordinator plans over, and the
+//!   deterministic weighted tenant-tagging the load generator uses.
 //! - [`server`] — the TCP front door: acceptor, a bounded dispatch queue
 //!   (overflow ⇒ explicit shed frames), a timer thread driving health
 //!   ticks and periodic reallocation, and a graceful drain that flushes
@@ -53,6 +57,7 @@ pub mod executor;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod tenants;
 
 pub use chaos::{ChaosConfig, ChaosPlan, FaultClass, FaultyStream, NonBlockingChaos};
 pub use clock::VirtualClock;
@@ -61,4 +66,5 @@ pub use loadgen::{
     LoadGenReport, LoadMode, ProtocolMode, StormConfig, StormReport,
 };
 pub use protocol::{ErrorBudget, ErrorCode, Frame, FrameWriteBuf, StatsPayload, Sub, WireVersion};
-pub use server::{DrainReport, FrontDoor, ServeConfig, Server};
+pub use server::{DrainReport, FrontDoor, ServeConfig, Server, TenantDrainReport, TenantStats};
+pub use tenants::{RegrantEvent, SloClass, TenantSpec, TenantWindow};

@@ -23,8 +23,9 @@ use crate::chaos::{ChaosConfig, FaultyStream, SplitMix64};
 use crate::epoll::{Epoll, Interest};
 use crate::protocol::{
     client_handshake, read_frame, ErrorCode, Frame, FrameReader, FrameWriteBuf, ReadFrameError,
-    Sub, WireVersion, CONN_ERROR_ID, MAX_BATCH,
+    Sub, WireVersion, CONN_ERROR_ID, DEFAULT_TENANT, MAX_BATCH,
 };
+use crate::tenants::weighted_tenant;
 use arlo_trace::stats::Summary;
 use arlo_trace::workload::Trace;
 use parking_lot::Mutex;
@@ -85,6 +86,13 @@ pub struct LoadGenConfig {
     /// chunk at its *last* member's arrival time, trading a bounded
     /// arrival-fidelity delay for framing/checksum amortization.
     pub submit_batch: usize,
+    /// Per-tenant submit weights: request `id` is tagged with the tenant
+    /// [`weighted_tenant`] assigns it, so an `N`-entry mix spreads the
+    /// trace across `N` tenants deterministically (all-ones = round
+    /// robin). Empty means every submit carries [`DEFAULT_TENANT`] — the
+    /// pre-multi-tenant behavior, and the only mix a
+    /// [`ProtocolMode::Legacy`] (v1) replay can express on the wire.
+    pub tenant_weights: Vec<u32>,
 }
 
 impl LoadGenConfig {
@@ -96,6 +104,7 @@ impl LoadGenConfig {
             read_timeout: Duration::from_secs(10),
             protocol: ProtocolMode::Negotiate,
             submit_batch: 1,
+            tenant_weights: Vec::new(),
         }
     }
 
@@ -107,6 +116,7 @@ impl LoadGenConfig {
             read_timeout: Duration::from_secs(10),
             protocol: ProtocolMode::Negotiate,
             submit_batch: 1,
+            tenant_weights: Vec::new(),
         }
     }
 
@@ -119,6 +129,14 @@ impl LoadGenConfig {
     /// Coalesce submits into batches of up to `n` (v2 connections only).
     pub fn with_submit_batch(mut self, n: usize) -> Self {
         self.submit_batch = n.clamp(1, MAX_BATCH);
+        self
+    }
+
+    /// Spread submits across tenants by weight (see
+    /// [`LoadGenConfig::tenant_weights`]). `vec![1; n]` is an even
+    /// round-robin over `n` tenants.
+    pub fn with_tenants(mut self, weights: Vec<u32>) -> Self {
+        self.tenant_weights = weights;
         self
     }
 }
@@ -138,6 +156,10 @@ pub struct LoadGenReport {
     pub draining: u64,
     /// [`ErrorCode::Failed`] responses.
     pub failed: u64,
+    /// [`ErrorCode::UnknownTenant`] responses — submits tagged with a
+    /// tenant the server has no engine for. Zero unless the configured
+    /// mix names more tenants than the server registered.
+    pub unknown_tenant: u64,
     /// Sent requests that received *no* answer before the read timeout —
     /// zero on a correct server.
     pub lost: u64,
@@ -163,9 +185,16 @@ impl LoadGenReport {
     }
 
     /// Every answered or lost request, for zero-loss assertions:
-    /// `ok + shed + unserviceable + draining + failed + lost == sent`.
+    /// `ok + shed + unserviceable + draining + failed + unknown_tenant +
+    /// lost == sent`.
     pub fn accounted(&self) -> u64 {
-        self.ok + self.shed + self.unserviceable + self.draining + self.failed + self.lost
+        self.ok
+            + self.shed
+            + self.unserviceable
+            + self.draining
+            + self.failed
+            + self.unknown_tenant
+            + self.lost
     }
 
     fn merge(&mut self, other: ClientOutcome) {
@@ -175,6 +204,7 @@ impl LoadGenReport {
         self.unserviceable += other.unserviceable;
         self.draining += other.draining;
         self.failed += other.failed;
+        self.unknown_tenant += other.unknown_tenant;
         self.lost += other.lost;
         self.latencies_ms.extend(other.latencies_ms);
     }
@@ -188,6 +218,7 @@ struct ClientOutcome {
     unserviceable: u64,
     draining: u64,
     failed: u64,
+    unknown_tenant: u64,
     lost: u64,
     latencies_ms: Vec<f64>,
 }
@@ -200,6 +231,7 @@ struct Tally {
     unserviceable: AtomicU64,
     draining: AtomicU64,
     failed: AtomicU64,
+    unknown_tenant: AtomicU64,
     latencies_ns: Mutex<Vec<u64>>,
 }
 
@@ -210,6 +242,7 @@ impl Tally {
             + self.unserviceable.load(Ordering::SeqCst)
             + self.draining.load(Ordering::SeqCst)
             + self.failed.load(Ordering::SeqCst)
+            + self.unknown_tenant.load(Ordering::SeqCst)
     }
 
     fn record(&self, frame: &Frame) {
@@ -233,6 +266,7 @@ impl Tally {
                     ErrorCode::Shed => &self.shed,
                     ErrorCode::Unserviceable => &self.unserviceable,
                     ErrorCode::Draining => &self.draining,
+                    ErrorCode::UnknownTenant => &self.unknown_tenant,
                     ErrorCode::Failed | ErrorCode::Protocol | ErrorCode::Corrupt => &self.failed,
                 };
                 counter.fetch_add(1, Ordering::SeqCst);
@@ -251,6 +285,7 @@ impl Tally {
             unserviceable: self.unserviceable.load(Ordering::SeqCst),
             draining: self.draining.load(Ordering::SeqCst),
             failed: self.failed.load(Ordering::SeqCst),
+            unknown_tenant: self.unknown_tenant.load(Ordering::SeqCst),
             lost: sent.saturating_sub(self.answered()),
             latencies_ms: self
                 .latencies_ns
@@ -271,6 +306,14 @@ pub fn replay(
     config: &LoadGenConfig,
 ) -> io::Result<LoadGenReport> {
     assert!(config.clients >= 1, "need at least one client");
+    // v1 frames have no tenant field: a Legacy replay can only ever speak
+    // for the default tenant, so a mix that would tag anything else is a
+    // configuration error, not something to silently drop on the wire.
+    assert!(
+        config.protocol != ProtocolMode::Legacy
+            || config.tenant_weights.iter().skip(1).all(|&w| w == 0),
+        "legacy (v1) replay cannot tag non-default tenants; drop --tenant-mix or negotiate v2"
+    );
     let parts = trace.partition(config.clients);
     let started = Instant::now();
     let mut handles = Vec::with_capacity(config.clients);
@@ -397,6 +440,7 @@ fn open_client(
                 .map(|r| Sub {
                     id: r.id,
                     length: r.length,
+                    tenant: weighted_tenant(r.id, &config.tenant_weights),
                 })
                 .collect();
             sent += subs.len() as u64;
@@ -413,6 +457,7 @@ fn open_client(
             Frame::Submit {
                 id: r.id,
                 length: r.length,
+                tenant: weighted_tenant(r.id, &config.tenant_weights),
             }
             .write_to_v(&mut writer, version)?;
             sent += 1;
@@ -456,6 +501,7 @@ fn closed_client(
                 .map(|r| Sub {
                     id: r.id,
                     length: r.length,
+                    tenant: weighted_tenant(r.id, &config.tenant_weights),
                 })
                 .collect();
             sent += subs.len() as u64;
@@ -466,6 +512,7 @@ fn closed_client(
             Frame::Submit {
                 id: r.id,
                 length: r.length,
+                tenant: weighted_tenant(r.id, &config.tenant_weights),
             }
             .write_to_v(&mut stream, version)?;
             sent += 1;
@@ -479,6 +526,7 @@ fn closed_client(
                     Frame::Submit {
                         id: r.id,
                         length: r.length,
+                        tenant: weighted_tenant(r.id, &config.tenant_weights),
                     }
                     .write_to_v(&mut stream, version)?;
                     sent += 1;
@@ -844,9 +892,13 @@ fn drive_attempt(
     length: u32,
     config: &ChaosReplayConfig,
 ) -> Attempt {
-    if (Frame::Submit { id, length })
-        .write_to_v(&mut conn.stream, conn.version)
-        .is_err()
+    if (Frame::Submit {
+        id,
+        length,
+        tenant: DEFAULT_TENANT,
+    })
+    .write_to_v(&mut conn.stream, conn.version)
+    .is_err()
     {
         return Attempt::Retry { reconnect: true };
     }
@@ -880,8 +932,13 @@ fn drive_attempt(
                 }
                 Ok(Some(Frame::Error { id: rid, code })) if rid == id => {
                     return match code {
-                        // Refusals that cannot change on retry.
-                        ErrorCode::Unserviceable | ErrorCode::Draining => Attempt::Terminal(code),
+                        // Refusals that cannot change on retry (an unknown
+                        // tenant stays unknown no matter how often asked —
+                        // unreachable here since chaos clients submit as
+                        // the default tenant, which always exists).
+                        ErrorCode::Unserviceable
+                        | ErrorCode::Draining
+                        | ErrorCode::UnknownTenant => Attempt::Terminal(code),
                         // Load shedding and failed executions are
                         // transient by design; retry on the same socket.
                         _ => Attempt::Retry { reconnect: false },
@@ -1140,6 +1197,7 @@ fn storm_worker(
                 &Frame::Submit {
                     id,
                     length: config.length,
+                    tenant: DEFAULT_TENANT,
                 },
                 WireVersion::V1,
             );
@@ -1327,6 +1385,37 @@ mod tests {
         assert_eq!(pace_deadline(999, 1000), Duration::from_nanos(1));
         assert_eq!(pace_deadline(1000, 1000), Duration::from_nanos(1));
         assert_eq!(pace_deadline(1001, 1000), Duration::from_nanos(2));
+    }
+
+    #[test]
+    fn tenant_tagging_is_exactly_once_with_no_phantom_shares() {
+        // Every request id maps to exactly one tenant, and over any full
+        // weight cycle each tenant receives exactly its weighted share —
+        // nothing double-tagged, nothing dropped, wherever in id-space the
+        // cycle starts (partitioned traces hand clients arbitrary ids).
+        let weights = [3u32, 1, 2];
+        let cycle: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        for start in [0u64, cycle, 600, u64::MAX - cycle] {
+            let mut counts = [0u64; 3];
+            for id in start..start + cycle {
+                counts[weighted_tenant(id, &weights) as usize] += 1;
+            }
+            assert_eq!(counts, [3, 1, 2], "cycle starting at {start}");
+        }
+        // Empty mix: everything belongs to the default tenant.
+        assert_eq!(weighted_tenant(12_345, &[]), DEFAULT_TENANT);
+    }
+
+    #[test]
+    fn report_accounts_unknown_tenant_answers() {
+        let report = LoadGenReport {
+            sent: 10,
+            ok: 5,
+            shed: 2,
+            unknown_tenant: 3,
+            ..LoadGenReport::default()
+        };
+        assert_eq!(report.accounted(), report.sent);
     }
 
     #[test]

@@ -23,15 +23,30 @@
 //!
 //! | type | frame | direction | payload |
 //! |---|---|---|---|
-//! | 1 | [`Frame::Submit`] | client → server | `id: u64, length: u32` |
+//! | 1 | [`Frame::Submit`] | client → server | v1: `id: u64, length: u32` — v2 appends `tenant: u32` |
 //! | 2 | [`Frame::Response`] | server → client | `id, generation: u64, runtime_idx, instance_idx: u16, latency_ns: u64` |
 //! | 3 | [`Frame::Error`] | server → client | `id: u64, code: u8` |
 //! | 4 | [`Frame::StatsRequest`] | client → server | empty |
 //! | 5 | [`Frame::Stats`] | server → client | five `u64` counters |
 //! | 6 | [`Frame::Drain`] | client → server | empty |
-//! | 7 | [`Frame::BatchedSubmit`] | client → server | *(v2 only)* `count: u32, count × (id: u64, length: u32)` |
+//! | 7 | [`Frame::BatchedSubmit`] | client → server | *(v2 only)* `count: u32, count × (id: u64, length: u32, tenant: u32)` |
 //! | 8 | [`Frame::Hello`] | client → server | `max_version: u8` |
 //! | 9 | [`Frame::HelloAck`] | server → client | `version: u8` |
+//!
+//! ## Tenant routing (v2)
+//!
+//! A v2 `Submit` (and every `BatchedSubmit` sub-request) names the tenant
+//! stream it belongs to: a trailing `tenant: u32`. The v1 layouts carry no
+//! tenant field — a v1 connection can only ever address the default tenant
+//! ([`DEFAULT_TENANT`]), which every server hosts, so a legacy client keeps
+//! working unchanged. Decoding a v1 `Submit` therefore yields
+//! `tenant == DEFAULT_TENANT`, and *encoding* a nonzero tenant at v1 is a
+//! local programming error (panics, like a v1 `BatchedSubmit`): the frame's
+//! [`Frame::min_version`] is v2. A submit naming a tenant the server does
+//! not host is answered with the typed, terminal
+//! [`ErrorCode::UnknownTenant`] and charged [`UNKNOWN_TENANT_COST`] points
+//! against the connection's [`ErrorBudget`] — it is a peer bug, not line
+//! weather, but unlike malformed framing the stream itself is intact.
 //!
 //! ## Protocol v2: integrity, negotiation, batching
 //!
@@ -81,11 +96,16 @@ pub const CHECKSUM_LEN: usize = 4;
 /// [`MAX_BATCH`]-sized [`Frame::BatchedSubmit`] — are smaller; a larger
 /// advertised length is a corrupt or hostile frame and is rejected before
 /// any allocation.
-pub const MAX_PAYLOAD: u32 = 4096;
+pub const MAX_PAYLOAD: u32 = 8192;
 
 /// Most sub-requests one [`Frame::BatchedSubmit`] may carry
-/// (`4 + 12 · MAX_BATCH` payload bytes stay under [`MAX_PAYLOAD`]).
+/// (`4 + 16 · MAX_BATCH` payload bytes stay under [`MAX_PAYLOAD`]).
 pub const MAX_BATCH: usize = 256;
+
+/// The tenant every v1 connection addresses (v1 frames carry no tenant
+/// field), and the tenant a single-tenant server hosts. Tenant ids are
+/// dense indices into the server's tenant registry.
+pub const DEFAULT_TENANT: u32 = 0;
 
 /// A wire-protocol version this build can speak.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -204,6 +224,13 @@ pub enum ErrorCode {
     /// retryable verdict that v1 could never give — there, a corrupted
     /// submit was indistinguishable from intent.
     Corrupt = 6,
+    /// The submit named a tenant this server does not host. Terminal for
+    /// the request — retrying cannot conjure the tenant — and a peer bug,
+    /// so the server also charges [`UNKNOWN_TENANT_COST`] points against
+    /// the connection's [`ErrorBudget`]. Never sent on a v1 connection:
+    /// v1 frames carry no tenant field, so they always address
+    /// [`DEFAULT_TENANT`], which every server hosts.
+    UnknownTenant = 7,
 }
 
 /// The request-id sentinel used on connection-level [`Frame::Error`]s
@@ -222,6 +249,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::Failed),
             5 => Ok(ErrorCode::Protocol),
             6 => Ok(ErrorCode::Corrupt),
+            7 => Ok(ErrorCode::UnknownTenant),
             other => Err(DecodeError::BadErrorCode(other)),
         }
     }
@@ -249,6 +277,9 @@ pub struct Sub {
     pub id: u64,
     /// Input sequence length in tokens.
     pub length: u32,
+    /// Tenant stream this sub-request addresses ([`DEFAULT_TENANT`] on a
+    /// single-tenant server).
+    pub tenant: u32,
 }
 
 /// One protocol frame. See the module docs for the wire layout.
@@ -260,6 +291,11 @@ pub enum Frame {
         id: u64,
         /// Input sequence length in tokens.
         length: u32,
+        /// Tenant stream to route to. Only expressible on the wire at v2;
+        /// a v1 frame decodes with `tenant == DEFAULT_TENANT`, and
+        /// encoding a nonzero tenant at v1 panics (see
+        /// [`Frame::min_version`]).
+        tenant: u32,
     },
     /// Server reports a completed execution.
     Response {
@@ -407,6 +443,12 @@ impl DecodeError {
 pub const CHECKSUM_ERROR_COST: u32 = 1;
 /// Budget points any other resynchronizable decode error costs.
 pub const GARBAGE_ERROR_COST: u32 = 4;
+/// Budget points one submit naming an unknown tenant costs. The frame
+/// decoded cleanly — framing is intact — but the peer is addressing a
+/// tenant that does not exist, which is a configuration or software bug
+/// on its side: cheaper than well-framed garbage (the stream itself is
+/// healthy), dearer than line corruption (the line did nothing wrong).
+pub const UNKNOWN_TENANT_COST: u32 = 2;
 
 /// The per-connection malformed-frame budget: a leaky bucket of points.
 ///
@@ -441,6 +483,18 @@ impl ErrorBudget {
             return false;
         }
         let cost = e.budget_cost();
+        if self.points < cost {
+            self.points = 0;
+            return false;
+        }
+        self.points -= cost;
+        true
+    }
+
+    /// Charge a flat point cost for a protocol-level offence that is not a
+    /// decode error — a well-formed submit naming an unknown tenant costs
+    /// [`UNKNOWN_TENANT_COST`]. Returns `true` if the connection survives.
+    pub fn charge_points(&mut self, cost: u32) -> bool {
         if self.points < cost {
             self.points = 0;
             return false;
@@ -556,10 +610,13 @@ impl Frame {
         }
     }
 
-    /// The oldest protocol version that can carry this frame.
+    /// The oldest protocol version that can carry this frame. A `Submit`
+    /// addressing a non-default tenant needs the v2 layout — the v1 frame
+    /// has no field to carry the tenant in.
     pub fn min_version(&self) -> WireVersion {
         match self {
             Frame::BatchedSubmit { .. } => WireVersion::V2,
+            Frame::Submit { tenant, .. } if *tenant != DEFAULT_TENANT => WireVersion::V2,
             _ => WireVersion::V1,
         }
     }
@@ -584,9 +641,14 @@ impl Frame {
         buf.extend_from_slice(&[0u8; 4]); // payload length, backpatched
         let payload_at = buf.len();
         match *self {
-            Frame::Submit { id, length } => {
+            Frame::Submit { id, length, tenant } => {
                 put_u64(buf, id);
                 put_u32(buf, length);
+                // The tenant field exists only in the v2 layout; at v1 the
+                // min_version assert above guarantees it is the default.
+                if version >= WireVersion::V2 {
+                    put_u32(buf, tenant);
+                }
             }
             Frame::Response {
                 id,
@@ -619,6 +681,7 @@ impl Frame {
                 for sub in subs {
                     put_u64(buf, sub.id);
                     put_u32(buf, sub.length);
+                    put_u32(buf, sub.tenant);
                 }
             }
             Frame::Hello { max_version } => buf.push(max_version),
@@ -704,10 +767,23 @@ impl Frame {
         };
         let frame = match frame_type {
             TYPE_SUBMIT => {
-                expect(12)?;
-                Frame::Submit {
-                    id: get_u64(p, 0),
-                    length: get_u32(p, 8),
+                // Layouts differ by the frame's own version byte: v1 has
+                // no tenant field (the default tenant is implied), v2
+                // appends one.
+                if version >= WireVersion::V2 {
+                    expect(16)?;
+                    Frame::Submit {
+                        id: get_u64(p, 0),
+                        length: get_u32(p, 8),
+                        tenant: get_u32(p, 12),
+                    }
+                } else {
+                    expect(12)?;
+                    Frame::Submit {
+                        id: get_u64(p, 0),
+                        length: get_u32(p, 8),
+                        tenant: DEFAULT_TENANT,
+                    }
                 }
             }
             TYPE_RESPONSE => {
@@ -757,11 +833,12 @@ impl Frame {
                 if count as usize > MAX_BATCH {
                     return Err(DecodeError::BatchTooLarge { count });
                 }
-                expect(4 + 12 * count as usize)?;
+                expect(4 + 16 * count as usize)?;
                 let subs = (0..count as usize)
                     .map(|i| Sub {
-                        id: get_u64(p, 4 + 12 * i),
-                        length: get_u32(p, 12 + 12 * i),
+                        id: get_u64(p, 4 + 16 * i),
+                        length: get_u32(p, 12 + 16 * i),
+                        tenant: get_u32(p, 16 + 16 * i),
                     })
                     .collect();
                 Frame::BatchedSubmit { subs }
@@ -1086,10 +1163,12 @@ mod tests {
             Frame::Submit {
                 id: 0,
                 length: u32::MAX,
+                tenant: DEFAULT_TENANT,
             },
             Frame::Submit {
                 id: u64::MAX,
                 length: 1,
+                tenant: DEFAULT_TENANT,
             },
             Frame::Response {
                 id: 7,
@@ -1122,6 +1201,10 @@ mod tests {
                 id: CONN_ERROR_ID,
                 code: ErrorCode::Corrupt,
             },
+            Frame::Error {
+                id: 13,
+                code: ErrorCode::UnknownTenant,
+            },
             Frame::StatsRequest,
             Frame::Stats(StatsPayload {
                 generation: 1,
@@ -1136,16 +1219,32 @@ mod tests {
         ]
     }
 
-    /// Every frame expressible at v2, including the v2-only batch.
+    /// Every frame expressible at v2: the v2-only batch and tenant-tagged
+    /// submits.
     fn all_v2_frames() -> Vec<Frame> {
         let mut frames = all_frames();
+        frames.push(Frame::Submit {
+            id: 42,
+            length: 128,
+            tenant: 3,
+        });
+        frames.push(Frame::Submit {
+            id: 43,
+            length: 1,
+            tenant: u32::MAX,
+        });
         frames.push(Frame::BatchedSubmit { subs: Vec::new() });
         frames.push(Frame::BatchedSubmit {
             subs: vec![
-                Sub { id: 1, length: 64 },
+                Sub {
+                    id: 1,
+                    length: 64,
+                    tenant: DEFAULT_TENANT,
+                },
                 Sub {
                     id: u64::MAX - 1,
                     length: u32::MAX,
+                    tenant: 7,
                 },
             ],
         });
@@ -1182,7 +1281,11 @@ mod tests {
     #[test]
     fn decode_consumes_only_one_frame() {
         let mut bytes = Frame::Drain.encode_v(WireVersion::V2);
-        let second = Frame::Submit { id: 5, length: 64 };
+        let second = Frame::Submit {
+            id: 5,
+            length: 64,
+            tenant: DEFAULT_TENANT,
+        };
         bytes.extend_from_slice(&second.encode());
         let (first, consumed) = Frame::decode(&bytes).expect("first");
         assert_eq!(first, Frame::Drain);
@@ -1222,7 +1325,11 @@ mod tests {
         // The v1 reservation holds even now that v2 defines type 7: a
         // batch tagged with version byte 1 stays a typed BadFrameType.
         let batch = Frame::BatchedSubmit {
-            subs: vec![Sub { id: 1, length: 8 }],
+            subs: vec![Sub {
+                id: 1,
+                length: 8,
+                tenant: DEFAULT_TENANT,
+            }],
         };
         let mut bytes = batch.encode_v(WireVersion::V2);
         bytes[2] = WireVersion::V1.byte();
@@ -1240,6 +1347,7 @@ mod tests {
                     .map(|i| Sub {
                         id: i * 3,
                         length: (i as u32) ^ 0xF0F0,
+                        tenant: (i as u32) % 5,
                     })
                     .collect(),
             };
@@ -1276,7 +1384,11 @@ mod tests {
 
     #[test]
     fn checksum_mismatch_is_typed_and_resynchronizable() {
-        let good = Frame::Submit { id: 77, length: 32 };
+        let good = Frame::Submit {
+            id: 77,
+            length: 32,
+            tenant: DEFAULT_TENANT,
+        };
         let mut bad = good.encode_v(WireVersion::V2);
         let flip_at = HEADER_LEN + 3; // somewhere in the payload
         bad[flip_at] ^= 0x10;
@@ -1305,8 +1417,17 @@ mod tests {
 
     #[test]
     fn frame_reader_skips_checksum_mismatch_and_continues() {
-        let good = Frame::Submit { id: 1, length: 9 };
-        let mut corrupted = Frame::Submit { id: 2, length: 10 }.encode_v(WireVersion::V2);
+        let good = Frame::Submit {
+            id: 1,
+            length: 9,
+            tenant: DEFAULT_TENANT,
+        };
+        let mut corrupted = Frame::Submit {
+            id: 2,
+            length: 10,
+            tenant: DEFAULT_TENANT,
+        }
+        .encode_v(WireVersion::V2);
         let last = corrupted.len() - 1;
         corrupted[last] ^= 0x80; // flip a trailer bit
         let mut wire = good.encode_v(WireVersion::V2);
@@ -1442,7 +1563,12 @@ mod tests {
 
     #[test]
     fn oversized_payload_is_rejected_before_buffering() {
-        let mut bytes = Frame::Submit { id: 1, length: 2 }.encode();
+        let mut bytes = Frame::Submit {
+            id: 1,
+            length: 2,
+            tenant: DEFAULT_TENANT,
+        }
+        .encode();
         bytes[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert_eq!(
             Frame::decode(&bytes),
@@ -1508,7 +1634,12 @@ mod tests {
     #[test]
     fn read_frame_reports_mid_frame_eof_as_truncated() {
         for version in [WireVersion::V1, WireVersion::V2] {
-            let bytes = Frame::Submit { id: 3, length: 9 }.encode_v(version);
+            let bytes = Frame::Submit {
+                id: 3,
+                length: 9,
+                tenant: DEFAULT_TENANT,
+            }
+            .encode_v(version);
             let mut cursor = std::io::Cursor::new(bytes[..bytes.len() - 1].to_vec());
             match read_frame(&mut cursor) {
                 Err(ReadFrameError::Decode(DecodeError::Truncated { .. })) => {}
@@ -1549,7 +1680,11 @@ mod tests {
 
     #[test]
     fn frame_reader_skips_resynchronizable_errors_and_continues() {
-        let good = Frame::Submit { id: 77, length: 32 };
+        let good = Frame::Submit {
+            id: 77,
+            length: 32,
+            tenant: DEFAULT_TENANT,
+        };
         let mut bad = Frame::Drain.encode();
         bad[3] = 0xEE; // unknown frame type, intact header
         let mut wire = good.encode();
@@ -1734,5 +1869,94 @@ mod tests {
         }
         let e = wbuf.write_some(&mut Dead).expect_err("zero-byte sink");
         assert_eq!(e.kind(), std::io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn v1_submit_layout_has_no_tenant_field() {
+        // The v1 payload stays the pre-tenant 12 bytes, and decoding maps
+        // the connection onto the default tenant; v2 appends the tenant
+        // word. Both pin the layout split legacy interop depends on.
+        let frame = Frame::Submit {
+            id: 9,
+            length: 77,
+            tenant: DEFAULT_TENANT,
+        };
+        let v1 = frame.encode();
+        assert_eq!(v1.len(), HEADER_LEN + 12);
+        let (decoded, consumed) = Frame::decode(&v1).expect("v1 submit");
+        assert_eq!(decoded, frame);
+        assert_eq!(consumed, v1.len());
+        let v2 = frame.encode_v(WireVersion::V2);
+        assert_eq!(v2.len(), HEADER_LEN + 16 + CHECKSUM_LEN);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires protocol v2")]
+    fn nonzero_tenant_cannot_encode_at_v1() {
+        // A v1 frame has nowhere to put the tenant; silently dropping it
+        // would misroute the request, so encoding must refuse loudly.
+        let _ = Frame::Submit {
+            id: 1,
+            length: 2,
+            tenant: 1,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn tenant_round_trips_at_v2_boundaries() {
+        for tenant in [DEFAULT_TENANT, 1, 255, u32::MAX] {
+            let frame = Frame::Submit {
+                id: 5,
+                length: 6,
+                tenant,
+            };
+            let bytes = frame.encode_v(WireVersion::V2);
+            let (decoded, consumed) = Frame::decode(&bytes).expect("v2 round-trip");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn unknown_tenant_code_round_trips_and_is_bounded() {
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let frame = Frame::Error {
+                id: 4,
+                code: ErrorCode::UnknownTenant,
+            };
+            let bytes = frame.encode_v(version);
+            let (decoded, consumed) = Frame::decode(&bytes).expect("round-trip");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+        // 7 is the last defined code: the next byte up must stay a typed
+        // decode error, not silently alias the new variant.
+        let mut bytes = Frame::Error {
+            id: 1,
+            code: ErrorCode::UnknownTenant,
+        }
+        .encode();
+        let last = bytes.len() - 1;
+        assert_eq!(bytes[last], 7, "UnknownTenant wires as code 7");
+        bytes[last] = 8;
+        assert_eq!(Frame::decode(&bytes), Err(DecodeError::BadErrorCode(8)));
+    }
+
+    #[test]
+    fn unknown_tenant_cost_sits_between_checksum_and_garbage() {
+        const { assert!(UNKNOWN_TENANT_COST > CHECKSUM_ERROR_COST) };
+        const { assert!(UNKNOWN_TENANT_COST < GARBAGE_ERROR_COST) };
+        // charge_points drains at the flat cost and escalates on
+        // exhaustion, exactly like sustained decode garbage would.
+        let mut budget = ErrorBudget::new(2 * UNKNOWN_TENANT_COST);
+        assert!(budget.charge_points(UNKNOWN_TENANT_COST));
+        assert!(budget.charge_points(UNKNOWN_TENANT_COST));
+        assert_eq!(budget.remaining(), 0);
+        assert!(!budget.charge_points(UNKNOWN_TENANT_COST));
+        // Healthy traffic replenishes the bucket.
+        budget.credit();
+        budget.credit();
+        assert!(budget.charge_points(UNKNOWN_TENANT_COST));
     }
 }

@@ -93,9 +93,11 @@ use crate::epoll::{Epoll, Interest, Waker, WAKER_TOKEN};
 use crate::executor::{CompletedBatch, Executor, Job};
 use crate::protocol::{
     DecodeError, ErrorBudget, ErrorCode, Frame, FrameReader, FrameWriteBuf, StatsPayload,
-    WireVersion, CONN_ERROR_ID,
+    WireVersion, CONN_ERROR_ID, UNKNOWN_TENANT_COST,
 };
-use arlo_core::engine::ArloEngine;
+use crate::tenants::{RegrantEvent, SloClass, TenantSpec, TenantWindow};
+use arlo_core::engine::{ArloEngine, ReplacementPlan};
+use arlo_core::multistream::{PoolCoordinator, StreamPlan};
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
 use arlo_runtime::latency::JitterSpec;
 use arlo_runtime::profile::RuntimeProfile;
@@ -105,7 +107,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::io::{IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -241,6 +243,15 @@ pub struct ServeConfig {
     /// Connection plane: thread-per-connection or sharded epoll event
     /// loops. See [`FrontDoor`].
     pub front_door: FrontDoor,
+    /// Multi-tenant only ([`Server::spawn_multi`]): virtual interval
+    /// between coordinator passes — each pass drains the per-tenant demand
+    /// windows, re-partitions the pool with
+    /// [`PoolCoordinator::partition`], and applies any resulting
+    /// re-grants.
+    pub coordinator_interval: Nanos,
+    /// Multi-tenant only: span of the sliding per-tenant demand window the
+    /// coordinator plans over.
+    pub coordinator_window: Nanos,
 }
 
 impl ServeConfig {
@@ -267,6 +278,8 @@ impl ServeConfig {
             max_conns: 4096,
             server_chaos: None,
             front_door: FrontDoor::Threaded,
+            coordinator_interval: arlo_trace::NANOS_PER_SEC,
+            coordinator_window: 2 * arlo_trace::NANOS_PER_SEC,
         }
     }
 
@@ -293,6 +306,14 @@ impl ServeConfig {
         self.front_door = front_door;
         self
     }
+
+    /// Set the coordinator's pass interval and demand-window span (both in
+    /// virtual nanoseconds; multi-tenant servers only).
+    pub fn with_coordinator(mut self, interval: Nanos, window: Nanos) -> Self {
+        self.coordinator_interval = interval;
+        self.coordinator_window = window;
+        self
+    }
 }
 
 /// The largest length any runtime in `profiles` can serve; 0 for an empty
@@ -315,8 +336,64 @@ fn refusal_code(length: u32, max_length: u32) -> ErrorCode {
     }
 }
 
+/// A live snapshot of one tenant's counters (see
+/// [`Server::tenant_stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Admission tier.
+    pub class: SloClass,
+    /// The tenant's SLO in milliseconds.
+    pub slo_ms: f64,
+    /// Submit frames addressed to this tenant so far.
+    pub submits: u64,
+    /// Requests completed.
+    pub served: u64,
+    /// Requests shed (admission gate, queue overflow, or drain).
+    pub shed: u64,
+    /// Requests no runtime could serve.
+    pub unserviceable: u64,
+    /// Execution failures.
+    pub failed: u64,
+    /// Requests currently queued or executing.
+    pub outstanding: u64,
+    /// GPUs currently granted.
+    pub granted_gpus: u32,
+    /// The tenant engine's current deployment generation.
+    pub generation: u64,
+}
+
+/// One tenant's slice of the final accounting. The same conservation law
+/// that binds [`DrainReport`] globally holds per tenant: `submits ==
+/// served + shed + unserviceable + failed + outstanding_at_close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantDrainReport {
+    /// Tenant name (from its [`TenantSpec`]).
+    pub name: String,
+    /// Admission tier.
+    pub class: SloClass,
+    /// Submit frames addressed to this tenant.
+    pub submits: u64,
+    /// Requests completed and answered with a response frame.
+    pub served: u64,
+    /// Requests refused by admission/shedding (including the SLO-class
+    /// gate) or during drain.
+    pub shed: u64,
+    /// Requests no runtime of this tenant's family could serve.
+    pub unserviceable: u64,
+    /// Execution failures answered with [`ErrorCode::Failed`].
+    pub failed: u64,
+    /// Requests still outstanding when the drain gave up.
+    pub outstanding_at_close: u64,
+    /// GPUs granted to this tenant at close.
+    pub granted_gpus: u32,
+    /// The tenant engine's final deployment generation.
+    pub generation: u64,
+}
+
 /// Final accounting returned by [`Server::drain`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DrainReport {
     /// Submit frames decoded off the wire over the server's lifetime.
     /// Conservation: `submits == served + shed + unserviceable + failed +
@@ -359,6 +436,16 @@ pub struct DrainReport {
     pub refused_conns: u64,
     /// Executor completion panics caught and re-accounted as failures.
     pub panics_recovered: u64,
+    /// Submits addressed to tenants this server does not host, each
+    /// answered with a typed [`ErrorCode::UnknownTenant`]. Excluded from
+    /// `submits` and from conservation — the request was never admitted to
+    /// any stream (it is a peer bug, charged against the connection's
+    /// error budget like other malformed traffic).
+    pub unknown_tenants: u64,
+    /// Per-tenant accounting, indexed by tenant id. Single-tenant servers
+    /// report exactly one entry (the default tenant), whose counters match
+    /// the global ones.
+    pub tenants: Vec<TenantDrainReport>,
 }
 
 /// A connection's bounded outbound frame queue on the epoll plane — the
@@ -439,10 +526,44 @@ impl ConnHandle {
     }
 }
 
-struct Shared {
+/// One tenant stream's live server-side state: its engine, its bounded
+/// dispatch queue, its SLO-class admission gate, its streaming demand
+/// window, and its slice of the accounting. Tenant id is the index into
+/// [`Shared::tenants`]; v1 connections (no tenant field on the wire)
+/// always address index 0, the default tenant.
+struct Tenant {
+    name: String,
+    class: SloClass,
+    slo_ms: f64,
     engine: ArloEngine,
-    clock: Arc<VirtualClock>,
+    /// Largest length this tenant's runtime family can serve (0 when the
+    /// family is empty — every submit is then unserviceable).
     max_length: u32,
+    /// This tenant's bounded reader → dispatch channel; overflow sheds.
+    dispatch: mpsc::SyncSender<DispatchMsg>,
+    /// SLO-class admission gate: the most requests this tenant may hold
+    /// outstanding before the class sheds. `None` — the `Interactive`
+    /// tier — is ungated, reproducing single-tenant admission exactly.
+    admit_limit: Option<u64>,
+    /// GPUs currently granted by the coordinator (reporting; the engine's
+    /// deployment is the authority on instance counts).
+    granted: AtomicU32,
+    /// Streaming per-tenant stats: offered arrivals the coordinator
+    /// periodically drains into a [`StreamPlan`].
+    window: Mutex<TenantWindow>,
+    submits: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    unserviceable: AtomicU64,
+    failed: AtomicU64,
+    outstanding: AtomicU64,
+}
+
+struct Shared {
+    /// Tenant streams, indexed by wire tenant id. Never empty; index 0 is
+    /// the default tenant every v1 connection addresses.
+    tenants: Vec<Tenant>,
+    clock: Arc<VirtualClock>,
     fail_one_in: Option<u64>,
     panic_one_in: Option<u64>,
     draining: AtomicBool,
@@ -466,6 +587,11 @@ struct Shared {
     /// Response frames dropped because their connection was gone or
     /// doomed (the client's loss — chaos clients retry).
     dropped_responses: AtomicU64,
+    /// Submits addressed to tenants this server does not host (each
+    /// answered with [`ErrorCode::UnknownTenant`]).
+    unknown_tenants: AtomicU64,
+    /// The coordinator's structured reallocation log (multi-tenant only).
+    regrants: Mutex<Vec<RegrantEvent>>,
     conns: Mutex<HashMap<u64, ConnHandle>>,
     /// Reader + writer thread handles; finished ones are joined by the
     /// timer thread so reaped connections don't leak threads.
@@ -473,9 +599,16 @@ struct Shared {
 }
 
 impl Shared {
+    /// The tenant a wire tenant id addresses, if this server hosts it.
+    fn tenant(&self, id: u32) -> Option<&Tenant> {
+        self.tenants.get(id as usize)
+    }
+
     fn stats(&self) -> StatsPayload {
         StatsPayload {
-            generation: self.engine.deployment().0,
+            // The wire stats frame predates tenancy and carries a single
+            // generation: the default tenant's.
+            generation: self.tenants[0].engine.deployment().0,
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed)
                 + self.unserviceable.load(Ordering::Relaxed)
@@ -565,21 +698,27 @@ enum DispatchMsg {
     Submit { conn_id: u64, id: u64, length: u32 },
 }
 
-/// A running serve instance. Obtain one with [`Server::spawn`]; stop it
-/// with [`Server::drain`].
+/// A running serve instance. Obtain one with [`Server::spawn`] (single
+/// tenant) or [`Server::spawn_multi`] (per-tenant engines plus the GPU
+/// re-granting coordinator); stop it with [`Server::drain`].
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     drain_timeout: Duration,
     front_door: FrontDoor,
     acceptor: std::thread::JoinHandle<()>,
-    dispatch: std::thread::JoinHandle<()>,
+    /// One dispatch thread per tenant, each draining that tenant's own
+    /// bounded queue into that tenant's executor.
+    dispatches: Vec<std::thread::JoinHandle<()>>,
     timer: std::thread::JoinHandle<()>,
+    /// Multi-tenant only: the live re-granting coordinator.
+    coordinator: Option<std::thread::JoinHandle<()>>,
     /// Epoll plane only: one handle + thread per shard (empty on the
     /// threaded plane).
     shard_handles: Vec<Arc<ShardHandle>>,
     shard_threads: Vec<std::thread::JoinHandle<()>>,
-    executor: Arc<Executor>,
+    /// One executor pool per tenant (its own per-instance clocks).
+    executors: Vec<Arc<Executor>>,
 }
 
 impl Server {
@@ -587,16 +726,86 @@ impl Server {
     /// over `engine`. The engine's clock starts at zero now: virtual
     /// timestamps passed to it derive from a [`VirtualClock`] anchored in
     /// this call.
+    ///
+    /// Single-tenant: the engine becomes the default tenant (id 0,
+    /// ungated `Interactive` admission), no coordinator runs, and the
+    /// timer thread owns periodic reallocation — exactly the historical
+    /// behaviour.
     pub fn spawn(engine: ArloEngine, addr: &str, config: ServeConfig) -> io::Result<Server> {
+        let spec = TenantSpec::new("default", SloClass::Interactive, 0.0);
+        Server::spawn_inner(vec![(spec, engine)], addr, config, false)
+    }
+
+    /// Bind `addr` and spawn a multi-tenant server: one engine, dispatch
+    /// queue, and executor pool per tenant (wire tenant id = position in
+    /// `tenants`; index 0 is the default tenant v1 connections address),
+    /// plus the live coordinator thread that periodically re-partitions
+    /// `config.gpus` across the tenant engines from their streaming
+    /// demand windows. In this mode the coordinator is the **sole** caller
+    /// of [`ArloEngine::apply_allocation`] (the timer only health-ticks),
+    /// so generation-successor ordering can never race.
+    pub fn spawn_multi(
+        tenants: Vec<(TenantSpec, ArloEngine)>,
+        addr: &str,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        Server::spawn_inner(tenants, addr, config, true)
+    }
+
+    /// Multi-tenant serving with a *static* partition: per-tenant engines,
+    /// wire routing, SLO-class admission, and accounting exactly as
+    /// [`Server::spawn_multi`], but no re-granting coordinator — every
+    /// tenant keeps its seed deployment for the server's lifetime (the
+    /// timer still health-ticks each engine). For deployments that pin
+    /// capacity per tenant, and for controlled experiments that measure
+    /// admission behavior at fixed capacity.
+    pub fn spawn_multi_static(
+        tenants: Vec<(TenantSpec, ArloEngine)>,
+        addr: &str,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        Server::spawn_inner(tenants, addr, config, false)
+    }
+
+    fn spawn_inner(
+        tenants: Vec<(TenantSpec, ArloEngine)>,
+        addr: &str,
+        config: ServeConfig,
+        coordinate: bool,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let clock = Arc::new(VirtualClock::new(config.time_scale));
-        let max_length = family_max_length(engine.profiles());
+        let mut tenant_states = Vec::with_capacity(tenants.len());
+        let mut dispatch_rxs = Vec::with_capacity(tenants.len());
+        for (spec, engine) in tenants {
+            let (tx, rx) = mpsc::sync_channel::<DispatchMsg>(config.queue_capacity);
+            let granted: u32 = engine.deployment().1.iter().sum();
+            tenant_states.push(Tenant {
+                max_length: family_max_length(engine.profiles()),
+                admit_limit: spec.class.admit_limit(config.queue_capacity),
+                name: spec.name,
+                class: spec.class,
+                slo_ms: spec.slo_ms,
+                engine,
+                dispatch: tx,
+                granted: AtomicU32::new(granted),
+                window: Mutex::new(TenantWindow::new(config.coordinator_window)),
+                submits: AtomicU64::new(0),
+                served: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                unserviceable: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+            });
+            dispatch_rxs.push(rx);
+        }
         let shared = Arc::new(Shared {
-            engine,
+            tenants: tenant_states,
             clock: Arc::clone(&clock),
-            max_length,
             fail_one_in: config.fail_one_in,
             panic_one_in: config.panic_one_in,
             draining: AtomicBool::new(false),
@@ -616,48 +825,80 @@ impl Server {
             v2_conns: AtomicU64::new(0),
             refused_conns: AtomicU64::new(0),
             dropped_responses: AtomicU64::new(0),
+            unknown_tenants: AtomicU64::new(0),
+            regrants: Mutex::new(Vec::new()),
             conns: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
         });
 
-        let executor = {
-            let shared = Arc::clone(&shared);
-            Arc::new(Executor::new(
-                shared.engine.profiles().to_vec(),
+        // One executor pool per tenant. A panicking completion callback
+        // must not lose its batch: the worker catches the panic and the
+        // handler re-accounts every member as failed (engine report +
+        // typed client error).
+        let mut executors = Vec::with_capacity(shared.tenants.len());
+        for tenant in &shared.tenants {
+            let on_done = {
+                let shared = Arc::clone(&shared);
+                Box::new(move |done: CompletedBatch| complete_batch(&shared, &done))
+            };
+            let executor = Arc::new(Executor::new(
+                tenant.engine.profiles().to_vec(),
                 config.workers,
-                clock,
+                Arc::clone(&clock),
                 config.jitter,
                 config.batch,
-                Box::new(move |done| complete_batch(&shared, &done)),
-            ))
-        };
-        // A panicking completion callback must not lose its batch: the
-        // worker catches the panic and this handler re-accounts every
-        // member as failed (engine report + typed client error).
-        {
-            let shared = Arc::clone(&shared);
-            executor.set_panic_handler(Box::new(move |done| fail_batch(&shared, &done)));
+                on_done,
+            ));
+            {
+                let shared = Arc::clone(&shared);
+                executor.set_panic_handler(Box::new(move |done| fail_batch(&shared, &done)));
+            }
+            executors.push(executor);
         }
 
-        let (tx, rx) = mpsc::sync_channel::<DispatchMsg>(config.queue_capacity);
-
-        let dispatch = {
+        let mut dispatches = Vec::with_capacity(dispatch_rxs.len());
+        for (idx, rx) in dispatch_rxs.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
-            let executor = Arc::clone(&executor);
-            std::thread::Builder::new()
-                .name("arlo-dispatch".into())
-                .spawn(move || dispatch_loop(&shared, &executor, &rx))?
-        };
+            let executor = Arc::clone(&executors[idx]);
+            dispatches.push(
+                std::thread::Builder::new()
+                    .name(format!("arlo-dispatch-{idx}"))
+                    .spawn(move || dispatch_loop(&shared, idx as u32, &executor, &rx))?,
+            );
+        }
 
         let timer = {
             let shared = Arc::clone(&shared);
-            let executor = Arc::clone(&executor);
+            let executors = executors.clone();
             let real_tick = Duration::from_nanos(
                 (config.tick_interval / Nanos::from(config.time_scale)).max(1_000_000),
             );
+            let gpus = config.gpus;
+            // The timer owns periodic reallocation only on a
+            // single-tenant server without a coordinator. Multi-tenant:
+            // either the coordinator is the sole apply_allocation caller,
+            // or (static partition) nobody reallocates at all — the timer
+            // health-ticks and reaps connection threads either way.
+            let reallocate = !coordinate && shared.tenants.len() == 1;
             std::thread::Builder::new()
                 .name("arlo-timer".into())
-                .spawn(move || timer_loop(&shared, &executor, real_tick, config.gpus))?
+                .spawn(move || timer_loop(&shared, &executors, real_tick, gpus, reallocate))?
+        };
+
+        let coordinator = if coordinate {
+            let shared = Arc::clone(&shared);
+            let executors = executors.clone();
+            let real_interval = Duration::from_nanos(
+                (config.coordinator_interval / Nanos::from(config.time_scale)).max(1_000_000),
+            );
+            let gpus = config.gpus;
+            Some(
+                std::thread::Builder::new()
+                    .name("arlo-coordinator".into())
+                    .spawn(move || coordinator_loop(&shared, &executors, real_interval, gpus))?,
+            )
+        } else {
+            None
         };
 
         // Epoll plane: spawn the shard event loops before accepting, so
@@ -685,13 +926,10 @@ impl Server {
                     };
                     let shared = Arc::clone(&shared);
                     let handle2 = Arc::clone(&handle);
-                    let tx = tx.clone();
                     threads.push(
                         std::thread::Builder::new()
                             .name(format!("arlo-shard-{i}"))
-                            .spawn(move || {
-                                shard_loop(&shared, &handle2, &epoll, &tx, &shard_cfg)
-                            })?,
+                            .spawn(move || shard_loop(&shared, &handle2, &epoll, &shard_cfg))?,
                     );
                     handles.push(handle);
                 }
@@ -705,7 +943,7 @@ impl Server {
             let shards = shard_handles.clone();
             std::thread::Builder::new()
                 .name("arlo-accept".into())
-                .spawn(move || accept_loop(&shared, &listener, &tx, &config, &shards))?
+                .spawn(move || accept_loop(&shared, &listener, &config, &shards))?
         };
 
         Ok(Server {
@@ -714,11 +952,12 @@ impl Server {
             drain_timeout: config.drain_timeout,
             front_door: config.front_door,
             acceptor,
-            dispatch,
+            dispatches,
             timer,
+            coordinator,
             shard_handles,
             shard_threads,
-            executor,
+            executors,
         })
     }
 
@@ -791,22 +1030,66 @@ impl Server {
         self.shared.v2_conns.load(Ordering::SeqCst)
     }
 
-    /// Executor completion panics caught and re-accounted so far.
+    /// Executor completion panics caught and re-accounted so far (summed
+    /// across tenant pools).
     pub fn panics_recovered(&self) -> u64 {
-        self.executor.panics_recovered()
+        self.executors.iter().map(|e| e.panics_recovered()).sum()
     }
 
-    /// Distinct `(generation, runtime, instance)` coalescers the executor
-    /// currently tracks — bounded across reallocations by the post-apply
-    /// eviction (regression hook).
+    /// Distinct `(generation, runtime, instance)` coalescers the executors
+    /// currently track — bounded across reallocations by the post-apply
+    /// eviction (regression hook). Summed across tenant pools.
     pub fn tracked_instances(&self) -> usize {
-        self.executor.tracked_instances()
+        self.executors.iter().map(|e| e.tracked_instances()).sum()
     }
 
     /// Histogram of sealed batch sizes so far (entry `b-1` counts batches
-    /// of `b` jobs). Final once all in-flight work has completed.
+    /// of `b` jobs), merged across tenant pools. Final once all in-flight
+    /// work has completed.
     pub fn batch_occupancy(&self) -> Vec<u64> {
-        self.executor.batch_occupancy()
+        let mut merged: Vec<u64> = Vec::new();
+        for executor in &self.executors {
+            let histogram = executor.batch_occupancy();
+            if histogram.len() > merged.len() {
+                merged.resize(histogram.len(), 0);
+            }
+            for (slot, count) in merged.iter_mut().zip(&histogram) {
+                *slot += count;
+            }
+        }
+        merged
+    }
+
+    /// Submits addressed to tenants this server does not host.
+    pub fn unknown_tenants(&self) -> u64 {
+        self.shared.unknown_tenants.load(Ordering::SeqCst)
+    }
+
+    /// The coordinator's structured reallocation log so far (empty on
+    /// single-tenant servers).
+    pub fn regrants(&self) -> Vec<RegrantEvent> {
+        self.shared.regrants.lock().clone()
+    }
+
+    /// Live per-tenant counters, indexed by tenant id.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.shared
+            .tenants
+            .iter()
+            .map(|t| TenantStats {
+                name: t.name.clone(),
+                class: t.class,
+                slo_ms: t.slo_ms,
+                submits: t.submits.load(Ordering::SeqCst),
+                served: t.served.load(Ordering::SeqCst),
+                shed: t.shed.load(Ordering::SeqCst),
+                unserviceable: t.unserviceable.load(Ordering::SeqCst),
+                failed: t.failed.load(Ordering::SeqCst),
+                outstanding: t.outstanding.load(Ordering::SeqCst),
+                granted_gpus: t.granted.load(Ordering::SeqCst),
+                generation: t.engine.deployment().0,
+            })
+            .collect()
     }
 
     /// Graceful shutdown: stop accepting, refuse new submits with
@@ -836,17 +1119,25 @@ impl Server {
         }
         self.acceptor.join().expect("acceptor panicked");
         self.timer.join().expect("timer panicked");
-        self.dispatch.join().expect("dispatch panicked");
+        if let Some(coordinator) = self.coordinator {
+            coordinator.join().expect("coordinator panicked");
+        }
+        for dispatch in self.dispatches {
+            dispatch.join().expect("dispatch panicked");
+        }
         // Shards close their connections (deregistering them and balancing
         // the flush counter for anything undeliverable) on the way out.
         for thread in self.shard_threads {
             thread.join().expect("shard panicked");
         }
-        let executor = Arc::try_unwrap(self.executor)
-            .ok()
-            .expect("dispatch and timer joined; executor has one owner");
-        let panics_recovered = executor.panics_recovered();
-        let _occupancy = executor.shutdown();
+        let mut panics_recovered = 0;
+        for executor in self.executors {
+            let executor = Arc::try_unwrap(executor)
+                .ok()
+                .expect("dispatch, timer, and coordinator joined; executor has one owner");
+            panics_recovered += executor.panics_recovered();
+            let _occupancy = executor.shutdown();
+        }
 
         // Close every connection: dropping the handles disconnects the
         // writer queues (writers drain and exit) and the socket shutdown
@@ -861,6 +1152,23 @@ impl Server {
             thread.join().expect("connection thread panicked");
         }
 
+        let tenants: Vec<TenantDrainReport> = shared
+            .tenants
+            .iter()
+            .map(|t| TenantDrainReport {
+                name: t.name.clone(),
+                class: t.class,
+                submits: t.submits.load(Ordering::SeqCst),
+                served: t.served.load(Ordering::SeqCst),
+                shed: t.shed.load(Ordering::SeqCst),
+                unserviceable: t.unserviceable.load(Ordering::SeqCst),
+                failed: t.failed.load(Ordering::SeqCst),
+                outstanding_at_close: t.outstanding.load(Ordering::SeqCst),
+                granted_gpus: t.granted.load(Ordering::SeqCst),
+                generation: t.engine.deployment().0,
+            })
+            .collect();
+
         DrainReport {
             submits: shared.submits.load(Ordering::SeqCst),
             served: shared.served.load(Ordering::SeqCst),
@@ -869,7 +1177,7 @@ impl Server {
             failed: shared.failed.load(Ordering::SeqCst),
             outstanding_at_close: shared.outstanding.load(Ordering::SeqCst),
             reallocations: shared.reallocations.load(Ordering::SeqCst),
-            generation: shared.engine.deployment().0,
+            generation: shared.tenants[0].engine.deployment().0,
             reaped_idle: shared.reaped_idle.load(Ordering::SeqCst),
             slow_disconnects: shared.slow_disconnects.load(Ordering::SeqCst),
             protocol_disconnects: shared.protocol_disconnects.load(Ordering::SeqCst),
@@ -877,6 +1185,8 @@ impl Server {
             v2_conns: shared.v2_conns.load(Ordering::SeqCst),
             refused_conns: shared.refused_conns.load(Ordering::SeqCst),
             panics_recovered,
+            unknown_tenants: shared.unknown_tenants.load(Ordering::SeqCst),
+            tenants,
         }
     }
 }
@@ -909,9 +1219,11 @@ fn complete_batch(shared: &Shared, done: &CompletedBatch) {
     // under a single lock, and health sees the amortized per-request time
     // (batch-1 makes this exactly the historical per-request report).
     // Stale-generation reports return false; the engine acknowledges them
-    // without touching the rebuilt frontend.
+    // without touching the rebuilt frontend. Every job in a batch belongs
+    // to one tenant — batches coalesce within a single tenant's executor.
+    let tenant = &shared.tenants[done.jobs[0].tenant as usize];
     let observed_per_request = done.exec_ns as f64 / done.jobs.len() as f64;
-    shared.engine.report_batch(
+    tenant.engine.report_batch(
         done.jobs[0].placement,
         ok,
         failed,
@@ -919,7 +1231,11 @@ fn complete_batch(shared: &Shared, done: &CompletedBatch) {
         observed_per_request,
     );
     shared.served.fetch_add(u64::from(ok), Ordering::Relaxed);
+    tenant.served.fetch_add(u64::from(ok), Ordering::Relaxed);
     shared
+        .failed
+        .fetch_add(u64::from(failed), Ordering::Relaxed);
+    tenant
         .failed
         .fetch_add(u64::from(failed), Ordering::Relaxed);
     for job in &done.jobs {
@@ -942,6 +1258,9 @@ fn complete_batch(shared: &Shared, done: &CompletedBatch) {
         };
         shared.respond(job.conn_id, &frame);
     }
+    tenant
+        .outstanding
+        .fetch_sub(done.jobs.len() as u64, Ordering::SeqCst);
     shared
         .outstanding
         .fetch_sub(done.jobs.len() as u64, Ordering::SeqCst);
@@ -954,8 +1273,9 @@ fn complete_batch(shared: &Shared, done: &CompletedBatch) {
 /// typed [`ErrorCode::Failed`], and release `outstanding` so drain
 /// completes.
 fn fail_batch(shared: &Shared, done: &CompletedBatch) {
+    let tenant = &shared.tenants[done.jobs[0].tenant as usize];
     let observed_per_request = done.exec_ns as f64 / done.jobs.len() as f64;
-    shared.engine.report_batch(
+    tenant.engine.report_batch(
         done.jobs[0].placement,
         0,
         done.jobs.len() as u32,
@@ -963,6 +1283,9 @@ fn fail_batch(shared: &Shared, done: &CompletedBatch) {
         observed_per_request,
     );
     shared
+        .failed
+        .fetch_add(done.jobs.len() as u64, Ordering::Relaxed);
+    tenant
         .failed
         .fetch_add(done.jobs.len() as u64, Ordering::Relaxed);
     for job in &done.jobs {
@@ -974,12 +1297,23 @@ fn fail_batch(shared: &Shared, done: &CompletedBatch) {
             },
         );
     }
+    tenant
+        .outstanding
+        .fetch_sub(done.jobs.len() as u64, Ordering::SeqCst);
     shared
         .outstanding
         .fetch_sub(done.jobs.len() as u64, Ordering::SeqCst);
 }
 
-fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<DispatchMsg>) {
+/// One tenant's dispatch thread: drain that tenant's bounded queue into
+/// its engine (placement) and executor (execution).
+fn dispatch_loop(
+    shared: &Shared,
+    tenant_id: u32,
+    executor: &Executor,
+    rx: &mpsc::Receiver<DispatchMsg>,
+) {
+    let tenant = &shared.tenants[tenant_id as usize];
     loop {
         match rx.recv_timeout(Duration::from_millis(2)) {
             Ok(DispatchMsg::Submit {
@@ -988,11 +1322,12 @@ fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<Dispa
                 length,
             }) => {
                 let now = shared.clock.now();
-                match shared.engine.submit(length, now) {
+                match tenant.engine.submit(length, now) {
                     Some(placement) => executor.submit(Job {
                         placement,
                         request_id: id,
                         conn_id,
+                        tenant: tenant_id,
                         length,
                         submitted_at: now,
                     }),
@@ -1002,12 +1337,15 @@ fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<Dispa
                         // zero-runtime family, max_length 0 — or every
                         // candidate level is masked/empty (overload,
                         // quarantine).
-                        let code = refusal_code(length, shared.max_length);
+                        let code = refusal_code(length, tenant.max_length);
                         if code == ErrorCode::Unserviceable {
                             shared.unserviceable.fetch_add(1, Ordering::Relaxed);
+                            tenant.unserviceable.fetch_add(1, Ordering::Relaxed);
                         } else {
                             shared.shed.fetch_add(1, Ordering::Relaxed);
+                            tenant.shed.fetch_add(1, Ordering::Relaxed);
                         }
+                        tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
                         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
                         shared.respond(conn_id, &Frame::Error { id, code });
                     }
@@ -1023,30 +1361,126 @@ fn dispatch_loop(shared: &Shared, executor: &Executor, rx: &mpsc::Receiver<Dispa
     }
 }
 
-fn timer_loop(shared: &Shared, executor: &Executor, real_tick: Duration, gpus: u32) {
+fn timer_loop(
+    shared: &Shared,
+    executors: &[Arc<Executor>],
+    real_tick: Duration,
+    gpus: u32,
+    reallocate: bool,
+) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(real_tick);
         let now = shared.clock.now();
-        shared.engine.health_tick(now);
-        if let Some(plan) = shared.engine.maybe_reallocate(now, gpus) {
-            // The executor's per-instance clocks for the new generation
-            // start idle; the engine switches dispatch atomically.
-            shared.engine.apply_allocation(&plan);
-            // Evict superseded generations' coalescer state so the key map
-            // stays bounded on long-running servers (keys still holding
-            // unsealed jobs survive until their flush drains them).
-            executor.prune_before(plan.generation);
-            shared.reallocations.fetch_add(1, Ordering::SeqCst);
+        for tenant in &shared.tenants {
+            tenant.engine.health_tick(now);
+        }
+        // Single-tenant only: the timer owns periodic reallocation. On a
+        // multi-tenant server the coordinator is the sole apply_allocation
+        // caller (generation plans must land in order).
+        if reallocate {
+            let tenant = &shared.tenants[0];
+            if let Some(plan) = tenant.engine.maybe_reallocate(now, gpus) {
+                // The executor's per-instance clocks for the new generation
+                // start idle; the engine switches dispatch atomically.
+                tenant.engine.apply_allocation(&plan);
+                // Evict superseded generations' coalescer state so the key
+                // map stays bounded on long-running servers (keys still
+                // holding unsealed jobs survive until their flush drains
+                // them).
+                executors[0].prune_before(plan.generation);
+                shared.reallocations.fetch_add(1, Ordering::SeqCst);
+            }
         }
         // Reclaim reader/writer threads of reaped or closed connections.
         shared.join_finished_conn_threads();
     }
 }
 
+/// The live GPU re-granting coordinator (multi-tenant only): every pass,
+/// drain each tenant's streaming demand window into a [`StreamPlan`],
+/// re-partition the pool with [`PoolCoordinator::partition`], and apply
+/// any per-tenant deployment changes via [`ArloEngine::apply_allocation`]
+/// — appending one [`RegrantEvent`] to the structured reallocation log
+/// per pass that moved anything.
+fn coordinator_loop(
+    shared: &Shared,
+    executors: &[Arc<Executor>],
+    real_interval: Duration,
+    total_gpus: u32,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(real_interval);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        coordinate_once(shared, executors, total_gpus);
+    }
+}
+
+/// One coordinator pass. Split out of the loop for the drain path and for
+/// tests that want a deterministic pass without waiting for the interval.
+fn coordinate_once(shared: &Shared, executors: &[Arc<Executor>], total_gpus: u32) {
+    let now = shared.clock.now();
+    let plans: Vec<StreamPlan> = shared
+        .tenants
+        .iter()
+        .map(|t| {
+            t.window
+                .lock()
+                .plan(&t.name, t.engine.profiles(), t.slo_ms, now)
+        })
+        .collect();
+    // Infeasible pools (e.g. fewer GPUs than streams after backoff) leave
+    // the current grants standing; the next pass retries.
+    let Ok(part) = PoolCoordinator.partition(&plans, total_gpus) else {
+        return;
+    };
+    let before: Vec<u32> = shared
+        .tenants
+        .iter()
+        .map(|t| t.granted.load(Ordering::SeqCst))
+        .collect();
+    let mut changed = false;
+    for (idx, tenant) in shared.tenants.iter().enumerate() {
+        let (generation, current) = tenant.engine.deployment();
+        let target = &part.allocations[idx];
+        // Keep the reported grant in sync even when the deployment itself
+        // is unchanged (the partition may re-state the same split).
+        tenant.granted.store(part.gpus[idx], Ordering::SeqCst);
+        if *target == current {
+            continue;
+        }
+        let delta: Vec<i64> = target
+            .iter()
+            .zip(&current)
+            .map(|(&t, &c)| i64::from(t) - i64::from(c))
+            .collect();
+        let plan = ReplacementPlan {
+            generation: generation + 1,
+            target: target.clone(),
+            delta,
+        };
+        tenant.engine.apply_allocation(&plan);
+        executors[idx].prune_before(plan.generation);
+        shared.reallocations.fetch_add(1, Ordering::SeqCst);
+        changed = true;
+    }
+    if changed {
+        let after: Vec<u32> = shared
+            .tenants
+            .iter()
+            .map(|t| t.granted.load(Ordering::SeqCst))
+            .collect();
+        shared
+            .regrants
+            .lock()
+            .push(RegrantEvent::new(now, before, after, part.total_cost));
+    }
+}
+
 fn accept_loop(
     shared: &Arc<Shared>,
     listener: &TcpListener,
-    tx: &mpsc::SyncSender<DispatchMsg>,
     config: &ServeConfig,
     shards: &[Arc<ShardHandle>],
 ) {
@@ -1084,7 +1518,7 @@ fn accept_loop(
                 let conn_id = next_conn_id;
                 next_conn_id += 1;
                 let registered = if shards.is_empty() {
-                    spawn_connection(shared, stream, conn_id, tx, config)
+                    spawn_connection(shared, stream, conn_id, config)
                 } else {
                     let shard = &shards[(conn_id as usize) % shards.len()];
                     register_epoll_conn(shared, stream, conn_id, shard, config)
@@ -1153,7 +1587,6 @@ fn spawn_connection(
     shared: &Arc<Shared>,
     stream: TcpStream,
     conn_id: u64,
-    tx: &mpsc::SyncSender<DispatchMsg>,
     config: &ServeConfig,
 ) -> io::Result<()> {
     let writer_stream = stream.try_clone()?;
@@ -1210,7 +1643,6 @@ fn spawn_connection(
     let reader = {
         let shared = Arc::clone(shared);
         let doomed = Arc::clone(&doomed);
-        let tx = tx.clone();
         let config = ReaderConfig {
             idle_timeout: config.idle_timeout,
             frame_error_budget: config.frame_error_budget,
@@ -1218,15 +1650,7 @@ fn spawn_connection(
         std::thread::Builder::new()
             .name(format!("arlo-conn-{conn_id}"))
             .spawn(move || {
-                reader_loop(
-                    &shared,
-                    read_half,
-                    conn_id,
-                    &tx,
-                    &doomed,
-                    &negotiated,
-                    &config,
-                );
+                reader_loop(&shared, read_half, conn_id, &doomed, &negotiated, &config);
                 // Removing the handle drops the queue's only sender: the
                 // writer drains whatever is left and exits.
                 if let Some(handle) = shared.conns.lock().remove(&conn_id) {
@@ -1360,7 +1784,6 @@ fn reader_loop(
     shared: &Shared,
     mut stream: Box<dyn Read + Send>,
     conn_id: u64,
-    tx: &mpsc::SyncSender<DispatchMsg>,
     doomed: &AtomicBool,
     negotiated: &AtomicU8,
     config: &ReaderConfig,
@@ -1374,7 +1797,7 @@ fn reader_loop(
             match frames.next_frame() {
                 Ok(Some(frame)) => {
                     budget.credit();
-                    if !handle_frame(shared, conn_id, tx, negotiated, &frame) {
+                    if !handle_frame(shared, conn_id, negotiated, &mut budget, &frame) {
                         return;
                     }
                 }
@@ -1583,13 +2006,7 @@ fn poll_timeout(conns: &HashMap<u64, FramedConn>, cfg: &ShardConfig) -> Duration
 /// events through the per-connection state machines, sweep for idle /
 /// doomed / stalled connections, and on shutdown close everything owned
 /// (balancing the drain flush counter for undeliverable frames).
-fn shard_loop(
-    shared: &Arc<Shared>,
-    handle: &Arc<ShardHandle>,
-    epoll: &Epoll,
-    tx: &mpsc::SyncSender<DispatchMsg>,
-    cfg: &ShardConfig,
-) {
+fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cfg: &ShardConfig) {
     let mut conns: HashMap<u64, FramedConn> = HashMap::new();
     let mut events = Vec::new();
     let mut last_sweep = Instant::now();
@@ -1636,7 +2053,7 @@ fn shard_loop(
         // shard against any responder (dispatch or an executor worker).
         let dirty = std::mem::take(&mut *handle.dirty.lock());
         for conn_id in dirty {
-            drive_conn(shared, epoll, &mut conns, conn_id, tx, cfg, false);
+            drive_conn(shared, epoll, &mut conns, conn_id, cfg, false);
         }
 
         // Socket readiness.
@@ -1649,7 +2066,6 @@ fn shard_loop(
                 epoll,
                 &mut conns,
                 ev.token,
-                tx,
                 cfg,
                 ev.readable || ev.closed,
             );
@@ -1659,7 +2075,7 @@ fn shard_loop(
         // block windows resume as soon as their deadline passes.
         if cfg.server_chaos.is_some() || last_sweep.elapsed() >= cfg.tick {
             last_sweep = Instant::now();
-            sweep(shared, epoll, &mut conns, tx, cfg);
+            sweep(shared, epoll, &mut conns, cfg);
         }
     }
 }
@@ -1671,7 +2087,6 @@ fn drive_conn(
     epoll: &Epoll,
     conns: &mut HashMap<u64, FramedConn>,
     conn_id: u64,
-    tx: &mpsc::SyncSender<DispatchMsg>,
     cfg: &ShardConfig,
     readable: bool,
 ) {
@@ -1683,7 +2098,7 @@ fn drive_conn(
             true
         } else {
             if readable && !conn.closing {
-                drive_read(shared, conn, conn_id, tx);
+                drive_read(shared, conn, conn_id);
             }
             let alive = drive_write(shared, conn, cfg);
             if !alive || (conn.closing && !conn.has_pending_writes()) {
@@ -1711,19 +2126,14 @@ fn drive_conn(
 /// epoll re-reports leftover readiness). Sets `closing` on EOF, protocol
 /// disconnect, or a hard error; the flush-then-close mirrors the threaded
 /// plane, where the writer drains after the reader exits.
-fn drive_read(
-    shared: &Shared,
-    conn: &mut FramedConn,
-    conn_id: u64,
-    tx: &mpsc::SyncSender<DispatchMsg>,
-) {
+fn drive_read(shared: &Shared, conn: &mut FramedConn, conn_id: u64) {
     let mut fills = 0;
     loop {
         loop {
             match conn.frames.next_frame() {
                 Ok(Some(frame)) => {
                     conn.budget.credit();
-                    if !handle_frame(shared, conn_id, tx, &conn.negotiated, &frame) {
+                    if !handle_frame(shared, conn_id, &conn.negotiated, &mut conn.budget, &frame) {
                         conn.closing = true;
                         return;
                     }
@@ -1878,13 +2288,7 @@ fn close_conn(shared: &Shared, epoll: &Epoll, conn_id: u64, conn: FramedConn) {
 
 /// Time-driven connection maintenance: idle reaping, write-stall dooming,
 /// and resuming connections whose chaos block windows elapsed.
-fn sweep(
-    shared: &Shared,
-    epoll: &Epoll,
-    conns: &mut HashMap<u64, FramedConn>,
-    tx: &mpsc::SyncSender<DispatchMsg>,
-    cfg: &ShardConfig,
-) {
+fn sweep(shared: &Shared, epoll: &Epoll, conns: &mut HashMap<u64, FramedConn>, cfg: &ShardConfig) {
     let now = Instant::now();
     let mut due: Vec<(u64, bool, bool)> = Vec::new();
     for (&conn_id, conn) in conns.iter() {
@@ -1908,24 +2312,22 @@ fn sweep(
                 conn.closing = true;
             }
         }
-        drive_conn(shared, epoll, conns, conn_id, tx, cfg, read_ready);
+        drive_conn(shared, epoll, conns, conn_id, cfg, read_ready);
     }
 }
 
-/// Admit one submit: shed under drain, enqueue for dispatch, shed on
-/// queue overflow. Shared by [`Frame::Submit`] and every sub-request of a
-/// [`Frame::BatchedSubmit`] — batching amortizes framing, never
-/// accounting.
-fn submit_one(
-    shared: &Shared,
-    conn_id: u64,
-    tx: &mpsc::SyncSender<DispatchMsg>,
-    id: u64,
-    length: u32,
-) {
+/// Admit one submit for a (validated) tenant: shed under drain, shed when
+/// the tenant's SLO class has its admission share in flight, enqueue for
+/// dispatch, shed on queue overflow. Shared by [`Frame::Submit`] and every
+/// sub-request of a [`Frame::BatchedSubmit`] — batching amortizes framing,
+/// never accounting.
+fn submit_one(shared: &Shared, conn_id: u64, tenant_id: u32, id: u64, length: u32) {
+    let tenant = &shared.tenants[tenant_id as usize]; // caller validated
     shared.submits.fetch_add(1, Ordering::SeqCst);
+    tenant.submits.fetch_add(1, Ordering::SeqCst);
     if shared.draining.load(Ordering::SeqCst) {
         shared.shed.fetch_add(1, Ordering::Relaxed);
+        tenant.shed.fetch_add(1, Ordering::Relaxed);
         shared.respond(
             conn_id,
             &Frame::Error {
@@ -1935,18 +2337,45 @@ fn submit_one(
         );
         return;
     }
+    // Feed the coordinator's demand window with *offered* load (shed
+    // submits included): the re-granting decision should see what the
+    // tenant asked for, not just what the gate admitted.
+    tenant
+        .window
+        .lock()
+        .record(shared.clock.now(), length.max(1));
+    // SLO-class admission gate: under overload, lower classes hit their
+    // outstanding share and shed here before the queue itself fills —
+    // weighted shedding, Interactive last.
+    if let Some(limit) = tenant.admit_limit {
+        if tenant.outstanding.load(Ordering::SeqCst) >= limit {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            tenant.shed.fetch_add(1, Ordering::Relaxed);
+            shared.respond(
+                conn_id,
+                &Frame::Error {
+                    id,
+                    code: ErrorCode::Shed,
+                },
+            );
+            return;
+        }
+    }
     // `outstanding` covers queued-for-dispatch as well as
     // executing requests, so drain flushes both.
     shared.outstanding.fetch_add(1, Ordering::SeqCst);
+    tenant.outstanding.fetch_add(1, Ordering::SeqCst);
     let msg = DispatchMsg::Submit {
         conn_id,
         id,
         length,
     };
-    if tx.try_send(msg).is_err() {
+    if tenant.dispatch.try_send(msg).is_err() {
         // Bounded-queue overflow: explicit shed, not a stall.
+        tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
         shared.shed.fetch_add(1, Ordering::Relaxed);
+        tenant.shed.fetch_add(1, Ordering::Relaxed);
         shared.respond(
             conn_id,
             &Frame::Error {
@@ -1957,24 +2386,68 @@ fn submit_one(
     }
 }
 
+/// Answer a submit addressed to a tenant this server does not host: a
+/// typed [`ErrorCode::UnknownTenant`] per request, charged against the
+/// connection's error budget at [`UNKNOWN_TENANT_COST`] (a peer bug, like
+/// other malformed traffic — sustained spraying escalates to a
+/// [`ErrorCode::Protocol`] disconnect). Returns `false` when the budget is
+/// exhausted and the connection must close. v1 connections can never land
+/// here: their decode always addresses the default tenant, which always
+/// exists.
+fn unknown_tenant(shared: &Shared, conn_id: u64, id: u64, budget: &mut ErrorBudget) -> bool {
+    shared.unknown_tenants.fetch_add(1, Ordering::SeqCst);
+    shared.respond(
+        conn_id,
+        &Frame::Error {
+            id,
+            code: ErrorCode::UnknownTenant,
+        },
+    );
+    if budget.charge_points(UNKNOWN_TENANT_COST) {
+        true
+    } else {
+        shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
+        shared.respond(
+            conn_id,
+            &Frame::Error {
+                id: CONN_ERROR_ID,
+                code: ErrorCode::Protocol,
+            },
+        );
+        false
+    }
+}
+
 /// React to one decoded frame; `false` means "close the connection".
 fn handle_frame(
     shared: &Shared,
     conn_id: u64,
-    tx: &mpsc::SyncSender<DispatchMsg>,
     negotiated: &AtomicU8,
+    budget: &mut ErrorBudget,
     frame: &Frame,
 ) -> bool {
     match *frame {
-        Frame::Submit { id, length } => {
-            submit_one(shared, conn_id, tx, id, length);
+        Frame::Submit { id, length, tenant } => {
+            if shared.tenant(tenant).is_none() {
+                return unknown_tenant(shared, conn_id, id, budget);
+            }
+            submit_one(shared, conn_id, tenant, id, length);
             true
         }
         Frame::BatchedSubmit { ref subs } => {
             // One frame, many admissions: every sub-request is answered
-            // individually, exactly as if submitted alone.
+            // individually, exactly as if submitted alone — including
+            // per-sub unknown-tenant errors. Exhausting the error budget
+            // mid-batch closes the connection; the remaining subs die with
+            // it (the client already has a terminal Protocol error).
             for sub in subs {
-                submit_one(shared, conn_id, tx, sub.id, sub.length);
+                if shared.tenant(sub.tenant).is_none() {
+                    if !unknown_tenant(shared, conn_id, sub.id, budget) {
+                        return false;
+                    }
+                    continue;
+                }
+                submit_one(shared, conn_id, sub.tenant, sub.id, sub.length);
             }
             true
         }

@@ -102,6 +102,7 @@ fn batch_1_reproduces_the_per_request_executor_schedule_exactly() {
                 },
                 request_id: r.id,
                 conn_id: 0,
+                tenant: 0,
                 length: r.length,
                 submitted_at: t0 + r.arrival,
             }

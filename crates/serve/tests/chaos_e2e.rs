@@ -39,7 +39,7 @@ use arlo_serve::chaos::{ChaosConfig, FaultClass};
 use arlo_serve::loadgen::{
     chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, LoadGenReport, ProtocolMode,
 };
-use arlo_serve::protocol::{read_frame, Frame, WireVersion};
+use arlo_serve::protocol::{read_frame, Frame, WireVersion, DEFAULT_TENANT};
 use arlo_serve::server::{DrainReport, FrontDoor, ServeConfig, Server};
 use arlo_trace::workload::TraceSpec;
 use arlo_trace::NANOS_PER_SEC;
@@ -198,6 +198,7 @@ fn run_mix(stall: bool) -> (LoadGenReport, DrainReport, u64) {
                 let frame = Frame::Submit {
                     id: 10_000_000 + i,
                     length: 1_000_000, // beyond every compiled runtime
+                    tenant: DEFAULT_TENANT,
                 };
                 if frame.write_to(&mut writer).is_err() {
                     break 'burst; // doomed mid-burst — expected when stalling

@@ -15,7 +15,9 @@ use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::profile_runtimes;
 use arlo_runtime::runtime_set::RuntimeSet;
 use arlo_serve::loadgen::{replay, LoadGenConfig, ProtocolMode};
-use arlo_serve::protocol::{client_handshake, read_frame, ErrorCode, Frame, Sub, WireVersion};
+use arlo_serve::protocol::{
+    client_handshake, read_frame, ErrorCode, Frame, Sub, WireVersion, DEFAULT_TENANT,
+};
 use arlo_serve::server::{FrontDoor, ServeConfig, Server};
 use arlo_trace::workload::TraceSpec;
 use arlo_trace::NANOS_PER_SEC;
@@ -124,9 +126,13 @@ fn drain_protocol_refuses_new_work_and_flushes() {
         .unwrap();
 
     // A request before the drain is served normally.
-    Frame::Submit { id: 1, length: 64 }
-        .write_to(&mut conn)
-        .unwrap();
+    Frame::Submit {
+        id: 1,
+        length: 64,
+        tenant: DEFAULT_TENANT,
+    }
+    .write_to(&mut conn)
+    .unwrap();
     match read_frame(&mut conn).expect("read").expect("frame") {
         Frame::Response { id, .. } => assert_eq!(id, 1),
         other => panic!("expected a response, got {other:?}"),
@@ -148,9 +154,13 @@ fn drain_protocol_refuses_new_work_and_flushes() {
     assert!(server.is_draining());
 
     // …after which submits are refused with a typed Draining error.
-    Frame::Submit { id: 2, length: 64 }
-        .write_to(&mut conn)
-        .unwrap();
+    Frame::Submit {
+        id: 2,
+        length: 64,
+        tenant: DEFAULT_TENANT,
+    }
+    .write_to(&mut conn)
+    .unwrap();
     match read_frame(&mut conn).expect("read").expect("frame") {
         Frame::Error { id, code } => {
             assert_eq!(id, 2);
@@ -246,6 +256,7 @@ fn batched_submit_is_answered_per_sub_request() {
         .map(|i| Sub {
             id: 1000 + i,
             length: 16 + (i as u32 % 101),
+            tenant: DEFAULT_TENANT,
         })
         .collect();
     let expected: std::collections::BTreeSet<u64> = subs.iter().map(|s| s.id).collect();
@@ -283,6 +294,7 @@ fn oversized_lengths_are_unserviceable_not_fatal() {
     Frame::Submit {
         id: 9,
         length: 100_000,
+        tenant: DEFAULT_TENANT,
     }
     .write_to(&mut conn)
     .unwrap();
@@ -295,9 +307,13 @@ fn oversized_lengths_are_unserviceable_not_fatal() {
     }
 
     // The connection survives and keeps serving.
-    Frame::Submit { id: 10, length: 32 }
-        .write_to(&mut conn)
-        .unwrap();
+    Frame::Submit {
+        id: 10,
+        length: 32,
+        tenant: DEFAULT_TENANT,
+    }
+    .write_to(&mut conn)
+    .unwrap();
     match read_frame(&mut conn).expect("read").expect("frame") {
         Frame::Response { id, .. } => assert_eq!(id, 10),
         other => panic!("expected a response, got {other:?}"),

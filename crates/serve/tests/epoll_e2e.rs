@@ -15,7 +15,7 @@ use arlo_runtime::models::ModelSpec;
 use arlo_runtime::profile::profile_runtimes;
 use arlo_runtime::runtime_set::RuntimeSet;
 use arlo_serve::loadgen::{connection_storm, StormConfig};
-use arlo_serve::protocol::{read_frame, ErrorCode, Frame, CONN_ERROR_ID};
+use arlo_serve::protocol::{read_frame, ErrorCode, Frame, CONN_ERROR_ID, DEFAULT_TENANT};
 use arlo_serve::server::{FrontDoor, ServeConfig, Server};
 use arlo_trace::NANOS_PER_SEC;
 use std::net::TcpStream;
@@ -122,6 +122,7 @@ fn stalled_client_is_doomed_on_the_event_loop() {
         let frame = Frame::Submit {
             id: 10_000_000 + i,
             length: 1_000_000,
+            tenant: DEFAULT_TENANT,
         };
         if frame.write_to(&mut stalled).is_err() {
             break 'burst; // doomed mid-burst — expected
@@ -139,9 +140,13 @@ fn stalled_client_is_doomed_on_the_event_loop() {
     healthy
         .set_read_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");
-    Frame::Submit { id: 1, length: 64 }
-        .write_to(&mut healthy)
-        .expect("submit");
+    Frame::Submit {
+        id: 1,
+        length: 64,
+        tenant: DEFAULT_TENANT,
+    }
+    .write_to(&mut healthy)
+    .expect("submit");
     match read_frame(&mut healthy).expect("read answer") {
         Some(Frame::Response { id, .. }) => assert_eq!(id, 1),
         other => panic!("healthy client got {other:?}"),
@@ -208,9 +213,13 @@ fn refusals_never_stall_the_acceptor(front_door: FrontDoor) {
     healthy
         .set_read_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");
-    Frame::Submit { id: 7, length: 64 }
-        .write_to(&mut healthy)
-        .expect("submit");
+    Frame::Submit {
+        id: 7,
+        length: 64,
+        tenant: DEFAULT_TENANT,
+    }
+    .write_to(&mut healthy)
+    .expect("submit");
     match read_frame(&mut healthy).expect("read answer") {
         Some(Frame::Response { id, .. }) => assert_eq!(id, 7),
         other => panic!("healthy client got {other:?}"),

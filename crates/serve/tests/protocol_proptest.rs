@@ -5,7 +5,7 @@
 use arlo_serve::chaos::{ChaosConfig, FaultClass, FaultyStream};
 use arlo_serve::protocol::{
     read_frame, DecodeError, ErrorCode, Frame, FrameReader, StatsPayload, Sub, WireVersion,
-    HEADER_LEN, MAX_BATCH, MAX_PAYLOAD,
+    DEFAULT_TENANT, HEADER_LEN, MAX_BATCH, MAX_PAYLOAD,
 };
 use proptest::prelude::*;
 use std::io::Read;
@@ -14,7 +14,12 @@ use std::io::Read;
 /// Covers every v1-expressible type, handshake frames included.
 fn frame_from(kind: u8, a: u64, b: u64, c: u64, d: u32) -> Frame {
     match kind % 8 {
-        0 => Frame::Submit { id: a, length: d },
+        // Default tenant only: these frames must stay v1-encodable.
+        0 => Frame::Submit {
+            id: a,
+            length: d,
+            tenant: DEFAULT_TENANT,
+        },
         1 => Frame::Response {
             id: a,
             generation: b,
@@ -24,11 +29,12 @@ fn frame_from(kind: u8, a: u64, b: u64, c: u64, d: u32) -> Frame {
         },
         2 => Frame::Error {
             id: a,
-            code: match b % 5 {
+            code: match b % 6 {
                 0 => ErrorCode::Shed,
                 1 => ErrorCode::Unserviceable,
                 2 => ErrorCode::Draining,
                 3 => ErrorCode::Protocol,
+                4 => ErrorCode::UnknownTenant,
                 _ => ErrorCode::Failed,
             },
         },
@@ -107,7 +113,7 @@ proptest! {
         // Corrupting any of the first four header bytes of a valid frame
         // either leaves it valid or produces a typed error; a frame whose
         // header changed meaning must not decode to the original.
-        let original = Frame::Submit { id: 1, length: 2 };
+        let original = Frame::Submit { id: 1, length: 2, tenant: DEFAULT_TENANT };
         let mut bytes = original.encode();
         let before = bytes[pos];
         bytes[pos] = byte;
@@ -200,13 +206,20 @@ proptest! {
     }
 
     fn batched_submit_round_trips_arbitrary_batches(
-        subs in proptest::collection::vec((0u64..u64::MAX, 0u32..=u32::MAX), 0..=MAX_BATCH),
+        subs in proptest::collection::vec(
+            (0u64..u64::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX),
+            0..=MAX_BATCH,
+        ),
     ) {
         // BatchedSubmit round-trips any batch the protocol admits — empty
-        // through MAX_BATCH — and stays v2-only: the identical payload
-        // under a v1 version byte is rejected as an unknown frame type.
+        // through MAX_BATCH, arbitrary tenant tags included — and stays
+        // v2-only: the identical payload under a v1 version byte is
+        // rejected as an unknown frame type.
         let frame = Frame::BatchedSubmit {
-            subs: subs.iter().map(|&(id, length)| Sub { id, length }).collect(),
+            subs: subs
+                .iter()
+                .map(|&(id, length, tenant)| Sub { id, length, tenant })
+                .collect(),
         };
         let bytes = frame.encode_v(WireVersion::V2);
         match Frame::decode(&bytes) {
@@ -233,7 +246,7 @@ proptest! {
         length in 0u32..=u32::MAX,
     ) {
         // A frame delivered in two TCP segments reads back whole.
-        let frame = Frame::Submit { id, length };
+        let frame = Frame::Submit { id, length, tenant: DEFAULT_TENANT };
         let bytes = frame.encode();
         let cut = split % bytes.len();
         let mut reader = std::io::Cursor::new(bytes[..cut].to_vec())
@@ -241,6 +254,25 @@ proptest! {
         match read_frame(&mut reader) {
             Ok(Some(decoded)) => prop_assert_eq!(decoded, frame),
             other => prop_assert!(false, "split read failed: {:?}", other),
+        }
+    }
+
+    fn tenant_tagged_submits_round_trip_at_v2(
+        id in 0u64..u64::MAX,
+        length in 0u32..=u32::MAX,
+        tenant in 0u32..=u32::MAX,
+    ) {
+        // Any tenant id — default, dense registry index, or hostile
+        // garbage — survives the v2 wire exactly; routing validity is the
+        // server's concern, not the codec's.
+        let frame = Frame::Submit { id, length, tenant };
+        let bytes = frame.encode_v(WireVersion::V2);
+        match Frame::decode(&bytes) {
+            Ok((decoded, consumed)) => {
+                prop_assert_eq!(decoded, frame);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            Err(e) => prop_assert!(false, "tenant submit failed to decode: {}", e),
         }
     }
 }
@@ -264,9 +296,11 @@ proptest! {
         // be a typed frame/error — no panic, no hang. A declared length
         // beyond MAX_PAYLOAD is unbounded-allocation bait and must be the
         // fatal Oversized error, never a resynchronizable skip.
-        let mut bytes = (Frame::Submit { id, length: 3 }).encode();
+        let mut bytes = (Frame::Submit { id, length: 3, tenant: DEFAULT_TENANT }).encode();
         bytes[4..8].copy_from_slice(&declared.to_le_bytes());
-        bytes.extend_from_slice(&(Frame::Submit { id: id ^ 1, length: 7 }).encode());
+        bytes.extend_from_slice(
+            &(Frame::Submit { id: id ^ 1, length: 7, tenant: DEFAULT_TENANT }).encode(),
+        );
         let mut reader = FrameReader::new();
         fill_all(&mut reader, &bytes);
         let first = reader.next_frame();
@@ -323,7 +357,7 @@ proptest! {
         // must reassemble the exact frame sequence: chaos may slow the
         // wire, never reorder or lose on it.
         let frames: Vec<Frame> = (0..count as u64)
-            .map(|i| Frame::Submit { id: seed ^ i, length: i as u32 })
+            .map(|i| Frame::Submit { id: seed ^ i, length: i as u32, tenant: DEFAULT_TENANT })
             .collect();
         let mut wire = Vec::new();
         for f in &frames {
@@ -354,7 +388,7 @@ proptest! {
         let plan = ChaosConfig::new(FaultClass::Corrupt, 1.0, seed).plan_for(0);
         let mut out = FaultyStream::new(Vec::new(), plan);
         for i in 0..count as u64 {
-            (Frame::Submit { id: i, length: i as u32 })
+            (Frame::Submit { id: i, length: i as u32, tenant: DEFAULT_TENANT })
                 .write_to(&mut out)
                 .expect("corruption never fails a Vec write");
         }

@@ -21,6 +21,7 @@ use arlo::serve::chaos::{ChaosConfig, FaultClass};
 use arlo::serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, ProtocolMode};
 use arlo::serve::protocol::Frame;
 use arlo::serve::server::{FrontDoor, ServeConfig, Server};
+use arlo::serve::tenants::{parse_mix, SloClass, TenantSpec};
 use arlo::trace::NANOS_PER_SEC;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,6 +73,7 @@ USAGE:
   arlo serve      --model <m> --gpus <n> [--slo-ms <ms>] [--addr <ip:port>]
                   [--time-scale <x>] [--workers <n>] [--period-secs <s>]
                   [--front-door <threaded|epoll|epoll:N>]
+                  [--tenants <name=class[:slo_ms],...>   class: interactive|standard|batch]
                   [--max-batch <n> [--marginal-cost <f>] [--max-wait-ms <ms>]]
                   [--server-chaos <delay|partial|corrupt|reset|stall>
                    [--server-chaos-intensity <0..1>] [--server-chaos-seed <n>]]
@@ -79,6 +81,7 @@ USAGE:
   arlo loadgen    --addr <ip:port> (--trace <file> | --rate <r> --secs <s>) [--bursty]
                   [--seed <n>] [--clients <n>] [--time-scale <x>]
                   [--proto <v1|v2>] [--submit-batch <n>]
+                  [--tenants <n> [--tenant-mix <w:w:...>]]
                   [--closed [--window <n>]] [--drain]
                   [--chaos <delay|partial|corrupt|reset|stall>
                    [--chaos-intensity <0..1>] [--chaos-seed <n>] [--retries <n>]]";
@@ -363,6 +366,47 @@ fn even_allocation(gpus: u32, n: usize) -> Vec<u32> {
     counts
 }
 
+/// Seed allocation for one engine: spread the share evenly, then make sure
+/// the longest runtime keeps an instance (Eq. 7 — the engine refuses to
+/// start without full length coverage). With multiple tenants the
+/// coordinator re-grants from live demand within a period anyway, so the
+/// seed only has to be valid, not optimal.
+fn seed_allocation(share: u32, n: usize) -> Vec<u32> {
+    let mut counts = even_allocation(share, n);
+    if *counts.last().expect("non-empty") == 0 {
+        let donor = counts.iter().position(|&c| c > 0).expect("share >= 1");
+        counts[donor] -= 1;
+        *counts.last_mut().expect("non-empty") += 1;
+    }
+    counts
+}
+
+/// Parse comma-separated `name=class[:slo_ms]` tenant declarations.
+fn tenants_of(spec: &str, default_slo_ms: f64) -> Result<Vec<TenantSpec>, String> {
+    let mut out = Vec::new();
+    for item in spec.split(',') {
+        let (name, rest) = item
+            .split_once('=')
+            .ok_or_else(|| format!("tenant `{item}` is not name=class[:slo_ms]"))?;
+        if name.is_empty() {
+            return Err(format!("tenant `{item}` has an empty name"));
+        }
+        let (class_name, slo_ms) = match rest.split_once(':') {
+            Some((c, s)) => (
+                c,
+                s.parse::<f64>()
+                    .map_err(|_| format!("tenant `{item}`: slo_ms expects a number"))?,
+            ),
+            None => (rest, default_slo_ms),
+        };
+        let class = SloClass::parse(class_name).ok_or_else(|| {
+            format!("tenant `{item}`: unknown class (interactive | standard | batch)")
+        })?;
+        out.push(TenantSpec::new(name, class, slo_ms));
+    }
+    Ok(out)
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let model = model_of(flags)?;
     let gpus: u32 = num(flags, "gpus")?;
@@ -385,13 +429,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         max_wait_ns: (max_wait_ms * 1e6) as u64,
     };
 
-    let set = RuntimeSet::natural(model.clone());
-    let profiles = profile_runtimes(&set.compile(), slo, 512);
-    let counts = even_allocation(gpus, profiles.len());
-    let mut cfg = EngineConfig::paper_default(slo);
-    cfg.allocation_period = period_secs.max(1) * NANOS_PER_SEC;
-    cfg.sub_window = (cfg.allocation_period / 12).max(NANOS_PER_SEC / 2);
-    let engine = ArloEngine::new(profiles, counts, cfg);
+    // Engines are built per SLO: profiles carry `capacity_within_slo`, so
+    // tenants with different SLOs get differently-shaped staircases.
+    let build_engine = |slo_ms: f64, share: u32| {
+        let profiles = profile_runtimes(&RuntimeSet::natural(model.clone()).compile(), slo_ms, 512);
+        let counts = seed_allocation(share, profiles.len());
+        let mut cfg = EngineConfig::paper_default(slo_ms);
+        cfg.allocation_period = period_secs.max(1) * NANOS_PER_SEC;
+        cfg.sub_window = (cfg.allocation_period / 12).max(NANOS_PER_SEC / 2);
+        ArloEngine::new(profiles, counts, cfg)
+    };
 
     let mut serve_cfg = ServeConfig {
         workers,
@@ -424,7 +471,40 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             class.name()
         );
     }
-    let server = Server::spawn(engine, addr, serve_cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    // `--tenants` switches on the multi-tenant registry: one engine per
+    // tenant, GPUs seeded evenly, then live re-granting by the coordinator.
+    let server = match flags.get("tenants") {
+        Some(spec) => {
+            let specs = tenants_of(spec, slo)?;
+            let n = specs.len() as u32;
+            if gpus < n {
+                return Err(format!(
+                    "--gpus {gpus} cannot seed {n} tenants (each needs at least one)"
+                ));
+            }
+            let tenants: Vec<(TenantSpec, ArloEngine)> = specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let share = gpus / n + u32::from((i as u32) < gpus % n);
+                    let engine = build_engine(t.slo_ms, share);
+                    (t, engine)
+                })
+                .collect();
+            for (t, engine) in &tenants {
+                println!(
+                    "tenant {:12} [{}] SLO {} ms, seeded {} GPUs",
+                    t.name,
+                    t.class.name(),
+                    t.slo_ms,
+                    engine.deployment().1.iter().sum::<u32>()
+                );
+            }
+            Server::spawn_multi(tenants, addr, serve_cfg)
+        }
+        None => Server::spawn(build_engine(slo, gpus), addr, serve_cfg),
+    }
+    .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "serving {} on {} — {gpus} GPUs, SLO {slo} ms, {time_scale}× virtual time, batch \
          {max_batch}, {} front door",
@@ -447,6 +527,26 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         report.reallocations,
         report.generation
     );
+    for t in &report.tenants {
+        println!(
+            "  tenant {:12} [{}] served {} / shed {} / unserviceable {} / failed {} — \
+             {} GPUs, generation {}",
+            t.name,
+            t.class.name(),
+            t.served,
+            t.shed,
+            t.unserviceable,
+            t.failed,
+            t.granted_gpus,
+            t.generation
+        );
+    }
+    if report.unknown_tenants > 0 {
+        println!(
+            "  unknown-tenant submits refused: {}",
+            report.unknown_tenants
+        );
+    }
     if report.outstanding_at_close > 0 {
         return Err(format!(
             "drain timed out with {} requests outstanding",
@@ -511,13 +611,30 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         }
     } else if flags.contains_key("trace") || flags.contains_key("rate") {
         let trace = build_trace(flags)?;
+        // `--tenants N` round-robins submits across N tenants; a
+        // `--tenant-mix w:w:...` replaces the even split with weights.
+        let tenants: usize = num_or(flags, "tenants", 0)?;
+        let weights = match flags.get("tenant-mix") {
+            Some(mix) => parse_mix(mix).ok_or_else(|| {
+                format!("bad --tenant-mix `{mix}` (colon-separated weights, at least one > 0)")
+            })?,
+            None if tenants > 0 => vec![1; tenants],
+            None => Vec::new(),
+        };
+        if tenants > 0 && weights.len() != tenants {
+            return Err(format!(
+                "--tenant-mix names {} tenants but --tenants says {tenants}",
+                weights.len()
+            ));
+        }
         let config = if flags.contains_key("closed") {
             LoadGenConfig::closed(clients, num_or(flags, "window", 16)?)
         } else {
             LoadGenConfig::open(clients, time_scale)
         }
         .with_protocol(proto_of(flags)?)
-        .with_submit_batch(num_or(flags, "submit-batch", 1)?);
+        .with_submit_batch(num_or(flags, "submit-batch", 1)?)
+        .with_tenants(weights);
         println!(
             "replaying {} requests against {addr} from {clients} connections…",
             trace.len()
@@ -525,13 +642,15 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         let report = replay(addr, &trace, &config).map_err(|e| format!("replay: {e}"))?;
         let s = report.latency_summary();
         println!(
-            "sent {} / ok {} / shed {} / unserviceable {} / draining {} / failed {} / lost {}",
+            "sent {} / ok {} / shed {} / unserviceable {} / draining {} / failed {} / \
+             unknown-tenant {} / lost {}",
             report.sent,
             report.ok,
             report.shed,
             report.unserviceable,
             report.draining,
             report.failed,
+            report.unknown_tenant,
             report.lost
         );
         println!(
