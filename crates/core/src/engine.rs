@@ -129,6 +129,13 @@ pub struct ArloEngine {
     /// order, instances within each). `None` when health tracking is off.
     /// Lock order: `deployment` before `health`, everywhere.
     health: Mutex<Option<HealthRegistry>>,
+    /// Whether `health` holds a registry. The option is decided once at
+    /// construction and never flips, so hot-path callers (`submit`,
+    /// `complete`) check this plain bool instead of taking the `health`
+    /// mutex just to observe `None` — with health off, the submit path's
+    /// only exclusive critical sections are demand recording and the
+    /// frontend's placement itself.
+    health_enabled: bool,
 }
 
 /// Flat instance index of `(level, index)` under per-level `counts`.
@@ -175,6 +182,7 @@ impl ArloEngine {
                 sub_counts: Vec::new(),
                 smoothed: None,
             }),
+            health_enabled: config.health.is_some(),
             health: Mutex::new(config.health.map(HealthRegistry::new)),
             profiles,
         }
@@ -220,17 +228,37 @@ impl ArloEngine {
     /// Dispatch a request of `length` tokens arriving at monotonic time
     /// `now` (ns). Returns `None` when no runtime can serve the length or
     /// every candidate level is empty.
+    ///
+    /// # Critical-section contract
+    ///
+    /// This is the serving hot path — every dispatch worker funnels through
+    /// it concurrently — so its exclusive sections are kept to exactly the
+    /// work that must be atomic:
+    ///
+    /// - `demand` (mutex): one sub-window counter bump in `record_demand`.
+    /// - `deployment` (rwlock, **read**): placement itself. Readers share;
+    ///   only `apply_allocation` writes.
+    /// - `health` (mutex): skipped entirely via `health_enabled` when
+    ///   tracking is off; when on, holds only for the dispatch note and the
+    ///   probe-gate check.
+    ///
+    /// Nothing else — no I/O, no allocation-plan work, no per-tenant
+    /// accounting — may be added under these locks: the serve crate's
+    /// conservation accounting (`outstanding`, admission gate) lives with
+    /// the caller precisely so this section stays placement-only.
     pub fn submit(&self, length: u32, now: Nanos) -> Option<Placement> {
         self.record_demand(length, now);
         let d = self.deployment.read();
         let handle = d.frontend.dispatch(length)?;
-        if let Some(reg) = self.health.lock().as_mut() {
-            let flat = flat_index(&d.counts, handle.level, handle.index);
-            reg.note_dispatch(flat, now);
-            if reg.admission(flat) == Admission::Probe {
-                // Half-open circuit: one probe at a time. Close the gate
-                // until this probe completes.
-                d.frontend.set_admitting(handle, false);
+        if self.health_enabled {
+            if let Some(reg) = self.health.lock().as_mut() {
+                let flat = flat_index(&d.counts, handle.level, handle.index);
+                reg.note_dispatch(flat, now);
+                if reg.admission(flat) == Admission::Probe {
+                    // Half-open circuit: one probe at a time. Close the gate
+                    // until this probe completes.
+                    d.frontend.set_admitting(handle, false);
+                }
             }
         }
         Some(Placement {
@@ -260,11 +288,13 @@ impl ArloEngine {
             index: placement.instance_idx,
         };
         d.frontend.complete(handle);
-        if let Some(reg) = self.health.lock().as_mut() {
-            let flat = flat_index(&d.counts, placement.runtime_idx, placement.instance_idx);
-            reg.note_complete(flat);
-            if reg.admission(flat) == Admission::Probe && reg.outstanding(flat) == 0 {
-                d.frontend.set_admitting(handle, true);
+        if self.health_enabled {
+            if let Some(reg) = self.health.lock().as_mut() {
+                let flat = flat_index(&d.counts, placement.runtime_idx, placement.instance_idx);
+                reg.note_complete(flat);
+                if reg.admission(flat) == Admission::Probe && reg.outstanding(flat) == 0 {
+                    d.frontend.set_admitting(handle, true);
+                }
             }
         }
         true

@@ -96,4 +96,70 @@ mod tests {
     fn zero_scale_is_rejected() {
         VirtualClock::new(0);
     }
+
+    #[test]
+    fn to_real_truncates_never_rounds_up() {
+        // At scale ≥ 1000 a virtual duration that is not a multiple of the
+        // scale must truncate: to_real(v) * scale ≤ v, with the shortfall
+        // strictly below one scale quantum (`scale` virtual ns per real ns).
+        for scale in [1_000u32, 1_024, 4_096, 100_000] {
+            let clock = VirtualClock::new(scale);
+            for v in [0u64, 1, 999, 1_000, 1_001, 123_456_789, u32::MAX as u64] {
+                let real = clock.to_real(v);
+                let back = real.as_nanos() as u64 * u64::from(scale);
+                assert!(back <= v, "scale {scale}: to_real({v}) rounded up");
+                assert!(
+                    v - back < u64::from(scale),
+                    "scale {scale}: round-trip error {} ≥ one quantum",
+                    v - back
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_until_never_sleeps_past_target_at_high_scale() {
+        // The truncation in sleep_until's real-remainder computation means
+        // the requested real sleep always *undershoots* the virtual target
+        // (then re-checks); the loop must therefore exit with now ≥ t only
+        // via time actually passing — never by oversleeping a whole extra
+        // quantum per iteration. Bound: wall time spent must not exceed the
+        // ideal real duration by more than scheduler slack.
+        let scale = 1_000u32;
+        let clock = VirtualClock::new(scale);
+        let start_real = Instant::now();
+        // 5 ms real = 5e9 virtual ns at 1000×; plus a deliberately
+        // non-multiple remainder to exercise truncation on every iteration.
+        let target = clock.now() + 5_000_000_123;
+        clock.sleep_until(target);
+        let waited = start_real.elapsed();
+        // Sub-quantum + sub-100µs remainders are abandoned, so now may sit
+        // just short of target — but never by a full real-time granule.
+        let now = clock.now();
+        let max_abandoned = 100_000u64 * u64::from(scale); // MIN_SLEEP_REAL_NS
+        assert!(
+            now + max_abandoned >= target,
+            "stopped {} virtual ns short",
+            target.saturating_sub(now)
+        );
+        // And it must not have slept *past* the target by more than
+        // generous scheduler slack (the truncation undershoots; only the
+        // OS can overshoot).
+        assert!(
+            waited < Duration::from_millis(200),
+            "slept {waited:?} for a ~5 ms target"
+        );
+    }
+
+    #[test]
+    fn sleep_until_quantum_remainder_returns_immediately() {
+        // A remainder below one real-time quantum (v < scale) truncates to
+        // zero real ns — sleep_until must return without sleeping rather
+        // than looping or stalling.
+        let clock = VirtualClock::new(100_000);
+        let start = Instant::now();
+        let target = clock.now() + 99_999; // < one quantum of virtual ns
+        clock.sleep_until(target);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
 }

@@ -89,21 +89,42 @@ struct KeyState {
     flush_at: Option<Nanos>,
 }
 
+/// One shard of the executor's coalescer state: a slice of the key space
+/// plus that slice's share of the occupancy histogram. Keeping the
+/// histogram *inside* the shard means a sealed batch updates it under the
+/// lock it already holds — one acquisition per advance instead of the old
+/// keys-then-occupancy pair — and concurrent dispatch workers touching
+/// different instances never serialize on a global histogram lock.
+/// Shares are merged only at read time ([`Executor::batch_occupancy`],
+/// [`Executor::shutdown`]).
+#[derive(Default)]
+struct ExecShard {
+    /// Per-instance batch-forming state, keyed by
+    /// `(generation, runtime_idx, instance_idx)`.
+    keys: HashMap<Key, KeyState>,
+    /// This shard's slice of the batch-size histogram: `occupancy[b-1]`
+    /// counts batches of size `b` sealed by keys living on this shard.
+    occupancy: Vec<u64>,
+}
+
 struct ExecutorShared {
     clock: Arc<VirtualClock>,
     profiles: Vec<RuntimeProfile>,
     jitter: JitterSpec,
     policy: BatchPolicy,
-    /// Per-instance batch-forming state, keyed by
-    /// `(generation, runtime_idx, instance_idx)`.
-    keys: Mutex<HashMap<Key, KeyState>>,
+    /// Coalescer state, lock-striped by `Key` hash (power-of-two count).
+    /// A key's entire lifecycle — submit, advance, flush, prune — happens
+    /// under its one shard, so per-instance batch forming stays exactly as
+    /// serial as it ever was; only *distinct* instances stop contending.
+    shards: Box<[Mutex<ExecShard>]>,
+    shard_mask: usize,
+    /// Shard-lock acquisitions on the submit/advance hot path (contention
+    /// telemetry for `ext_hotpath`).
+    lock_ops: std::sync::atomic::AtomicU64,
     /// Sender side of the flusher thread's deadline queue. `None` once
     /// shutdown begins; taking it is what lets the flusher observe
     /// disconnection and exit.
     flush_tx: Mutex<Option<mpsc::Sender<(Nanos, Key)>>>,
-    /// Histogram of sealed batch sizes: `occupancy[b-1]` counts batches of
-    /// size `b`.
-    occupancy: Mutex<Vec<u64>>,
     on_done: Box<BatchCallback>,
     /// Invoked with the in-flight batch when `on_done` panics, so the
     /// embedder can account the batch as failed instead of losing it (see
@@ -114,6 +135,25 @@ struct ExecutorShared {
 }
 
 impl ExecutorShared {
+    /// The shard a key lives on. The three key components are mixed with a
+    /// splitmix64-style finalizer before masking: generations and instance
+    /// indices are small sequential integers, and without mixing they
+    /// would pile onto the low-order shards.
+    fn shard_for(&self, key: Key) -> &Mutex<ExecShard> {
+        let (generation, runtime_idx, instance_idx) = key;
+        let mut h = generation
+            ^ ((runtime_idx as u64) << 32)
+            ^ ((instance_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        self.lock_ops
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        &self.shards[(h as usize) & self.shard_mask]
+    }
+
     /// Advance one key's coalescer at the current virtual time: seal every
     /// batch whose seal instant has passed, send each to the worker pool,
     /// and return the deadline of a flush to arm (if the head batch now
@@ -134,7 +174,11 @@ impl ExecutorShared {
         let jitter = self.jitter;
         let sealed;
         let arm = {
-            let mut keys = self.keys.lock();
+            let mut guard = self.shard_for(key).lock();
+            // Destructure so the keys and occupancy borrows split: the
+            // histogram updates under the *same* shard lock the seal
+            // already holds (the old layout paid a second, global lock).
+            let ExecShard { keys, occupancy } = &mut *guard;
             let state = keys.get_mut(&key)?;
             if fired.is_some() && state.flush_at == fired {
                 state.flush_at = None;
@@ -153,18 +197,18 @@ impl ExecutorShared {
                     .exec_nanos_jittered(longest, jitter, jobs[0].request_id);
                 spec.exec_ns(base, b, 1.0, 1.0)
             });
-            match state.coalescer.next_deadline() {
+            let arm = match state.coalescer.next_deadline() {
                 Some(d) if state.flush_at.is_none_or(|f| f > d) => {
                     state.flush_at = Some(d);
                     Some(d)
                 }
                 _ => None,
+            };
+            if !sealed.is_empty() {
+                occ_update(occupancy, &sealed);
             }
+            arm
         };
-        if !sealed.is_empty() {
-            let mut occ = self.occupancy.lock();
-            occ_update(&mut occ, &sealed);
-        }
         for batch in sealed {
             let _ = run_tx.send(CompletedBatch {
                 jobs: batch.items,
@@ -222,10 +266,17 @@ pub struct Executor {
 }
 
 impl Executor {
+    /// Default coalescer-state shard count: comfortably above the worker
+    /// and dispatch parallelism any current config runs, cheap enough that
+    /// merge-at-read stays trivial.
+    pub const DEFAULT_SHARDS: usize = 8;
+
     /// Spawn `workers` threads executing batches against `profiles` under
     /// the shared virtual clock, coalescing per `policy`. `on_done` runs on
     /// a worker thread once per sealed batch, after the batch's execution
-    /// time has elapsed.
+    /// time has elapsed. Uses [`Executor::DEFAULT_SHARDS`] state shards;
+    /// sharding is semantics-preserving (a key's lifecycle stays under one
+    /// lock), so callers that don't care never see it.
     pub fn new(
         profiles: Vec<RuntimeProfile>,
         workers: usize,
@@ -234,18 +285,44 @@ impl Executor {
         policy: BatchPolicy,
         on_done: Box<BatchCallback>,
     ) -> Self {
+        Executor::new_sharded(
+            profiles,
+            workers,
+            clock,
+            jitter,
+            policy,
+            Executor::DEFAULT_SHARDS,
+            on_done,
+        )
+    }
+
+    /// [`Executor::new`] with an explicit coalescer-state shard count
+    /// (min 1, rounded up to a power of two). 1 reproduces the historical
+    /// single-mutex layout — the `ext_hotpath` baseline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_sharded(
+        profiles: Vec<RuntimeProfile>,
+        workers: usize,
+        clock: Arc<VirtualClock>,
+        jitter: JitterSpec,
+        policy: BatchPolicy,
+        shards: usize,
+        on_done: Box<BatchCallback>,
+    ) -> Self {
         assert!(workers >= 1, "need at least one worker");
         assert!(!profiles.is_empty(), "need at least one profile");
         policy.validate();
+        let n = shards.max(1).next_power_of_two();
         let (flush_tx, flush_rx) = mpsc::channel::<(Nanos, Key)>();
         let shared = Arc::new(ExecutorShared {
             clock,
             profiles,
             jitter,
             policy,
-            keys: Mutex::new(HashMap::new()),
+            shards: (0..n).map(|_| Mutex::new(ExecShard::default())).collect(),
+            shard_mask: n - 1,
+            lock_ops: std::sync::atomic::AtomicU64::new(0),
             flush_tx: Mutex::new(Some(flush_tx)),
-            occupancy: Mutex::new(Vec::new()),
             on_done,
             on_panic: Mutex::new(None),
             panics: std::sync::atomic::AtomicU64::new(0),
@@ -293,8 +370,8 @@ impl Executor {
         let p = job.placement;
         let key = (p.generation, p.runtime_idx, p.instance_idx);
         {
-            let mut keys = self.shared.keys.lock();
-            let state = keys.entry(key).or_insert_with(|| KeyState {
+            let mut shard = self.shared.shard_for(key).lock();
+            let state = shard.keys.entry(key).or_insert_with(|| KeyState {
                 coalescer: Coalescer::new(self.shared.policy),
                 flush_at: None,
             });
@@ -314,10 +391,12 @@ impl Executor {
     /// key still holding unsealed jobs survives until its flush drains it,
     /// so pruning never loses work.
     pub fn prune_before(&self, generation: u64) {
-        self.shared
-            .keys
-            .lock()
-            .retain(|&(g, _, _), s| g >= generation || s.coalescer.pending_len() > 0);
+        for shard in self.shared.shards.iter() {
+            shard
+                .lock()
+                .keys
+                .retain(|&(g, _, _), s| g >= generation || s.coalescer.pending_len() > 0);
+        }
     }
 
     /// Install the panic-recovery handler: when the completion callback
@@ -340,15 +419,37 @@ impl Executor {
     }
 
     /// Number of distinct instance coalescers currently tracked (tests and
-    /// the clock-eviction regression).
+    /// the clock-eviction regression), summed across state shards.
     pub fn tracked_instances(&self) -> usize {
-        self.shared.keys.lock().len()
+        self.shared.shards.iter().map(|s| s.lock().keys.len()).sum()
     }
 
     /// Histogram of sealed batch sizes so far: entry `b-1` counts batches
-    /// of `b` jobs.
+    /// of `b` jobs. Merged across the per-shard accumulators at read time.
     pub fn batch_occupancy(&self) -> Vec<u64> {
-        self.shared.occupancy.lock().clone()
+        let mut merged: Vec<u64> = Vec::new();
+        for shard in self.shared.shards.iter() {
+            let shard = shard.lock();
+            if shard.occupancy.len() > merged.len() {
+                merged.resize(shard.occupancy.len(), 0);
+            }
+            for (slot, count) in merged.iter_mut().zip(&shard.occupancy) {
+                *slot += count;
+            }
+        }
+        merged
+    }
+
+    /// Coalescer-state shards (post power-of-two rounding).
+    pub fn shard_count(&self) -> usize {
+        self.shared.shard_mask + 1
+    }
+
+    /// Shard-lock acquisitions on the submit/advance hot path so far.
+    pub fn lock_ops(&self) -> u64 {
+        self.shared
+            .lock_ops
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Stop accepting jobs, flush every open batch at its deadline, finish
@@ -364,7 +465,17 @@ impl Executor {
         for handle in self.workers {
             handle.join().expect("executor worker panicked");
         }
-        self.shared.occupancy.lock().clone()
+        let mut merged: Vec<u64> = Vec::new();
+        for shard in self.shared.shards.iter() {
+            let shard = shard.lock();
+            if shard.occupancy.len() > merged.len() {
+                merged.resize(shard.occupancy.len(), 0);
+            }
+            for (slot, count) in merged.iter_mut().zip(&shard.occupancy) {
+                *slot += count;
+            }
+        }
+        merged
     }
 }
 
@@ -590,6 +701,48 @@ mod tests {
         // 4 + 1: one full batch, one singleton.
         let occ = exec.shutdown();
         assert_eq!(occ, vec![1, 0, 0, 1], "occupancy: one 1-batch, one 4-batch");
+    }
+
+    #[test]
+    fn occupancy_merges_across_state_shards() {
+        // 16 distinct instances spread over the 8 default state shards:
+        // each singleton batch bumps its own shard's accumulator, and the
+        // read-time merge must see every one exactly once.
+        let (exec, clock, _done) = executor(4, 10_000, BatchPolicy::greedy(BatchSpec::SINGLE));
+        assert_eq!(exec.shard_count(), Executor::DEFAULT_SHARDS);
+        let t0 = clock.now();
+        for id in 0..32 {
+            exec.submit(job(id, 0, (id % 16) as usize, t0));
+        }
+        assert!(exec.lock_ops() > 0, "hot-path lock telemetry counts");
+        let occ = exec.shutdown();
+        assert_eq!(occ, vec![32], "32 singletons merged from all shards");
+    }
+
+    #[test]
+    fn single_shard_reproduces_the_unsharded_layout() {
+        // shards = 1 is the ext_hotpath baseline: everything lands on one
+        // shard and the semantics (and histogram) are unchanged.
+        let clock = Arc::new(VirtualClock::new(10_000));
+        let done: Arc<Mutex<Vec<CompletedBatch>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&done);
+        let exec = Executor::new_sharded(
+            profiles(),
+            2,
+            Arc::clone(&clock),
+            JitterSpec::NONE,
+            BatchPolicy::greedy(BatchSpec::SINGLE),
+            1,
+            Box::new(move |b| sink.lock().push(b)),
+        );
+        assert_eq!(exec.shard_count(), 1);
+        let t0 = clock.now();
+        for id in 0..8 {
+            exec.submit(job(id, 0, (id % 4) as usize, t0));
+        }
+        let occ = exec.shutdown();
+        assert_eq!(occ, vec![8]);
+        assert_eq!(done.lock().len(), 8);
     }
 
     #[test]

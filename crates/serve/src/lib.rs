@@ -32,6 +32,11 @@
 //! - [`epoll`] — a dependency-free, level-triggered epoll/eventfd wrapper
 //!   over [`std::os::fd`], the readiness substrate for the event-loop
 //!   front door (and the high-connection-count load generator).
+//! - [`queue`] — the bounded MPMC dispatch queue with shutdown-aware
+//!   wakeup that feeds each tenant's dispatch-worker pool.
+//! - [`registry`] — the lock-striped connection registry
+//!   ([`registry::StripedMap`]) that replaced the process-global conns
+//!   mutex on the response hot path.
 //! - [`tenants`] — multi-tenant primitives: SLO classes (weighted
 //!   admission under overload), tenant specs, the sliding per-tenant
 //!   demand windows the GPU re-granting coordinator plans over, and the
@@ -56,6 +61,8 @@ pub mod epoll;
 pub mod executor;
 pub mod loadgen;
 pub mod protocol;
+pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod tenants;
 
@@ -66,5 +73,9 @@ pub use loadgen::{
     LoadGenReport, LoadMode, ProtocolMode, StormConfig, StormReport,
 };
 pub use protocol::{ErrorBudget, ErrorCode, Frame, FrameWriteBuf, StatsPayload, Sub, WireVersion};
-pub use server::{DrainReport, FrontDoor, ServeConfig, Server, TenantDrainReport, TenantStats};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::StripedMap;
+pub use server::{
+    DrainReport, FrontDoor, HotpathStats, ServeConfig, Server, TenantDrainReport, TenantStats,
+};
 pub use tenants::{RegrantEvent, SloClass, TenantSpec, TenantWindow};

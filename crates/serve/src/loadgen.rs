@@ -1017,6 +1017,13 @@ pub struct StormConfig {
     /// Wall budget for the submit/answer phase; unanswered submits at the
     /// deadline count as `lost`.
     pub deadline: Duration,
+    /// Closed-loop window: at most this many submits in flight per
+    /// connection; each accounted answer refills one. `0` (the default)
+    /// keeps the legacy open-loop behavior of queueing every submit up
+    /// front — which at 10⁶-request scales turns the run into a pure
+    /// queue-drain instead of a serving loop. The id scheme is identical in
+    /// both modes (`conn_base + k` in submission order).
+    pub window: u32,
 }
 
 impl StormConfig {
@@ -1030,7 +1037,15 @@ impl StormConfig {
             hold: Duration::from_millis(500),
             connect_timeout: Duration::from_secs(10),
             deadline: Duration::from_secs(60),
+            window: 0,
         }
+    }
+
+    /// Switch to closed-loop submission with `window` in-flight per
+    /// connection (0 restores open-loop queue-everything).
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window;
+        self
     }
 }
 
@@ -1097,9 +1112,38 @@ struct StormConn {
     wbuf: FrameWriteBuf,
     /// Submits queued or written whose answers are still outstanding.
     pending: u64,
+    /// First request id of this connection's contiguous id block.
+    id_base: u64,
+    /// Next k to submit (ids are `id_base + k`); `quota` is the total.
+    next_k: u64,
+    quota: u64,
+    /// Request length for refills (closed-loop mode).
+    length: u32,
     interest: Interest,
     refused: bool,
     dead: bool,
+}
+
+impl StormConn {
+    /// Queue one more submit if the quota allows; returns whether one was
+    /// queued. The closed-loop refill path — called per accounted answer.
+    fn refill_one(&mut self, report: &mut StormReport) -> bool {
+        if self.next_k >= self.quota {
+            return false;
+        }
+        self.wbuf.push(
+            &Frame::Submit {
+                id: self.id_base + self.next_k,
+                length: self.length,
+                tenant: DEFAULT_TENANT,
+            },
+            WireVersion::V1,
+        );
+        self.next_k += 1;
+        self.pending += 1;
+        report.submitted += 1;
+        true
+    }
 }
 
 /// Open `config.conns` connections against `addr` from
@@ -1170,6 +1214,10 @@ fn storm_worker(
                     frames: FrameReader::new(),
                     wbuf: FrameWriteBuf::new(),
                     pending: 0,
+                    id_base: ((first_conn + i) as u64) * u64::from(config.submits_per_conn),
+                    next_k: 0,
+                    quota: u64::from(config.submits_per_conn),
+                    length: config.length,
                     interest: Interest::READ,
                     refused: false,
                     dead: false,
@@ -1187,22 +1235,19 @@ fn storm_worker(
     barrier.wait();
     std::thread::sleep(config.hold);
 
-    // Phase 3: queue every submit, then pump readiness until all answers
-    // arrive or the deadline passes.
-    for (i, slot) in conns.iter_mut().enumerate() {
+    // Phase 3: queue the initial submits — everything (open loop,
+    // `window == 0`) or the first window's worth (closed loop; each
+    // accounted answer refills one) — then pump readiness until all
+    // answers arrive or the deadline passes.
+    let initial = if config.window == 0 {
+        u64::from(config.submits_per_conn)
+    } else {
+        u64::from(config.window).min(u64::from(config.submits_per_conn))
+    };
+    for slot in conns.iter_mut() {
         let Some(conn) = slot.as_mut() else { continue };
-        for k in 0..u64::from(config.submits_per_conn) {
-            let id = ((first_conn + i) as u64) * u64::from(config.submits_per_conn) + k;
-            conn.wbuf.push(
-                &Frame::Submit {
-                    id,
-                    length: config.length,
-                    tenant: DEFAULT_TENANT,
-                },
-                WireVersion::V1,
-            );
-            conn.pending += 1;
-            report.submitted += 1;
+        for _ in 0..initial {
+            conn.refill_one(&mut report);
         }
     }
     let deadline = Instant::now() + config.deadline;
@@ -1286,6 +1331,20 @@ fn drive_storm_conn(
             }
         }
     }
+    // Closed-loop refills were queued during the read pass above; flush
+    // them now rather than waiting for an EPOLLOUT round-trip (loopback is
+    // almost always writable — the interest arm below is only the
+    // genuinely-backpressured fallback).
+    while !conn.wbuf.is_empty() {
+        match conn.wbuf.write_some(&mut conn.stream) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                storm_conn_died(conn, epoll, report, open, had_pending);
+                return;
+            }
+        }
+    }
     if had_pending && conn.pending == 0 {
         *open -= 1;
     }
@@ -1303,6 +1362,7 @@ fn storm_account(conn: &mut StormConn, frame: &Frame, report: &mut StormReport) 
         Frame::Response { .. } => {
             report.ok += 1;
             conn.pending = conn.pending.saturating_sub(1);
+            conn.refill_one(report);
         }
         // Connection-scoped verdicts: an admission refusal (Shed before
         // anything was served) or a protocol disconnect. The socket is
@@ -1326,6 +1386,7 @@ fn storm_account(conn: &mut StormConn, frame: &Frame, report: &mut StormReport) 
             };
             *counter += 1;
             conn.pending = conn.pending.saturating_sub(1);
+            conn.refill_one(report);
         }
         _ => {}
     }

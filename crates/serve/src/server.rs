@@ -95,6 +95,8 @@ use crate::protocol::{
     DecodeError, ErrorBudget, ErrorCode, Frame, FrameReader, FrameWriteBuf, StatsPayload,
     WireVersion, CONN_ERROR_ID, UNKNOWN_TENANT_COST,
 };
+use crate::queue::BoundedQueue;
+use crate::registry::StripedMap;
 use crate::tenants::{RegrantEvent, SloClass, TenantSpec, TenantWindow};
 use arlo_core::engine::{ArloEngine, ReplacementPlan};
 use arlo_core::multistream::{PoolCoordinator, StreamPlan};
@@ -252,6 +254,22 @@ pub struct ServeConfig {
     /// Multi-tenant only: span of the sliding per-tenant demand window the
     /// coordinator plans over.
     pub coordinator_window: Nanos,
+    /// Dispatch workers per tenant draining that tenant's shared bounded
+    /// queue. 1 — the default and the retained unsharded baseline —
+    /// reproduces the historical single-dispatch placement order exactly;
+    /// M > 1 lets placements proceed concurrently (order across requests
+    /// then depends on scheduling, which per-request accounting is
+    /// insensitive to).
+    pub dispatch_workers: usize,
+    /// Stripes of the connection registry. 0 — the default — sizes it
+    /// automatically: at least 8 and at least the epoll shard count,
+    /// rounded to a power of two so stripes stay aligned with the front
+    /// door's round-robin shard assignment. 1 is the unsharded baseline
+    /// (a single global lock, as before).
+    pub conn_stripes: usize,
+    /// Shards of each executor's coalescer state ([`Executor`] keys +
+    /// occupancy). 1 is the unsharded baseline.
+    pub executor_shards: usize,
 }
 
 impl ServeConfig {
@@ -280,6 +298,9 @@ impl ServeConfig {
             front_door: FrontDoor::Threaded,
             coordinator_interval: arlo_trace::NANOS_PER_SEC,
             coordinator_window: 2 * arlo_trace::NANOS_PER_SEC,
+            dispatch_workers: 1,
+            conn_stripes: 0,
+            executor_shards: Executor::DEFAULT_SHARDS,
         }
     }
 
@@ -313,6 +334,39 @@ impl ServeConfig {
         self.coordinator_interval = interval;
         self.coordinator_window = window;
         self
+    }
+
+    /// Set the per-tenant dispatch-worker count (min 1).
+    pub fn with_dispatch_workers(mut self, workers: usize) -> Self {
+        self.dispatch_workers = workers.max(1);
+        self
+    }
+
+    /// Set the connection-registry stripe count (0 = auto-size).
+    pub fn with_conn_stripes(mut self, stripes: usize) -> Self {
+        self.conn_stripes = stripes;
+        self
+    }
+
+    /// Set the executor coalescer-state shard count (min 1).
+    pub fn with_executor_shards(mut self, shards: usize) -> Self {
+        self.executor_shards = shards.max(1);
+        self
+    }
+
+    /// The registry stripe count this config resolves to: an explicit
+    /// setting verbatim, or — at 0 — at least 8 and at least the epoll
+    /// shard count, so every front-door shard gets its own disjoint set
+    /// of stripes ([`StripedMap`] rounds to a power of two either way).
+    pub fn resolved_conn_stripes(&self) -> usize {
+        if self.conn_stripes > 0 {
+            return self.conn_stripes;
+        }
+        let shards = match self.front_door {
+            FrontDoor::Threaded => 1,
+            FrontDoor::Epoll { shards } => shards.max(1),
+        };
+        shards.max(8)
     }
 }
 
@@ -448,13 +502,56 @@ pub struct DrainReport {
     pub tenants: Vec<TenantDrainReport>,
 }
 
+/// Per-structure contention telemetry for the sharded hot path (see
+/// [`Server::hotpath_stats`]): how hard each formerly-global structure is
+/// actually being hit, so `ext_hotpath` can report *why* a configuration
+/// is faster, not just that it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotpathStats {
+    /// Stripes of the connection registry (1 = the unsharded baseline).
+    pub conn_stripes: usize,
+    /// Registry stripe-lock acquisitions (lookups, inserts, removals).
+    pub registry_lock_ops: u64,
+    /// Dispatch workers per tenant.
+    pub dispatch_workers: usize,
+    /// Submits refused because a tenant's dispatch queue was at capacity.
+    pub dispatch_queue_full: u64,
+    /// Deepest any tenant's dispatch queue has been.
+    pub dispatch_depth_high_water: u64,
+    /// Dispatch wakeups that drained at least one message.
+    pub dispatch_pop_batches: u64,
+    /// Messages drained across all dispatch wakeups; divided by
+    /// `dispatch_pop_batches` this is the mean dispatch occupancy — how
+    /// many placements each wakeup amortizes over.
+    pub dispatch_pop_msgs: u64,
+    /// Shards of each executor's coalescer state (1 = baseline).
+    pub executor_shards: usize,
+    /// Executor shard-lock acquisitions (submits + batch flushes), summed
+    /// across tenant pools.
+    pub executor_lock_ops: u64,
+}
+
 /// A connection's bounded outbound frame queue on the epoll plane — the
 /// event-loop analogue of the threaded plane's `mpsc::sync_channel`.
-/// Producers (`respond`) push under the registry lock; the owning shard
-/// pops into the connection's [`FrameWriteBuf`].
+/// Producers (`respond`) push under the queue's own lock — *not* the
+/// registry stripe, which they release before touching the queue — and
+/// the owning shard pops into the connection's [`FrameWriteBuf`].
+///
+/// The `closed` latch is what makes that safe: `close_conn` sets it (and
+/// drains the backlog) under this lock after deregistering the handle, so
+/// a responder that resolved its route before the removal observes
+/// `closed` here and balances the flush accounting itself. Exactly one
+/// side counts each frame out — no frame can slip in behind a closed
+/// connection's accounting.
 struct Outbound {
     capacity: usize,
-    queue: Mutex<VecDeque<Frame>>,
+    queue: Mutex<OutboundQueue>,
+}
+
+#[derive(Default)]
+struct OutboundQueue {
+    frames: VecDeque<Frame>,
+    closed: bool,
 }
 
 /// One thread: an incoming connection handed from the acceptor to a shard.
@@ -539,8 +636,11 @@ struct Tenant {
     /// Largest length this tenant's runtime family can serve (0 when the
     /// family is empty — every submit is then unserviceable).
     max_length: u32,
-    /// This tenant's bounded reader → dispatch channel; overflow sheds.
-    dispatch: mpsc::SyncSender<DispatchMsg>,
+    /// This tenant's bounded reader → dispatch queue; overflow sheds.
+    /// MPMC: any number of readers push, `dispatch_workers` workers drain
+    /// in bursts, and [`BoundedQueue::close`] wakes them at shutdown
+    /// without a timeout tick.
+    dispatch: Arc<BoundedQueue<DispatchMsg>>,
     /// SLO-class admission gate: the most requests this tenant may hold
     /// outstanding before the class sheds. `None` — the `Interactive`
     /// tier — is ungated, reproducing single-tenant admission exactly.
@@ -559,6 +659,35 @@ struct Tenant {
     outstanding: AtomicU64,
 }
 
+/// Everything the serving threads share.
+///
+/// # Atomic-ordering contract
+///
+/// Only a handful of the atomics here are **load-bearing for gates** and
+/// keep `SeqCst`; everything else is a pure statistic and uses `Relaxed`:
+///
+/// - `outstanding` (global and per-tenant): gates drain's flush wait
+///   *and* the SLO-class admission limit — an increment must be globally
+///   visible before the submit it admits can complete.
+/// - `queued_frames`: gates drain's flush wait; incremented *before* the
+///   send and decremented after delivery/drop, so it can never dip below
+///   zero and wedge the wait.
+/// - `draining` / `shutdown`: sequence the drain protocol across every
+///   thread.
+/// - `doomed` (per connection): a once-only `swap` — dooming must be
+///   counted exactly once per connection.
+/// - `negotiated` (per connection): orders the version flip against
+///   frames already queued.
+///
+/// The statistics counters (`submits`, `served`, `shed`, `unserviceable`,
+/// `failed`, `reallocations`, `reaped_idle`, `slow_disconnects`,
+/// `protocol_disconnects`, `corrupt_frames`, `v2_conns`, `refused_conns`,
+/// `dropped_responses`, `unknown_tenants`, `granted`, and the per-tenant
+/// mirrors) are only *read exactly* after the writing threads are joined
+/// — the join is the happens-before edge that makes the drain report's
+/// conservation law hold — so their increments need no ordering at all.
+/// Live snapshots (`stats`, `tenant_stats`) were always racy-approximate
+/// and remain so.
 struct Shared {
     /// Tenant streams, indexed by wire tenant id. Never empty; index 0 is
     /// the default tenant every v1 connection addresses.
@@ -592,7 +721,10 @@ struct Shared {
     unknown_tenants: AtomicU64,
     /// The coordinator's structured reallocation log (multi-tenant only).
     regrants: Mutex<Vec<RegrantEvent>>,
-    conns: Mutex<HashMap<u64, ConnHandle>>,
+    /// The lock-striped connection registry: `respond` resolves routes
+    /// under one stripe (never a process-global lock) and never holds the
+    /// stripe across a socket/queue write. See [`StripedMap`].
+    conns: StripedMap<ConnHandle>,
     /// Reader + writer thread handles; finished ones are joined by the
     /// timer thread so reaped connections don't leak threads.
     conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -622,11 +754,31 @@ impl Shared {
     /// blocks: a vanished connection drops the frame, and a *full* queue —
     /// a client that stopped reading while responses kept coming — dooms
     /// the connection (typed disconnect) instead of stalling the caller.
-    /// This is the only way frames reach sockets, so neither the dispatch
-    /// thread nor executor workers can ever block on a slow client.
+    /// This is the only way frames reach sockets, so neither dispatch
+    /// workers nor executor workers can ever block on a slow client.
+    ///
+    /// Locking discipline: the registry stripe is held only long enough to
+    /// clone the route's cheap ends (a channel sender, two `Arc`s); the
+    /// actual queue push happens **after the stripe is released**, so a
+    /// responder never holds any registry lock across a socket/queue
+    /// write. The close race this reopens on the epoll plane — a shard
+    /// tearing the connection down between our lookup and our push — is
+    /// handled by the outbound queue's own `closed` latch (see
+    /// [`Outbound`]).
     fn respond(&self, conn_id: u64, frame: &Frame) {
-        let conns = self.conns.lock();
-        let Some(handle) = conns.get(&conn_id) else {
+        enum Route {
+            Threaded(mpsc::SyncSender<Frame>),
+            Epoll(Arc<Outbound>, Arc<ShardHandle>),
+        }
+        let route = self.conns.with(conn_id, |handle| {
+            handle.map(|h| match &h.route {
+                ConnRoute::Threaded { tx, .. } => Route::Threaded(tx.clone()),
+                ConnRoute::Epoll { outbound, shard } => {
+                    Route::Epoll(Arc::clone(outbound), Arc::clone(shard))
+                }
+            })
+        });
+        let Some(route) = route else {
             self.dropped_responses.fetch_add(1, Ordering::Relaxed);
             return;
         };
@@ -634,47 +786,68 @@ impl Shared {
         // after handling, so incrementing afterwards could race the counter
         // below zero (u64 wrap) and wedge drain's flush wait.
         self.queued_frames.fetch_add(1, Ordering::SeqCst);
-        match &handle.route {
-            ConnRoute::Threaded { tx, .. } => match tx.try_send(frame.clone()) {
+        match route {
+            Route::Threaded(tx) => match tx.try_send(frame.clone()) {
                 Ok(()) => {}
                 Err(mpsc::TrySendError::Full(_)) => {
                     self.queued_frames.fetch_sub(1, Ordering::SeqCst);
                     self.dropped_responses.fetch_add(1, Ordering::Relaxed);
-                    if handle.doom() {
-                        self.slow_disconnects.fetch_add(1, Ordering::SeqCst);
-                    }
+                    self.doom_conn(conn_id);
                 }
                 Err(mpsc::TrySendError::Disconnected(_)) => {
+                    // The writer is gone (reader removed the handle after
+                    // our lookup); it drained the queue before exiting, so
+                    // only this undelivered frame needs balancing.
                     self.queued_frames.fetch_sub(1, Ordering::SeqCst);
                     self.dropped_responses.fetch_add(1, Ordering::Relaxed);
                 }
             },
-            ConnRoute::Epoll { outbound, shard } => {
-                // Same bounded-queue/doom contract as the threaded plane's
-                // sync_channel, just under an explicit lock. The push
-                // happens while we hold the registry lock, so a shard
-                // closing this connection (which removes the handle first,
-                // under the same lock) can never race a frame in behind
-                // its leftover accounting.
-                let overflowed = {
+            Route::Epoll(outbound, shard) => {
+                enum Push {
+                    Queued,
+                    Overflowed,
+                    Closed,
+                }
+                let outcome = {
                     let mut queue = outbound.queue.lock();
-                    if queue.len() >= outbound.capacity {
-                        true
+                    if queue.closed {
+                        Push::Closed
+                    } else if queue.frames.len() >= outbound.capacity {
+                        Push::Overflowed
                     } else {
-                        queue.push_back(frame.clone());
-                        false
+                        queue.frames.push_back(frame.clone());
+                        Push::Queued
                     }
                 };
-                if overflowed {
-                    self.queued_frames.fetch_sub(1, Ordering::SeqCst);
-                    self.dropped_responses.fetch_add(1, Ordering::Relaxed);
-                    if handle.doom() {
-                        self.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                match outcome {
+                    Push::Queued => shard.notify(conn_id),
+                    Push::Overflowed => {
+                        // Same bounded-queue/doom contract as the threaded
+                        // plane's sync_channel.
+                        self.queued_frames.fetch_sub(1, Ordering::SeqCst);
+                        self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                        self.doom_conn(conn_id);
                     }
-                } else {
-                    shard.notify(handle.conn_id);
+                    Push::Closed => {
+                        // close_conn won between our stripe lookup and this
+                        // push; it already drained the backlog, so balance
+                        // our own frame and move on.
+                        self.queued_frames.fetch_sub(1, Ordering::SeqCst);
+                        self.dropped_responses.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
+        }
+    }
+
+    /// Doom a connection by id (the overflow/stall path), re-acquiring its
+    /// registry stripe. Rare by construction — the hot path never dooms —
+    /// so the second stripe acquisition costs nothing in practice. A
+    /// handle already deregistered is fine: the connection is mid-close.
+    fn doom_conn(&self, conn_id: u64) {
+        let first = self.conns.with(conn_id, |h| h.map(ConnHandle::doom));
+        if first == Some(true) {
+            self.slow_disconnects.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -707,9 +880,10 @@ pub struct Server {
     drain_timeout: Duration,
     front_door: FrontDoor,
     acceptor: std::thread::JoinHandle<()>,
-    /// One dispatch thread per tenant, each draining that tenant's own
-    /// bounded queue into that tenant's executor.
+    /// `dispatch_workers` dispatch threads per tenant, all draining that
+    /// tenant's shared bounded queue into that tenant's executor.
     dispatches: Vec<std::thread::JoinHandle<()>>,
+    dispatch_workers: usize,
     timer: std::thread::JoinHandle<()>,
     /// Multi-tenant only: the live re-granting coordinator.
     coordinator: Option<std::thread::JoinHandle<()>>,
@@ -780,9 +954,8 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let clock = Arc::new(VirtualClock::new(config.time_scale));
         let mut tenant_states = Vec::with_capacity(tenants.len());
-        let mut dispatch_rxs = Vec::with_capacity(tenants.len());
         for (spec, engine) in tenants {
-            let (tx, rx) = mpsc::sync_channel::<DispatchMsg>(config.queue_capacity);
+            let queue = Arc::new(BoundedQueue::<DispatchMsg>::new(config.queue_capacity));
             let granted: u32 = engine.deployment().1.iter().sum();
             tenant_states.push(Tenant {
                 max_length: family_max_length(engine.profiles()),
@@ -791,7 +964,7 @@ impl Server {
                 class: spec.class,
                 slo_ms: spec.slo_ms,
                 engine,
-                dispatch: tx,
+                dispatch: queue,
                 granted: AtomicU32::new(granted),
                 window: Mutex::new(TenantWindow::new(config.coordinator_window)),
                 submits: AtomicU64::new(0),
@@ -801,7 +974,6 @@ impl Server {
                 failed: AtomicU64::new(0),
                 outstanding: AtomicU64::new(0),
             });
-            dispatch_rxs.push(rx);
         }
         let shared = Arc::new(Shared {
             tenants: tenant_states,
@@ -827,7 +999,7 @@ impl Server {
             dropped_responses: AtomicU64::new(0),
             unknown_tenants: AtomicU64::new(0),
             regrants: Mutex::new(Vec::new()),
-            conns: Mutex::new(HashMap::new()),
+            conns: StripedMap::new(config.resolved_conn_stripes()),
             conn_threads: Mutex::new(Vec::new()),
         });
 
@@ -841,12 +1013,13 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 Box::new(move |done: CompletedBatch| complete_batch(&shared, &done))
             };
-            let executor = Arc::new(Executor::new(
+            let executor = Arc::new(Executor::new_sharded(
                 tenant.engine.profiles().to_vec(),
                 config.workers,
                 Arc::clone(&clock),
                 config.jitter,
                 config.batch,
+                config.executor_shards,
                 on_done,
             ));
             {
@@ -856,15 +1029,21 @@ impl Server {
             executors.push(executor);
         }
 
-        let mut dispatches = Vec::with_capacity(dispatch_rxs.len());
-        for (idx, rx) in dispatch_rxs.into_iter().enumerate() {
-            let shared = Arc::clone(&shared);
-            let executor = Arc::clone(&executors[idx]);
-            dispatches.push(
-                std::thread::Builder::new()
-                    .name(format!("arlo-dispatch-{idx}"))
-                    .spawn(move || dispatch_loop(&shared, idx as u32, &executor, &rx))?,
-            );
+        // M dispatch workers per tenant, all draining that tenant's shared
+        // bounded queue. M = 1 (the default) keeps the historical strictly
+        // sequential placement order.
+        let dispatch_workers = config.dispatch_workers.max(1);
+        let mut dispatches = Vec::with_capacity(shared.tenants.len() * dispatch_workers);
+        for (idx, tenant_executor) in executors.iter().enumerate() {
+            for w in 0..dispatch_workers {
+                let shared = Arc::clone(&shared);
+                let executor = Arc::clone(tenant_executor);
+                dispatches.push(
+                    std::thread::Builder::new()
+                        .name(format!("arlo-dispatch-{idx}-{w}"))
+                        .spawn(move || dispatch_loop(&shared, idx as u32, &executor))?,
+                );
+            }
         }
 
         let timer = {
@@ -953,6 +1132,7 @@ impl Server {
             front_door: config.front_door,
             acceptor,
             dispatches,
+            dispatch_workers,
             timer,
             coordinator,
             shard_handles,
@@ -989,7 +1169,36 @@ impl Server {
 
     /// Live connections currently registered.
     pub fn active_connections(&self) -> usize {
-        self.shared.conns.lock().len()
+        self.shared.conns.len()
+    }
+
+    /// Contention telemetry for the sharded hot path: registry stripes and
+    /// lock traffic, dispatch-queue pressure and burst occupancy, executor
+    /// shard lock traffic — the per-structure counters `ext_hotpath`
+    /// records. Cheap (atomic loads only); exact once traffic stops.
+    pub fn hotpath_stats(&self) -> HotpathStats {
+        let mut dispatch_queue_full = 0;
+        let mut dispatch_depth_high_water = 0;
+        let mut dispatch_pop_batches = 0;
+        let mut dispatch_pop_msgs = 0;
+        for tenant in &self.shared.tenants {
+            dispatch_queue_full += tenant.dispatch.full_events();
+            dispatch_depth_high_water =
+                dispatch_depth_high_water.max(tenant.dispatch.depth_high_water());
+            dispatch_pop_batches += tenant.dispatch.pop_batches();
+            dispatch_pop_msgs += tenant.dispatch.pop_items();
+        }
+        HotpathStats {
+            conn_stripes: self.shared.conns.stripe_count(),
+            registry_lock_ops: self.shared.conns.lock_ops(),
+            dispatch_workers: self.dispatch_workers,
+            dispatch_queue_full,
+            dispatch_depth_high_water,
+            dispatch_pop_batches,
+            dispatch_pop_msgs,
+            executor_shards: self.executors[0].shard_count(),
+            executor_lock_ops: self.executors.iter().map(|e| e.lock_ops()).sum(),
+        }
     }
 
     /// Connection reader/writer threads not yet joined (finished threads
@@ -1000,34 +1209,34 @@ impl Server {
 
     /// Connections reaped for idling past the configured window.
     pub fn reaped_idle(&self) -> u64 {
-        self.shared.reaped_idle.load(Ordering::SeqCst)
+        self.shared.reaped_idle.load(Ordering::Relaxed)
     }
 
     /// Connections doomed by a stalled client (outbound-queue overflow or
     /// write timeout).
     pub fn slow_disconnects(&self) -> u64 {
-        self.shared.slow_disconnects.load(Ordering::SeqCst)
+        self.shared.slow_disconnects.load(Ordering::Relaxed)
     }
 
     /// Connections refused at admission (over [`ServeConfig::max_conns`]).
     pub fn refused_conns(&self) -> u64 {
-        self.shared.refused_conns.load(Ordering::SeqCst)
+        self.shared.refused_conns.load(Ordering::Relaxed)
     }
 
     /// Connections disconnected with a typed protocol error.
     pub fn protocol_disconnects(&self) -> u64 {
-        self.shared.protocol_disconnects.load(Ordering::SeqCst)
+        self.shared.protocol_disconnects.load(Ordering::Relaxed)
     }
 
     /// v2 frames refused for a checksum mismatch (each answered with a
     /// retryable [`ErrorCode::Corrupt`]).
     pub fn corrupt_frames(&self) -> u64 {
-        self.shared.corrupt_frames.load(Ordering::SeqCst)
+        self.shared.corrupt_frames.load(Ordering::Relaxed)
     }
 
     /// Connections that negotiated protocol v2.
     pub fn v2_conns(&self) -> u64 {
-        self.shared.v2_conns.load(Ordering::SeqCst)
+        self.shared.v2_conns.load(Ordering::Relaxed)
     }
 
     /// Executor completion panics caught and re-accounted so far (summed
@@ -1062,7 +1271,7 @@ impl Server {
 
     /// Submits addressed to tenants this server does not host.
     pub fn unknown_tenants(&self) -> u64 {
-        self.shared.unknown_tenants.load(Ordering::SeqCst)
+        self.shared.unknown_tenants.load(Ordering::Relaxed)
     }
 
     /// The coordinator's structured reallocation log so far (empty on
@@ -1080,13 +1289,13 @@ impl Server {
                 name: t.name.clone(),
                 class: t.class,
                 slo_ms: t.slo_ms,
-                submits: t.submits.load(Ordering::SeqCst),
-                served: t.served.load(Ordering::SeqCst),
-                shed: t.shed.load(Ordering::SeqCst),
-                unserviceable: t.unserviceable.load(Ordering::SeqCst),
-                failed: t.failed.load(Ordering::SeqCst),
+                submits: t.submits.load(Ordering::Relaxed),
+                served: t.served.load(Ordering::Relaxed),
+                shed: t.shed.load(Ordering::Relaxed),
+                unserviceable: t.unserviceable.load(Ordering::Relaxed),
+                failed: t.failed.load(Ordering::Relaxed),
                 outstanding: t.outstanding.load(Ordering::SeqCst),
-                granted_gpus: t.granted.load(Ordering::SeqCst),
+                granted_gpus: t.granted.load(Ordering::Relaxed),
                 generation: t.engine.deployment().0,
             })
             .collect()
@@ -1112,6 +1321,16 @@ impl Server {
         }
 
         shared.shutdown.store(true, Ordering::SeqCst);
+        // Dispatch workers block in `pop_many`: closing each tenant's
+        // queue wakes every worker *now* — shutdown is an event, not a
+        // 2 ms timeout tick. Anything still queued is abandoned by design:
+        // those messages were admitted (counted `outstanding`), and a
+        // timed-out flush wait above means they will never complete — the
+        // report carries them as `outstanding_at_close`, exactly as the
+        // old plane abandoned its channel backlog.
+        for tenant in &shared.tenants {
+            tenant.dispatch.close();
+        }
         // Epoll shards sleep in epoll_wait: nudge them so they observe the
         // shutdown flag now rather than at their next poll timeout.
         for handle in &self.shard_handles {
@@ -1142,7 +1361,7 @@ impl Server {
         // Close every connection: dropping the handles disconnects the
         // writer queues (writers drain and exit) and the socket shutdown
         // unblocks readers.
-        let handles: Vec<ConnHandle> = shared.conns.lock().drain().map(|(_, h)| h).collect();
+        let handles: Vec<ConnHandle> = shared.conns.drain_all();
         for handle in &handles {
             handle.doom();
         }
@@ -1158,34 +1377,34 @@ impl Server {
             .map(|t| TenantDrainReport {
                 name: t.name.clone(),
                 class: t.class,
-                submits: t.submits.load(Ordering::SeqCst),
-                served: t.served.load(Ordering::SeqCst),
-                shed: t.shed.load(Ordering::SeqCst),
-                unserviceable: t.unserviceable.load(Ordering::SeqCst),
-                failed: t.failed.load(Ordering::SeqCst),
+                submits: t.submits.load(Ordering::Relaxed),
+                served: t.served.load(Ordering::Relaxed),
+                shed: t.shed.load(Ordering::Relaxed),
+                unserviceable: t.unserviceable.load(Ordering::Relaxed),
+                failed: t.failed.load(Ordering::Relaxed),
                 outstanding_at_close: t.outstanding.load(Ordering::SeqCst),
-                granted_gpus: t.granted.load(Ordering::SeqCst),
+                granted_gpus: t.granted.load(Ordering::Relaxed),
                 generation: t.engine.deployment().0,
             })
             .collect();
 
         DrainReport {
-            submits: shared.submits.load(Ordering::SeqCst),
-            served: shared.served.load(Ordering::SeqCst),
-            shed: shared.shed.load(Ordering::SeqCst),
-            unserviceable: shared.unserviceable.load(Ordering::SeqCst),
-            failed: shared.failed.load(Ordering::SeqCst),
+            submits: shared.submits.load(Ordering::Relaxed),
+            served: shared.served.load(Ordering::Relaxed),
+            shed: shared.shed.load(Ordering::Relaxed),
+            unserviceable: shared.unserviceable.load(Ordering::Relaxed),
+            failed: shared.failed.load(Ordering::Relaxed),
             outstanding_at_close: shared.outstanding.load(Ordering::SeqCst),
-            reallocations: shared.reallocations.load(Ordering::SeqCst),
+            reallocations: shared.reallocations.load(Ordering::Relaxed),
             generation: shared.tenants[0].engine.deployment().0,
-            reaped_idle: shared.reaped_idle.load(Ordering::SeqCst),
-            slow_disconnects: shared.slow_disconnects.load(Ordering::SeqCst),
-            protocol_disconnects: shared.protocol_disconnects.load(Ordering::SeqCst),
-            corrupt_frames: shared.corrupt_frames.load(Ordering::SeqCst),
-            v2_conns: shared.v2_conns.load(Ordering::SeqCst),
-            refused_conns: shared.refused_conns.load(Ordering::SeqCst),
+            reaped_idle: shared.reaped_idle.load(Ordering::Relaxed),
+            slow_disconnects: shared.slow_disconnects.load(Ordering::Relaxed),
+            protocol_disconnects: shared.protocol_disconnects.load(Ordering::Relaxed),
+            corrupt_frames: shared.corrupt_frames.load(Ordering::Relaxed),
+            v2_conns: shared.v2_conns.load(Ordering::Relaxed),
+            refused_conns: shared.refused_conns.load(Ordering::Relaxed),
             panics_recovered,
-            unknown_tenants: shared.unknown_tenants.load(Ordering::SeqCst),
+            unknown_tenants: shared.unknown_tenants.load(Ordering::Relaxed),
             tenants,
         }
     }
@@ -1305,58 +1524,61 @@ fn fail_batch(shared: &Shared, done: &CompletedBatch) {
         .fetch_sub(done.jobs.len() as u64, Ordering::SeqCst);
 }
 
-/// One tenant's dispatch thread: drain that tenant's bounded queue into
-/// its engine (placement) and executor (execution).
-fn dispatch_loop(
-    shared: &Shared,
-    tenant_id: u32,
-    executor: &Executor,
-    rx: &mpsc::Receiver<DispatchMsg>,
-) {
+/// How many dispatch messages one worker wakeup drains at most: deep
+/// enough to amortize the lock + wakeup over a burst, shallow enough that
+/// a multi-worker pool still spreads a large backlog across workers.
+const DISPATCH_BURST: usize = 256;
+
+/// One dispatch worker: drain its tenant's shared bounded queue in bursts
+/// into the engine (placement) and executor (execution). A tenant runs
+/// [`ServeConfig::dispatch_workers`] of these over one queue; exits —
+/// immediately, no timeout tick — when [`Server::drain`] closes the queue.
+fn dispatch_loop(shared: &Shared, tenant_id: u32, executor: &Executor) {
     let tenant = &shared.tenants[tenant_id as usize];
+    let mut burst: Vec<DispatchMsg> = Vec::with_capacity(DISPATCH_BURST);
     loop {
-        match rx.recv_timeout(Duration::from_millis(2)) {
-            Ok(DispatchMsg::Submit {
+        burst.clear();
+        if tenant.dispatch.pop_many(&mut burst, DISPATCH_BURST) == 0 {
+            return; // closed: shutdown observed as an event
+        }
+        for msg in burst.drain(..) {
+            let DispatchMsg::Submit {
                 conn_id,
                 id,
                 length,
-            }) => {
-                let now = shared.clock.now();
-                match tenant.engine.submit(length, now) {
-                    Some(placement) => executor.submit(Job {
-                        placement,
-                        request_id: id,
-                        conn_id,
-                        tenant: tenant_id,
-                        length,
-                        submitted_at: now,
-                    }),
-                    None => {
-                        // The admission layer refused: either nothing can
-                        // ever serve this length — including the degenerate
-                        // zero-runtime family, max_length 0 — or every
-                        // candidate level is masked/empty (overload,
-                        // quarantine).
-                        let code = refusal_code(length, tenant.max_length);
-                        if code == ErrorCode::Unserviceable {
-                            shared.unserviceable.fetch_add(1, Ordering::Relaxed);
-                            tenant.unserviceable.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            shared.shed.fetch_add(1, Ordering::Relaxed);
-                            tenant.shed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
-                        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-                        shared.respond(conn_id, &Frame::Error { id, code });
+            } = msg;
+            // Per-message timestamp (not per-burst): arrival times feed the
+            // engine's demand windows and the executor's virtual-time
+            // serialization, so batching the drain must not batch time.
+            let now = shared.clock.now();
+            match tenant.engine.submit(length, now) {
+                Some(placement) => executor.submit(Job {
+                    placement,
+                    request_id: id,
+                    conn_id,
+                    tenant: tenant_id,
+                    length,
+                    submitted_at: now,
+                }),
+                None => {
+                    // The admission layer refused: either nothing can
+                    // ever serve this length — including the degenerate
+                    // zero-runtime family, max_length 0 — or every
+                    // candidate level is masked/empty (overload,
+                    // quarantine).
+                    let code = refusal_code(length, tenant.max_length);
+                    if code == ErrorCode::Unserviceable {
+                        shared.unserviceable.fetch_add(1, Ordering::Relaxed);
+                        tenant.unserviceable.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        tenant.shed.fetch_add(1, Ordering::Relaxed);
                     }
+                    tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
+                    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+                    shared.respond(conn_id, &Frame::Error { id, code });
                 }
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -1388,7 +1610,7 @@ fn timer_loop(
                 // holding unsealed jobs survive until their flush drains
                 // them).
                 executors[0].prune_before(plan.generation);
-                shared.reallocations.fetch_add(1, Ordering::SeqCst);
+                shared.reallocations.fetch_add(1, Ordering::Relaxed);
             }
         }
         // Reclaim reader/writer threads of reaped or closed connections.
@@ -1438,7 +1660,7 @@ fn coordinate_once(shared: &Shared, executors: &[Arc<Executor>], total_gpus: u32
     let before: Vec<u32> = shared
         .tenants
         .iter()
-        .map(|t| t.granted.load(Ordering::SeqCst))
+        .map(|t| t.granted.load(Ordering::Relaxed))
         .collect();
     let mut changed = false;
     for (idx, tenant) in shared.tenants.iter().enumerate() {
@@ -1446,7 +1668,7 @@ fn coordinate_once(shared: &Shared, executors: &[Arc<Executor>], total_gpus: u32
         let target = &part.allocations[idx];
         // Keep the reported grant in sync even when the deployment itself
         // is unchanged (the partition may re-state the same split).
-        tenant.granted.store(part.gpus[idx], Ordering::SeqCst);
+        tenant.granted.store(part.gpus[idx], Ordering::Relaxed);
         if *target == current {
             continue;
         }
@@ -1462,14 +1684,14 @@ fn coordinate_once(shared: &Shared, executors: &[Arc<Executor>], total_gpus: u32
         };
         tenant.engine.apply_allocation(&plan);
         executors[idx].prune_before(plan.generation);
-        shared.reallocations.fetch_add(1, Ordering::SeqCst);
+        shared.reallocations.fetch_add(1, Ordering::Relaxed);
         changed = true;
     }
     if changed {
         let after: Vec<u32> = shared
             .tenants
             .iter()
-            .map(|t| t.granted.load(Ordering::SeqCst))
+            .map(|t| t.granted.load(Ordering::Relaxed))
             .collect();
         shared
             .regrants
@@ -1500,7 +1722,7 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
-                if shared.conns.lock().len() >= config.max_conns {
+                if shared.conns.len() >= config.max_conns {
                     // Admission limit: answer one typed Shed frame so the
                     // client knows this was load, not a network fault, and
                     // close. Fire-and-forget on a non-blocking socket —
@@ -1509,7 +1731,7 @@ fn accept_loop(
                     // just misses the courtesy; it must never stall
                     // accepting (the old inline write blocked the acceptor
                     // for up to 1 s per refusal).
-                    shared.refused_conns.fetch_add(1, Ordering::SeqCst);
+                    shared.refused_conns.fetch_add(1, Ordering::Relaxed);
                     let mut stream = stream;
                     let _ = stream.set_nonblocking(true);
                     let _ = stream.write(&refusal);
@@ -1526,7 +1748,7 @@ fn accept_loop(
                 if registered.is_err() {
                     // Stream clone, thread spawn, or nonblocking setup
                     // failed: drop the socket.
-                    shared.conns.lock().remove(&conn_id);
+                    shared.conns.remove(conn_id);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -1551,11 +1773,11 @@ fn register_epoll_conn(
     stream.set_nonblocking(true)?;
     let outbound = Arc::new(Outbound {
         capacity: config.outbound_queue,
-        queue: Mutex::new(VecDeque::new()),
+        queue: Mutex::new(OutboundQueue::default()),
     });
     let doomed = Arc::new(AtomicBool::new(false));
     let negotiated = Arc::new(AtomicU8::new(WireVersion::V1.byte()));
-    shared.conns.lock().insert(
+    shared.conns.insert(
         conn_id,
         ConnHandle {
             conn_id,
@@ -1599,7 +1821,7 @@ fn spawn_connection(
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = writer_stream.set_write_timeout(Some(config.write_timeout));
     let negotiated = Arc::new(AtomicU8::new(WireVersion::V1.byte()));
-    shared.conns.lock().insert(
+    shared.conns.insert(
         conn_id,
         ConnHandle {
             conn_id,
@@ -1651,9 +1873,11 @@ fn spawn_connection(
             .name(format!("arlo-conn-{conn_id}"))
             .spawn(move || {
                 reader_loop(&shared, read_half, conn_id, &doomed, &negotiated, &config);
-                // Removing the handle drops the queue's only sender: the
-                // writer drains whatever is left and exits.
-                if let Some(handle) = shared.conns.lock().remove(&conn_id) {
+                // Removing the handle drops the queue's long-lived sender;
+                // once any respond-cloned senders drop too, the writer
+                // drains whatever is left (balancing the flush counter per
+                // batch) and exits.
+                if let Some(handle) = shared.conns.remove(conn_id) {
                     if let ConnRoute::Threaded { stream, .. } = &handle.route {
                         // Half-close: stop reading; the writer still
                         // flushes.
@@ -1760,7 +1984,7 @@ fn writer_loop(
                     // The client stalled a single write past the timeout:
                     // same fate as overflowing the queue.
                     if !doomed.swap(true, Ordering::SeqCst) {
-                        shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                        shared.slow_disconnects.fetch_add(1, Ordering::Relaxed);
                     }
                     let _ = shutdown.shutdown(Shutdown::Both);
                     dead = true;
@@ -1810,7 +2034,7 @@ fn reader_loop(
                     // the server cannot know which request it carried, but
                     // it *can* say "resend whatever you have in flight".
                     if matches!(e, DecodeError::ChecksumMismatch { .. }) {
-                        shared.corrupt_frames.fetch_add(1, Ordering::SeqCst);
+                        shared.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                         shared.respond(
                             conn_id,
                             &Frame::Error {
@@ -1822,7 +2046,7 @@ fn reader_loop(
                 }
                 Err(_) => {
                     // Budget exhausted or framing lost: typed disconnect.
-                    shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
+                    shared.protocol_disconnects.fetch_add(1, Ordering::Relaxed);
                     shared.respond(
                         conn_id,
                         &Frame::Error {
@@ -1848,7 +2072,7 @@ fn reader_loop(
                 // half-open-socket defence; without it this thread would
                 // block forever on a peer that will never speak again.
                 if last_activity.elapsed() >= config.idle_timeout {
-                    shared.reaped_idle.fetch_add(1, Ordering::SeqCst);
+                    shared.reaped_idle.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
             }
@@ -1925,7 +2149,7 @@ impl FramedConn {
     }
 
     fn has_pending_writes(&self) -> bool {
-        !self.wbuf.is_empty() || !self.outbound.queue.lock().is_empty()
+        !self.wbuf.is_empty() || !self.outbound.queue.lock().frames.is_empty()
     }
 
     fn read_blocked_until(&self) -> Option<Instant> {
@@ -2047,10 +2271,11 @@ fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cf
         // Connections with fresh outbound frames or fresh doom flags. The
         // drained list MUST be bound before the loop: iterating the
         // `mem::take` expression directly keeps the `dirty` guard alive for
-        // the whole body, and `drive_conn` reaches `Shared::respond`, which
-        // locks the registry and then `notify`s this same shard — the
-        // reverse order. Holding `dirty` across the body deadlocks the
-        // shard against any responder (dispatch or an executor worker).
+        // the whole body, and `drive_conn` reaches `Shared::respond`, whose
+        // successful push `notify`s this same shard — re-locking `dirty`
+        // on this very thread. Holding the guard across the body is
+        // self-deadlock (and would also serialize every responder against
+        // this shard's event-handling).
         let dirty = std::mem::take(&mut *handle.dirty.lock());
         for conn_id in dirty {
             drive_conn(shared, epoll, &mut conns, conn_id, cfg, false);
@@ -2142,7 +2367,7 @@ fn drive_read(shared: &Shared, conn: &mut FramedConn, conn_id: u64) {
                 Err(e) if conn.budget.charge(&e) => {
                     // Same budgeted-resync semantics as reader_loop.
                     if matches!(e, DecodeError::ChecksumMismatch { .. }) {
-                        shared.corrupt_frames.fetch_add(1, Ordering::SeqCst);
+                        shared.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                         shared.respond(
                             conn_id,
                             &Frame::Error {
@@ -2153,7 +2378,7 @@ fn drive_read(shared: &Shared, conn: &mut FramedConn, conn_id: u64) {
                     }
                 }
                 Err(_) => {
-                    shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
+                    shared.protocol_disconnects.fetch_add(1, Ordering::Relaxed);
                     shared.respond(
                         conn_id,
                         &Frame::Error {
@@ -2203,13 +2428,13 @@ fn drive_write(shared: &Shared, conn: &mut FramedConn, cfg: &ShardConfig) -> boo
     loop {
         if conn.wbuf.is_empty() {
             let mut queue = conn.outbound.queue.lock();
-            if queue.is_empty() {
+            if queue.frames.is_empty() {
                 break;
             }
             let version = WireVersion::from_byte(conn.negotiated.load(Ordering::SeqCst))
                 .unwrap_or(WireVersion::V1);
             for _ in 0..1024 {
-                let Some(frame) = queue.pop_front() else {
+                let Some(frame) = queue.frames.pop_front() else {
                     break;
                 };
                 let frame_version = if matches!(frame, Frame::HelloAck { .. }) {
@@ -2247,7 +2472,7 @@ fn drive_write(shared: &Shared, conn: &mut FramedConn, cfg: &ShardConfig) -> boo
                     // The client stalled a write past the timeout: same
                     // fate as overflowing the queue.
                     if !conn.doomed.swap(true, Ordering::SeqCst) {
-                        shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                        shared.slow_disconnects.fetch_add(1, Ordering::Relaxed);
                     }
                     return false;
                 }
@@ -2263,17 +2488,22 @@ fn drive_write(shared: &Shared, conn: &mut FramedConn, cfg: &ShardConfig) -> boo
     true
 }
 
-/// Close one epoll connection: deregister the public handle first (under
-/// the registry lock `respond` holds across its push, so no frame can slip
-/// in behind the accounting), then discard undeliverable frames while
-/// keeping the drain flush counter balanced, then drop the socket.
+/// Close one epoll connection: deregister the public handle, then latch
+/// the outbound queue `closed` under its own lock while draining it.
+/// `respond` no longer pushes under any registry lock — it resolves its
+/// route under a stripe, releases it, then pushes under the queue lock —
+/// so the latch is what closes the race: a responder that looked the
+/// handle up before our removal observes `closed` at its push and
+/// balances the flush counter for its own frame; every frame we drain
+/// here we balance ourselves. Exactly one side accounts each frame.
 fn close_conn(shared: &Shared, epoll: &Epoll, conn_id: u64, conn: FramedConn) {
-    shared.conns.lock().remove(&conn_id);
+    shared.conns.remove(conn_id);
     let _ = epoll.delete(&conn.stream);
     let leftover = {
         let mut queue = conn.outbound.queue.lock();
-        let n = queue.len() + conn.wbuf.pending_frames();
-        queue.clear();
+        queue.closed = true;
+        let n = queue.frames.len() + conn.wbuf.pending_frames();
+        queue.frames.clear();
         n
     };
     if leftover > 0 {
@@ -2308,7 +2538,7 @@ fn sweep(shared: &Shared, epoll: &Epoll, conns: &mut HashMap<u64, FramedConn>, c
         if idle {
             if let Some(conn) = conns.get_mut(&conn_id) {
                 // Counted exactly once: `closing` guards re-entry.
-                shared.reaped_idle.fetch_add(1, Ordering::SeqCst);
+                shared.reaped_idle.fetch_add(1, Ordering::Relaxed);
                 conn.closing = true;
             }
         }
@@ -2323,8 +2553,8 @@ fn sweep(shared: &Shared, epoll: &Epoll, conns: &mut HashMap<u64, FramedConn>, c
 /// never accounting.
 fn submit_one(shared: &Shared, conn_id: u64, tenant_id: u32, id: u64, length: u32) {
     let tenant = &shared.tenants[tenant_id as usize]; // caller validated
-    shared.submits.fetch_add(1, Ordering::SeqCst);
-    tenant.submits.fetch_add(1, Ordering::SeqCst);
+    shared.submits.fetch_add(1, Ordering::Relaxed);
+    tenant.submits.fetch_add(1, Ordering::Relaxed);
     if shared.draining.load(Ordering::SeqCst) {
         shared.shed.fetch_add(1, Ordering::Relaxed);
         tenant.shed.fetch_add(1, Ordering::Relaxed);
@@ -2370,8 +2600,9 @@ fn submit_one(shared: &Shared, conn_id: u64, tenant_id: u32, id: u64, length: u3
         id,
         length,
     };
-    if tenant.dispatch.try_send(msg).is_err() {
-        // Bounded-queue overflow: explicit shed, not a stall.
+    if tenant.dispatch.try_push(msg).is_err() {
+        // Bounded-queue overflow (or a post-shutdown straggler hitting the
+        // closed queue): explicit shed, not a stall.
         tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
         shared.shed.fetch_add(1, Ordering::Relaxed);
@@ -2395,7 +2626,7 @@ fn submit_one(shared: &Shared, conn_id: u64, tenant_id: u32, id: u64, length: u3
 /// here: their decode always addresses the default tenant, which always
 /// exists.
 fn unknown_tenant(shared: &Shared, conn_id: u64, id: u64, budget: &mut ErrorBudget) -> bool {
-    shared.unknown_tenants.fetch_add(1, Ordering::SeqCst);
+    shared.unknown_tenants.fetch_add(1, Ordering::Relaxed);
     shared.respond(
         conn_id,
         &Frame::Error {
@@ -2406,7 +2637,7 @@ fn unknown_tenant(shared: &Shared, conn_id: u64, id: u64, budget: &mut ErrorBudg
     if budget.charge_points(UNKNOWN_TENANT_COST) {
         true
     } else {
-        shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
+        shared.protocol_disconnects.fetch_add(1, Ordering::Relaxed);
         shared.respond(
             conn_id,
             &Frame::Error {
@@ -2460,7 +2691,7 @@ fn handle_frame(
             let agreed = WireVersion::negotiate(max_version);
             negotiated.store(agreed.byte(), Ordering::SeqCst);
             if agreed >= WireVersion::V2 {
-                shared.v2_conns.fetch_add(1, Ordering::SeqCst);
+                shared.v2_conns.fetch_add(1, Ordering::Relaxed);
             }
             shared.respond(
                 conn_id,
@@ -2482,7 +2713,7 @@ fn handle_frame(
         // A client sending server-only frames is violating the protocol;
         // answer a typed connection error and close.
         Frame::Response { .. } | Frame::Error { .. } | Frame::Stats(_) | Frame::HelloAck { .. } => {
-            shared.protocol_disconnects.fetch_add(1, Ordering::SeqCst);
+            shared.protocol_disconnects.fetch_add(1, Ordering::Relaxed);
             shared.respond(
                 conn_id,
                 &Frame::Error {

@@ -73,6 +73,7 @@ USAGE:
   arlo serve      --model <m> --gpus <n> [--slo-ms <ms>] [--addr <ip:port>]
                   [--time-scale <x>] [--workers <n>] [--period-secs <s>]
                   [--front-door <threaded|epoll|epoll:N>]
+                  [--dispatch-workers <n>] [--conn-stripes <n>] [--executor-shards <n>]
                   [--tenants <name=class[:slo_ms],...>   class: interactive|standard|batch]
                   [--max-batch <n> [--marginal-cost <f>] [--max-wait-ms <ms>]]
                   [--server-chaos <delay|partial|corrupt|reset|stall>
@@ -457,6 +458,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .ok_or_else(|| format!("unknown --front-door `{v}` (threaded | epoll | epoll:N)"))?,
         None => FrontDoor::from_env(),
     };
+    // Hot-path sharding knobs (PR 9). Defaults keep the sharded executor
+    // and auto-sized registry stripes; `--dispatch-workers 1` (the
+    // default) retains the single-dispatch baseline exactly.
+    let dispatch_workers: usize = num_or(flags, "dispatch-workers", 1)?;
+    let conn_stripes: usize = num_or(flags, "conn-stripes", 0)?;
+    let executor_shards: usize = num_or(flags, "executor-shards", 8)?;
+    if dispatch_workers == 0 || executor_shards == 0 {
+        return Err("--dispatch-workers and --executor-shards must be >= 1".into());
+    }
+    serve_cfg = serve_cfg
+        .with_dispatch_workers(dispatch_workers)
+        .with_conn_stripes(conn_stripes)
+        .with_executor_shards(executor_shards);
     if let Some(class_name) = flags.get("server-chaos") {
         // Test-only: wrap every accepted socket in a seeded FaultyStream so
         // the server's own error paths can be driven from the CLI.
