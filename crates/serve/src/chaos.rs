@@ -503,6 +503,143 @@ impl NonBlockingChaos {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Component chaos: deterministic in-process faults for the server's own
+// threads (the supervision tree's injection substrate).
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte string: folds a component *name* into the seed so
+/// two components matched by the same target prefix still draw
+/// decorrelated schedules.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A recipe for in-process component faults, reproducible from a single
+/// seed. Where [`ChaosConfig`] attacks the *wire*, `ComponentChaos`
+/// attacks the server's own long-lived threads: a supervised component
+/// whose name starts with `target` draws from a deterministic schedule on
+/// every heartbeat and may panic (killing the thread mid-loop) or stall
+/// (sleeping unparked long enough for the supervisor's stall detector to
+/// fire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentChaos {
+    /// Root seed; the whole schedule is a pure function of it.
+    pub seed: u64,
+    /// Component-name prefix to target (`"dispatch"` hits every dispatch
+    /// worker, `"dispatch-a-0"` exactly one).
+    pub target: String,
+    /// Panic on roughly one beat in `n` (deterministic draw). `None` or
+    /// `Some(0)` disables panics.
+    pub panic_one_in: Option<u64>,
+    /// Stall on roughly one beat in `n`. `None` or `Some(0)` disables
+    /// stalls.
+    pub stall_one_in: Option<u64>,
+    /// How long a stall sleeps, in milliseconds. Must exceed the
+    /// supervisor's stall grace to be detectable.
+    pub stall_ms: u64,
+}
+
+impl ComponentChaos {
+    /// Panic-only chaos against components whose name starts with `target`.
+    pub fn panics(target: &str, one_in: u64, seed: u64) -> Self {
+        ComponentChaos {
+            seed,
+            target: target.to_string(),
+            panic_one_in: Some(one_in),
+            stall_one_in: None,
+            stall_ms: 0,
+        }
+    }
+
+    /// Stall-only chaos against components whose name starts with `target`.
+    pub fn stalls(target: &str, one_in: u64, stall_ms: u64, seed: u64) -> Self {
+        ComponentChaos {
+            seed,
+            target: target.to_string(),
+            panic_one_in: None,
+            stall_one_in: Some(one_in),
+            stall_ms,
+        }
+    }
+
+    /// The deterministic fault schedule for one incarnation of a named
+    /// component, or `None` if the name is not targeted. Mixing the
+    /// incarnation in means a restarted component draws a *different* (but
+    /// still reproducible) schedule — so a restart under `panic_one_in: N`
+    /// is not doomed to re-panic at the identical beat.
+    pub fn plan_for(&self, component: &str, incarnation: u32) -> Option<ComponentChaosPlan> {
+        if !component.starts_with(self.target.as_str()) {
+            return None;
+        }
+        let mut mixer = SplitMix64::new(
+            self.seed
+                ^ fnv1a(component.as_bytes())
+                ^ u64::from(incarnation).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        Some(ComponentChaosPlan {
+            component: component.to_string(),
+            rng: SplitMix64::new(mixer.next_u64()),
+            panic_one_in: self.panic_one_in.filter(|&n| n > 0),
+            stall_one_in: self.stall_one_in.filter(|&n| n > 0),
+            stall: Duration::from_millis(self.stall_ms),
+        })
+    }
+}
+
+/// One component incarnation's fault schedule: consulted once per
+/// heartbeat by `SupervisedCtx::beat`.
+#[derive(Debug, Clone)]
+pub struct ComponentChaosPlan {
+    component: String,
+    rng: SplitMix64,
+    panic_one_in: Option<u64>,
+    stall_one_in: Option<u64>,
+    stall: Duration,
+}
+
+impl ComponentChaosPlan {
+    /// Draw the next beat's fate: possibly panic (the supervised wrapper
+    /// catches it at the loop boundary, where conservation guards are
+    /// armed), possibly sleep out a stall window.
+    pub fn on_beat(&mut self) {
+        if let Some(n) = self.panic_one_in {
+            if self.rng.next_u64().is_multiple_of(n) {
+                panic!("chaos: injected panic in component '{}'", self.component);
+            }
+        }
+        if let Some(n) = self.stall_one_in {
+            if self.rng.next_u64().is_multiple_of(n) {
+                std::thread::sleep(self.stall);
+            }
+        }
+    }
+
+    /// Whether the next `k` beats would panic, without side effects —
+    /// lets tests find schedules with the shape they need.
+    pub fn panics_within(&self, k: u64) -> bool {
+        let mut probe = self.clone();
+        for _ in 0..k {
+            let panics = probe
+                .panic_one_in
+                .map(|n| probe.rng.next_u64().is_multiple_of(n))
+                .unwrap_or(false);
+            if panics {
+                return true;
+            }
+            if probe.stall_one_in.is_some() {
+                let _ = probe.rng.next_u64();
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -755,5 +892,54 @@ mod tests {
         assert!(chaos.is_dead());
         let e = chaos.read(&mut inner, &mut buf).expect_err("dead forever");
         assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn component_chaos_targets_by_name_prefix() {
+        let chaos = ComponentChaos::panics("dispatch", 4, 7);
+        assert!(chaos.plan_for("dispatch-a-0", 0).is_some());
+        assert!(chaos.plan_for("dispatch-b-3", 0).is_some());
+        assert!(chaos.plan_for("timer", 0).is_none());
+        assert!(chaos.plan_for("accept", 0).is_none());
+    }
+
+    #[test]
+    fn component_chaos_is_deterministic_and_decorrelated() {
+        let chaos = ComponentChaos::panics("d", 64, 1234);
+        let horizon = |name: &str, inc: u32| -> Vec<bool> {
+            (1..=512u64)
+                .map(|k| chaos.plan_for(name, inc).unwrap().panics_within(k))
+                .collect()
+        };
+        // Same (name, incarnation) ⇒ the identical schedule.
+        assert_eq!(horizon("d-0", 0), horizon("d-0", 0));
+        // Sibling components and restarted incarnations draw different
+        // schedules from the same root seed.
+        assert_ne!(horizon("d-0", 0), horizon("d-1", 0));
+        assert_ne!(horizon("d-0", 0), horizon("d-0", 1));
+    }
+
+    #[test]
+    fn component_chaos_panic_one_in_one_panics_on_first_beat() {
+        let chaos = ComponentChaos::panics("timer", 1, 9);
+        let mut plan = chaos.plan_for("timer", 0).unwrap();
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.on_beat()));
+        assert!(died.is_err(), "one-in-one chaos fires immediately");
+    }
+
+    #[test]
+    fn component_chaos_zero_rates_are_inert() {
+        let chaos = ComponentChaos {
+            seed: 3,
+            target: "x".into(),
+            panic_one_in: Some(0),
+            stall_one_in: Some(0),
+            stall_ms: 50,
+        };
+        let mut plan = chaos.plan_for("x-1", 0).unwrap();
+        for _ in 0..256 {
+            plan.on_beat(); // must neither panic nor sleep
+        }
+        assert!(!chaos.plan_for("x-1", 0).unwrap().panics_within(1024));
     }
 }

@@ -32,6 +32,7 @@
 //! servers.
 
 use crate::clock::VirtualClock;
+use crate::supervisor::SupervisedCtx;
 use arlo_core::engine::Placement;
 use arlo_runtime::batching::{BatchPolicy, Coalescer};
 use arlo_runtime::latency::JitterSpec;
@@ -261,7 +262,9 @@ fn occ_update<T>(occ: &mut Vec<u64>, sealed: &[arlo_runtime::batching::SealedBat
 pub struct Executor {
     shared: Arc<ExecutorShared>,
     run_tx: mpsc::Sender<CompletedBatch>,
-    flusher: std::thread::JoinHandle<()>,
+    /// The internal flusher thread. `None` when the caller supervises the
+    /// flusher externally via [`Executor::run_flusher`].
+    flusher: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -309,11 +312,54 @@ impl Executor {
         shards: usize,
         on_done: Box<BatchCallback>,
     ) -> Self {
+        Executor::build(
+            profiles, workers, clock, jitter, policy, shards, on_done, true,
+        )
+    }
+
+    /// [`Executor::new_sharded`] *without* the internal flusher thread: the
+    /// caller owns the flusher by running [`Executor::run_flusher`] on a
+    /// thread it controls — the supervision tree's restartable-flusher
+    /// arrangement. Until `run_flusher` first runs, no flush channel
+    /// exists, so future-sealing batches queue silently in their
+    /// coalescers (the rebuild on `run_flusher` entry recovers them);
+    /// start the flusher before traffic flows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_external_flusher(
+        profiles: Vec<RuntimeProfile>,
+        workers: usize,
+        clock: Arc<VirtualClock>,
+        jitter: JitterSpec,
+        policy: BatchPolicy,
+        shards: usize,
+        on_done: Box<BatchCallback>,
+    ) -> Self {
+        Executor::build(
+            profiles, workers, clock, jitter, policy, shards, on_done, false,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        profiles: Vec<RuntimeProfile>,
+        workers: usize,
+        clock: Arc<VirtualClock>,
+        jitter: JitterSpec,
+        policy: BatchPolicy,
+        shards: usize,
+        on_done: Box<BatchCallback>,
+        internal_flusher: bool,
+    ) -> Self {
         assert!(workers >= 1, "need at least one worker");
         assert!(!profiles.is_empty(), "need at least one profile");
         policy.validate();
         let n = shards.max(1).next_power_of_two();
-        let (flush_tx, flush_rx) = mpsc::channel::<(Nanos, Key)>();
+        let (flush_tx, flush_rx) = if internal_flusher {
+            let (tx, rx) = mpsc::channel::<(Nanos, Key)>();
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
         let shared = Arc::new(ExecutorShared {
             clock,
             profiles,
@@ -322,7 +368,7 @@ impl Executor {
             shards: (0..n).map(|_| Mutex::new(ExecShard::default())).collect(),
             shard_mask: n - 1,
             lock_ops: std::sync::atomic::AtomicU64::new(0),
-            flush_tx: Mutex::new(Some(flush_tx)),
+            flush_tx: Mutex::new(flush_tx),
             on_done,
             on_panic: Mutex::new(None),
             panics: std::sync::atomic::AtomicU64::new(0),
@@ -346,20 +392,56 @@ impl Executor {
                     .expect("spawn executor worker")
             })
             .collect();
-        let flusher = {
+        let flusher = flush_rx.map(|flush_rx| {
             let shared = Arc::clone(&shared);
             let run_tx = run_tx.clone();
             std::thread::Builder::new()
                 .name("arlo-exec-flush".into())
-                .spawn(move || flusher_loop(&shared, &flush_rx, &run_tx))
+                .spawn(move || flusher_loop(&shared, &flush_rx, &run_tx, Vec::new(), None))
                 .expect("spawn executor flusher")
-        };
+        });
         Executor {
             shared,
             run_tx,
             flusher,
             workers,
         }
+    }
+
+    /// Run the flusher loop on the calling thread — the supervised-flusher
+    /// body (pair with [`Executor::new_external_flusher`]). Installs a
+    /// fresh flush channel (replacing any stale one from a dead
+    /// incarnation) and **rebuilds the deadline heap from live coalescer
+    /// state**: every key whose coalescer holds a pending seal deadline is
+    /// re-armed, so batches whose arm was lost with a panicked flusher —
+    /// or that were submitted while no flusher was alive — still seal and
+    /// complete. Returns when [`Executor::stop_flusher`] disconnects the
+    /// channel and every armed deadline has fired.
+    pub fn run_flusher(&self, ctx: Option<&SupervisedCtx>) {
+        let (tx, rx) = mpsc::channel::<(Nanos, Key)>();
+        *self.shared.flush_tx.lock() = Some(tx);
+        let mut seeds: Vec<(Nanos, Key)> = Vec::new();
+        for shard in self.shared.shards.iter() {
+            let mut shard = shard.lock();
+            for (key, state) in shard.keys.iter_mut() {
+                match state.coalescer.next_deadline() {
+                    Some(d) => {
+                        state.flush_at = Some(d);
+                        seeds.push((d, *key));
+                    }
+                    None => state.flush_at = None,
+                }
+            }
+        }
+        flusher_loop(&self.shared, &rx, &self.run_tx, seeds, ctx);
+    }
+
+    /// Disconnect the external flusher's channel; [`Executor::run_flusher`]
+    /// drains its armed deadlines and returns. Part of the supervised
+    /// drain sequence (the internal-flusher arrangement does this inside
+    /// [`Executor::shutdown`]).
+    pub fn stop_flusher(&self) {
+        *self.shared.flush_tx.lock() = None;
     }
 
     /// Submit a job: queue it on its instance's coalescer and seal whatever
@@ -458,9 +540,12 @@ impl Executor {
     pub fn shutdown(self) -> Vec<u64> {
         // Disconnect the flusher's queue; it drains its armed deadlines
         // (sleeping each out on the virtual clock) and exits, dropping its
-        // clone of the run sender.
+        // clone of the run sender. An externally-run flusher has already
+        // been stopped and joined by its supervisor at this point.
         *self.shared.flush_tx.lock() = None;
-        self.flusher.join().expect("executor flusher panicked");
+        if let Some(flusher) = self.flusher {
+            flusher.join().expect("executor flusher panicked");
+        }
         drop(self.run_tx);
         for handle in self.workers {
             handle.join().expect("executor worker panicked");
@@ -484,14 +569,25 @@ impl Executor {
 /// that key's coalescer (which may seal batches and/or arm the next
 /// deadline). Exits once the executor disconnects the queue and every
 /// armed deadline has fired.
+///
+/// `seeds` pre-loads the heap — the supervised restart path's rebuilt
+/// deadlines. `ctx` (supervised runs only) carries the heartbeat and any
+/// injected chaos: beats land at loop-iteration boundaries, where an
+/// induced panic loses only the heap (rebuilt on restart from coalescer
+/// state), never a half-advanced key.
 fn flusher_loop(
     shared: &ExecutorShared,
     rx: &mpsc::Receiver<(Nanos, Key)>,
     run_tx: &mpsc::Sender<CompletedBatch>,
+    seeds: Vec<(Nanos, Key)>,
+    ctx: Option<&SupervisedCtx>,
 ) {
-    let mut heap: BinaryHeap<Reverse<(Nanos, Key)>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<(Nanos, Key)>> = seeds.into_iter().map(Reverse).collect();
     let mut disconnected = false;
     loop {
+        if let Some(ctx) = ctx {
+            ctx.beat();
+        }
         while let Some(&Reverse((due, key))) = heap.peek() {
             if shared.clock.now() < due {
                 break;
@@ -511,6 +607,9 @@ fn flusher_loop(
                 .clamp(Duration::from_micros(100), Duration::from_millis(5)),
             None => Duration::from_millis(5),
         };
+        if let Some(ctx) = ctx {
+            ctx.park();
+        }
         if disconnected {
             std::thread::sleep(wait);
             continue;
@@ -666,9 +765,11 @@ mod tests {
         };
         let policy = BatchPolicy {
             spec,
-            // 20 virtual ms at 10_000× is 2 µs real: the flusher, not the
+            // 20 virtual s at 10_000× is 2 ms real: comfortably in the
+            // future when the submits land (so the submit path cannot seal
+            // eagerly), yet cheap to sleep out — the flusher, not the
             // submit path, must seal this batch.
-            max_wait_ns: 20_000_000,
+            max_wait_ns: 20_000_000_000,
         };
         let (exec, clock, done) = executor(2, 10_000, policy);
         let t0 = clock.now();
@@ -798,6 +899,63 @@ mod tests {
         assert_eq!(failed.len(), 10, "every 3rd id re-accounted: {failed:?}");
         assert!(failed.iter().all(|id| id % 3 == 0));
         assert_eq!(done.len(), 20, "the rest completed normally");
+    }
+
+    #[test]
+    fn external_flusher_rebuilds_deadlines_after_a_dead_window() {
+        // The supervised-restart scenario: jobs land while *no* flusher is
+        // alive (the previous incarnation is dead, the next not yet
+        // spawned). Their held-open batch cannot seal until a flusher
+        // exists — and the restarted flusher must recover the deadline
+        // from live coalescer state, not from the lost heap.
+        let spec = BatchSpec {
+            max_batch: 8,
+            marginal_cost: 0.5,
+        };
+        let policy = BatchPolicy {
+            spec,
+            // 20 virtual s at 10_000× = 2 ms real: in the future when the
+            // submits land (no eager seal on the submit path), overdue by
+            // the time the restarted flusher rebuilds.
+            max_wait_ns: 20_000_000_000,
+        };
+        let clock = Arc::new(VirtualClock::new(10_000));
+        let done: Arc<Mutex<Vec<CompletedBatch>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&done);
+        let exec = Arc::new(Executor::new_external_flusher(
+            profiles(),
+            2,
+            Arc::clone(&clock),
+            JitterSpec::NONE,
+            policy,
+            4,
+            Box::new(move |b| sink.lock().push(b)),
+        ));
+        let t0 = clock.now();
+        exec.submit(job(0, 0, 0, t0));
+        exec.submit(job(1, 0, 0, t0));
+        // 20 ms real at 10_000× is 200 virtual s, far past the 20
+        // virtual-s window: the batch is overdue, but with no flusher
+        // nothing fires it.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(done.lock().is_empty(), "no flusher alive, nothing seals");
+        let flusher = {
+            let exec = Arc::clone(&exec);
+            std::thread::spawn(move || exec.run_flusher(None))
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.lock().iter().map(|b| b.jobs.len()).sum::<usize>() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "rebuild lost the overdue batch"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        exec.stop_flusher();
+        flusher.join().unwrap();
+        let exec = Arc::try_unwrap(exec).ok().expect("flusher joined");
+        exec.shutdown();
+        assert_eq!(done.lock().len(), 1, "both jobs share the rebuilt batch");
     }
 
     #[test]

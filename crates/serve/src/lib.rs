@@ -34,6 +34,12 @@
 //!   front door (and the high-connection-count load generator).
 //! - [`queue`] — the bounded MPMC dispatch queue with shutdown-aware
 //!   wakeup that feeds each tenant's dispatch-worker pool.
+//! - [`supervisor`] — the supervision tree: every long-lived server
+//!   thread runs as a named, heartbeat-monitored component with a typed
+//!   restart policy; panics restart within budget (state re-attached,
+//!   mid-flight work re-accounted), stalls are detected, unrecoverable
+//!   failures escalate to a fail-fast conserving drain. Seeded in-process
+//!   fault injection via [`chaos::ComponentChaos`].
 //! - [`registry`] — the lock-striped connection registry
 //!   ([`registry::StripedMap`]) that replaced the process-global conns
 //!   mutex on the response hot path.
@@ -64,9 +70,13 @@ pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod supervisor;
 pub mod tenants;
 
-pub use chaos::{ChaosConfig, ChaosPlan, FaultClass, FaultyStream, NonBlockingChaos};
+pub use chaos::{
+    ChaosConfig, ChaosPlan, ComponentChaos, ComponentChaosPlan, FaultClass, FaultyStream,
+    NonBlockingChaos,
+};
 pub use clock::VirtualClock;
 pub use loadgen::{
     chaos_replay, connection_storm, replay, ChaosReplayConfig, ChaosReport, LoadGenConfig,
@@ -78,4 +88,7 @@ pub use registry::StripedMap;
 pub use server::{
     DrainReport, FrontDoor, HotpathStats, ServeConfig, Server, TenantDrainReport, TenantStats,
 };
-pub use tenants::{RegrantEvent, SloClass, TenantSpec, TenantWindow};
+pub use supervisor::{
+    RestartPolicy, SupervisedCtx, Supervisor, SupervisorEvent, SupervisorEventKind,
+};
+pub use tenants::{RegrantEvent, ShardedTenantWindow, SloClass, TenantSpec, TenantWindow};

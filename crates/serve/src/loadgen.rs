@@ -1024,6 +1024,15 @@ pub struct StormConfig {
     /// queue-drain instead of a serving loop. The id scheme is identical in
     /// both modes (`conn_base + k` in submission order).
     pub window: u32,
+    /// Wire dialect the storm speaks. [`WireVersion::V1`] (the default)
+    /// reproduces the legacy storm byte-for-byte: no handshake,
+    /// unchecksummed frames. [`WireVersion::V2`] negotiates per connection
+    /// (`Hello`/`HelloAck` before the socket goes non-blocking) and sends
+    /// refills as checksummed [`Frame::BatchedSubmit`] chunks — every
+    /// refill accumulated during one readiness pass leaves as a single
+    /// frame, so a deep window amortizes framing the way the v2 replay
+    /// path does.
+    pub wire: WireVersion,
 }
 
 impl StormConfig {
@@ -1038,6 +1047,7 @@ impl StormConfig {
             connect_timeout: Duration::from_secs(10),
             deadline: Duration::from_secs(60),
             window: 0,
+            wire: WireVersion::V1,
         }
     }
 
@@ -1045,6 +1055,12 @@ impl StormConfig {
     /// connection (0 restores open-loop queue-everything).
     pub fn with_window(mut self, window: u32) -> Self {
         self.window = window;
+        self
+    }
+
+    /// Select the wire dialect (see [`StormConfig::wire`]).
+    pub fn with_wire(mut self, wire: WireVersion) -> Self {
+        self.wire = wire;
         self
     }
 }
@@ -1119,6 +1135,13 @@ struct StormConn {
     quota: u64,
     /// Request length for refills (closed-loop mode).
     length: u32,
+    /// Version agreed at connect ([`WireVersion::V1`] unless the storm
+    /// negotiated v2).
+    version: WireVersion,
+    /// Refills accumulated during the current readiness pass, awaiting a
+    /// [`Frame::BatchedSubmit`] flush (v2 connections only — v1 refills go
+    /// straight to the write buffer one frame each).
+    refills: Vec<Sub>,
     interest: Interest,
     refused: bool,
     dead: bool,
@@ -1127,29 +1150,56 @@ struct StormConn {
 impl StormConn {
     /// Queue one more submit if the quota allows; returns whether one was
     /// queued. The closed-loop refill path — called per accounted answer.
+    /// On v2 the submit is staged in [`StormConn::refills`] so everything
+    /// queued during one readiness pass coalesces into one batched frame;
+    /// [`StormConn::flush_refills`] turns the stage into wire bytes.
     fn refill_one(&mut self, report: &mut StormReport) -> bool {
         if self.next_k >= self.quota {
             return false;
         }
-        self.wbuf.push(
-            &Frame::Submit {
-                id: self.id_base + self.next_k,
+        let id = self.id_base + self.next_k;
+        if self.version >= WireVersion::V2 {
+            self.refills.push(Sub {
+                id,
                 length: self.length,
                 tenant: DEFAULT_TENANT,
-            },
-            WireVersion::V1,
-        );
+            });
+        } else {
+            self.wbuf.push(
+                &Frame::Submit {
+                    id,
+                    length: self.length,
+                    tenant: DEFAULT_TENANT,
+                },
+                WireVersion::V1,
+            );
+        }
         self.next_k += 1;
         self.pending += 1;
         report.submitted += 1;
         true
+    }
+
+    /// Move staged v2 refills into the write buffer as
+    /// [`Frame::BatchedSubmit`] chunks of up to [`MAX_BATCH`]: one header,
+    /// one checksum per chunk instead of per submit. No-op on v1 (nothing
+    /// is ever staged).
+    fn flush_refills(&mut self) {
+        while !self.refills.is_empty() {
+            let n = self.refills.len().min(MAX_BATCH);
+            let subs: Vec<Sub> = self.refills.drain(..n).collect();
+            self.wbuf.push(&Frame::BatchedSubmit { subs }, self.version);
+        }
     }
 }
 
 /// Open `config.conns` connections against `addr` from
 /// `config.threads` epoll-driven threads, hold them all concurrently,
 /// push `submits_per_conn` requests down each, and account every answer.
-/// v1 protocol only — a storm measures the front door, not the dialect.
+/// Speaks v1 by default (a storm measures the front door, not the
+/// dialect); [`StormConfig::wire`] = [`WireVersion::V2`] negotiates each
+/// connection and sends closed-loop refills as batched, checksummed
+/// [`Frame::BatchedSubmit`] frames.
 ///
 /// Unlike [`replay`] (two OS threads per connection), the storm costs one
 /// fd per connection and a fixed handful of threads, which is what makes
@@ -1201,11 +1251,28 @@ fn storm_worker(
     let epoll = Epoll::new()?;
     let mut conns: Vec<Option<StormConn>> = Vec::with_capacity(share);
 
-    // Phase 1: connect everything (blocking, then flip non-blocking).
+    // Phase 1: connect everything (blocking — including the v2 handshake,
+    // which must finish before request traffic — then flip non-blocking).
     for i in 0..share {
         match TcpStream::connect_timeout(&addr, config.connect_timeout) {
-            Ok(stream) => {
+            Ok(mut stream) => {
                 let _ = stream.set_nodelay(true);
+                let version = if config.wire >= WireVersion::V2 {
+                    stream.set_read_timeout(Some(config.connect_timeout))?;
+                    match client_handshake(&mut stream) {
+                        Ok(v) => v,
+                        Err(_) => {
+                            // A connection that cannot even negotiate is
+                            // indistinguishable from one that never
+                            // connected.
+                            report.connect_errors += 1;
+                            conns.push(None);
+                            continue;
+                        }
+                    }
+                } else {
+                    WireVersion::V1
+                };
                 stream.set_nonblocking(true)?;
                 epoll.add(&stream, i as u64, Interest::READ)?;
                 report.connected += 1;
@@ -1218,6 +1285,8 @@ fn storm_worker(
                     next_k: 0,
                     quota: u64::from(config.submits_per_conn),
                     length: config.length,
+                    version,
+                    refills: Vec::new(),
                     interest: Interest::READ,
                     refused: false,
                     dead: false,
@@ -1293,7 +1362,9 @@ fn drive_storm_conn(
         return;
     }
     let had_pending = conn.pending > 0;
-    // Writes first: submits still queued locally cannot be answered.
+    // Writes first: submits still queued locally cannot be answered. Any
+    // refills staged since the last pass (v2) batch into the buffer now.
+    conn.flush_refills();
     while !conn.wbuf.is_empty() {
         match conn.wbuf.write_some(&mut conn.stream) {
             Ok(_) => {}
@@ -1331,10 +1402,12 @@ fn drive_storm_conn(
             }
         }
     }
-    // Closed-loop refills were queued during the read pass above; flush
-    // them now rather than waiting for an EPOLLOUT round-trip (loopback is
-    // almost always writable — the interest arm below is only the
+    // Closed-loop refills were queued during the read pass above — on v2
+    // the whole pass coalesces into one BatchedSubmit here. Flush now
+    // rather than waiting for an EPOLLOUT round-trip (loopback is almost
+    // always writable — the interest arm below is only the
     // genuinely-backpressured fallback).
+    conn.flush_refills();
     while !conn.wbuf.is_empty() {
         match conn.wbuf.write_some(&mut conn.stream) {
             Ok(_) => {}

@@ -151,6 +151,18 @@ impl<T> BoundedQueue<T> {
         self.available.notify_all();
     }
 
+    /// Take every item still queued, working even after [`close`]
+    /// (`pop_many` refuses then by design). The supervisor's escalation
+    /// path uses this to re-account abandoned messages as `Failed` instead
+    /// of leaving their admission counts dangling: close first (so no
+    /// consumer races the drain), then drain, then answer each message.
+    ///
+    /// [`close`]: BoundedQueue::close
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("dispatch queue poisoned");
+        inner.items.drain(..).collect()
+    }
+
     /// Items currently queued.
     pub fn len(&self) -> usize {
         self.inner
@@ -339,5 +351,159 @@ mod tests {
         assert_eq!(seen.len() as u64, total, "no item lost or duplicated");
         assert_eq!(q.pop_items(), total);
         assert!(q.pop_batches() <= q.pop_items());
+    }
+
+    #[test]
+    fn drain_remaining_recovers_the_backlog_after_close() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_many(&mut out, 8), 0, "consumers see closed");
+        assert_eq!(q.drain_remaining(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.drain_remaining(), Vec::<i32>::new(), "idempotent");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn consumer_churn_conserves_every_item() {
+        // The supervision scenario: consumers (dispatch workers) keep
+        // dying mid-stream and fresh incarnations re-subscribe to the
+        // *same* queue, while producers never stop. Every pushed item must
+        // be consumed exactly once — a worker death between pop_many and
+        // processing is the worker's problem (its burst guard), never the
+        // queue's: here workers die only at burst boundaries, so the
+        // queue alone must account for everything.
+        const PRODUCERS: usize = 3;
+        const PER_PRODUCER: u64 = 4_000;
+        const GENERATIONS: usize = 6;
+        const WORKERS_PER_GEN: usize = 2;
+        // Each worker incarnation consumes at most this many items, then
+        // "dies" (returns) — forcing many re-subscriptions mid-stream.
+        const LIFE_BUDGET: usize = 500;
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(128));
+        let consumed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let producers: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        loop {
+                            match q.try_push(p * PER_PRODUCER + i) {
+                                Ok(()) => break,
+                                Err(PushError::Full) => std::thread::yield_now(),
+                                Err(PushError::Closed) => unreachable!(),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let total = PRODUCERS as u64 * PER_PRODUCER;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        for _generation in 0..GENERATIONS {
+            // A generation of short-lived workers, joined before the
+            // next is spawned — consumers die and re-subscribe while
+            // producers are still pushing.
+            let workers: Vec<_> = (0..WORKERS_PER_GEN)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    let consumed = Arc::clone(&consumed);
+                    std::thread::spawn(move || {
+                        let mut taken = 0usize;
+                        let mut out = Vec::new();
+                        while taken < LIFE_BUDGET {
+                            out.clear();
+                            let n = q.pop_many(&mut out, 64);
+                            if n == 0 {
+                                return;
+                            }
+                            consumed.lock().unwrap().extend_from_slice(&out);
+                            taken += n;
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert!(Instant::now() < deadline, "churn made no progress");
+        }
+        // A final long-lived generation drains whatever the churned
+        // workers left behind. Spawned *before* joining the producers:
+        // the generations' combined life budget (6 × 2 × 500) is less
+        // than the 12 000 items produced, so the producers are still
+        // blocked pushing the tail and need a live consumer to finish.
+        let finisher = {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    out.clear();
+                    if q.pop_many(&mut out, 64) == 0 {
+                        return;
+                    }
+                    consumed.lock().unwrap().extend_from_slice(&out);
+                }
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        while (consumed.lock().unwrap().len() as u64) < total {
+            assert!(Instant::now() < deadline, "finisher stalled");
+            std::thread::yield_now();
+        }
+        q.close();
+        finisher.join().unwrap();
+        let mut seen = consumed.lock().unwrap().clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len() as u64,
+            total,
+            "churned consumers lost or duplicated items"
+        );
+    }
+
+    #[test]
+    fn close_wakes_a_late_resubscribed_consumer_promptly() {
+        // A worker restarted *after* most of the plane shut down still
+        // blocks on the same queue; close() must wake it as fast as the
+        // original consumers — restarts must not reintroduce the old
+        // 2 ms-poll shutdown latency.
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        // First consumer blocks, then "dies" when we feed it one item.
+        let first = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                q.pop_many(&mut out, 4)
+            })
+        };
+        q.try_push(1).unwrap();
+        assert_eq!(first.join().unwrap(), 1);
+        // The restarted incarnation re-subscribes and blocks empty.
+        let restarted = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let woke = q.pop_many(&mut out, 4);
+                (woke, Instant::now())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let closed_at = Instant::now();
+        q.close();
+        let (woke, woke_at) = restarted.join().unwrap();
+        assert_eq!(woke, 0);
+        assert!(
+            woke_at.duration_since(closed_at) < Duration::from_millis(250),
+            "restarted consumer took {:?} to observe close",
+            woke_at.duration_since(closed_at)
+        );
     }
 }

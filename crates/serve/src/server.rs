@@ -87,7 +87,7 @@
 //! every queued response frame, then closes connections and joins all
 //! threads.
 
-use crate::chaos::{ChaosConfig, FaultyStream, NonBlockingChaos};
+use crate::chaos::{ChaosConfig, ComponentChaos, FaultyStream, NonBlockingChaos};
 use crate::clock::VirtualClock;
 use crate::epoll::{Epoll, Interest, Waker, WAKER_TOKEN};
 use crate::executor::{CompletedBatch, Executor, Job};
@@ -97,7 +97,8 @@ use crate::protocol::{
 };
 use crate::queue::BoundedQueue;
 use crate::registry::StripedMap;
-use crate::tenants::{RegrantEvent, SloClass, TenantSpec, TenantWindow};
+use crate::supervisor::{RestartPolicy, SupervisedCtx, Supervisor, SupervisorEvent};
+use crate::tenants::{RegrantEvent, ShardedTenantWindow, SloClass, TenantSpec};
 use arlo_core::engine::{ArloEngine, ReplacementPlan};
 use arlo_core::multistream::{PoolCoordinator, StreamPlan};
 use arlo_runtime::batching::{BatchPolicy, BatchSpec};
@@ -270,6 +271,29 @@ pub struct ServeConfig {
     /// Shards of each executor's coalescer state ([`Executor`] keys +
     /// occupancy). 1 is the unsharded baseline.
     pub executor_shards: usize,
+    /// Whether the supervision tree's monitor thread runs. `true` — the
+    /// default — detects panics and stalls in every long-lived serving
+    /// thread, restarts within budget, and escalates unrecoverable
+    /// failures to a fail-fast conserving drain. `false` spawns the same
+    /// components with no monitor: panics are swallowed silently — the
+    /// pre-supervision behavior, kept selectable so its failure mode
+    /// stays pinned by regression tests.
+    pub supervised: bool,
+    /// Test-only in-process fault injection: a seeded
+    /// [`ComponentChaos`] schedule targeting server components by name
+    /// prefix (`dispatch`, `flusher`, `timer`, `coordinator`, `shard`,
+    /// `accept`), consulted on every component heartbeat. `None` — the
+    /// production setting — injects nothing.
+    pub component_chaos: Option<ComponentChaos>,
+    /// Backoff before the supervisor respawns a panicked restartable
+    /// component.
+    pub restart_backoff: Duration,
+    /// Lifetime respawns allowed per restartable component; exhausting
+    /// the budget escalates to the fail-fast drain.
+    pub restart_budget: u32,
+    /// How long a component's heartbeat may freeze while unparked before
+    /// the supervisor flags it stalled.
+    pub stall_grace: Duration,
 }
 
 impl ServeConfig {
@@ -301,6 +325,11 @@ impl ServeConfig {
             dispatch_workers: 1,
             conn_stripes: 0,
             executor_shards: Executor::DEFAULT_SHARDS,
+            supervised: true,
+            component_chaos: None,
+            restart_backoff: Duration::from_millis(10),
+            restart_budget: 8,
+            stall_grace: Duration::from_millis(500),
         }
     }
 
@@ -351,6 +380,31 @@ impl ServeConfig {
     /// Set the executor coalescer-state shard count (min 1).
     pub fn with_executor_shards(mut self, shards: usize) -> Self {
         self.executor_shards = shards.max(1);
+        self
+    }
+
+    /// Enable or disable the supervision tree's monitor thread.
+    pub fn with_supervision(mut self, supervised: bool) -> Self {
+        self.supervised = supervised;
+        self
+    }
+
+    /// Enable seeded in-process component fault injection (tests).
+    pub fn with_component_chaos(mut self, chaos: ComponentChaos) -> Self {
+        self.component_chaos = Some(chaos);
+        self
+    }
+
+    /// Set the supervisor's restart backoff and per-component budget.
+    pub fn with_restart_policy(mut self, backoff: Duration, budget: u32) -> Self {
+        self.restart_backoff = backoff;
+        self.restart_budget = budget;
+        self
+    }
+
+    /// Set the supervisor's stall-detection grace window.
+    pub fn with_stall_grace(mut self, grace: Duration) -> Self {
+        self.stall_grace = grace;
         self
     }
 
@@ -500,6 +554,18 @@ pub struct DrainReport {
     /// report exactly one entry (the default tenant), whose counters match
     /// the global ones.
     pub tenants: Vec<TenantDrainReport>,
+    /// Supervised component respawns over the server's lifetime (panics
+    /// recovered by the supervision tree's restart policies).
+    pub supervisor_restarts: u64,
+    /// Heartbeat stall episodes the supervisor detected (a component
+    /// alive but frozen while unparked past the stall grace).
+    pub stalls_detected: u64,
+    /// Unrecoverable component failures ([`RestartPolicy::Escalate`] or
+    /// a spent restart budget) that triggered the fail-fast drain.
+    pub escalations: u64,
+    /// The supervisor's structured event log: every component panic,
+    /// restart, stall, and escalation, in order, with timestamps.
+    pub supervisor_events: Vec<SupervisorEvent>,
 }
 
 /// Per-structure contention telemetry for the sharded hot path (see
@@ -529,6 +595,12 @@ pub struct HotpathStats {
     /// Executor shard-lock acquisitions (submits + batch flushes), summed
     /// across tenant pools.
     pub executor_lock_ops: u64,
+    /// Supervised component respawns so far.
+    pub supervisor_restarts: u64,
+    /// Heartbeat stall episodes detected so far.
+    pub stalls_detected: u64,
+    /// Unrecoverable component failures so far.
+    pub escalations: u64,
 }
 
 /// A connection's bounded outbound frame queue on the epoll plane — the
@@ -648,9 +720,11 @@ struct Tenant {
     /// GPUs currently granted by the coordinator (reporting; the engine's
     /// deployment is the authority on instance counts).
     granted: AtomicU32,
-    /// Streaming per-tenant stats: offered arrivals the coordinator
-    /// periodically drains into a [`StreamPlan`].
-    window: Mutex<TenantWindow>,
+    /// Streaming per-tenant demand: offered arrivals the coordinator
+    /// periodically plans into a [`StreamPlan`]. Lock-striped by
+    /// connection id ([`ShardedTenantWindow`]) so the per-submit record
+    /// on the hot path never funnels every connection through one mutex.
+    window: ShardedTenantWindow,
     submits: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
@@ -879,18 +953,15 @@ pub struct Server {
     local_addr: SocketAddr,
     drain_timeout: Duration,
     front_door: FrontDoor,
-    acceptor: std::thread::JoinHandle<()>,
-    /// `dispatch_workers` dispatch threads per tenant, all draining that
-    /// tenant's shared bounded queue into that tenant's executor.
-    dispatches: Vec<std::thread::JoinHandle<()>>,
     dispatch_workers: usize,
-    timer: std::thread::JoinHandle<()>,
-    /// Multi-tenant only: the live re-granting coordinator.
-    coordinator: Option<std::thread::JoinHandle<()>>,
-    /// Epoll plane only: one handle + thread per shard (empty on the
-    /// threaded plane).
+    /// The supervision tree owning every long-lived serving thread —
+    /// acceptor, epoll shards, dispatch workers, timer, coordinator, and
+    /// executor flushers all live in its registry (their `JoinHandle`s
+    /// are the supervisor's, not the server's).
+    supervisor: Supervisor,
+    /// Epoll plane only: one handle per shard (empty on the threaded
+    /// plane).
     shard_handles: Vec<Arc<ShardHandle>>,
-    shard_threads: Vec<std::thread::JoinHandle<()>>,
     /// One executor pool per tenant (its own per-instance clocks).
     executors: Vec<Arc<Executor>>,
 }
@@ -966,7 +1037,10 @@ impl Server {
                 engine,
                 dispatch: queue,
                 granted: AtomicU32::new(granted),
-                window: Mutex::new(TenantWindow::new(config.coordinator_window)),
+                window: ShardedTenantWindow::new(
+                    config.coordinator_window,
+                    config.resolved_conn_stripes(),
+                ),
                 submits: AtomicU64::new(0),
                 served: AtomicU64::new(0),
                 shed: AtomicU64::new(0),
@@ -1003,17 +1077,53 @@ impl Server {
             conn_threads: Mutex::new(Vec::new()),
         });
 
+        // The supervision tree every long-lived serving thread spawns
+        // under. With `supervised = false` the same spawn path runs with
+        // no monitor: panics are swallowed silently — the pre-supervision
+        // failure mode, pinned by regression tests.
+        let supervisor = Supervisor::new(
+            config.component_chaos.clone(),
+            config.supervised,
+            config.stall_grace,
+        );
+        let restart = RestartPolicy::Restart {
+            backoff: config.restart_backoff,
+            budget: config.restart_budget,
+        };
+        {
+            // Unrecoverable component failure (an Escalate-policy death or
+            // a spent restart budget): fail fast into a conserving drain.
+            // Refuse new work, close every dispatch queue, and re-account
+            // each admitted-but-undispatched message as a typed failure so
+            // per-tenant conservation stays exact — the server ends in a
+            // clean drain, never a wedge.
+            let shared = Arc::clone(&shared);
+            supervisor.set_escalate_hook(move || {
+                shared.draining.store(true, Ordering::SeqCst);
+                for (tenant_id, tenant) in shared.tenants.iter().enumerate() {
+                    tenant.dispatch.close();
+                    for msg in tenant.dispatch.drain_remaining() {
+                        let DispatchMsg::Submit { conn_id, id, .. } = msg;
+                        fail_admitted(&shared, tenant_id as u32, conn_id, id);
+                    }
+                }
+            });
+        }
+
         // One executor pool per tenant. A panicking completion callback
         // must not lose its batch: the worker catches the panic and the
         // handler re-accounts every member as failed (engine report +
-        // typed client error).
+        // typed client error). The deadline flusher runs as a supervised
+        // component (`flusher-{i}`): a restarted incarnation rebuilds its
+        // deadline heap from the live coalescer state, so armed batch
+        // windows survive a flusher death.
         let mut executors = Vec::with_capacity(shared.tenants.len());
-        for tenant in &shared.tenants {
+        for (idx, tenant) in shared.tenants.iter().enumerate() {
             let on_done = {
                 let shared = Arc::clone(&shared);
                 Box::new(move |done: CompletedBatch| complete_batch(&shared, &done))
             };
-            let executor = Arc::new(Executor::new_sharded(
+            let executor = Arc::new(Executor::new_external_flusher(
                 tenant.engine.profiles().to_vec(),
                 config.workers,
                 Arc::clone(&clock),
@@ -1026,27 +1136,32 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 executor.set_panic_handler(Box::new(move |done| fail_batch(&shared, &done)));
             }
+            {
+                let executor = Arc::clone(&executor);
+                supervisor.supervise(&format!("flusher-{idx}"), restart, move |ctx| {
+                    executor.run_flusher(Some(ctx));
+                });
+            }
             executors.push(executor);
         }
 
         // M dispatch workers per tenant, all draining that tenant's shared
         // bounded queue. M = 1 (the default) keeps the historical strictly
-        // sequential placement order.
+        // sequential placement order. Restartable: a respawned worker
+        // re-subscribes to the surviving queue; mid-burst messages a dying
+        // incarnation held are re-accounted by its burst guard.
         let dispatch_workers = config.dispatch_workers.max(1);
-        let mut dispatches = Vec::with_capacity(shared.tenants.len() * dispatch_workers);
         for (idx, tenant_executor) in executors.iter().enumerate() {
             for w in 0..dispatch_workers {
                 let shared = Arc::clone(&shared);
                 let executor = Arc::clone(tenant_executor);
-                dispatches.push(
-                    std::thread::Builder::new()
-                        .name(format!("arlo-dispatch-{idx}-{w}"))
-                        .spawn(move || dispatch_loop(&shared, idx as u32, &executor))?,
-                );
+                supervisor.supervise(&format!("dispatch-{idx}-{w}"), restart, move |ctx| {
+                    dispatch_loop(&shared, idx as u32, &executor, ctx);
+                });
             }
         }
 
-        let timer = {
+        {
             let shared = Arc::clone(&shared);
             let executors = executors.clone();
             let real_tick = Duration::from_nanos(
@@ -1058,36 +1173,39 @@ impl Server {
             // either the coordinator is the sole apply_allocation caller,
             // or (static partition) nobody reallocates at all — the timer
             // health-ticks and reaps connection threads either way.
+            // Restartable: the loop body is stateless between ticks, so a
+            // respawned timer resumes health ticks within one interval.
             let reallocate = !coordinate && shared.tenants.len() == 1;
-            std::thread::Builder::new()
-                .name("arlo-timer".into())
-                .spawn(move || timer_loop(&shared, &executors, real_tick, gpus, reallocate))?
-        };
+            supervisor.supervise("timer", restart, move |ctx| {
+                timer_loop(&shared, &executors, real_tick, gpus, reallocate, ctx);
+            });
+        }
 
-        let coordinator = if coordinate {
+        if coordinate {
             let shared = Arc::clone(&shared);
             let executors = executors.clone();
             let real_interval = Duration::from_nanos(
                 (config.coordinator_interval / Nanos::from(config.time_scale)).max(1_000_000),
             );
             let gpus = config.gpus;
-            Some(
-                std::thread::Builder::new()
-                    .name("arlo-coordinator".into())
-                    .spawn(move || coordinator_loop(&shared, &executors, real_interval, gpus))?,
-            )
-        } else {
-            None
-        };
+            // Restartable: demand lives in the tenants' sliding windows,
+            // so a respawned coordinator resumes re-granting within one
+            // interval with no lost samples.
+            supervisor.supervise("coordinator", restart, move |ctx| {
+                coordinator_loop(&shared, &executors, real_interval, gpus, ctx);
+            });
+        }
 
         // Epoll plane: spawn the shard event loops before accepting, so
-        // the acceptor always has somewhere to hand a socket.
-        let (shard_handles, shard_threads) = match config.front_door {
-            FrontDoor::Threaded => (Vec::new(), Vec::new()),
+        // the acceptor always has somewhere to hand a socket. A shard owns
+        // live connection state machines that cannot be re-attached, so
+        // its policy is Escalate; the epoll instance is taken by the first
+        // (and only) incarnation.
+        let shard_handles = match config.front_door {
+            FrontDoor::Threaded => Vec::new(),
             FrontDoor::Epoll { shards } => {
                 let n = shards.max(1);
                 let mut handles = Vec::with_capacity(n);
-                let mut threads = Vec::with_capacity(n);
                 for i in 0..n {
                     let epoll = Epoll::new()?;
                     let waker = Waker::new(&epoll)?;
@@ -1105,38 +1223,43 @@ impl Server {
                     };
                     let shared = Arc::clone(&shared);
                     let handle2 = Arc::clone(&handle);
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("arlo-shard-{i}"))
-                            .spawn(move || shard_loop(&shared, &handle2, &epoll, &shard_cfg))?,
-                    );
+                    let cell = Mutex::new(Some(epoll));
+                    supervisor.supervise(&format!("shard-{i}"), RestartPolicy::Escalate, {
+                        move |ctx| {
+                            if let Some(epoll) = cell.lock().take() {
+                                shard_loop(&shared, &handle2, &epoll, &shard_cfg, ctx);
+                            }
+                        }
+                    });
                     handles.push(handle);
                 }
-                (handles, threads)
+                handles
             }
         };
 
-        let acceptor = {
+        {
+            // The acceptor owns the listener (taken by the only
+            // incarnation); losing it is unrecoverable — Escalate.
             let shared = Arc::clone(&shared);
-            let config = config.clone();
+            let accept_config = config.clone();
             let shards = shard_handles.clone();
-            std::thread::Builder::new()
-                .name("arlo-accept".into())
-                .spawn(move || accept_loop(&shared, &listener, &config, &shards))?
-        };
+            let cell = Mutex::new(Some(listener));
+            supervisor.supervise("accept", RestartPolicy::Escalate, move |ctx| {
+                if let Some(listener) = cell.lock().take() {
+                    accept_loop(&shared, &listener, &accept_config, &shards, ctx);
+                }
+            });
+        }
+        supervisor.start();
 
         Ok(Server {
             shared,
             local_addr,
             drain_timeout: config.drain_timeout,
             front_door: config.front_door,
-            acceptor,
-            dispatches,
             dispatch_workers,
-            timer,
-            coordinator,
+            supervisor,
             shard_handles,
-            shard_threads,
             executors,
         })
     }
@@ -1198,7 +1321,37 @@ impl Server {
             dispatch_pop_msgs,
             executor_shards: self.executors[0].shard_count(),
             executor_lock_ops: self.executors.iter().map(|e| e.lock_ops()).sum(),
+            supervisor_restarts: self.supervisor.restarts(),
+            stalls_detected: self.supervisor.stalls_detected(),
+            escalations: self.supervisor.escalations(),
         }
+    }
+
+    /// The supervisor's structured event log so far (component panics,
+    /// restarts, stalls, escalations).
+    pub fn supervisor_events(&self) -> Vec<SupervisorEvent> {
+        self.supervisor.events()
+    }
+
+    /// Supervised component respawns so far.
+    pub fn supervisor_restarts(&self) -> u64 {
+        self.supervisor.restarts()
+    }
+
+    /// Heartbeat stall episodes the supervisor has detected so far.
+    pub fn stalls_detected(&self) -> u64 {
+        self.supervisor.stalls_detected()
+    }
+
+    /// Unrecoverable component failures so far.
+    pub fn escalations(&self) -> u64 {
+        self.supervisor.escalations()
+    }
+
+    /// Whether an unrecoverable component failure has triggered the
+    /// fail-fast conserving drain.
+    pub fn is_escalated(&self) -> bool {
+        self.supervisor.is_escalated()
     }
 
     /// Connection reader/writer threads not yet joined (finished threads
@@ -1336,24 +1489,23 @@ impl Server {
         for handle in &self.shard_handles {
             handle.waker.wake();
         }
-        self.acceptor.join().expect("acceptor panicked");
-        self.timer.join().expect("timer panicked");
-        if let Some(coordinator) = self.coordinator {
-            coordinator.join().expect("coordinator panicked");
+        // Stop the monitor before tearing down flusher channels: a respawn
+        // scheduled moments ago must not re-attach to state mid-teardown.
+        self.supervisor.begin_shutdown();
+        for executor in &self.executors {
+            executor.stop_flusher();
         }
-        for dispatch in self.dispatches {
-            dispatch.join().expect("dispatch panicked");
-        }
-        // Shards close their connections (deregistering them and balancing
-        // the flush counter for anything undeliverable) on the way out.
-        for thread in self.shard_threads {
-            thread.join().expect("shard panicked");
-        }
+        // Join every component — acceptor, timer, coordinator, dispatch
+        // workers, shards (which close their owned connections, balancing
+        // the flush counter for anything undeliverable, on the way out),
+        // and flushers — then drop their body closures, releasing the
+        // executor and shared-state clones they captured.
+        self.supervisor.shutdown_join();
         let mut panics_recovered = 0;
         for executor in self.executors {
             let executor = Arc::try_unwrap(executor)
                 .ok()
-                .expect("dispatch, timer, and coordinator joined; executor has one owner");
+                .expect("supervised components joined; executor has one owner");
             panics_recovered += executor.panics_recovered();
             let _occupancy = executor.shutdown();
         }
@@ -1406,6 +1558,10 @@ impl Server {
             panics_recovered,
             unknown_tenants: shared.unknown_tenants.load(Ordering::Relaxed),
             tenants,
+            supervisor_restarts: self.supervisor.restarts(),
+            stalls_detected: self.supervisor.stalls_detected(),
+            escalations: self.supervisor.escalations(),
+            supervisor_events: self.supervisor.events(),
         }
     }
 }
@@ -1529,24 +1685,82 @@ fn fail_batch(shared: &Shared, done: &CompletedBatch) {
 /// a multi-worker pool still spreads a large backlog across workers.
 const DISPATCH_BURST: usize = 256;
 
+/// Terminate one admitted-but-unplaced request as a typed failure:
+/// failure counters, outstanding release, client answer. The two paths
+/// where admitted work can no longer reach an executor — a dispatch
+/// worker dying mid-burst ([`BurstGuard`]) and the escalation hook's
+/// queue re-accounting — both land here, so the conservation law
+/// (`submits == served + shed + unserviceable + failed + outstanding`)
+/// holds through component failures too.
+fn fail_admitted(shared: &Shared, tenant_id: u32, conn_id: u64, id: u64) {
+    let tenant = &shared.tenants[tenant_id as usize];
+    shared.failed.fetch_add(1, Ordering::Relaxed);
+    tenant.failed.fetch_add(1, Ordering::Relaxed);
+    shared.respond(
+        conn_id,
+        &Frame::Error {
+            id,
+            code: ErrorCode::Failed,
+        },
+    );
+    tenant.outstanding.fetch_sub(1, Ordering::SeqCst);
+    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Mid-flight conservation guard for one dispatch burst. Messages popped
+/// off the queue are this worker's sole responsibility; if the worker
+/// panics before placing them (the chaos injection point is the beat
+/// between pop and placement), `Drop` re-accounts every unprocessed
+/// message as [`ErrorCode::Failed`] — popped work cannot be re-queued
+/// behind traffic that already jumped it, but it must still terminate in
+/// exactly one counted bucket.
+struct BurstGuard<'a> {
+    shared: &'a Shared,
+    tenant_id: u32,
+    msgs: Vec<DispatchMsg>,
+    /// Index of the first message not yet fully processed.
+    next: usize,
+}
+
+impl Drop for BurstGuard<'_> {
+    fn drop(&mut self) {
+        for msg in &self.msgs[self.next..] {
+            let DispatchMsg::Submit { conn_id, id, .. } = *msg;
+            fail_admitted(self.shared, self.tenant_id, conn_id, id);
+        }
+    }
+}
+
 /// One dispatch worker: drain its tenant's shared bounded queue in bursts
 /// into the engine (placement) and executor (execution). A tenant runs
 /// [`ServeConfig::dispatch_workers`] of these over one queue; exits —
 /// immediately, no timeout tick — when [`Server::drain`] closes the queue.
-fn dispatch_loop(shared: &Shared, tenant_id: u32, executor: &Executor) {
+/// Supervised: a respawned incarnation re-subscribes to the surviving
+/// queue simply by calling `pop_many` again, and the [`BurstGuard`]
+/// re-accounts whatever a dying incarnation had popped but not placed.
+fn dispatch_loop(shared: &Shared, tenant_id: u32, executor: &Executor, ctx: &SupervisedCtx) {
     let tenant = &shared.tenants[tenant_id as usize];
-    let mut burst: Vec<DispatchMsg> = Vec::with_capacity(DISPATCH_BURST);
     loop {
-        burst.clear();
+        let mut burst: Vec<DispatchMsg> = Vec::with_capacity(DISPATCH_BURST);
+        ctx.park();
         if tenant.dispatch.pop_many(&mut burst, DISPATCH_BURST) == 0 {
             return; // closed: shutdown observed as an event
         }
-        for msg in burst.drain(..) {
+        let mut guard = BurstGuard {
+            shared,
+            tenant_id,
+            msgs: burst,
+            next: 0,
+        };
+        // The beat is also the chaos injection point: an induced panic
+        // fires here, with the guard armed over the whole burst.
+        ctx.beat();
+        while guard.next < guard.msgs.len() {
             let DispatchMsg::Submit {
                 conn_id,
                 id,
                 length,
-            } = msg;
+            } = guard.msgs[guard.next];
             // Per-message timestamp (not per-burst): arrival times feed the
             // engine's demand windows and the executor's virtual-time
             // serialization, so batching the drain must not batch time.
@@ -1579,6 +1793,7 @@ fn dispatch_loop(shared: &Shared, tenant_id: u32, executor: &Executor) {
                     shared.respond(conn_id, &Frame::Error { id, code });
                 }
             }
+            guard.next += 1;
         }
     }
 }
@@ -1589,9 +1804,12 @@ fn timer_loop(
     real_tick: Duration,
     gpus: u32,
     reallocate: bool,
+    ctx: &SupervisedCtx,
 ) {
     while !shared.shutdown.load(Ordering::SeqCst) {
+        ctx.park();
         std::thread::sleep(real_tick);
+        ctx.beat();
         let now = shared.clock.now();
         for tenant in &shared.tenants {
             tenant.engine.health_tick(now);
@@ -1629,9 +1847,12 @@ fn coordinator_loop(
     executors: &[Arc<Executor>],
     real_interval: Duration,
     total_gpus: u32,
+    ctx: &SupervisedCtx,
 ) {
     while !shared.shutdown.load(Ordering::SeqCst) {
+        ctx.park();
         std::thread::sleep(real_interval);
+        ctx.beat();
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -1646,11 +1867,7 @@ fn coordinate_once(shared: &Shared, executors: &[Arc<Executor>], total_gpus: u32
     let plans: Vec<StreamPlan> = shared
         .tenants
         .iter()
-        .map(|t| {
-            t.window
-                .lock()
-                .plan(&t.name, t.engine.profiles(), t.slo_ms, now)
-        })
+        .map(|t| t.window.plan(&t.name, t.engine.profiles(), t.slo_ms, now))
         .collect();
     // Infeasible pools (e.g. fewer GPUs than streams after backoff) leave
     // the current grants standing; the next pass retries.
@@ -1705,6 +1922,7 @@ fn accept_loop(
     listener: &TcpListener,
     config: &ServeConfig,
     shards: &[Arc<ShardHandle>],
+    ctx: &SupervisedCtx,
 ) {
     let mut next_conn_id: u64 = 0;
     // Pre-encoded admission refusal (always v1: the peer has not
@@ -1719,6 +1937,7 @@ fn accept_loop(
         buf
     };
     while !shared.draining.load(Ordering::SeqCst) && !shared.shutdown.load(Ordering::SeqCst) {
+        ctx.beat();
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
@@ -2226,16 +2445,50 @@ fn poll_timeout(conns: &HashMap<u64, FramedConn>, cfg: &ShardConfig) -> Duration
     timeout
 }
 
+/// Panic-conservation guard for one shard's owned connections. A shard's
+/// policy is Escalate (its live state machines cannot be re-attached), so
+/// when it dies — chaos panic or bug — `Drop` runs the same close path
+/// shutdown uses: every owned connection is deregistered and its queued
+/// frames balanced out of the drain flush counter. Without this, a dead
+/// shard's unflushable frames would wedge [`Server::drain`] against its
+/// timeout.
+struct ShardConns<'a> {
+    shared: &'a Shared,
+    epoll: &'a Epoll,
+    conns: HashMap<u64, FramedConn>,
+}
+
+impl Drop for ShardConns<'_> {
+    fn drop(&mut self) {
+        for (conn_id, conn) in self.conns.drain() {
+            close_conn(self.shared, self.epoll, conn_id, conn);
+        }
+    }
+}
+
 /// One epoll shard: adopt connections from the acceptor, pump readiness
 /// events through the per-connection state machines, sweep for idle /
-/// doomed / stalled connections, and on shutdown close everything owned
-/// (balancing the drain flush counter for undeliverable frames).
-fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cfg: &ShardConfig) {
-    let mut conns: HashMap<u64, FramedConn> = HashMap::new();
+/// doomed / stalled connections, and on shutdown (or panic — see
+/// [`ShardConns`]) close everything owned, balancing the drain flush
+/// counter for undeliverable frames.
+fn shard_loop(
+    shared: &Arc<Shared>,
+    handle: &Arc<ShardHandle>,
+    epoll: &Epoll,
+    cfg: &ShardConfig,
+    ctx: &SupervisedCtx,
+) {
+    let mut owned = ShardConns {
+        shared,
+        epoll,
+        conns: HashMap::new(),
+    };
     let mut events = Vec::new();
     let mut last_sweep = Instant::now();
     loop {
-        let timeout = poll_timeout(&conns, cfg);
+        ctx.beat();
+        let timeout = poll_timeout(&owned.conns, cfg);
+        ctx.park();
         let _ = epoll.wait(&mut events, Some(timeout));
         handle.waker.drain();
 
@@ -2248,9 +2501,7 @@ fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cf
                 let conn_id = inc.conn_id;
                 close_conn(shared, epoll, conn_id, FramedConn::adopt(inc, cfg));
             }
-            for (conn_id, conn) in conns.drain() {
-                close_conn(shared, epoll, conn_id, conn);
-            }
+            // `owned` drops here, closing every adopted connection.
             return;
         }
 
@@ -2265,7 +2516,7 @@ fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cf
                 continue;
             }
             conn.interest = Interest::READ;
-            conns.insert(conn_id, conn);
+            owned.conns.insert(conn_id, conn);
         }
 
         // Connections with fresh outbound frames or fresh doom flags. The
@@ -2278,7 +2529,7 @@ fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cf
         // this shard's event-handling).
         let dirty = std::mem::take(&mut *handle.dirty.lock());
         for conn_id in dirty {
-            drive_conn(shared, epoll, &mut conns, conn_id, cfg, false);
+            drive_conn(shared, epoll, &mut owned.conns, conn_id, cfg, false);
         }
 
         // Socket readiness.
@@ -2289,7 +2540,7 @@ fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cf
             drive_conn(
                 shared,
                 epoll,
-                &mut conns,
+                &mut owned.conns,
                 ev.token,
                 cfg,
                 ev.readable || ev.closed,
@@ -2300,7 +2551,7 @@ fn shard_loop(shared: &Arc<Shared>, handle: &Arc<ShardHandle>, epoll: &Epoll, cf
         // block windows resume as soon as their deadline passes.
         if cfg.server_chaos.is_some() || last_sweep.elapsed() >= cfg.tick {
             last_sweep = Instant::now();
-            sweep(shared, epoll, &mut conns, cfg);
+            sweep(shared, epoll, &mut owned.conns, cfg);
         }
     }
 }
@@ -2569,11 +2820,11 @@ fn submit_one(shared: &Shared, conn_id: u64, tenant_id: u32, id: u64, length: u3
     }
     // Feed the coordinator's demand window with *offered* load (shed
     // submits included): the re-granting decision should see what the
-    // tenant asked for, not just what the gate admitted.
+    // tenant asked for, not just what the gate admitted. Striped by
+    // connection id, so concurrent submitters hit disjoint locks.
     tenant
         .window
-        .lock()
-        .record(shared.clock.now(), length.max(1));
+        .record(conn_id, shared.clock.now(), length.max(1));
     // SLO-class admission gate: under overload, lower classes hit their
     // outstanding share and shed here before the queue itself fills —
     // weighted shedding, Interactive last.

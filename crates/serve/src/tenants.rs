@@ -27,6 +27,7 @@ use arlo_runtime::profile::RuntimeProfile;
 use arlo_trace::workload::{Request, Trace};
 use arlo_trace::Nanos;
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Service tier of one tenant stream. Classes order admission under
 /// overload: a tenant may only hold a fraction of the server's dispatch
@@ -221,31 +222,156 @@ impl TenantWindow {
         now: Nanos,
     ) -> StreamPlan {
         self.prune(now);
-        if self.samples.len() < MIN_PLAN_SAMPLES {
-            return StreamPlan {
-                name: name.to_string(),
-                profiles: profiles.to_vec(),
-                demand: vec![0.0; profiles.len()],
-                slo_ms,
-            };
+        plan_from_samples(
+            name,
+            profiles,
+            slo_ms,
+            now,
+            self.window,
+            self.samples.iter().copied().collect(),
+        )
+    }
+}
+
+/// The shared tail of window planning: sort the (possibly merged)
+/// samples, rebase arrivals onto the window, and run the p95 provisioning
+/// pipeline. Fewer than [`MIN_PLAN_SAMPLES`] samples plan at zero demand.
+fn plan_from_samples(
+    name: &str,
+    profiles: &[RuntimeProfile],
+    slo_ms: f64,
+    now: Nanos,
+    window: Nanos,
+    mut samples: Vec<(Nanos, u32)>,
+) -> StreamPlan {
+    if samples.len() < MIN_PLAN_SAMPLES {
+        return StreamPlan {
+            name: name.to_string(),
+            profiles: profiles.to_vec(),
+            demand: vec![0.0; profiles.len()],
+            slo_ms,
+        };
+    }
+    let start = now.saturating_sub(window);
+    samples.sort_unstable_by_key(|&(at, _)| at);
+    let requests: Vec<Request> = samples
+        .into_iter()
+        .enumerate()
+        .map(|(i, (at, length))| Request {
+            id: i as u64,
+            // Clamp at the horizon: recorders keep appending while the
+            // coordinator is between snapshotting `now` and taking the
+            // window lock, so a sample can postdate `now` by a hair.
+            arrival: at.saturating_sub(start).min(window),
+            length: length.max(1),
+        })
+        .collect();
+    let trace = Trace::from_requests(requests, window);
+    plan_from_trace(name, profiles.to_vec(), &trace, slo_ms)
+}
+
+/// Lock-striped [`TenantWindow`]: the fix for the `record_demand`
+/// per-submit mutex the hot-path audit flagged. Every submit used to take
+/// one tenant-wide lock to append its `(arrival, length)` sample; with M
+/// dispatch workers (and supervisor restarts re-subscribing more), that
+/// lock serialized the admission path. Here recorders stripe by a caller
+/// key (the connection id), so concurrent connections append to disjoint
+/// stripes, and only the coordinator — a few times a second — pays the
+/// merge across all stripes at plan time.
+///
+/// Semantics match [`TenantWindow`] exactly: arrivals across stripes may
+/// interleave out of order, and [`ShardedTenantWindow::plan`] sorts the
+/// merged samples, as the unsharded window already did for concurrent
+/// connections. The [`MAX_WINDOW_SAMPLES`] flood cap applies per stripe.
+#[derive(Debug)]
+pub struct ShardedTenantWindow {
+    stripes: Box<[Mutex<TenantWindow>]>,
+    mask: u64,
+}
+
+impl ShardedTenantWindow {
+    /// A window of `window` virtual nanoseconds striped `stripes` ways
+    /// (min 1, rounded up to a power of two).
+    pub fn new(window: Nanos, stripes: usize) -> ShardedTenantWindow {
+        let n = stripes.max(1).next_power_of_two();
+        ShardedTenantWindow {
+            stripes: (0..n)
+                .map(|_| Mutex::new(TenantWindow::new(window)))
+                .collect(),
+            mask: n as u64 - 1,
         }
-        let start = now.saturating_sub(self.window);
-        let mut sorted: Vec<(Nanos, u32)> = self.samples.iter().copied().collect();
-        sorted.sort_unstable_by_key(|&(at, _)| at);
-        let requests: Vec<Request> = sorted
-            .into_iter()
-            .enumerate()
-            .map(|(i, (at, length))| Request {
-                id: i as u64,
-                // Clamp at the horizon: recorders keep appending while the
-                // coordinator is between snapshotting `now` and taking the
-                // window lock, so a sample can postdate `now` by a hair.
-                arrival: at.saturating_sub(start).min(self.window),
-                length: length.max(1),
-            })
-            .collect();
-        let trace = Trace::from_requests(requests, self.window);
-        plan_from_trace(name, profiles.to_vec(), &trace, slo_ms)
+    }
+
+    fn stripe(&self, key: u64) -> &Mutex<TenantWindow> {
+        // splitmix64 finalizer: keys are small sequential connection ids
+        // and would pile onto the low stripes unmixed.
+        let mut h = key;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        &self.stripes[(h & self.mask) as usize]
+    }
+
+    /// Record one offered submit under the caller's stripe key (the
+    /// connection id): two connections rarely contend, and a single
+    /// connection's samples stay ordered within their stripe.
+    pub fn record(&self, key: u64, arrival: Nanos, length: u32) {
+        self.stripe(key)
+            .lock()
+            .expect("tenant window poisoned")
+            .record(arrival, length);
+    }
+
+    /// Samples currently buffered across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("tenant window poisoned").len())
+            .sum()
+    }
+
+    /// True when no stripe holds samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stripe count (post power-of-two rounding).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Drop samples that have slid out of the window ending at `now`.
+    pub fn prune(&self, now: Nanos) {
+        for stripe in self.stripes.iter() {
+            stripe.lock().expect("tenant window poisoned").prune(now);
+        }
+    }
+
+    /// Merge every stripe's windowed samples and plan, exactly as
+    /// [`TenantWindow::plan`] would over the union. One stripe lock is
+    /// held at a time — recorders on other stripes never stall behind the
+    /// coordinator.
+    pub fn plan(
+        &self,
+        name: &str,
+        profiles: &[RuntimeProfile],
+        slo_ms: f64,
+        now: Nanos,
+    ) -> StreamPlan {
+        let mut merged: Vec<(Nanos, u32)> = Vec::new();
+        let window = {
+            let mut window = 0;
+            for stripe in self.stripes.iter() {
+                let mut stripe = stripe.lock().expect("tenant window poisoned");
+                stripe.prune(now);
+                merged.extend(stripe.samples.iter().copied());
+                window = stripe.window;
+            }
+            window
+        };
+        plan_from_samples(name, profiles, slo_ms, now, window, merged)
     }
 }
 
@@ -390,6 +516,70 @@ mod tests {
         assert!(plan.demand.iter().all(|&q| q == 0.0));
         // Zero demand still reserves the Eq. 7 minimum.
         assert_eq!(plan.min_gpus(), 1);
+    }
+
+    #[test]
+    fn sharded_window_plans_identically_to_the_unsharded_window() {
+        let profiles = profile_runtimes(
+            &RuntimeSet::with_count(ModelSpec::bert_base(), 4).compile(),
+            150.0,
+            256,
+        );
+        let mut flat = TenantWindow::new(2 * NANOS_PER_SEC);
+        let sharded = ShardedTenantWindow::new(2 * NANOS_PER_SEC, 8);
+        assert_eq!(sharded.stripe_count(), 8);
+        for i in 0..500u64 {
+            let at = (i * 7919) % (2 * NANOS_PER_SEC);
+            let len = 32 + (i % 200) as u32;
+            flat.record(at, len);
+            sharded.record(i % 37, at, len); // 37 "connections"
+        }
+        assert_eq!(sharded.len(), 500);
+        let a = flat.plan("t", &profiles, 150.0, 2 * NANOS_PER_SEC);
+        let b = sharded.plan("t", &profiles, 150.0, 2 * NANOS_PER_SEC);
+        assert_eq!(a.demand, b.demand, "merge+sort reproduces the flat plan");
+        let c = sharded.plan("t", &profiles, 150.0, 2 * NANOS_PER_SEC);
+        assert_eq!(b.demand, c.demand, "planning does not consume samples");
+    }
+
+    #[test]
+    fn sharded_window_spreads_keys_across_stripes() {
+        let w = ShardedTenantWindow::new(NANOS_PER_SEC, 8);
+        for key in 0..64u64 {
+            w.record(key, 0, 1);
+        }
+        // Sequential conn-id keys must not pile onto one stripe: with 64
+        // keys over 8 stripes, a degenerate hash would leave ≥7 empty.
+        let occupied = w
+            .stripes
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(occupied >= 4, "only {occupied}/8 stripes used");
+        w.prune(10 * NANOS_PER_SEC);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn sharded_window_conserves_concurrent_records() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 2_000;
+        let w = Arc::new(ShardedTenantWindow::new(u64::MAX, 8));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        w.record(t, i, 64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(w.len() as u64, THREADS * PER_THREAD, "no sample lost");
     }
 
     #[test]

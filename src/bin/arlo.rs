@@ -17,7 +17,7 @@
 //! ```
 
 use arlo::prelude::*;
-use arlo::serve::chaos::{ChaosConfig, FaultClass};
+use arlo::serve::chaos::{ChaosConfig, ComponentChaos, FaultClass};
 use arlo::serve::loadgen::{chaos_replay, replay, ChaosReplayConfig, LoadGenConfig, ProtocolMode};
 use arlo::serve::protocol::Frame;
 use arlo::serve::server::{FrontDoor, ServeConfig, Server};
@@ -78,6 +78,10 @@ USAGE:
                   [--max-batch <n> [--marginal-cost <f>] [--max-wait-ms <ms>]]
                   [--server-chaos <delay|partial|corrupt|reset|stall>
                    [--server-chaos-intensity <0..1>] [--server-chaos-seed <n>]]
+                  [--restart-backoff-ms <ms>] [--restart-budget <n>] [--stall-grace-ms <ms>]
+                  [--component-chaos <accept|shard|dispatch|flusher|timer|coordinator>
+                   [--component-chaos-fault <panic|stall>] [--component-chaos-one-in <n>]
+                   [--component-chaos-stall-ms <ms>] [--component-chaos-seed <n>]]
                   (runs until a client sends a Drain frame, then flushes and exits)
   arlo loadgen    --addr <ip:port> (--trace <file> | --rate <r> --secs <s>) [--bursty]
                   [--seed <n>] [--clients <n>] [--time-scale <x>]
@@ -485,6 +489,39 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             class.name()
         );
     }
+    // Supervision-tree knobs: restart policy for the restartable
+    // components and the heartbeat stall grace.
+    let backoff_ms: u64 = num_or(flags, "restart-backoff-ms", 10)?;
+    let budget: u32 = num_or(flags, "restart-budget", 8)?;
+    let grace_ms: u64 = num_or(flags, "stall-grace-ms", 500)?;
+    serve_cfg = serve_cfg
+        .with_restart_policy(std::time::Duration::from_millis(backoff_ms), budget)
+        .with_stall_grace(std::time::Duration::from_millis(grace_ms));
+    if let Some(target) = flags.get("component-chaos") {
+        // Test-only: seeded in-process fault injection against a
+        // supervised component class, matched by name prefix (accept,
+        // shard, dispatch, flusher, timer, coordinator).
+        let fault = flags
+            .get("component-chaos-fault")
+            .map(String::as_str)
+            .unwrap_or("panic");
+        let one_in: u64 = num_or(flags, "component-chaos-one-in", 100)?;
+        let chaos_seed: u64 = num_or(flags, "component-chaos-seed", 42)?;
+        let chaos = match fault {
+            "panic" => ComponentChaos::panics(target, one_in, chaos_seed),
+            "stall" => {
+                let stall_ms: u64 = num_or(flags, "component-chaos-stall-ms", 50)?;
+                ComponentChaos::stalls(target, one_in, stall_ms, chaos_seed)
+            }
+            other => {
+                return Err(format!(
+                    "unknown --component-chaos-fault `{other}` (panic | stall)"
+                ))
+            }
+        };
+        serve_cfg = serve_cfg.with_component_chaos(chaos);
+        println!("component chaos: {fault} in `{target}*` one beat in {one_in}, seed {chaos_seed}");
+    }
     // `--tenants` switches on the multi-tenant registry: one engine per
     // tenant, GPUs seeded evenly, then live re-granting by the coordinator.
     let server = match flags.get("tenants") {
@@ -560,6 +597,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             "  unknown-tenant submits refused: {}",
             report.unknown_tenants
         );
+    }
+    if report.supervisor_restarts > 0 || report.stalls_detected > 0 || report.escalations > 0 {
+        println!(
+            "supervision: {} restarts, {} stalls detected, {} escalations",
+            report.supervisor_restarts, report.stalls_detected, report.escalations
+        );
+        for ev in &report.supervisor_events {
+            println!("  [{:>6} ms] {} — {:?}", ev.at_ms, ev.component, ev.kind);
+        }
     }
     if report.outstanding_at_close > 0 {
         return Err(format!(
